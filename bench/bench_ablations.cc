@@ -1,0 +1,129 @@
+/// \file bench_ablations.cc
+/// Ablations of the design choices DESIGN.md calls out (beyond the
+/// paper's own experiments):
+///
+///  A. stratified sample-rate sweep — the paper's §6 discussion: "a good
+///     sample size is time-consuming to determine"; quality vs prep-time
+///     trade-off at 0.1 %–10 %;
+///  B. progressive result reuse on/off — how much of IDEA's advantage
+///     comes from reuse;
+///  C. online engine blocking fallback on/off — XDB's TR violations are
+///     fallback-bound;
+///  D. concurrency-penalty sweep — what Exp. 4's "no concurrency effect"
+///     would look like on a contended backend.
+
+#include "bench/bench_util.h"
+#include "engines/online_engine.h"
+#include "engines/progressive_engine.h"
+#include "engines/stratified_engine.h"
+
+using namespace idebench;
+
+namespace {
+
+report::SummaryRow RunWith(engines::Engine* engine,
+                           std::shared_ptr<const storage::Catalog> catalog,
+                           std::shared_ptr<driver::GroundTruthOracle> oracle,
+                           const std::vector<workflow::Workflow>& workflows,
+                           double tr_s, double concurrency_penalty = 0.0) {
+  driver::Settings settings;
+  settings.time_requirement = SecondsToMicros(tr_s);
+  settings.think_time = SecondsToMicros(1.0);
+  settings.concurrency_penalty = concurrency_penalty;
+  settings.data_size_label = core::DataSizeLabel(catalog->nominal_rows());
+  driver::BenchmarkDriver driver(settings, engine, catalog, oracle);
+  bench::CheckOk(driver.PrepareEngine().status(), "prepare");
+  auto records = bench::Unwrap(driver.RunWorkflows(workflows), "run");
+  std::vector<const driver::QueryRecord*> ptrs;
+  for (const auto& r : records) ptrs.push_back(&r);
+  return report::Summarize("", ptrs);
+}
+
+}  // namespace
+
+int main() {
+  bench::Banner("Ablations (design-choice sweeps)");
+
+  auto catalog = bench::Unwrap(core::BuildFlightsCatalog(bench::BenchDataset()),
+                               "build catalog");
+  auto oracle = std::make_shared<driver::GroundTruthOracle>(catalog);
+  const auto workflows = bench::MakeWorkflows(
+      catalog->fact_table(), {workflow::WorkflowType::kMixed},
+      bench::WorkflowsOverride(5));
+
+  // --- A: stratified sample-rate sweep --------------------------------
+  std::printf("A. stratified sampling-rate sweep (TR=1s):\n");
+  std::printf("   %-8s %12s %10s %10s %10s\n", "rate", "prep(min)", "tr_viol",
+              "missing", "mre_med");
+  for (double rate : {0.001, 0.005, 0.01, 0.05, 0.10}) {
+    engines::StratifiedEngineConfig config;
+    config.sampling_rate = rate;
+    engines::StratifiedEngine engine(config);
+    driver::Settings settings;
+    settings.time_requirement = SecondsToMicros(1.0);
+    settings.think_time = SecondsToMicros(1.0);
+    driver::BenchmarkDriver driver(settings, &engine, catalog, oracle);
+    const Micros prep = bench::Unwrap(driver.PrepareEngine(), "prepare");
+    auto records = bench::Unwrap(driver.RunWorkflows(workflows), "run");
+    std::vector<const driver::QueryRecord*> ptrs;
+    for (const auto& r : records) ptrs.push_back(&r);
+    const report::SummaryRow row = report::Summarize("", ptrs);
+    std::printf("   %-8s %12.1f %10s %10s %10.3f\n",
+                FormatPercent(rate, 1).c_str(), MicrosToSeconds(prep) / 60.0,
+                FormatPercent(row.tr_violation_rate).c_str(),
+                FormatPercent(row.mean_missing_bins).c_str(), row.median_mre);
+  }
+  std::printf(
+      "   -> bigger samples buy quality and cost prep time; no rate wins\n"
+      "      both, which is the paper's argument for online sampling.\n\n");
+
+  // --- B: progressive reuse on/off -------------------------------------
+  std::printf("B. progressive result reuse (TR=0.5s):\n");
+  std::printf("   %-10s %10s %10s %10s %12s\n", "reuse", "tr_viol", "missing",
+              "mre_med", "reuse_hits");
+  for (bool reuse : {true, false}) {
+    engines::ProgressiveEngineConfig config;
+    config.enable_reuse = reuse;
+    engines::ProgressiveEngine engine(config);
+    const report::SummaryRow row =
+        RunWith(&engine, catalog, oracle, workflows, 0.5);
+    std::printf("   %-10s %10s %10s %10.3f %12lld\n", reuse ? "on" : "off",
+                FormatPercent(row.tr_violation_rate).c_str(),
+                FormatPercent(row.mean_missing_bins).c_str(), row.median_mre,
+                static_cast<long long>(engine.reuse_hits()));
+  }
+  std::printf(
+      "   -> repeated dashboard queries start from cached samples; reuse\n"
+      "      lowers missing bins at tight TRs for free.\n\n");
+
+  // --- C: online fallback on/off ----------------------------------------
+  std::printf("C. online engine blocking fallback (TR=1s):\n");
+  std::printf("   %-10s %10s %10s\n", "fallback", "tr_viol", "mre_med");
+  for (bool fallback : {true, false}) {
+    engines::OnlineEngineConfig config;
+    config.enable_fallback = fallback;
+    engines::OnlineEngine engine(config);
+    const report::SummaryRow row =
+        RunWith(&engine, catalog, oracle, workflows, 1.0);
+    std::printf("   %-10s %10s %10.3f\n", fallback ? "on" : "off",
+                FormatPercent(row.tr_violation_rate).c_str(), row.median_mre);
+  }
+  std::printf(
+      "   -> the violation share barely moves: it is the unsupported-query\n"
+      "      share either way (blocked scans exceed the TR).\n\n");
+
+  // --- D: concurrency-penalty sweep --------------------------------------
+  std::printf("D. concurrency penalty sweep (blocking engine, TR=3s):\n");
+  std::printf("   %-10s %10s\n", "penalty", "tr_viol");
+  for (double penalty : {0.0, 0.25, 0.5, 1.0}) {
+    auto engine = bench::Unwrap(engines::CreateEngine("blocking"), "create");
+    const report::SummaryRow row =
+        RunWith(engine.get(), catalog, oracle, workflows, 3.0, penalty);
+    std::printf("   %-10.2f %10s\n", penalty,
+                FormatPercent(row.tr_violation_rate).c_str());
+  }
+  std::printf(
+      "   -> with no penalty (the paper's 20-core testbed), concurrency has\n"
+      "      no effect (Exp. 4); a contended backend would degrade.\n");
+  return 0;
+}

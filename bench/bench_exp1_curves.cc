@@ -1,0 +1,80 @@
+/// \file bench_exp1_curves.cc
+/// Reproduces **Figures 6a–6c** (Experiment 1): how (a) the ratio of TR
+/// violations, (b) the median of the mean relative margins, and (c) the
+/// cosine distance develop with increasing time requirements, for all
+/// four systems on the 500 M mixed workload.
+
+#include "bench/bench_util.h"
+
+using namespace idebench;
+
+int main() {
+  const std::vector<double> kTimeRequirements = {0.5, 1.0, 3.0, 5.0, 10.0};
+  const std::vector<std::string> kEngines = {"blocking", "online",
+                                             "progressive", "stratified"};
+
+  bench::Banner("Experiment 1 / Figures 6a-6c: metric curves vs TR");
+
+  auto catalog = bench::Unwrap(core::BuildFlightsCatalog(bench::BenchDataset()),
+                               "build catalog");
+  auto oracle = std::make_shared<driver::GroundTruthOracle>(catalog);
+  const auto workflows =
+      bench::MakeWorkflows(catalog->fact_table(),
+                           {workflow::WorkflowType::kMixed},
+                           bench::WorkflowsOverride(10));
+
+  std::vector<driver::QueryRecord> records;
+  for (const std::string& engine : kEngines) {
+    bench::RunEngineSweep(engine, catalog, oracle, workflows,
+                          kTimeRequirements, 1.0, &records);
+  }
+
+  auto series = [&](const std::string& engine, auto value_fn) {
+    std::string out;
+    for (double tr : kTimeRequirements) {
+      std::vector<const driver::QueryRecord*> group;
+      for (const auto& r : records) {
+        if (r.driver_name == engine &&
+            r.time_requirement == SecondsToMicros(tr)) {
+          group.push_back(&r);
+        }
+      }
+      out += StringPrintf(" %8.3f", value_fn(report::Summarize("", group)));
+    }
+    return out;
+  };
+
+  std::printf("%-14s", "TR (s):");
+  for (double tr : kTimeRequirements) std::printf(" %8.1f", tr);
+  std::printf("\n");
+
+  std::printf("\n(a) ratio of TR violations\n");
+  for (const auto& engine : kEngines) {
+    std::printf("%-14s%s\n", engine.c_str(),
+                series(engine, [](const report::SummaryRow& s) {
+                  return s.tr_violation_rate;
+                }).c_str());
+  }
+
+  std::printf("\n(b) median of mean relative margins\n");
+  for (const auto& engine : kEngines) {
+    std::printf("%-14s%s\n", engine.c_str(),
+                series(engine, [](const report::SummaryRow& s) {
+                  return s.median_margin;
+                }).c_str());
+  }
+
+  std::printf("\n(c) mean cosine distance\n");
+  for (const auto& engine : kEngines) {
+    std::printf("%-14s%s\n", engine.c_str(),
+                series(engine, [](const report::SummaryRow& s) {
+                  return s.mean_cosine_distance;
+                }).c_str());
+  }
+
+  std::printf(
+      "\npaper shape check: online margins >> progressive's (near-zero);\n"
+      "blocking has no margins (exact or nothing); curves improve with "
+      "TR\nexcept the stratified engine, whose quality is sample-bound.\n");
+  return 0;
+}

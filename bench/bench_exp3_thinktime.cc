@@ -1,0 +1,130 @@
+/// \file bench_exp3_thinktime.cc
+/// Reproduces **Figure 6f** (Experiment 3, §5.4): the effect of varying
+/// think time (1–10 s) on missing bins, using the speculative extension
+/// of the progressive engine and the paper's fixed four-interaction
+/// workflow:
+///   1) a 2-D count heat map of arrival vs. departure delays (10x10),
+///   2) a 1-D count histogram of carriers (25 bins),
+///   3) a link from the carrier histogram to the heat map,
+///   4) selection of a single carrier, forcing the heat map to update.
+/// TR = 3 s, 500 M tuples.
+
+#include "bench/bench_util.h"
+#include "engines/progressive_engine.h"
+
+using namespace idebench;
+
+namespace {
+
+workflow::Workflow MakeExp3Workflow(const storage::Table& fact,
+                                    const std::string& carrier_label) {
+  using workflow::Interaction;
+
+  query::VizSpec heatmap;
+  heatmap.name = "viz_delays";
+  heatmap.source = fact.name();
+  query::BinDimension arr;
+  arr.column = "arr_delay";
+  arr.mode = query::BinningMode::kFixedCount;
+  arr.requested_bins = 10;
+  query::BinDimension dep;
+  dep.column = "dep_delay";
+  dep.mode = query::BinningMode::kFixedCount;
+  dep.requested_bins = 10;
+  heatmap.bins = {arr, dep};
+  query::AggregateSpec count;
+  count.type = query::AggregateType::kCount;
+  heatmap.aggregates = {count};
+
+  query::VizSpec carriers;
+  carriers.name = "viz_carriers";
+  carriers.source = fact.name();
+  query::BinDimension carrier_dim;
+  carrier_dim.column = "carrier";
+  carrier_dim.mode = query::BinningMode::kNominal;
+  carriers.bins = {carrier_dim};
+  carriers.aggregates = {count};
+
+  expr::FilterExpr selection;
+  expr::Predicate p;
+  p.column = "carrier";
+  p.op = expr::CompareOp::kIn;
+  p.string_values = {carrier_label};
+  selection.And(p);
+
+  workflow::Workflow wf;
+  wf.name = "exp3_speculation";
+  wf.type = workflow::WorkflowType::kOneToN;
+  wf.interactions.push_back(Interaction::CreateViz(heatmap));
+  wf.interactions.push_back(Interaction::CreateViz(carriers));
+  wf.interactions.push_back(Interaction::Link("viz_carriers", "viz_delays"));
+  wf.interactions.push_back(
+      Interaction::SetSelection("viz_carriers", selection));
+  return wf;
+}
+
+}  // namespace
+
+int main() {
+  bench::Banner(
+      "Experiment 3 / Figure 6f: think time vs missing bins "
+      "(speculative progressive engine), TR=3s");
+
+  auto catalog = bench::Unwrap(core::BuildFlightsCatalog(bench::BenchDataset()),
+                               "build catalog");
+  auto oracle = std::make_shared<driver::GroundTruthOracle>(catalog);
+
+  // Select the most popular carrier — the likeliest user selection, and
+  // the one the popularity-weighted speculation invests the most in.
+  const storage::Column* carrier_col =
+      catalog->fact_table()->ColumnByName("carrier");
+  const std::string carrier_label = carrier_col->dictionary().At(0);
+  const workflow::Workflow wf =
+      MakeExp3Workflow(*catalog->fact_table(), carrier_label);
+
+  std::printf("selected carrier: %s\n", carrier_label.c_str());
+  std::printf("%-12s %14s %14s %14s\n", "think_time", "speculative",
+              "no_speculation", "spec_hits");
+
+  for (int think = 1; think <= 10; ++think) {
+    double missing[2] = {0.0, 0.0};
+    int64_t hits = 0;
+    for (int speculative = 1; speculative >= 0; --speculative) {
+      engines::ProgressiveEngineConfig config;
+      // Calibrate the sampler to the materialized scale: TR = 3 s covers
+      // ~25 % of the table (after complexity surcharges) — the regime
+      // where per-bin expected sample counts are O(1) and the speculative
+      // head start is observable.  At the paper's true 500 M scale the
+      // same regime arises naturally from the filtered 2-D tail bins.
+      config.sample_us_per_row =
+          3e6 / (0.5 * static_cast<double>(
+                            catalog->fact_table()->num_rows()));
+      config.enable_speculation = speculative != 0;
+      engines::ProgressiveEngine engine(config);
+
+      driver::Settings settings;
+      settings.time_requirement = SecondsToMicros(3.0);
+      settings.think_time = SecondsToMicros(static_cast<double>(think));
+      settings.data_size_label = core::DataSizeLabel(catalog->nominal_rows());
+      driver::BenchmarkDriver driver(settings, &engine, catalog, oracle);
+      bench::CheckOk(driver.PrepareEngine().status(), "prepare");
+
+      std::vector<driver::QueryRecord> records;
+      bench::CheckOk(driver.RunWorkflow(wf, &records), "run workflow");
+      // The metric of interest: missing bins of the final heat-map update
+      // (the query triggered by the carrier selection).
+      missing[speculative] = records.back().metrics.missing_bins;
+      if (speculative != 0) hits = engine.speculation_hits();
+    }
+    std::printf("%11ds %14s %14s %14lld\n", think,
+                FormatPercent(missing[1]).c_str(),
+                FormatPercent(missing[0]).c_str(),
+                static_cast<long long>(hits));
+  }
+
+  std::printf(
+      "\npaper shape check: with speculation, missing bins decrease as the\n"
+      "think time grows (the speculative query accrues processing time);\n"
+      "without speculation they stay flat.\n");
+  return 0;
+}

@@ -1,0 +1,152 @@
+/// \file bench_exp4_effects.cc
+/// Reproduces **Experiment 4** (§5.5, "Other Effects"): breakdowns of the
+/// detailed report by bin count, binning type (1-D vs 2-D, nominal vs
+/// quantitative), concurrency, and filter specificity, to test whether
+/// any of these factors materially moves the metrics.  The paper found
+/// no significant effect except filter/selection specificity.
+
+#include <map>
+
+#include "bench/bench_util.h"
+
+using namespace idebench;
+
+namespace {
+
+struct Bucket {
+  int64_t queries = 0;
+  int64_t violations = 0;
+  double missing = 0.0;
+  double mre = 0.0;
+  int64_t quality_n = 0;
+
+  void Add(const driver::QueryRecord& r) {
+    ++queries;
+    if (r.metrics.tr_violated) {
+      ++violations;
+      return;
+    }
+    missing += r.metrics.missing_bins;
+    mre += r.metrics.mean_rel_error;
+    ++quality_n;
+  }
+
+  void Print(const std::string& label) const {
+    const double viol = queries > 0
+                            ? static_cast<double>(violations) /
+                                  static_cast<double>(queries)
+                            : 0.0;
+    std::printf("  %-26s %6lld %9s %9s %8.3f\n", label.c_str(),
+                static_cast<long long>(queries), FormatPercent(viol).c_str(),
+                FormatPercent(quality_n > 0 ? missing / quality_n : 0.0).c_str(),
+                quality_n > 0 ? mre / quality_n : 0.0);
+  }
+};
+
+void PrintHeader() {
+  std::printf("  %-26s %6s %9s %9s %8s\n", "bucket", "n", "tr_viol",
+              "missing", "mre");
+}
+
+}  // namespace
+
+int main() {
+  bench::Banner("Experiment 4 / Sec 5.5: other effects, TR=3s, 500M");
+
+  auto catalog = bench::Unwrap(core::BuildFlightsCatalog(bench::BenchDataset()),
+                               "build catalog");
+  auto oracle = std::make_shared<driver::GroundTruthOracle>(catalog);
+  const auto workflows = bench::MakeWorkflows(
+      catalog->fact_table(), workflow::AllWorkflowTypes(),
+      bench::WorkflowsOverride(4));
+
+  std::vector<driver::QueryRecord> records;
+  for (const std::string& engine :
+       {std::string("progressive"), std::string("online")}) {
+    bench::RunEngineSweep(engine, catalog, oracle, workflows, {3.0}, 1.0,
+                          &records);
+  }
+  std::printf("%zu queries analyzed\n", records.size());
+
+  // --- binning dimensionality ----------------------------------------
+  std::printf("\nby binning dimensionality:\n");
+  PrintHeader();
+  {
+    std::map<int, Bucket> buckets;
+    for (const auto& r : records) buckets[r.bin_dims].Add(r);
+    for (const auto& [dims, b] : buckets) {
+      b.Print(StringPrintf("%d-D", dims));
+    }
+  }
+
+  // --- binning type ----------------------------------------------------
+  std::printf("\nby binning type:\n");
+  PrintHeader();
+  {
+    std::map<std::string, Bucket> buckets;
+    for (const auto& r : records) buckets[r.binning_type].Add(r);
+    for (const auto& [type, b] : buckets) b.Print(type);
+  }
+
+  // --- ground-truth bin count ------------------------------------------
+  std::printf("\nby ground-truth bin count:\n");
+  PrintHeader();
+  {
+    std::map<int, Bucket> buckets;  // bucketed by power of ~4
+    for (const auto& r : records) {
+      const int64_t bins = r.metrics.bins_in_gt;
+      int bucket = 0;
+      if (bins > 200) {
+        bucket = 3;
+      } else if (bins > 50) {
+        bucket = 2;
+      } else if (bins > 10) {
+        bucket = 1;
+      }
+      buckets[bucket].Add(r);
+    }
+    const char* kLabels[] = {"<=10 bins", "11-50 bins", "51-200 bins",
+                             ">200 bins"};
+    for (const auto& [bucket, b] : buckets) b.Print(kLabels[bucket]);
+  }
+
+  // --- concurrency -------------------------------------------------------
+  std::printf("\nby concurrent queries per interaction:\n");
+  PrintHeader();
+  {
+    std::map<int, Bucket> buckets;
+    for (const auto& r : records) buckets[r.num_concurrent].Add(r);
+    for (const auto& [n, b] : buckets) {
+      b.Print(StringPrintf("%d concurrent", n));
+    }
+  }
+
+  // --- filter specificity (progress of matched data) --------------------
+  std::printf("\nby filter specificity (number of predicates):\n");
+  PrintHeader();
+  {
+    std::map<int, Bucket> buckets;
+    for (const auto& r : records) {
+      // Count predicates from the rendered SQL's ANDs (proxy).
+      int preds = 0;
+      if (r.sql.find(" WHERE ") != std::string::npos) {
+        preds = 1;
+        for (size_t pos = 0; (pos = r.sql.find(" AND ", pos)) !=
+                             std::string::npos;
+             pos += 5) {
+          ++preds;
+        }
+      }
+      buckets[std::min(preds, 4)].Add(r);
+    }
+    for (const auto& [n, b] : buckets) {
+      b.Print(n == 4 ? ">=4 predicates" : StringPrintf("%d predicates", n));
+    }
+  }
+
+  std::printf(
+      "\npaper shape check: no factor moves the metrics much except filter\n"
+      "specificity — more selective filters leave fewer matching samples,\n"
+      "so missing bins and errors rise with predicate count.\n");
+  return 0;
+}

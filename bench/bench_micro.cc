@@ -1,0 +1,182 @@
+/// \file bench_micro.cc
+/// google-benchmark micro-benchmarks of the substrate operators: filtered
+/// scan + binned aggregation, join-index build/probe, samplers, the data
+/// scaler, and workflow generation.  These are throughput sanity checks
+/// for the cost model's *real* counterparts, not paper artifacts.
+
+#include <benchmark/benchmark.h>
+
+#include "aqp/sampler.h"
+#include "common/logging.h"
+#include "common/random.h"
+#include "core/dataset.h"
+#include "datagen/cholesky_scaler.h"
+#include "datagen/flights_seed.h"
+#include "driver/ground_truth.h"
+#include "exec/aggregator.h"
+#include "exec/bound_query.h"
+#include "workflow/generator.h"
+
+namespace {
+
+using namespace idebench;
+
+/// Shared medium dataset wrapped in a catalog (built once).
+std::shared_ptr<storage::Catalog> SharedCatalog() {
+  static std::shared_ptr<storage::Catalog> catalog = [] {
+    datagen::FlightsSeedConfig config;
+    config.rows = 100'000;
+    config.seed = 3;
+    auto t = datagen::GenerateFlightsSeed(config);
+    IDB_CHECK(t.ok());
+    auto c = std::make_shared<storage::Catalog>();
+    IDB_CHECK(c->AddTable(std::make_shared<storage::Table>(
+                              std::move(t).MoveValueUnsafe()))
+                  .ok());
+    return c;
+  }();
+  return catalog;
+}
+
+const storage::Table& SharedTable() { return *SharedCatalog()->fact_table(); }
+
+query::QuerySpec CountByCarrierSpec() {
+  query::QuerySpec spec;
+  spec.viz_name = "bench";
+  query::BinDimension d;
+  d.column = "carrier";
+  d.mode = query::BinningMode::kNominal;
+  spec.bins = {d};
+  query::AggregateSpec agg;
+  agg.type = query::AggregateType::kCount;
+  spec.aggregates = {agg};
+  IDB_CHECK(spec.ResolveBins(*SharedCatalog()).ok());
+  return spec;
+}
+
+void BM_ScanBinnedCount(benchmark::State& state) {
+  auto catalog = SharedCatalog();
+  query::QuerySpec spec = CountByCarrierSpec();
+  auto bound = exec::BoundQuery::Bind(spec, *catalog);
+  IDB_CHECK(bound.ok());
+  for (auto _ : state) {
+    exec::BinnedAggregator agg(&*bound);
+    agg.ProcessRange(0, SharedTable().num_rows());
+    benchmark::DoNotOptimize(agg.rows_matched());
+  }
+  state.SetItemsProcessed(state.iterations() * SharedTable().num_rows());
+}
+BENCHMARK(BM_ScanBinnedCount);
+
+void BM_ScanFilteredAvg2D(benchmark::State& state) {
+  auto catalog = SharedCatalog();
+  query::QuerySpec spec;
+  spec.viz_name = "bench2d";
+  query::BinDimension d1;
+  d1.column = "dep_delay";
+  d1.mode = query::BinningMode::kFixedCount;
+  d1.requested_bins = 25;
+  query::BinDimension d2;
+  d2.column = "arr_delay";
+  d2.mode = query::BinningMode::kFixedCount;
+  d2.requested_bins = 25;
+  spec.bins = {d1, d2};
+  query::AggregateSpec agg;
+  agg.type = query::AggregateType::kAvg;
+  agg.column = "distance";
+  spec.aggregates = {agg};
+  expr::Predicate p;
+  p.column = "air_time";
+  p.op = expr::CompareOp::kRange;
+  p.lo = 50;
+  p.hi = 200;
+  spec.filter.And(p);
+  IDB_CHECK(spec.ResolveBins(*catalog).ok());
+  auto bound = exec::BoundQuery::Bind(spec, *catalog);
+  IDB_CHECK(bound.ok());
+  for (auto _ : state) {
+    exec::BinnedAggregator agg_exec(&*bound);
+    agg_exec.ProcessRange(0, SharedTable().num_rows());
+    benchmark::DoNotOptimize(agg_exec.rows_matched());
+  }
+  state.SetItemsProcessed(state.iterations() * SharedTable().num_rows());
+}
+BENCHMARK(BM_ScanFilteredAvg2D);
+
+void BM_StratifiedSampleBuild(benchmark::State& state) {
+  Rng rng(1);
+  for (auto _ : state) {
+    auto sample =
+        aqp::BuildStratifiedSample(SharedTable(), "carrier", 0.01, 50, &rng);
+    IDB_CHECK(sample.ok());
+    benchmark::DoNotOptimize(sample->size());
+  }
+  state.SetItemsProcessed(state.iterations() * SharedTable().num_rows());
+}
+BENCHMARK(BM_StratifiedSampleBuild);
+
+void BM_ShuffledIndexBuild(benchmark::State& state) {
+  Rng rng(2);
+  for (auto _ : state) {
+    aqp::ShuffledIndex index(SharedTable().num_rows(), &rng);
+    benchmark::DoNotOptimize(index.size());
+  }
+  state.SetItemsProcessed(state.iterations() * SharedTable().num_rows());
+}
+BENCHMARK(BM_ShuffledIndexBuild);
+
+void BM_FlightsSeedGeneration(benchmark::State& state) {
+  datagen::FlightsSeedConfig config;
+  config.rows = state.range(0);
+  config.seed = 5;
+  for (auto _ : state) {
+    auto t = datagen::GenerateFlightsSeed(config);
+    IDB_CHECK(t.ok());
+    benchmark::DoNotOptimize(t->num_rows());
+  }
+  state.SetItemsProcessed(state.iterations() * config.rows);
+}
+BENCHMARK(BM_FlightsSeedGeneration)->Arg(10'000)->Arg(50'000);
+
+void BM_CholeskyScale(benchmark::State& state) {
+  datagen::ScalerConfig config;
+  config.target_rows = state.range(0);
+  config.sample_size = 10'000;
+  config.derived = datagen::FlightsDerivedColumns();
+  for (auto _ : state) {
+    auto t = datagen::ScaleDataset(SharedTable(), config);
+    IDB_CHECK(t.ok());
+    benchmark::DoNotOptimize(t->num_rows());
+  }
+  state.SetItemsProcessed(state.iterations() * config.target_rows);
+}
+BENCHMARK(BM_CholeskyScale)->Arg(10'000)->Arg(100'000);
+
+void BM_WorkflowGeneration(benchmark::State& state) {
+  workflow::GeneratorConfig config;
+  uint64_t seed = 0;
+  for (auto _ : state) {
+    workflow::WorkflowGenerator generator(&SharedTable(), config, ++seed);
+    auto wf = generator.Generate(workflow::WorkflowType::kMixed, "bench");
+    IDB_CHECK(wf.ok());
+    benchmark::DoNotOptimize(wf->size());
+  }
+}
+BENCHMARK(BM_WorkflowGeneration);
+
+void BM_GroundTruthQuery(benchmark::State& state) {
+  auto catalog = SharedCatalog();
+  query::QuerySpec spec = CountByCarrierSpec();
+  for (auto _ : state) {
+    driver::GroundTruthOracle oracle(catalog);  // cold cache each time
+    auto truth = oracle.Get(spec);
+    IDB_CHECK(truth.ok());
+    benchmark::DoNotOptimize((*truth)->bins.size());
+  }
+  state.SetItemsProcessed(state.iterations() * SharedTable().num_rows());
+}
+BENCHMARK(BM_GroundTruthQuery);
+
+}  // namespace
+
+BENCHMARK_MAIN();

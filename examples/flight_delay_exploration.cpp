@@ -1,0 +1,144 @@
+/// \file flight_delay_exploration.cpp
+/// The paper's §2.1 use case, transplanted to the flights dataset: an
+/// analyst explores delays the way Jean explores hospital admissions —
+/// overview first, then zoom and filter, with linked visualizations.
+///
+/// The example builds the dashboard interaction by interaction through
+/// the public API, runs it on the progressive engine, and narrates what
+/// each (approximate) result shows, including margins of error.
+
+#include <cstdio>
+#include <iostream>
+
+#include "core/dataset.h"
+#include "driver/benchmark_driver.h"
+#include "engines/progressive_engine.h"
+#include "query/sql.h"
+#include "report/report.h"
+
+using namespace idebench;
+
+namespace {
+
+query::VizSpec Histogram(const std::string& name, const std::string& column,
+                         int64_t bins) {
+  query::VizSpec viz;
+  viz.name = name;
+  viz.source = "flights";
+  query::BinDimension dim;
+  dim.column = column;
+  dim.mode = bins > 0 ? query::BinningMode::kFixedCount
+                      : query::BinningMode::kNominal;
+  dim.requested_bins = bins;
+  viz.bins.push_back(dim);
+  query::AggregateSpec count;
+  count.type = query::AggregateType::kCount;
+  viz.aggregates.push_back(count);
+  return viz;
+}
+
+expr::FilterExpr RangeFilter(const std::string& column, double lo, double hi) {
+  expr::FilterExpr f;
+  expr::Predicate p;
+  p.column = column;
+  p.op = expr::CompareOp::kRange;
+  p.lo = lo;
+  p.hi = hi;
+  f.And(p);
+  return f;
+}
+
+void Narrate(const driver::QueryRecord& r, const char* story) {
+  std::printf("  [%s] %s\n", r.viz_name.c_str(), story);
+  std::printf("      -> %lld/%lld bins in %.2fs, mean rel. error %.1f%%, "
+              "mean margin %.1f%%%s\n",
+              static_cast<long long>(r.metrics.bins_delivered),
+              static_cast<long long>(r.metrics.bins_in_gt),
+              MicrosToSeconds(r.end_time - r.start_time),
+              r.metrics.mean_rel_error * 100.0,
+              r.metrics.mean_margin_rel * 100.0,
+              r.metrics.tr_violated ? "  (TIME REQUIREMENT VIOLATED)" : "");
+}
+
+}  // namespace
+
+int main() {
+  // A 100 M-row (nominal) flights dataset, materialized small.
+  core::DatasetConfig dataset = core::SmallDataset();
+  dataset.actual_rows = 80'000;
+  dataset.seed_rows = 30'000;
+  auto catalog_result = core::BuildFlightsCatalog(dataset);
+  if (!catalog_result.ok()) {
+    std::cerr << catalog_result.status() << "\n";
+    return 1;
+  }
+  auto catalog = *catalog_result;
+
+  engines::ProgressiveEngine engine;
+  driver::Settings settings;
+  settings.time_requirement = SecondsToMicros(1.0);
+  settings.think_time = SecondsToMicros(3.0);
+  settings.data_size_label = core::DataSizeLabel(dataset.nominal_rows);
+  driver::BenchmarkDriver driver(settings, &engine, catalog);
+  auto prep = driver.PrepareEngine();
+  if (!prep.ok()) {
+    std::cerr << prep.status() << "\n";
+    return 1;
+  }
+  std::printf("connected; data preparation took %.0fs (virtual)\n\n",
+              MicrosToSeconds(*prep));
+
+  // The exploration session, as a workflow.
+  using workflow::Interaction;
+  workflow::Workflow session;
+  session.name = "delay_exploration";
+  session.type = workflow::WorkflowType::kSequential;
+
+  // 1. Overview: distribution of departure delays.
+  session.interactions.push_back(
+      Interaction::CreateViz(Histogram("delays", "dep_delay", 50)));
+  // 2. When do flights leave?  Departures per hour of day.
+  session.interactions.push_back(
+      Interaction::CreateViz(Histogram("by_hour", "dep_time", 24)));
+  // 3. Link the hour histogram to the delay histogram: brushing a time
+  //    range now filters the delay distribution.
+  session.interactions.push_back(Interaction::Link("by_hour", "delays"));
+  // 4. The evening bump: brush 17:00-22:00.
+  session.interactions.push_back(Interaction::SetSelection(
+      "by_hour", RangeFilter("dep_time", 17.0, 22.0)));
+  // 5. Who flies then?  Carrier histogram, linked from the hour brush.
+  session.interactions.push_back(
+      Interaction::CreateViz(Histogram("carriers", "day_of_week", 0)));
+  session.interactions.push_back(Interaction::Link("by_hour", "carriers"));
+  // 6. Drill down: long-haul evening flights only.
+  session.interactions.push_back(Interaction::SetFilter(
+      "delays", RangeFilter("distance", 1500.0, 6000.0)));
+
+  std::vector<driver::QueryRecord> records;
+  auto status = driver.RunWorkflow(session, &records);
+  if (!status.ok()) {
+    std::cerr << status << "\n";
+    return 1;
+  }
+
+  static const char* kStories[] = {
+      "overview: departure delays are heavily right-skewed",
+      "departures cluster in morning / midday / evening peaks",
+      "brushing hours now cross-filters the delay histogram",
+      "evening departures (17-22h): delays shift right (knock-on delays)",
+      "weekday distribution of those evening flights",
+      "the weekday histogram follows the same brush",
+      "long-haul evening flights: the delay tail grows further",
+  };
+  std::printf("exploration transcript:\n");
+  for (size_t i = 0; i < records.size(); ++i) {
+    Narrate(records[i],
+            i < std::size(kStories) ? kStories[i] : "linked update");
+  }
+
+  std::printf("\nSQL issued for the final drill-down:\n  %s\n",
+              records.back().sql.c_str());
+  std::printf("\nsession summary:\n%s",
+              report::RenderDetailedTable(records, records.size()).c_str());
+  return 0;
+}

@@ -1,0 +1,83 @@
+#include "aqp/sampler.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+namespace idebench::aqp {
+
+ShuffledIndex::ShuffledIndex(int64_t n, Rng* rng) {
+  permutation_.resize(static_cast<size_t>(std::max<int64_t>(n, 0)));
+  for (int64_t i = 0; i < n; ++i) permutation_[static_cast<size_t>(i)] = i;
+  rng->Shuffle(&permutation_);
+}
+
+ReservoirSampler::ReservoirSampler(int64_t capacity, Rng* rng)
+    : capacity_(std::max<int64_t>(capacity, 0)), rng_(rng) {
+  sample_.reserve(static_cast<size_t>(capacity_));
+}
+
+void ReservoirSampler::Offer(int64_t value) {
+  ++seen_;
+  if (static_cast<int64_t>(sample_.size()) < capacity_) {
+    sample_.push_back(value);
+    return;
+  }
+  const int64_t j = rng_->UniformInt(0, seen_ - 1);
+  if (j < capacity_) sample_[static_cast<size_t>(j)] = value;
+}
+
+Result<StratifiedSample> BuildStratifiedSample(const storage::Table& table,
+                                               const std::string& strat_column,
+                                               double rate,
+                                               int64_t min_per_stratum,
+                                               Rng* rng) {
+  if (rate <= 0.0 || rate > 1.0) {
+    return Status::Invalid("sampling rate must be in (0, 1]");
+  }
+  const int64_t n = table.num_rows();
+
+  // Partition row ids into strata.
+  std::unordered_map<double, std::vector<int64_t>> strata;
+  if (strat_column.empty()) {
+    strata[0.0].reserve(static_cast<size_t>(n));
+    for (int64_t r = 0; r < n; ++r) strata[0.0].push_back(r);
+  } else {
+    const storage::Column* col = table.ColumnByName(strat_column);
+    if (col == nullptr) {
+      return Status::KeyError("stratification column '" + strat_column +
+                              "' not found");
+    }
+    for (int64_t r = 0; r < n; ++r) strata[col->ValueAsDouble(r)].push_back(r);
+  }
+
+  StratifiedSample out;
+  out.base_rows = n;
+  out.num_strata = static_cast<int64_t>(strata.size());
+
+  // Deterministic iteration order: sort strata by key.
+  std::vector<double> keys;
+  keys.reserve(strata.size());
+  for (const auto& [key, rows] : strata) keys.push_back(key);
+  std::sort(keys.begin(), keys.end());
+
+  for (double key : keys) {
+    std::vector<int64_t>& rows = strata[key];
+    const int64_t stratum_size = static_cast<int64_t>(rows.size());
+    int64_t take = static_cast<int64_t>(
+        std::llround(rate * static_cast<double>(stratum_size)));
+    take = std::max(take, min_per_stratum);
+    take = std::min(take, stratum_size);
+    if (take <= 0) continue;
+    rng->Shuffle(&rows);
+    const double weight =
+        static_cast<double>(stratum_size) / static_cast<double>(take);
+    for (int64_t i = 0; i < take; ++i) {
+      out.rows.push_back(rows[static_cast<size_t>(i)]);
+      out.weights.push_back(weight);
+    }
+  }
+  return out;
+}
+
+}  // namespace idebench::aqp

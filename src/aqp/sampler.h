@@ -1,0 +1,91 @@
+#ifndef IDEBENCH_AQP_SAMPLER_H_
+#define IDEBENCH_AQP_SAMPLER_H_
+
+/// \file sampler.h
+/// Sampling primitives used by the approximate engines.
+///
+///  * `ShuffledIndex` — a random permutation of row ids.  A progressive
+///    engine that walks the permutation front-to-back sees a uniform
+///    sample that grows without replacement (online sampling, IDEA-style).
+///  * `ReservoirSampler` — classic Algorithm R, for fixed-size uniform
+///    samples of streams.
+///  * `BuildStratifiedSample` — offline stratified sample table with
+///    per-row Horvitz–Thompson weights (System X-style).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "storage/table.h"
+
+namespace idebench::aqp {
+
+/// A random permutation of [0, n).
+class ShuffledIndex {
+ public:
+  /// Builds a permutation of `n` row ids with `rng`.
+  ShuffledIndex(int64_t n, Rng* rng);
+
+  /// Row id at permutation position `pos` (positions wrap modulo n).
+  int64_t At(int64_t pos) const {
+    return permutation_[static_cast<size_t>(pos % size())];
+  }
+
+  int64_t size() const { return static_cast<int64_t>(permutation_.size()); }
+
+  const std::vector<int64_t>& permutation() const { return permutation_; }
+
+ private:
+  std::vector<int64_t> permutation_;
+};
+
+/// Fixed-capacity uniform sample of a stream (Vitter's Algorithm R).
+class ReservoirSampler {
+ public:
+  /// Creates a reservoir holding at most `capacity` elements.
+  ReservoirSampler(int64_t capacity, Rng* rng);
+
+  /// Offers stream element `value` (a row id).
+  void Offer(int64_t value);
+
+  /// Elements currently in the reservoir.
+  const std::vector<int64_t>& sample() const { return sample_; }
+
+  /// Total elements offered so far.
+  int64_t stream_size() const { return seen_; }
+
+ private:
+  int64_t capacity_;
+  int64_t seen_ = 0;
+  Rng* rng_;
+  std::vector<int64_t> sample_;
+};
+
+/// An offline stratified sample: base-table row ids plus per-row weights
+/// (weight = stratum size / stratum sample size).
+struct StratifiedSample {
+  std::vector<int64_t> rows;
+  std::vector<double> weights;
+  int64_t base_rows = 0;
+  int64_t num_strata = 0;
+
+  int64_t size() const { return static_cast<int64_t>(rows.size()); }
+};
+
+/// Builds a stratified sample of `table`.
+///
+/// Strata are the distinct numeric-view values of `strat_column` (pass an
+/// empty string for a single stratum, i.e. plain uniform sampling).  Each
+/// stratum contributes `max(min_per_stratum, round(rate * stratum_size))`
+/// rows, capped at the stratum size, drawn without replacement.
+Result<StratifiedSample> BuildStratifiedSample(const storage::Table& table,
+                                               const std::string& strat_column,
+                                               double rate,
+                                               int64_t min_per_stratum,
+                                               Rng* rng);
+
+}  // namespace idebench::aqp
+
+#endif  // IDEBENCH_AQP_SAMPLER_H_

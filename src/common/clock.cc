@@ -1,0 +1,27 @@
+#include "common/clock.h"
+
+#include <chrono>
+#include <thread>
+
+namespace idebench {
+namespace {
+
+Micros SteadyNowMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+WallClock::WallClock() : epoch_(SteadyNowMicros()) {}
+
+Micros WallClock::Now() const { return SteadyNowMicros() - epoch_; }
+
+void WallClock::Advance(Micros duration) {
+  if (duration > 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(duration));
+  }
+}
+
+}  // namespace idebench

@@ -1,0 +1,32 @@
+#include "common/logging.h"
+
+namespace idebench {
+namespace {
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+
+}  // namespace
+
+Logger& Logger::Get() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::Log(LogLevel level, const std::string& msg) {
+  if (static_cast<int>(level) < static_cast<int>(level_)) return;
+  std::cerr << "[idebench " << LevelName(level) << "] " << msg << std::endl;
+}
+
+}  // namespace idebench

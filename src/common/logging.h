@@ -1,0 +1,65 @@
+#ifndef IDEBENCH_COMMON_LOGGING_H_
+#define IDEBENCH_COMMON_LOGGING_H_
+
+/// \file logging.h
+/// Minimal leveled logging plus debug-time invariant checks.
+///
+/// Logging defaults to `kWarning` so tests and benchmarks stay quiet;
+/// drivers raise it to `kInfo` when `--verbose` is requested.
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace idebench {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Process-wide log configuration.
+class Logger {
+ public:
+  /// Returns the singleton.
+  static Logger& Get();
+
+  void set_level(LogLevel level) { level_ = level; }
+  LogLevel level() const { return level_; }
+
+  /// Emits one line to stderr when `level` is enabled.
+  void Log(LogLevel level, const std::string& msg);
+
+ private:
+  LogLevel level_ = LogLevel::kWarning;
+};
+
+/// Stream-style log statement builder.
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() { Logger::Get().Log(level_, stream_.str()); }
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+#define IDB_LOG(level) ::idebench::LogMessage(::idebench::LogLevel::level)
+
+/// Fatal invariant check (enabled in all build types).
+#define IDB_CHECK(cond)                                                     \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::cerr << "IDB_CHECK failed at " << __FILE__ << ":" << __LINE__    \
+                << ": " #cond << std::endl;                                 \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (false)
+
+}  // namespace idebench
+
+#endif  // IDEBENCH_COMMON_LOGGING_H_

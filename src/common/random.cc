@@ -1,0 +1,138 @@
+#include "common/random.h"
+
+#include <cmath>
+
+namespace idebench {
+namespace {
+
+uint64_t SplitMix64(uint64_t* x) {
+  uint64_t z = (*x += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+void Rng::Seed(uint64_t seed) {
+  uint64_t s = seed;
+  for (auto& word : state_) word = SplitMix64(&s);
+  has_cached_gaussian_ = false;
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::NextDouble() {
+  // 53 high bits -> [0, 1).
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::Uniform(double lo, double hi) {
+  return lo + (hi - lo) * NextDouble();
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  if (lo >= hi) return lo;
+  const uint64_t range = static_cast<uint64_t>(hi - lo) + 1;
+  // Unbiased rejection sampling (Lemire's method would be faster; this is
+  // simple and correct, and the rejection probability is tiny for the
+  // ranges used in this library).
+  const uint64_t limit = max() - max() % range;
+  uint64_t draw;
+  do {
+    draw = Next();
+  } while (draw >= limit && limit != 0);
+  return lo + static_cast<int64_t>(draw % range);
+}
+
+double Rng::Gaussian() {
+  if (has_cached_gaussian_) {
+    has_cached_gaussian_ = false;
+    return cached_gaussian_;
+  }
+  // Box–Muller: two uniforms -> two independent normals.
+  double u1 = NextDouble();
+  while (u1 <= 0.0) u1 = NextDouble();
+  const double u2 = NextDouble();
+  const double radius = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * M_PI * u2;
+  cached_gaussian_ = radius * std::sin(theta);
+  has_cached_gaussian_ = true;
+  return radius * std::cos(theta);
+}
+
+double Rng::Gaussian(double mean, double stddev) {
+  return mean + stddev * Gaussian();
+}
+
+double Rng::Exponential(double lambda) {
+  double u = NextDouble();
+  while (u <= 0.0) u = NextDouble();
+  return -std::log(u) / lambda;
+}
+
+bool Rng::Bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return NextDouble() < p;
+}
+
+int64_t Rng::Zipf(int64_t n, double s) {
+  if (n <= 1) return 0;
+  if (s <= 0.0) return UniformInt(0, n - 1);
+  // Rejection-inversion sampling (Hörmann & Derflinger).
+  const double b = std::pow(2.0, s - 1.0);
+  double x;
+  double t;
+  do {
+    const double u = NextDouble();
+    const double v = NextDouble();
+    x = std::floor(std::pow(static_cast<double>(n) + 1.0, u));
+    if (x < 1.0) x = 1.0;
+    if (x > static_cast<double>(n)) x = static_cast<double>(n);
+    t = std::pow(1.0 + 1.0 / x, s - 1.0);
+    if (v * x * (t - 1.0) / (b - 1.0) <= t / b) break;
+  } while (true);
+  return static_cast<int64_t>(x) - 1;
+}
+
+int64_t Rng::Categorical(const std::vector<double>& weights) {
+  if (weights.empty()) return -1;
+  double total = 0.0;
+  for (double w : weights) {
+    if (w > 0.0) total += w;
+  }
+  if (total <= 0.0) {
+    return UniformInt(0, static_cast<int64_t>(weights.size()) - 1);
+  }
+  double draw = NextDouble() * total;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    const double w = weights[i] > 0.0 ? weights[i] : 0.0;
+    if (draw < w) return static_cast<int64_t>(i);
+    draw -= w;
+  }
+  return static_cast<int64_t>(weights.size()) - 1;
+}
+
+Rng Rng::Fork(uint64_t stream_id) const {
+  // Mix the parent state with the stream id through SplitMix64 so sibling
+  // streams are decorrelated without advancing the parent.
+  uint64_t mix = state_[0] ^ (state_[3] + 0x632be59bd9b4e019ull * (stream_id + 1));
+  Rng child(0);
+  child.Seed(SplitMix64(&mix));
+  return child;
+}
+
+}  // namespace idebench

@@ -1,0 +1,91 @@
+#ifndef IDEBENCH_COMMON_RESULT_H_
+#define IDEBENCH_COMMON_RESULT_H_
+
+/// \file result.h
+/// `Result<T>`: a value-or-Status union, mirroring arrow::Result.
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace idebench {
+
+/// Holds either a successfully produced `T` or the `Status` explaining why
+/// production failed.  Constructing from an OK status is a programming
+/// error and is converted to `StatusCode::kUnknown`.
+template <typename T>
+class Result {
+ public:
+  /// Constructs from a value (implicit, to allow `return value;`).
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs from an error status (implicit, to allow `return status;`).
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT
+    if (std::get<Status>(repr_).ok()) {
+      repr_ = Status::Unknown("Result constructed from OK status");
+    }
+  }
+
+  /// True when a value is held.
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// The status: OK when a value is held, the error otherwise.
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(repr_);
+  }
+
+  /// Borrows the held value; requires `ok()`.
+  const T& ValueOrDie() const& {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+
+  /// Borrows the held value mutably; requires `ok()`.
+  T& ValueOrDie() & {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+
+  /// Moves the held value out; requires `ok()`.
+  T ValueOrDie() && {
+    assert(ok());
+    return std::get<T>(std::move(repr_));
+  }
+
+  /// Moves the held value out; requires `ok()`.
+  T MoveValueUnsafe() { return std::get<T>(std::move(repr_)); }
+
+  /// Returns the held value or `alternative` on error.
+  T ValueOr(T alternative) const {
+    return ok() ? std::get<T>(repr_) : std::move(alternative);
+  }
+
+  /// Dereference sugar; requires `ok()`.
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+ private:
+  std::variant<Status, T> repr_;
+};
+
+/// Evaluates an expression producing a Result; on success binds the value,
+/// otherwise returns the error from the enclosing function.
+#define IDB_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                              \
+  if (!tmp.ok()) return tmp.status();              \
+  lhs = std::move(tmp).MoveValueUnsafe();
+
+#define IDB_ASSIGN_OR_RETURN_CONCAT_(x, y) x##y
+#define IDB_ASSIGN_OR_RETURN_CONCAT(x, y) IDB_ASSIGN_OR_RETURN_CONCAT_(x, y)
+
+#define IDB_ASSIGN_OR_RETURN(lhs, rexpr) \
+  IDB_ASSIGN_OR_RETURN_IMPL(             \
+      IDB_ASSIGN_OR_RETURN_CONCAT(_idb_result_, __LINE__), lhs, rexpr)
+
+}  // namespace idebench
+
+#endif  // IDEBENCH_COMMON_RESULT_H_

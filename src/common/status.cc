@@ -1,0 +1,37 @@
+#include "common/status.h"
+
+namespace idebench {
+
+const char* StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument";
+    case StatusCode::kKeyError:
+      return "KeyError";
+    case StatusCode::kOutOfBounds:
+      return "OutOfBounds";
+    case StatusCode::kIoError:
+      return "IOError";
+    case StatusCode::kNotImplemented:
+      return "NotImplemented";
+    case StatusCode::kAlreadyExists:
+      return "AlreadyExists";
+    case StatusCode::kCancelled:
+      return "Cancelled";
+    case StatusCode::kUnknown:
+      return "Unknown";
+  }
+  return "UnknownCode";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = StatusCodeToString(code());
+  out += ": ";
+  out += message();
+  return out;
+}
+
+}  // namespace idebench

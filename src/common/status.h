@@ -1,0 +1,119 @@
+#ifndef IDEBENCH_COMMON_STATUS_H_
+#define IDEBENCH_COMMON_STATUS_H_
+
+/// \file status.h
+/// Error propagation primitives in the Arrow/RocksDB style.
+///
+/// Public APIs in this library never throw across module boundaries;
+/// fallible operations return a `Status`, or a `Result<T>` when they also
+/// produce a value.  The `IDB_RETURN_NOT_OK` / `IDB_ASSIGN_OR_RETURN`
+/// macros keep call sites compact.
+
+#include <memory>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace idebench {
+
+/// Machine-readable classification of an error.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kKeyError = 2,
+  kOutOfBounds = 3,
+  kIoError = 4,
+  kNotImplemented = 5,
+  kAlreadyExists = 6,
+  kCancelled = 7,
+  kUnknown = 8,
+};
+
+/// Returns a stable human-readable name for a status code.
+const char* StatusCodeToString(StatusCode code);
+
+/// An operation outcome: either OK, or an error code plus message.
+///
+/// `Status` is cheap to copy in the OK case (a single null pointer); error
+/// states allocate a small shared payload.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  /// Constructs a status with the given code and message.
+  Status(StatusCode code, std::string msg) {
+    if (code != StatusCode::kOk) {
+      state_ = std::make_shared<State>(State{code, std::move(msg)});
+    }
+  }
+
+  /// Returns an OK status.
+  static Status OK() { return Status(); }
+
+  static Status Invalid(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status KeyError(std::string msg) {
+    return Status(StatusCode::kKeyError, std::move(msg));
+  }
+  static Status OutOfBounds(std::string msg) {
+    return Status(StatusCode::kOutOfBounds, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status Unknown(std::string msg) {
+    return Status(StatusCode::kUnknown, std::move(msg));
+  }
+
+  /// True when the operation succeeded.
+  bool ok() const { return state_ == nullptr; }
+
+  /// The status code (kOk when `ok()`).
+  StatusCode code() const { return state_ ? state_->code : StatusCode::kOk; }
+
+  /// The error message; empty when `ok()`.
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return state_ ? state_->msg : kEmpty;
+  }
+
+  /// Renders "OK" or "<CODE>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code() == other.code() && message() == other.message();
+  }
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string msg;
+  };
+  std::shared_ptr<State> state_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+/// Returns early with the error if the expression produces a non-OK status.
+#define IDB_RETURN_NOT_OK(expr)                 \
+  do {                                          \
+    ::idebench::Status _idb_st = (expr);        \
+    if (!_idb_st.ok()) return _idb_st;          \
+  } while (false)
+
+}  // namespace idebench
+
+#endif  // IDEBENCH_COMMON_STATUS_H_

@@ -1,0 +1,106 @@
+#include "common/string_util.h"
+
+#include <cctype>
+#include <cstdarg>
+#include <cstdio>
+
+namespace idebench {
+
+std::vector<std::string> Split(const std::string& s, char delim) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (true) {
+    const size_t pos = s.find(delim, start);
+    if (pos == std::string::npos) {
+      out.push_back(s.substr(start));
+      return out;
+    }
+    out.push_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+std::string Join(const std::vector<std::string>& parts,
+                 const std::string& sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string Trim(const std::string& s) {
+  size_t begin = 0;
+  size_t end = s.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(s[begin]))) {
+    ++begin;
+  }
+  while (end > begin && std::isspace(static_cast<unsigned char>(s[end - 1]))) {
+    --end;
+  }
+  return s.substr(begin, end - begin);
+}
+
+std::string ToLower(const std::string& s) {
+  std::string out = s;
+  for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+bool StartsWith(const std::string& s, const std::string& prefix) {
+  return s.size() >= prefix.size() && s.compare(0, prefix.size(), prefix) == 0;
+}
+
+bool EndsWith(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+std::string StringPrintf(const char* fmt, ...) {
+  va_list ap;
+  va_start(ap, fmt);
+  va_list ap_copy;
+  va_copy(ap_copy, ap);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, ap);
+  va_end(ap);
+  if (needed < 0) {
+    va_end(ap_copy);
+    return {};
+  }
+  std::string out(static_cast<size_t>(needed), '\0');
+  std::vsnprintf(out.data(), out.size() + 1, fmt, ap_copy);
+  va_end(ap_copy);
+  return out;
+}
+
+std::string FormatDouble(double value, int decimals) {
+  return StringPrintf("%.*f", decimals, value);
+}
+
+std::string FormatPercent(double ratio, int decimals) {
+  return StringPrintf("%.*f%%", decimals, ratio * 100.0);
+}
+
+std::string HumanCount(int64_t n) {
+  const char* suffix = "";
+  double v = static_cast<double>(n);
+  if (n >= 1'000'000'000 && n % 100'000'000 == 0) {
+    v /= 1e9;
+    suffix = "B";
+  } else if (n >= 1'000'000 && n % 100'000 == 0) {
+    v /= 1e6;
+    suffix = "M";
+  } else if (n >= 1'000 && n % 100 == 0) {
+    v /= 1e3;
+    suffix = "K";
+  } else {
+    return std::to_string(n);
+  }
+  if (v == static_cast<int64_t>(v)) {
+    return StringPrintf("%lld%s", static_cast<long long>(v), suffix);
+  }
+  return StringPrintf("%.1f%s", v, suffix);
+}
+
+}  // namespace idebench

@@ -1,0 +1,47 @@
+#ifndef IDEBENCH_COMMON_STRING_UTIL_H_
+#define IDEBENCH_COMMON_STRING_UTIL_H_
+
+/// \file string_util.h
+/// Small string helpers used across modules (CSV parsing, SQL generation,
+/// report formatting).
+
+#include <string>
+#include <vector>
+
+namespace idebench {
+
+/// Splits `s` on `delim`; keeps empty fields ("a,,b" -> {"a","","b"}).
+std::vector<std::string> Split(const std::string& s, char delim);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts,
+                 const std::string& sep);
+
+/// Removes leading/trailing ASCII whitespace.
+std::string Trim(const std::string& s);
+
+/// ASCII lower-casing.
+std::string ToLower(const std::string& s);
+
+/// True when `s` starts with `prefix`.
+bool StartsWith(const std::string& s, const std::string& prefix);
+
+/// True when `s` ends with `suffix`.
+bool EndsWith(const std::string& s, const std::string& suffix);
+
+/// printf-style formatting into a std::string.
+std::string StringPrintf(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Formats a double with `decimals` fraction digits.
+std::string FormatDouble(double value, int decimals);
+
+/// Formats a ratio in [0,1] as a percentage string, e.g. "12.3%".
+std::string FormatPercent(double ratio, int decimals = 1);
+
+/// Renders row counts like 100000000 as "100M", 1500 as "1.5K".
+std::string HumanCount(int64_t n);
+
+}  // namespace idebench
+
+#endif  // IDEBENCH_COMMON_STRING_UTIL_H_

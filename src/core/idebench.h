@@ -1,0 +1,75 @@
+#ifndef IDEBENCH_CORE_IDEBENCH_H_
+#define IDEBENCH_CORE_IDEBENCH_H_
+
+/// \file idebench.h
+/// Umbrella header and one-call benchmark runner.
+///
+/// Typical use:
+///
+/// ```cpp
+/// idebench::core::BenchmarkConfig config;
+/// config.engine = "progressive";
+/// config.time_requirement_s = {0.5, 1, 3, 5, 10};
+/// auto outcome = idebench::core::RunBenchmark(config);
+/// std::cout << idebench::report::RenderSummaryTable(outcome->summary);
+/// ```
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/dataset.h"
+#include "driver/benchmark_driver.h"
+#include "engines/registry.h"
+#include "report/report.h"
+#include "workflow/generator.h"
+
+namespace idebench::core {
+
+/// End-to-end benchmark run configuration.
+struct BenchmarkConfig {
+  /// Engine under test (see engines::BuiltinEngineNames()).
+  std::string engine = "progressive";
+
+  /// Dataset to build (nominal size, layout, seed).
+  DatasetConfig dataset;
+
+  /// Time requirements to sweep (seconds).
+  std::vector<double> time_requirements_s = {0.5, 1.0, 3.0, 5.0, 10.0};
+
+  /// Think time between interactions (seconds).
+  double think_time_s = 1.0;
+
+  double confidence_level = 0.95;
+
+  /// Workflows per type in the generated suite; the paper's default
+  /// configuration runs 10 per type.
+  int workflows_per_type = 10;
+
+  /// Restrict the run to these workflow types (empty = mixed only,
+  /// matching the paper's main experiment).
+  std::vector<workflow::WorkflowType> workflow_types = {
+      workflow::WorkflowType::kMixed};
+
+  uint64_t seed = 7;
+};
+
+/// Results of an end-to-end run.
+struct BenchmarkOutcome {
+  /// Virtual data-preparation time.
+  Micros data_preparation_time = 0;
+
+  /// One record per executed query, across all TRs and workflows.
+  std::vector<driver::QueryRecord> records;
+
+  /// Summary rows grouped by (engine, time requirement).
+  std::vector<report::SummaryRow> summary;
+};
+
+/// Builds the dataset, generates workflows, prepares the engine and runs
+/// the full sweep.
+Result<BenchmarkOutcome> RunBenchmark(const BenchmarkConfig& config);
+
+}  // namespace idebench::core
+
+#endif  // IDEBENCH_CORE_IDEBENCH_H_

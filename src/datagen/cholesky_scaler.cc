@@ -1,0 +1,185 @@
+#include "datagen/cholesky_scaler.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "aqp/confidence.h"
+#include "common/random.h"
+#include "datagen/matrix.h"
+
+namespace idebench::datagen {
+
+using storage::Column;
+using storage::DataType;
+using storage::Table;
+
+std::vector<DerivedColumn> FlightsDerivedColumns() {
+  return {{"carrier_name", "carrier"},
+          {"origin_state", "origin_airport"},
+          {"day_of_week", "flight_date"}};
+}
+
+namespace {
+
+/// Empirical marginal of one column: sorted numeric-view sample values.
+struct Marginal {
+  std::vector<double> sorted;
+
+  /// Inverse empirical CDF at u in [0, 1).
+  double Quantile(double u) const {
+    if (sorted.empty()) return 0.0;
+    const size_t idx = std::min(
+        sorted.size() - 1,
+        static_cast<size_t>(u * static_cast<double>(sorted.size())));
+    return sorted[idx];
+  }
+};
+
+/// Maps parent numeric-view value -> derived numeric-view value, observed
+/// from the seed (first occurrence wins; the seed's FDs make this exact).
+using FdMap = std::unordered_map<double, double>;
+
+}  // namespace
+
+Result<Table> ScaleDataset(const Table& seed_table,
+                           const ScalerConfig& config) {
+  if (config.target_rows <= 0) {
+    return Status::Invalid("target_rows must be positive");
+  }
+  const int64_t seed_rows = seed_table.num_rows();
+  if (seed_rows == 0) return Status::Invalid("seed table is empty");
+  const int k = seed_table.num_columns();
+
+  Rng rng(config.seed);
+
+  // ---- Step 1: random sample of the seed -----------------------------
+  const int64_t m = std::min(config.sample_size, seed_rows);
+  std::vector<int64_t> sample_rows(static_cast<size_t>(seed_rows));
+  for (int64_t i = 0; i < seed_rows; ++i) sample_rows[static_cast<size_t>(i)] = i;
+  rng.Shuffle(&sample_rows);
+  sample_rows.resize(static_cast<size_t>(m));
+
+  // Identify which columns are generated vs. derived.
+  std::vector<int> parent_of(static_cast<size_t>(k), -1);
+  for (const DerivedColumn& d : config.derived) {
+    const int child = seed_table.ColumnIndex(d.column);
+    const int parent = seed_table.ColumnIndex(d.parent);
+    if (child < 0 || parent < 0) {
+      return Status::KeyError("derived column '" + d.column + "' or parent '" +
+                              d.parent + "' not in seed schema");
+    }
+    if (parent_of[static_cast<size_t>(parent)] >= 0) {
+      return Status::Invalid("derived column '" + d.parent +
+                             "' cannot also be a parent");
+    }
+    parent_of[static_cast<size_t>(child)] = parent;
+  }
+  std::vector<int> generated;  // column indices driven by the copula
+  for (int c = 0; c < k; ++c) {
+    if (parent_of[static_cast<size_t>(c)] < 0) generated.push_back(c);
+  }
+  const int g = static_cast<int>(generated.size());
+
+  // ---- Step 2: marginals and normal scores ---------------------------
+  std::vector<Marginal> marginals(static_cast<size_t>(g));
+  std::vector<std::vector<double>> scores(static_cast<size_t>(g));
+  for (int j = 0; j < g; ++j) {
+    const Column& col = seed_table.column(generated[static_cast<size_t>(j)]);
+    std::vector<double> values(static_cast<size_t>(m));
+    for (int64_t i = 0; i < m; ++i) {
+      values[static_cast<size_t>(i)] =
+          col.ValueAsDouble(sample_rows[static_cast<size_t>(i)]);
+    }
+    // Normal scores: rank -> Phi^{-1}((rank + 0.5) / m).  Ties share the
+    // average rank implicitly through stable sorting of (value, index).
+    std::vector<int64_t> order(static_cast<size_t>(m));
+    for (int64_t i = 0; i < m; ++i) order[static_cast<size_t>(i)] = i;
+    std::sort(order.begin(), order.end(), [&](int64_t a, int64_t b) {
+      return values[static_cast<size_t>(a)] < values[static_cast<size_t>(b)];
+    });
+    scores[static_cast<size_t>(j)].resize(static_cast<size_t>(m));
+    for (int64_t rank = 0; rank < m; ++rank) {
+      const double u =
+          (static_cast<double>(rank) + 0.5) / static_cast<double>(m);
+      scores[static_cast<size_t>(j)][static_cast<size_t>(order[static_cast<size_t>(rank)])] =
+          aqp::NormalQuantile(u);
+    }
+    Marginal& marg = marginals[static_cast<size_t>(j)];
+    marg.sorted = values;
+    std::sort(marg.sorted.begin(), marg.sorted.end());
+  }
+
+  // ---- Step 3: copula correlation + Cholesky -------------------------
+  IDB_ASSIGN_OR_RETURN(Matrix corr, CorrelationMatrix(scores));
+  IDB_ASSIGN_OR_RETURN(Matrix chol, CholeskyDecompose(corr));
+
+  // ---- Step 4: functional-dependency maps ----------------------------
+  std::vector<FdMap> fd_maps(static_cast<size_t>(k));
+  for (int c = 0; c < k; ++c) {
+    const int parent = parent_of[static_cast<size_t>(c)];
+    if (parent < 0) continue;
+    const Column& parent_col = seed_table.column(parent);
+    const Column& child_col = seed_table.column(c);
+    FdMap& map = fd_maps[static_cast<size_t>(c)];
+    for (int64_t r = 0; r < seed_rows; ++r) {
+      map.emplace(parent_col.ValueAsDouble(r), child_col.ValueAsDouble(r));
+    }
+  }
+
+  // ---- Step 5: generate tuples ----------------------------------------
+  Table out(seed_table.name(), seed_table.schema());
+  out.Reserve(config.target_rows);
+
+  // Pre-seed string dictionaries so numeric-view codes in the output match
+  // the seed's codes (required for FD maps and nominal predicates).
+  for (int c = 0; c < k; ++c) {
+    if (seed_table.column(c).type() == DataType::kString) {
+      storage::Dictionary& dict = out.mutable_column(c).mutable_dictionary();
+      for (const std::string& v : seed_table.column(c).dictionary().values()) {
+        dict.GetOrInsert(v);
+      }
+    }
+  }
+
+  std::vector<double> gauss(static_cast<size_t>(g));
+  std::vector<double> row_values(static_cast<size_t>(k), 0.0);
+  for (int64_t r = 0; r < config.target_rows; ++r) {
+    for (int j = 0; j < g; ++j) gauss[static_cast<size_t>(j)] = rng.Gaussian();
+    const std::vector<double> correlated = chol.MultiplyVector(gauss);
+
+    for (int j = 0; j < g; ++j) {
+      const double u = aqp::NormalCdf(correlated[static_cast<size_t>(j)]);
+      row_values[static_cast<size_t>(generated[static_cast<size_t>(j)])] =
+          marginals[static_cast<size_t>(j)].Quantile(u);
+    }
+    for (int c = 0; c < k; ++c) {
+      const int parent = parent_of[static_cast<size_t>(c)];
+      if (parent < 0) continue;
+      const FdMap& map = fd_maps[static_cast<size_t>(c)];
+      auto it = map.find(row_values[static_cast<size_t>(parent)]);
+      row_values[static_cast<size_t>(c)] = it != map.end() ? it->second : 0.0;
+    }
+
+    for (int c = 0; c < k; ++c) {
+      Column& col = out.mutable_column(c);
+      const double v = row_values[static_cast<size_t>(c)];
+      switch (col.type()) {
+        case DataType::kInt64:
+          col.AppendInt(static_cast<int64_t>(std::llround(v)));
+          break;
+        case DataType::kDouble:
+          col.AppendDouble(v);
+          break;
+        case DataType::kString:
+          col.AppendCode(static_cast<int64_t>(std::llround(v)));
+          break;
+      }
+    }
+  }
+
+  IDB_RETURN_NOT_OK(out.Validate());
+  return out;
+}
+
+}  // namespace idebench::datagen

@@ -1,0 +1,65 @@
+#ifndef IDEBENCH_DATAGEN_CHOLESKY_SCALER_H_
+#define IDEBENCH_DATAGEN_CHOLESKY_SCALER_H_
+
+/// \file cholesky_scaler.h
+/// IDEBench's data scaling algorithm (paper §4.2).
+///
+/// "From the seed dataset we first create a random sample.  We then
+///  compute the covariance matrix Σ and perform the Cholesky
+///  decomposition on Σ = AᵀA.  To create a new tuple, we first generate a
+///  vector X ∼ N(0,1) of random normal variables and induce correlation
+///  by computing X̃ = AX.  We then transform X̃ to uniform distribution and
+///  finally use the CDF from our sample to transform the uniform
+///  variables to a correlated tuple."
+///
+/// This is a Gaussian copula with empirical marginals.  We estimate the
+/// copula on *normal scores* of the sample (rank-transformed), which is
+/// the numerically robust variant of the covariance recipe above: the
+/// resulting X̃ has exactly unit marginal variance, so Φ(X̃ⱼ) is uniform by
+/// construction.  Nominal attributes participate through their dictionary
+/// codes; the empirical inverse CDF reproduces their frequencies.
+///
+/// Functional dependencies (e.g. carrier → carrier_name) would be broken
+/// by independent per-column inversion, so dependent columns can be
+/// declared and are re-derived from their parent after generation using
+/// the mapping observed in the seed.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/table.h"
+
+namespace idebench::datagen {
+
+/// A functional dependency to preserve while scaling.
+struct DerivedColumn {
+  std::string column;  // e.g. "carrier_name"
+  std::string parent;  // e.g. "carrier"
+};
+
+/// Scaling configuration.
+struct ScalerConfig {
+  /// Number of output rows (may be larger or smaller than the seed).
+  int64_t target_rows = 1'000'000;
+
+  /// Size of the random sample used to estimate the copula and marginals.
+  int64_t sample_size = 20'000;
+
+  uint64_t seed = 7;
+
+  /// Columns re-derived from a parent after generation.
+  std::vector<DerivedColumn> derived;
+};
+
+/// Default derived-column set for the flights schema.
+std::vector<DerivedColumn> FlightsDerivedColumns();
+
+/// Scales `seed_table` to `config.target_rows` rows.
+Result<storage::Table> ScaleDataset(const storage::Table& seed_table,
+                                    const ScalerConfig& config);
+
+}  // namespace idebench::datagen
+
+#endif  // IDEBENCH_DATAGEN_CHOLESKY_SCALER_H_

@@ -1,0 +1,215 @@
+#include "datagen/flights_seed.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/random.h"
+#include "common/string_util.h"
+
+namespace idebench::datagen {
+
+using storage::AttributeKind;
+using storage::DataType;
+using storage::Field;
+using storage::Schema;
+using storage::Table;
+
+Schema FlightsSchema() {
+  return Schema({
+      {"flight_date", DataType::kInt64, AttributeKind::kQuantitative},
+      {"day_of_week", DataType::kInt64, AttributeKind::kNominal},
+      {"dep_time", DataType::kDouble, AttributeKind::kQuantitative},
+      {"arr_time", DataType::kDouble, AttributeKind::kQuantitative},
+      {"dep_delay", DataType::kDouble, AttributeKind::kQuantitative},
+      {"arr_delay", DataType::kDouble, AttributeKind::kQuantitative},
+      {"air_time", DataType::kDouble, AttributeKind::kQuantitative},
+      {"distance", DataType::kDouble, AttributeKind::kQuantitative},
+      {"taxi_in", DataType::kDouble, AttributeKind::kQuantitative},
+      {"taxi_out", DataType::kDouble, AttributeKind::kQuantitative},
+      {"carrier", DataType::kString, AttributeKind::kNominal},
+      {"carrier_name", DataType::kString, AttributeKind::kNominal},
+      {"origin_airport", DataType::kString, AttributeKind::kNominal},
+      {"origin_state", DataType::kString, AttributeKind::kNominal},
+      {"dest_airport", DataType::kString, AttributeKind::kNominal},
+  });
+}
+
+namespace {
+
+/// Two-letter-plus-digit carrier codes ("AA0", "AB1", ...).
+std::string CarrierCode(int i) {
+  std::string code;
+  code.push_back(static_cast<char>('A' + i / 26 % 26));
+  code.push_back(static_cast<char>('A' + i % 26));
+  return code;
+}
+
+/// Three-letter airport codes ("AAA", "AAB", ...).
+std::string AirportCode(int i) {
+  std::string code(3, 'A');
+  code[2] = static_cast<char>('A' + i % 26);
+  code[1] = static_cast<char>('A' + (i / 26) % 26);
+  code[0] = static_cast<char>('A' + (i / 676) % 26);
+  return code;
+}
+
+const char* kStates[] = {
+    "AL", "AK", "AZ", "AR", "CA", "CO", "CT", "DE", "FL", "GA",
+    "HI", "ID", "IL", "IN", "IA", "KS", "KY", "LA", "ME", "MD",
+    "MA", "MI", "MN", "MS", "MO", "MT", "NE", "NV", "NH", "NJ",
+    "NM", "NY", "NC", "ND", "OH", "OK", "OR", "PA", "RI", "SC",
+    "SD", "TN", "TX", "UT", "VT", "VA", "WA", "WV", "WI", "WY"};
+constexpr int kNumStates = 50;
+
+/// Departure hour: morning / midday / evening peaks plus a uniform floor.
+double DrawDepTime(Rng* rng) {
+  const double u = rng->NextDouble();
+  double t;
+  if (u < 0.35) {
+    t = rng->Gaussian(7.5, 1.4);
+  } else if (u < 0.60) {
+    t = rng->Gaussian(12.5, 1.8);
+  } else if (u < 0.90) {
+    t = rng->Gaussian(17.5, 1.9);
+  } else {
+    t = rng->Uniform(5.0, 23.5);
+  }
+  while (t < 0.0) t += 24.0;
+  while (t >= 24.0) t -= 24.0;
+  return t;
+}
+
+/// Flight distance in miles: short / medium / long-haul mixture.
+double DrawDistance(Rng* rng) {
+  const double u = rng->NextDouble();
+  double d;
+  if (u < 0.30) {
+    d = rng->Gaussian(350.0, 120.0);
+  } else if (u < 0.75) {
+    d = rng->Gaussian(900.0, 250.0);
+  } else {
+    d = rng->Gaussian(2200.0, 500.0);
+  }
+  return std::max(d, 80.0);
+}
+
+}  // namespace
+
+Result<Table> GenerateFlightsSeed(const FlightsSeedConfig& config) {
+  if (config.rows <= 0) return Status::Invalid("rows must be positive");
+  if (config.num_carriers < 1 || config.num_airports < 2) {
+    return Status::Invalid("need >= 1 carrier and >= 2 airports");
+  }
+
+  Table table("flights", FlightsSchema());
+  table.Reserve(config.rows);
+  Rng rng(config.seed);
+
+  // Pre-generate the carrier and airport universes so dictionary codes are
+  // assigned in popularity order (Zipf rank order).
+  std::vector<std::string> carriers;
+  carriers.reserve(static_cast<size_t>(config.num_carriers));
+  for (int i = 0; i < config.num_carriers; ++i) carriers.push_back(CarrierCode(i));
+  std::vector<std::string> airports;
+  std::vector<int> airport_state;
+  airports.reserve(static_cast<size_t>(config.num_airports));
+  for (int i = 0; i < config.num_airports; ++i) {
+    airports.push_back(AirportCode(i));
+    airport_state.push_back(static_cast<int>(rng.UniformInt(0, kNumStates - 1)));
+  }
+
+  // Pre-seed the nominal dictionaries in popularity-rank order so that a
+  // dictionary code equals the value's Zipf rank (tests and the scaler
+  // rely on stable, rank-ordered codes).
+  {
+    storage::Dictionary& carrier_dict =
+        table.MutableColumnByName("carrier")->mutable_dictionary();
+    storage::Dictionary& carrier_name_dict =
+        table.MutableColumnByName("carrier_name")->mutable_dictionary();
+    for (const std::string& c : carriers) {
+      carrier_dict.GetOrInsert(c);
+      carrier_name_dict.GetOrInsert("Carrier " + c);
+    }
+    storage::Dictionary& origin_dict =
+        table.MutableColumnByName("origin_airport")->mutable_dictionary();
+    storage::Dictionary& dest_dict =
+        table.MutableColumnByName("dest_airport")->mutable_dictionary();
+    for (const std::string& a : airports) {
+      origin_dict.GetOrInsert(a);
+      dest_dict.GetOrInsert(a);
+    }
+  }
+
+  storage::Column* c_date = table.MutableColumnByName("flight_date");
+  storage::Column* c_dow = table.MutableColumnByName("day_of_week");
+  storage::Column* c_dep_time = table.MutableColumnByName("dep_time");
+  storage::Column* c_arr_time = table.MutableColumnByName("arr_time");
+  storage::Column* c_dep_delay = table.MutableColumnByName("dep_delay");
+  storage::Column* c_arr_delay = table.MutableColumnByName("arr_delay");
+  storage::Column* c_air_time = table.MutableColumnByName("air_time");
+  storage::Column* c_distance = table.MutableColumnByName("distance");
+  storage::Column* c_taxi_in = table.MutableColumnByName("taxi_in");
+  storage::Column* c_taxi_out = table.MutableColumnByName("taxi_out");
+  storage::Column* c_carrier = table.MutableColumnByName("carrier");
+  storage::Column* c_carrier_name = table.MutableColumnByName("carrier_name");
+  storage::Column* c_origin = table.MutableColumnByName("origin_airport");
+  storage::Column* c_origin_state = table.MutableColumnByName("origin_state");
+  storage::Column* c_dest = table.MutableColumnByName("dest_airport");
+
+  for (int64_t r = 0; r < config.rows; ++r) {
+    const int64_t date = rng.UniformInt(0, config.num_days - 1);
+    const int64_t dow = date % 7 + 1;
+
+    const double dep_time = DrawDepTime(&rng);
+    const double distance = DrawDistance(&rng);
+    const double air_time =
+        std::max(20.0, distance / 7.5 + rng.Gaussian(18.0, 8.0));
+
+    // Departure delay: mixture of on-time and exponentially-delayed, with
+    // evening departures accumulating more delay (knock-on effects).
+    double dep_delay;
+    if (rng.Bernoulli(0.65)) {
+      dep_delay = rng.Gaussian(-3.0, 5.0);
+    } else {
+      dep_delay = 5.0 + rng.Exponential(1.0 / 28.0);
+    }
+    dep_delay += 0.6 * std::max(0.0, dep_time - 12.0);
+    dep_delay = std::clamp(dep_delay, -25.0, 480.0);
+
+    double arr_delay = dep_delay + rng.Gaussian(-4.0, 12.0);
+    arr_delay = std::clamp(arr_delay, -60.0, 500.0);
+
+    const double taxi_out = 8.0 + rng.Exponential(1.0 / 6.0);
+    const double taxi_in = 4.0 + rng.Exponential(1.0 / 3.0);
+    double arr_time = dep_time + air_time / 60.0;
+    while (arr_time >= 24.0) arr_time -= 24.0;
+
+    const int carrier = static_cast<int>(rng.Zipf(config.num_carriers, 1.1));
+    int origin = static_cast<int>(rng.Zipf(config.num_airports, 1.05));
+    int dest = static_cast<int>(rng.Zipf(config.num_airports, 1.05));
+    if (dest == origin) dest = (dest + 1) % config.num_airports;
+
+    c_date->AppendInt(date);
+    c_dow->AppendInt(dow);
+    c_dep_time->AppendDouble(dep_time);
+    c_arr_time->AppendDouble(arr_time);
+    c_dep_delay->AppendDouble(dep_delay);
+    c_arr_delay->AppendDouble(arr_delay);
+    c_air_time->AppendDouble(air_time);
+    c_distance->AppendDouble(distance);
+    c_taxi_in->AppendDouble(taxi_in);
+    c_taxi_out->AppendDouble(taxi_out);
+    c_carrier->AppendString(carriers[static_cast<size_t>(carrier)]);
+    c_carrier_name->AppendString("Carrier " +
+                                 carriers[static_cast<size_t>(carrier)]);
+    c_origin->AppendString(airports[static_cast<size_t>(origin)]);
+    c_origin_state->AppendString(
+        kStates[airport_state[static_cast<size_t>(origin)]]);
+    c_dest->AppendString(airports[static_cast<size_t>(dest)]);
+  }
+
+  IDB_RETURN_NOT_OK(table.Validate());
+  return table;
+}
+
+}  // namespace idebench::datagen

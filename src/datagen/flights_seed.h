@@ -1,0 +1,47 @@
+#ifndef IDEBENCH_DATAGEN_FLIGHTS_SEED_H_
+#define IDEBENCH_DATAGEN_FLIGHTS_SEED_H_
+
+/// \file flights_seed.h
+/// Synthetic seed dataset with the schema of the paper's default dataset
+/// (U.S. domestic flights from the Bureau of Transportation Statistics,
+/// Figure 2).  The real BTS file is not redistributable, so this module
+/// synthesizes a seed with the same schema and realistic marginal
+/// distributions *and* cross-attribute correlations:
+///
+///  * dep_delay is a mixture of "on time" (normal around -3 min) and
+///    "delayed" (exponential tail), with later departures more delayed;
+///  * arr_delay tracks dep_delay plus noise;
+///  * air_time is an affine function of distance plus noise;
+///  * carrier / airport popularity is Zipf-distributed;
+///  * day_of_week is derived from flight_date.
+///
+/// IDEBench's scaling algorithm (see cholesky_scaler.h) then grows this
+/// seed to the benchmark sizes, preserving those distributions — exactly
+/// the pipeline the paper runs on the real seed.
+
+#include <cstdint>
+#include <memory>
+
+#include "common/result.h"
+#include "storage/table.h"
+
+namespace idebench::datagen {
+
+/// Configuration for seed synthesis.
+struct FlightsSeedConfig {
+  int64_t rows = 100'000;
+  uint64_t seed = 42;
+  int num_carriers = 25;   // paper Exp. 3 bins carriers into 25 bins
+  int num_airports = 120;
+  int num_days = 730;      // two years of flight dates
+};
+
+/// The de-normalized flights schema (paper Figure 2).
+storage::Schema FlightsSchema();
+
+/// Synthesizes a seed table per `config`.
+Result<storage::Table> GenerateFlightsSeed(const FlightsSeedConfig& config);
+
+}  // namespace idebench::datagen
+
+#endif  // IDEBENCH_DATAGEN_FLIGHTS_SEED_H_

@@ -1,0 +1,112 @@
+#include "datagen/matrix.h"
+
+#include <cmath>
+
+namespace idebench::datagen {
+
+Matrix Matrix::Identity(int n) {
+  Matrix m(n, n);
+  for (int i = 0; i < n; ++i) m.at(i, i) = 1.0;
+  return m;
+}
+
+std::vector<double> Matrix::MultiplyVector(const std::vector<double>& x) const {
+  std::vector<double> y(static_cast<size_t>(rows_), 0.0);
+  for (int r = 0; r < rows_; ++r) {
+    double acc = 0.0;
+    for (int c = 0; c < cols_; ++c) acc += at(r, c) * x[static_cast<size_t>(c)];
+    y[static_cast<size_t>(r)] = acc;
+  }
+  return y;
+}
+
+namespace {
+
+/// One Cholesky attempt; false when a pivot is non-positive.
+bool TryCholesky(const Matrix& m, double jitter, Matrix* out) {
+  const int n = m.rows();
+  Matrix l(n, n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j <= i; ++j) {
+      double sum = m.at(i, j) + (i == j ? jitter : 0.0);
+      for (int k = 0; k < j; ++k) sum -= l.at(i, k) * l.at(j, k);
+      if (i == j) {
+        if (sum <= 0.0) return false;
+        l.at(i, j) = std::sqrt(sum);
+      } else {
+        l.at(i, j) = sum / l.at(j, j);
+      }
+    }
+  }
+  *out = std::move(l);
+  return true;
+}
+
+}  // namespace
+
+Result<Matrix> CholeskyDecompose(const Matrix& m, double initial_jitter) {
+  if (m.rows() != m.cols()) {
+    return Status::Invalid("Cholesky requires a square matrix");
+  }
+  if (m.rows() == 0) return Matrix(0, 0);
+  Matrix l;
+  if (TryCholesky(m, 0.0, &l)) return l;
+  for (double jitter = initial_jitter; jitter < 1.0; jitter *= 10.0) {
+    if (TryCholesky(m, jitter, &l)) return l;
+  }
+  return Status::Invalid("matrix is not positive definite even with ridge");
+}
+
+Result<Matrix> CorrelationMatrix(
+    const std::vector<std::vector<double>>& columns) {
+  const int k = static_cast<int>(columns.size());
+  if (k == 0) return Matrix(0, 0);
+  const size_t n = columns[0].size();
+  if (n == 0) return Status::Invalid("correlation of empty columns");
+  for (const auto& col : columns) {
+    if (col.size() != n) {
+      return Status::Invalid("columns have unequal lengths");
+    }
+  }
+
+  std::vector<double> mean(static_cast<size_t>(k), 0.0);
+  std::vector<double> sd(static_cast<size_t>(k), 0.0);
+  for (int j = 0; j < k; ++j) {
+    double sum = 0.0;
+    for (double v : columns[static_cast<size_t>(j)]) sum += v;
+    mean[static_cast<size_t>(j)] = sum / static_cast<double>(n);
+    double ss = 0.0;
+    for (double v : columns[static_cast<size_t>(j)]) {
+      const double d = v - mean[static_cast<size_t>(j)];
+      ss += d * d;
+    }
+    sd[static_cast<size_t>(j)] = std::sqrt(ss / static_cast<double>(n));
+  }
+
+  Matrix r(k, k);
+  for (int i = 0; i < k; ++i) {
+    for (int j = i; j < k; ++j) {
+      if (i == j) {
+        r.at(i, j) = 1.0;
+        continue;
+      }
+      if (sd[static_cast<size_t>(i)] == 0.0 || sd[static_cast<size_t>(j)] == 0.0) {
+        r.at(i, j) = r.at(j, i) = 0.0;
+        continue;
+      }
+      double cov = 0.0;
+      for (size_t t = 0; t < n; ++t) {
+        cov += (columns[static_cast<size_t>(i)][t] - mean[static_cast<size_t>(i)]) *
+               (columns[static_cast<size_t>(j)][t] - mean[static_cast<size_t>(j)]);
+      }
+      cov /= static_cast<double>(n);
+      double corr = cov / (sd[static_cast<size_t>(i)] * sd[static_cast<size_t>(j)]);
+      if (corr > 1.0) corr = 1.0;
+      if (corr < -1.0) corr = -1.0;
+      r.at(i, j) = r.at(j, i) = corr;
+    }
+  }
+  return r;
+}
+
+}  // namespace idebench::datagen

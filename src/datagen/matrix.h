@@ -1,0 +1,70 @@
+#ifndef IDEBENCH_DATAGEN_MATRIX_H_
+#define IDEBENCH_DATAGEN_MATRIX_H_
+
+/// \file matrix.h
+/// Minimal dense linear algebra for the data generator: just enough to
+/// estimate a correlation matrix and take its Cholesky factor (paper
+/// §4.2: Σ = AᵀA, X̃ = AX).
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+
+namespace idebench::datagen {
+
+/// Dense row-major matrix of doubles.
+class Matrix {
+ public:
+  Matrix() = default;
+
+  /// Creates a `rows` x `cols` zero matrix.
+  Matrix(int rows, int cols)
+      : rows_(rows), cols_(cols),
+        data_(static_cast<size_t>(rows) * static_cast<size_t>(cols), 0.0) {}
+
+  /// Creates the n x n identity.
+  static Matrix Identity(int n);
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+
+  double& at(int r, int c) {
+    return data_[static_cast<size_t>(r) * static_cast<size_t>(cols_) +
+                 static_cast<size_t>(c)];
+  }
+  double at(int r, int c) const {
+    return data_[static_cast<size_t>(r) * static_cast<size_t>(cols_) +
+                 static_cast<size_t>(c)];
+  }
+
+  /// y = this * x (x.size() must equal cols()).
+  std::vector<double> MultiplyVector(const std::vector<double>& x) const;
+
+  bool operator==(const Matrix& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_ &&
+           data_ == other.data_;
+  }
+
+ private:
+  int rows_ = 0;
+  int cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Lower-triangular Cholesky factor L with M = L * Lᵀ.
+///
+/// When `m` is not positive definite (common for empirical correlation
+/// matrices with collinear columns), a ridge `jitter * I` is added with
+/// geometrically increasing jitter until the factorization succeeds.
+Result<Matrix> CholeskyDecompose(const Matrix& m, double initial_jitter = 1e-10);
+
+/// Pearson correlation matrix of `columns` (each inner vector is one
+/// variable's observations; all must have equal, non-zero length).
+/// Degenerate (constant) columns get unit self-correlation and zero
+/// cross-correlation.
+Result<Matrix> CorrelationMatrix(const std::vector<std::vector<double>>& columns);
+
+}  // namespace idebench::datagen
+
+#endif  // IDEBENCH_DATAGEN_MATRIX_H_

@@ -1,0 +1,135 @@
+#include "datagen/normalizer.h"
+
+#include <map>
+#include <unordered_map>
+
+#include "common/string_util.h"
+
+namespace idebench::datagen {
+
+using storage::AttributeKind;
+using storage::Catalog;
+using storage::Column;
+using storage::DataType;
+using storage::Field;
+using storage::ForeignKey;
+using storage::Schema;
+using storage::Table;
+
+std::vector<DimensionSpec> FlightsDimensionSpecs() {
+  return {
+      {"carriers", {"carrier", "carrier_name"}, "carrier_id"},
+      {"airports", {"origin_airport", "origin_state"}, "airport_id"},
+  };
+}
+
+Result<Catalog> MakeDenormalizedCatalog(std::shared_ptr<Table> denormalized) {
+  Catalog catalog;
+  IDB_RETURN_NOT_OK(catalog.AddTable(std::move(denormalized)));
+  return catalog;
+}
+
+Result<Catalog> Normalize(const Table& denormalized,
+                          const std::vector<DimensionSpec>& dims) {
+  const Schema& schema = denormalized.schema();
+
+  // Column -> owning dimension spec index; -1 keeps it in the fact table.
+  std::vector<int> owner(static_cast<size_t>(schema.num_fields()), -1);
+  for (size_t d = 0; d < dims.size(); ++d) {
+    for (const std::string& col : dims[d].columns) {
+      const int idx = schema.FieldIndex(col);
+      if (idx < 0) {
+        return Status::KeyError("dimension column '" + col +
+                                "' not in fact schema");
+      }
+      if (owner[static_cast<size_t>(idx)] >= 0) {
+        return Status::Invalid("column '" + col +
+                               "' assigned to two dimensions");
+      }
+      owner[static_cast<size_t>(idx)] = static_cast<int>(d);
+    }
+  }
+
+  // Fact schema: untouched columns plus one surrogate FK per dimension.
+  Schema fact_schema;
+  for (int c = 0; c < schema.num_fields(); ++c) {
+    if (owner[static_cast<size_t>(c)] < 0) {
+      IDB_RETURN_NOT_OK(fact_schema.AddField(schema.field(c)));
+    }
+  }
+  for (const DimensionSpec& spec : dims) {
+    IDB_RETURN_NOT_OK(fact_schema.AddField(
+        {spec.key_column, DataType::kInt64, AttributeKind::kNominal}));
+  }
+
+  auto fact = std::make_shared<Table>(denormalized.name(), fact_schema);
+  fact->Reserve(denormalized.num_rows());
+
+  // Dimension builders: distinct combo (as numeric-view tuple) -> key.
+  struct DimBuilder {
+    std::shared_ptr<Table> table;
+    std::map<std::vector<double>, int64_t> index;
+    std::vector<int> source_columns;  // indexes into the denormalized table
+  };
+  std::vector<DimBuilder> builders;
+  for (const DimensionSpec& spec : dims) {
+    DimBuilder b;
+    Schema dim_schema;
+    IDB_RETURN_NOT_OK(dim_schema.AddField(
+        {spec.key_column, DataType::kInt64, AttributeKind::kNominal}));
+    for (const std::string& col : spec.columns) {
+      const int idx = schema.FieldIndex(col);
+      IDB_RETURN_NOT_OK(dim_schema.AddField(schema.field(idx)));
+      b.source_columns.push_back(idx);
+    }
+    b.table = std::make_shared<Table>(spec.table_name, dim_schema);
+    builders.push_back(std::move(b));
+  }
+
+  // Single pass over the fact data.
+  const int64_t n = denormalized.num_rows();
+  std::vector<double> combo;
+  for (int64_t r = 0; r < n; ++r) {
+    // Untouched fact columns.
+    for (int c = 0; c < schema.num_fields(); ++c) {
+      if (owner[static_cast<size_t>(c)] >= 0) continue;
+      const Column& src = denormalized.column(c);
+      Column* dst = fact->MutableColumnByName(src.name());
+      dst->AppendFrom(src, r);
+    }
+    // Dimension keys.
+    for (size_t d = 0; d < builders.size(); ++d) {
+      DimBuilder& b = builders[d];
+      combo.clear();
+      for (int src_col : b.source_columns) {
+        combo.push_back(denormalized.column(src_col).ValueAsDouble(r));
+      }
+      auto it = b.index.find(combo);
+      int64_t key;
+      if (it == b.index.end()) {
+        key = static_cast<int64_t>(b.index.size());
+        b.index.emplace(combo, key);
+        // Materialize the dimension row.
+        b.table->mutable_column(0).AppendInt(key);
+        for (size_t j = 0; j < b.source_columns.size(); ++j) {
+          const Column& src = denormalized.column(b.source_columns[j]);
+          b.table->mutable_column(static_cast<int>(j) + 1).AppendFrom(src, r);
+        }
+      } else {
+        key = it->second;
+      }
+      fact->MutableColumnByName(dims[d].key_column)->AppendInt(key);
+    }
+  }
+
+  Catalog catalog;
+  IDB_RETURN_NOT_OK(catalog.AddTable(fact));
+  for (size_t d = 0; d < builders.size(); ++d) {
+    IDB_RETURN_NOT_OK(catalog.AddTable(builders[d].table));
+    IDB_RETURN_NOT_OK(catalog.AddForeignKey(
+        {dims[d].key_column, dims[d].table_name, dims[d].key_column}));
+  }
+  return catalog;
+}
+
+}  // namespace idebench::datagen

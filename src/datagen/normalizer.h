@@ -1,0 +1,43 @@
+#ifndef IDEBENCH_DATAGEN_NORMALIZER_H_
+#define IDEBENCH_DATAGEN_NORMALIZER_H_
+
+/// \file normalizer.h
+/// Star-schema normalization (paper §4.2: "the data generator then
+/// vertically partitions the data into multiple tables (normalization)
+/// based on a user-given schema specification").
+///
+/// A `DimensionSpec` names a set of columns that move into a dimension
+/// table.  The normalizer builds one row per distinct value combination,
+/// assigns a surrogate integer key, and replaces the columns in the fact
+/// table with a single foreign-key column.
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/catalog.h"
+
+namespace idebench::datagen {
+
+/// One dimension to extract.
+struct DimensionSpec {
+  std::string table_name;            // e.g. "carriers"
+  std::vector<std::string> columns;  // e.g. {"carrier", "carrier_name"}
+  std::string key_column;            // e.g. "carrier_id"
+};
+
+/// Default normalization of the flights schema: carriers and airports
+/// dimensions (paper §5.3 normalizes exactly these two).
+std::vector<DimensionSpec> FlightsDimensionSpecs();
+
+/// Wraps `denormalized` as a single-table catalog.
+Result<storage::Catalog> MakeDenormalizedCatalog(
+    std::shared_ptr<storage::Table> denormalized);
+
+/// Vertically partitions `denormalized` into a star schema.
+Result<storage::Catalog> Normalize(const storage::Table& denormalized,
+                                   const std::vector<DimensionSpec>& dims);
+
+}  // namespace idebench::datagen
+
+#endif  // IDEBENCH_DATAGEN_NORMALIZER_H_

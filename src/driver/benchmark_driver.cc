@@ -1,0 +1,226 @@
+#include "driver/benchmark_driver.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "query/sql.h"
+
+namespace idebench::driver {
+
+using query::QuerySpec;
+using workflow::Interaction;
+using workflow::InteractionType;
+
+BenchmarkDriver::BenchmarkDriver(
+    Settings settings, engines::Engine* engine,
+    std::shared_ptr<const storage::Catalog> catalog)
+    : settings_(std::move(settings)),
+      engine_(engine),
+      catalog_(std::move(catalog)),
+      oracle_(std::make_shared<GroundTruthOracle>(catalog_)) {}
+
+BenchmarkDriver::BenchmarkDriver(
+    Settings settings, engines::Engine* engine,
+    std::shared_ptr<const storage::Catalog> catalog,
+    std::shared_ptr<GroundTruthOracle> oracle)
+    : settings_(std::move(settings)),
+      engine_(engine),
+      catalog_(std::move(catalog)),
+      oracle_(std::move(oracle)) {}
+
+Result<Micros> BenchmarkDriver::PrepareEngine() {
+  IDB_ASSIGN_OR_RETURN(prep_time_, engine_->Prepare(catalog_));
+  return prep_time_;
+}
+
+Status BenchmarkDriver::ResolveQuery(query::QuerySpec* spec) const {
+  IDB_RETURN_NOT_OK(spec->ResolveBins(*catalog_));
+  // Rewrite label-based nominal predicates to the owning column's
+  // dictionary codes (workflow files are portable across catalog layouts;
+  // codes are not).
+  std::vector<expr::Predicate> rewritten;
+  for (expr::Predicate p : spec->filter.predicates()) {
+    if (!p.string_values.empty()) {
+      IDB_ASSIGN_OR_RETURN(const storage::Table* owner,
+                           catalog_->TableForColumn(p.column));
+      const storage::Column* col = owner->ColumnByName(p.column);
+      if (col != nullptr && col->type() == storage::DataType::kString) {
+        if (p.op == expr::CompareOp::kIn) {
+          p.set_values.clear();
+          for (const std::string& label : p.string_values) {
+            const int64_t code = col->dictionary().Lookup(label);
+            // Labels unknown in this catalog select nothing; encode as an
+            // impossible code rather than dropping the predicate.
+            p.set_values.push_back(code >= 0 ? static_cast<double>(code)
+                                             : -1.0);
+          }
+        } else {
+          const int64_t code = col->dictionary().Lookup(p.string_values[0]);
+          p.value = code >= 0 ? static_cast<double>(code) : -1.0;
+        }
+      }
+    }
+    rewritten.push_back(std::move(p));
+  }
+  spec->filter = expr::FilterExpr(std::move(rewritten));
+  return Status::OK();
+}
+
+namespace {
+
+/// Space-separated binning kinds, e.g. "quantitative quantitative".
+std::string BinningTypeLabel(const QuerySpec& spec) {
+  std::string out;
+  for (size_t i = 0; i < spec.bins.size(); ++i) {
+    if (i > 0) out += " ";
+    out += spec.bins[i].mode == query::BinningMode::kNominal ? "nominal"
+                                                             : "quantitative";
+  }
+  return out;
+}
+
+std::string AggTypeLabel(const QuerySpec& spec) {
+  std::string out;
+  for (size_t i = 0; i < spec.aggregates.size(); ++i) {
+    if (i > 0) out += " ";
+    out += query::AggregateTypeName(spec.aggregates[i].type);
+  }
+  return out;
+}
+
+}  // namespace
+
+Status BenchmarkDriver::RunWorkflow(const workflow::Workflow& wf,
+                                    std::vector<QueryRecord>* records) {
+  workflow::VizGraph graph;
+  engine_->WorkflowStart();
+  // Default deterministic time source; SetClock can substitute a
+  // WallClock to pace the workflow in real time.
+  VirtualClock internal_clock;
+  Clock* clock = external_clock_ != nullptr
+                     ? external_clock_
+                     : static_cast<Clock*>(&internal_clock);
+  const Micros workflow_epoch = clock->Now();
+
+  for (size_t interaction_id = 0; interaction_id < wf.interactions.size();
+       ++interaction_id) {
+    const Interaction& interaction = wf.interactions[interaction_id];
+
+    std::vector<std::string> affected;
+    IDB_RETURN_NOT_OK(graph.Apply(interaction, &affected));
+
+    // Forward dashboard hints.
+    if (interaction.type == InteractionType::kLink) {
+      engine_->LinkVizs(interaction.link_from, interaction.link_to);
+    } else if (interaction.type == InteractionType::kDiscard) {
+      engine_->DiscardViz(interaction.viz_name);
+    }
+
+    // Build, resolve and submit one query per affected viz.  All queries
+    // of one interaction run concurrently.
+    struct InFlight {
+      QuerySpec spec;
+      engines::QueryHandle handle = -1;
+      Micros consumed = 0;
+      bool done = false;
+      bool unsupported = false;
+    };
+    std::vector<InFlight> inflight;
+    for (const std::string& viz_name : affected) {
+      InFlight q;
+      IDB_ASSIGN_OR_RETURN(q.spec, graph.BuildQuery(viz_name));
+      IDB_RETURN_NOT_OK(ResolveQuery(&q.spec));
+      auto submit = engine_->Submit(q.spec);
+      if (!submit.ok()) {
+        if (submit.status().code() == StatusCode::kNotImplemented) {
+          // The engine cannot run this query at all; report it as a
+          // time-requirement violation with nothing delivered.
+          q.unsupported = true;
+          inflight.push_back(std::move(q));
+          continue;
+        }
+        return submit.status();
+      }
+      q.handle = submit.ValueOrDie();
+      inflight.push_back(std::move(q));
+    }
+
+    // Grant each concurrent query its TR budget (optionally shrunk by the
+    // contention ablation knob).
+    const int concurrency = static_cast<int>(inflight.size());
+    Micros budget = settings_.time_requirement;
+    if (concurrency > 1 && settings_.concurrency_penalty > 0.0) {
+      budget = static_cast<Micros>(
+          static_cast<double>(budget) /
+          (1.0 + settings_.concurrency_penalty *
+                     static_cast<double>(concurrency - 1)));
+    }
+    for (InFlight& q : inflight) {
+      if (q.unsupported) continue;
+      while (q.consumed < budget && !engine_->IsDone(q.handle)) {
+        const Micros step = engine_->RunFor(q.handle, budget - q.consumed);
+        if (step <= 0) break;
+        q.consumed += step;
+      }
+      q.done = engine_->IsDone(q.handle);
+    }
+
+    // Fetch, evaluate and cancel.
+    for (InFlight& q : inflight) {
+      query::QueryResult result;  // unavailable by default
+      if (!q.unsupported) {
+        IDB_ASSIGN_OR_RETURN(result, engine_->PollResult(q.handle));
+      }
+      const bool tr_violated = !result.available;
+
+      IDB_ASSIGN_OR_RETURN(const query::QueryResult* truth,
+                           oracle_->Get(q.spec));
+
+      QueryRecord record;
+      record.id = next_query_id_++;
+      record.interaction_id = static_cast<int64_t>(interaction_id);
+      record.viz_name = q.spec.viz_name;
+      record.driver_name = engine_->name();
+      record.data_size = settings_.data_size_label;
+      record.think_time = settings_.think_time;
+      record.time_requirement = settings_.time_requirement;
+      record.workflow = wf.name;
+      record.workflow_type = workflow::WorkflowTypeName(wf.type);
+      const Micros now = clock->Now() - workflow_epoch;
+      record.start_time = now;
+      record.end_time =
+          now + (q.done ? std::min(q.consumed, budget) : budget);
+      record.bin_dims = static_cast<int>(q.spec.bins.size());
+      record.binning_type = BinningTypeLabel(q.spec);
+      record.agg_type = AggTypeLabel(q.spec);
+      record.num_concurrent = concurrency;
+      record.sql = query::GenerateSql(q.spec, *catalog_);
+      record.progress = result.progress;
+      record.metrics = metrics::Evaluate(result, *truth, tr_violated);
+      records->push_back(std::move(record));
+
+      // Queries that exceed TR are cancelled (paper §4.7); completed ones
+      // are released as the frontend has consumed their result.
+      if (!q.unsupported) engine_->Cancel(q.handle);
+    }
+
+    // Think time separates consecutive interactions; speculative engines
+    // may spend it.  A wall clock actually sleeps here.
+    engine_->OnThink(settings_.think_time);
+    clock->Advance(settings_.think_time);
+  }
+
+  engine_->WorkflowEnd();
+  return Status::OK();
+}
+
+Result<std::vector<QueryRecord>> BenchmarkDriver::RunWorkflows(
+    const std::vector<workflow::Workflow>& workflows) {
+  std::vector<QueryRecord> records;
+  for (const workflow::Workflow& wf : workflows) {
+    IDB_RETURN_NOT_OK(RunWorkflow(wf, &records));
+  }
+  return records;
+}
+
+}  // namespace idebench::driver

@@ -1,0 +1,51 @@
+#include "driver/ground_truth.h"
+
+#include "engines/engine_base.h"
+
+namespace idebench::driver {
+
+GroundTruthOracle::GroundTruthOracle(
+    std::shared_ptr<const storage::Catalog> catalog)
+    : catalog_(std::move(catalog)) {}
+
+Result<const query::QueryResult*> GroundTruthOracle::Get(
+    const query::QuerySpec& spec) {
+  const std::string signature = engines::QuerySignature(spec);
+  auto it = cache_.find(signature);
+  if (it != cache_.end()) {
+    ++cache_hits_;
+    return it->second.get();
+  }
+
+  IDB_ASSIGN_OR_RETURN(std::vector<std::string> dims,
+                       exec::BoundQuery::RequiredJoins(spec, *catalog_));
+  std::vector<const exec::JoinIndex*> joins;
+  for (const std::string& dim : dims) {
+    auto join_it = joins_.find(dim);
+    if (join_it == joins_.end()) {
+      const storage::ForeignKey* fk = catalog_->FindForeignKey(dim);
+      if (fk == nullptr) {
+        return Status::KeyError("no foreign key to dimension '" + dim + "'");
+      }
+      IDB_ASSIGN_OR_RETURN(exec::JoinIndex index,
+                           exec::JoinIndex::BuildMaterialized(*catalog_, *fk));
+      join_it = joins_
+                    .emplace(dim, std::make_unique<exec::JoinIndex>(
+                                      std::move(index)))
+                    .first;
+    }
+    joins.push_back(join_it->second.get());
+  }
+
+  IDB_ASSIGN_OR_RETURN(exec::BoundQuery bound,
+                       exec::BoundQuery::Bind(spec, *catalog_, joins));
+  exec::BinnedAggregator aggregator(&bound);
+  aggregator.ProcessRange(0, catalog_->fact_table()->num_rows());
+  auto result = std::make_unique<query::QueryResult>(aggregator.ExactResult());
+  result->available = true;
+  const query::QueryResult* ptr = result.get();
+  cache_.emplace(signature, std::move(result));
+  return ptr;
+}
+
+}  // namespace idebench::driver

@@ -1,0 +1,42 @@
+#ifndef IDEBENCH_DRIVER_GROUND_TRUTH_H_
+#define IDEBENCH_DRIVER_GROUND_TRUTH_H_
+
+/// \file ground_truth.h
+/// The exact-answer oracle all quality metrics compare against.  It runs
+/// the shared operators directly over the materialized data (no clock, no
+/// cost model) and caches answers by canonical query signature.
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "common/result.h"
+#include "exec/aggregator.h"
+#include "query/result.h"
+#include "query/spec.h"
+#include "storage/catalog.h"
+
+namespace idebench::driver {
+
+/// Exact-answer oracle with a signature-keyed cache.
+class GroundTruthOracle {
+ public:
+  explicit GroundTruthOracle(std::shared_ptr<const storage::Catalog> catalog);
+
+  /// Exact answer for `spec` (bins must be resolved).  The returned
+  /// pointer stays valid for the oracle's lifetime.
+  Result<const query::QueryResult*> Get(const query::QuerySpec& spec);
+
+  /// Number of oracle executions that hit the cache.
+  int64_t cache_hits() const { return cache_hits_; }
+
+ private:
+  std::shared_ptr<const storage::Catalog> catalog_;
+  std::unordered_map<std::string, std::unique_ptr<exec::JoinIndex>> joins_;
+  std::unordered_map<std::string, std::unique_ptr<query::QueryResult>> cache_;
+  int64_t cache_hits_ = 0;
+};
+
+}  // namespace idebench::driver
+
+#endif  // IDEBENCH_DRIVER_GROUND_TRUTH_H_

@@ -1,0 +1,52 @@
+#ifndef IDEBENCH_DRIVER_SETTINGS_H_
+#define IDEBENCH_DRIVER_SETTINGS_H_
+
+/// \file settings.h
+/// Benchmark settings (paper §4.6): time requirement, dataset size,
+/// think time, schema layout, confidence level.
+
+#include <cstdint>
+#include <string>
+
+#include "common/clock.h"
+#include "common/json.h"
+#include "common/result.h"
+
+namespace idebench::driver {
+
+/// One benchmark configuration.
+struct Settings {
+  /// Maximum execution duration of a query; queries exceeding it are
+  /// cancelled (default 3 s; the paper sweeps 0.5/1/3/5/10 s).
+  Micros time_requirement = 3 * kMicrosPerSecond;
+
+  /// Delay between two consecutive interactions (paper recommends
+  /// 3–10 s; the stress experiments use 1 s).
+  Micros think_time = 1 * kMicrosPerSecond;
+
+  /// Confidence level at which AQP engines report margins of error.
+  double confidence_level = 0.95;
+
+  /// Human-readable dataset size label for reports ("500m").
+  std::string data_size_label = "500m";
+
+  /// Whether the catalog is a star schema (reporting only; the catalog
+  /// itself determines execution).
+  bool use_joins = false;
+
+  /// Per-extra-concurrent-query slowdown factor (0 = perfectly parallel,
+  /// the default; the paper's Exp. 4 found no significant concurrency
+  /// effect on a 20-core box).  An ablation bench sweeps this.
+  double concurrency_penalty = 0.0;
+
+  /// JSON round-trip for configuration files.
+  JsonValue ToJson() const;
+  static Result<Settings> FromJson(const JsonValue& j);
+
+  /// Validates ranges.
+  Status Validate() const;
+};
+
+}  // namespace idebench::driver
+
+#endif  // IDEBENCH_DRIVER_SETTINGS_H_

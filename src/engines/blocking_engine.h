@@ -1,0 +1,80 @@
+#ifndef IDEBENCH_ENGINES_BLOCKING_ENGINE_H_
+#define IDEBENCH_ENGINES_BLOCKING_ENGINE_H_
+
+/// \file blocking_engine.h
+/// A classic analytical column store (the paper's MonetDB stand-in).
+///
+/// Execution model: every query is a full sequential scan with hash
+/// aggregation; joins are materialized fact→dimension indexes built once
+/// per dimension (radix-hash-join equivalent).  The result is exact and
+/// becomes available only when the scan completes — "upon initiating a
+/// query, the run-time of the query is unknown" (paper §5).
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "engines/engine_base.h"
+#include "exec/aggregator.h"
+
+namespace idebench::engines {
+
+/// Cost/behavior knobs of the blocking engine.  Defaults are calibrated
+/// so a simple aggregation over 500 M nominal rows takes ~2.5 s and CSV
+/// ingest takes ~19 min (paper §5.2).
+struct BlockingEngineConfig {
+  double scan_ns_per_row = 4.5;        // sequential scan+aggregate
+  double load_ns_per_row = 2280.0;     // CSV ingest (19 min / 500 M)
+  double join_build_ns_per_row = 3.0;  // per fact row, per dimension
+  double query_overhead_us = 30'000;   // parse/plan/dispatch
+  /// Wider complexity spread than the sampling engines: a column store's
+  /// run time reacts strongly to extra aggregates and 2-D grouping, which
+  /// is what makes its TR violations fall *gradually* with the time
+  /// requirement (Figure 6a) instead of as a step.
+  CostFactors factors{/*extra_aggregate=*/0.35, /*second_dimension=*/0.8,
+                      /*per_predicate=*/0.12, /*per_join=*/0.12,
+                      /*avg_aggregate=*/0.25};
+  /// Scan-cost discount on star schemas: moving wide nominal attributes
+  /// into dimensions shrinks the fact table, which is why the paper's
+  /// Exp. 2 finds both systems slightly *faster* normalized (Figure 6e).
+  /// Joins themselves cost `factors.per_join` per probed dimension
+  /// (a cached join-index probe is an array lookup, not a hash join).
+  double normalized_scan_discount = 0.12;
+  double confidence_level = 0.95;
+  uint64_t seed = 1;
+};
+
+/// Blocking exact engine.
+class BlockingEngine : public EngineBase {
+ public:
+  explicit BlockingEngine(BlockingEngineConfig config = {});
+
+  Result<Micros> Prepare(
+      std::shared_ptr<const storage::Catalog> catalog) override;
+  Result<QueryHandle> Submit(const query::QuerySpec& spec) override;
+  Micros RunFor(QueryHandle handle, Micros budget) override;
+  bool IsDone(QueryHandle handle) const override;
+  Result<query::QueryResult> PollResult(QueryHandle handle) override;
+  void Cancel(QueryHandle handle) override;
+
+  const BlockingEngineConfig& config() const { return config_; }
+
+ private:
+  struct RunningQuery {
+    query::QuerySpec spec;
+    std::unique_ptr<exec::BoundQuery> bound;
+    std::unique_ptr<exec::BinnedAggregator> aggregator;
+    int64_t cursor = 0;            // next actual fact row
+    Micros overhead_remaining = 0; // fixed costs to pay before scanning
+    double row_cost_us = 0.0;      // virtual cost per actual row
+    double credit_us = 0.0;        // sub-row budget carry
+    bool done = false;
+  };
+
+  BlockingEngineConfig config_;
+  std::unordered_map<QueryHandle, std::unique_ptr<RunningQuery>> queries_;
+};
+
+}  // namespace idebench::engines
+
+#endif  // IDEBENCH_ENGINES_BLOCKING_ENGINE_H_

@@ -1,0 +1,89 @@
+#ifndef IDEBENCH_ENGINES_ENGINE_H_
+#define IDEBENCH_ENGINES_ENGINE_H_
+
+/// \file engine.h
+/// The system-adapter interface every engine under test implements
+/// (paper §4.5).  The paper's adapters proxy to external processes; here
+/// the engines are in-process *cooperative simulators* driven on a
+/// virtual clock:
+///
+///  * `Prepare` ingests a dataset and returns the virtual data-preparation
+///    time (CSV load, index/sample construction, warm-up — §5.2).
+///  * `Submit` registers a query and returns a handle.
+///  * `RunFor` grants the query up to `budget` microseconds of virtual
+///    compute; the engine processes as many tuples as its cost model
+///    allows and returns the time actually consumed.
+///  * `PollResult` fetches the current answer; `available == false` means
+///    a frontend would see nothing yet (blocking engine mid-scan).
+///  * `OnThink` grants idle time between interactions, which speculative
+///    engines may spend on pre-computation (paper §5.4).
+///  * `LinkVizs` / `DiscardViz` forward the dashboard topology as hints.
+///
+/// Concurrency model: the driver grants each concurrent query its own
+/// full budget (queries run on distinct cores; the paper's Exp. 4 found
+/// no significant concurrency effect on its 20-core testbed).  A
+/// contention penalty is available in the driver settings for ablation.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/clock.h"
+#include "common/result.h"
+#include "query/result.h"
+#include "query/spec.h"
+#include "storage/catalog.h"
+
+namespace idebench::engines {
+
+/// Opaque per-query identifier.
+using QueryHandle = int64_t;
+
+/// Abstract system under test.
+class Engine {
+ public:
+  virtual ~Engine() = default;
+
+  /// Engine display name ("blocking", "online", ...).
+  virtual const std::string& name() const = 0;
+
+  /// Ingests `catalog`; returns virtual preparation time in microseconds.
+  /// Must be called exactly once before any Submit.
+  virtual Result<Micros> Prepare(
+      std::shared_ptr<const storage::Catalog> catalog) = 0;
+
+  /// Registers a query for execution.  The spec's bins must be resolved.
+  virtual Result<QueryHandle> Submit(const query::QuerySpec& spec) = 0;
+
+  /// Grants up to `budget` microseconds of virtual work; returns the
+  /// amount consumed (less than `budget` when the query completes early
+  /// or is already done).
+  virtual Micros RunFor(QueryHandle handle, Micros budget) = 0;
+
+  /// True once the query has fully completed.
+  virtual bool IsDone(QueryHandle handle) const = 0;
+
+  /// Fetches the current answer (see QueryResult::available).
+  virtual Result<query::QueryResult> PollResult(QueryHandle handle) = 0;
+
+  /// Cancels a running query and releases its state.
+  virtual void Cancel(QueryHandle handle) = 0;
+
+  /// Dashboard hints (optional).
+  virtual void LinkVizs(const std::string& from, const std::string& to) {
+    (void)from;
+    (void)to;
+  }
+  virtual void DiscardViz(const std::string& viz) { (void)viz; }
+
+  /// Grants idle (think) time; speculative engines may use it.
+  virtual void OnThink(Micros duration) { (void)duration; }
+
+  /// Workflow lifecycle notifications.
+  virtual void WorkflowStart() {}
+  virtual void WorkflowEnd() {}
+};
+
+}  // namespace idebench::engines
+
+#endif  // IDEBENCH_ENGINES_ENGINE_H_

@@ -1,0 +1,124 @@
+#include "engines/engine_base.h"
+
+#include <algorithm>
+
+#include "aqp/confidence.h"
+
+namespace idebench::engines {
+
+EngineBase::EngineBase(std::string name, double confidence_level,
+                       uint64_t seed)
+    : name_(std::move(name)),
+      confidence_level_(confidence_level),
+      z_(aqp::ZScoreForConfidence(confidence_level)),
+      rng_(seed) {}
+
+Status EngineBase::Attach(std::shared_ptr<const storage::Catalog> catalog) {
+  if (catalog == nullptr || catalog->fact_table() == nullptr) {
+    return Status::Invalid("engine '" + name_ + "': empty catalog");
+  }
+  if (attached()) {
+    return Status::Invalid("engine '" + name_ + "' already prepared");
+  }
+  catalog_ = std::move(catalog);
+  actual_rows_ = catalog_->fact_table()->num_rows();
+  nominal_rows_ = catalog_->nominal_rows();
+  scale_ = actual_rows_ > 0 ? static_cast<double>(nominal_rows_) /
+                                  static_cast<double>(actual_rows_)
+                            : 1.0;
+  if (scale_ < 1.0) scale_ = 1.0;
+  return Status::OK();
+}
+
+Result<std::vector<std::string>> EngineBase::RequiredJoins(
+    const query::QuerySpec& spec) const {
+  return exec::BoundQuery::RequiredJoins(spec, *catalog_);
+}
+
+Result<const exec::JoinIndex*> EngineBase::MaterializedJoin(
+    const std::string& dimension, bool* built_now) {
+  if (built_now != nullptr) *built_now = false;
+  auto it = materialized_joins_.find(dimension);
+  if (it != materialized_joins_.end()) return it->second.get();
+  const storage::ForeignKey* fk = catalog_->FindForeignKey(dimension);
+  if (fk == nullptr) {
+    return Status::KeyError("no foreign key to dimension '" + dimension + "'");
+  }
+  IDB_ASSIGN_OR_RETURN(exec::JoinIndex index,
+                       exec::JoinIndex::BuildMaterialized(*catalog_, *fk));
+  auto owned = std::make_unique<exec::JoinIndex>(std::move(index));
+  const exec::JoinIndex* ptr = owned.get();
+  materialized_joins_.emplace(dimension, std::move(owned));
+  if (built_now != nullptr) *built_now = true;
+  return ptr;
+}
+
+Result<const exec::JoinIndex*> EngineBase::LazyJoin(
+    const std::string& dimension) {
+  auto it = lazy_joins_.find(dimension);
+  if (it != lazy_joins_.end()) return it->second.get();
+  const storage::ForeignKey* fk = catalog_->FindForeignKey(dimension);
+  if (fk == nullptr) {
+    return Status::KeyError("no foreign key to dimension '" + dimension + "'");
+  }
+  IDB_ASSIGN_OR_RETURN(exec::JoinIndex index,
+                       exec::JoinIndex::BuildLazy(*catalog_, *fk));
+  auto owned = std::make_unique<exec::JoinIndex>(std::move(index));
+  const exec::JoinIndex* ptr = owned.get();
+  lazy_joins_.emplace(dimension, std::move(owned));
+  return ptr;
+}
+
+Result<exec::BoundQuery> EngineBase::BindQuery(const query::QuerySpec& spec,
+                                               bool lazy,
+                                               int* joins_built_now) {
+  if (joins_built_now != nullptr) *joins_built_now = 0;
+  IDB_ASSIGN_OR_RETURN(std::vector<std::string> dims, RequiredJoins(spec));
+  std::vector<const exec::JoinIndex*> joins;
+  for (const std::string& dim : dims) {
+    if (lazy) {
+      IDB_ASSIGN_OR_RETURN(const exec::JoinIndex* join, LazyJoin(dim));
+      joins.push_back(join);
+    } else {
+      bool built = false;
+      IDB_ASSIGN_OR_RETURN(const exec::JoinIndex* join,
+                           MaterializedJoin(dim, &built));
+      if (built && joins_built_now != nullptr) ++(*joins_built_now);
+      joins.push_back(join);
+    }
+  }
+  return exec::BoundQuery::Bind(spec, *catalog_, joins);
+}
+
+const aqp::ShuffledIndex& EngineBase::ShuffledRows() {
+  if (shuffled_ == nullptr) {
+    shuffled_ = std::make_unique<aqp::ShuffledIndex>(actual_rows_, &rng_);
+  }
+  return *shuffled_;
+}
+
+std::string QuerySignature(const query::QuerySpec& spec) {
+  JsonValue j = JsonValue::Object();
+  JsonValue bins = JsonValue::Array();
+  for (const query::BinDimension& d : spec.bins) bins.Append(d.ToJson());
+  j.Set("bins", std::move(bins));
+  JsonValue aggs = JsonValue::Array();
+  for (const query::AggregateSpec& a : spec.aggregates) aggs.Append(a.ToJson());
+  j.Set("aggs", std::move(aggs));
+  // Predicates are conjunctive, so ordering is irrelevant; sort their
+  // serialized forms to make the signature canonical.
+  std::vector<std::string> preds;
+  for (const expr::Predicate& p : spec.filter.predicates()) {
+    preds.push_back(p.ToJson().Dump());
+  }
+  std::sort(preds.begin(), preds.end());
+  // Drop exact duplicates (the same predicate can arrive via several link
+  // paths).
+  preds.erase(std::unique(preds.begin(), preds.end()), preds.end());
+  JsonValue parr = JsonValue::Array();
+  for (const std::string& p : preds) parr.Append(p);
+  j.Set("filter", std::move(parr));
+  return j.Dump();
+}
+
+}  // namespace idebench::engines

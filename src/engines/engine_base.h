@@ -1,0 +1,102 @@
+#ifndef IDEBENCH_ENGINES_ENGINE_BASE_H_
+#define IDEBENCH_ENGINES_ENGINE_BASE_H_
+
+/// \file engine_base.h
+/// Shared plumbing for the concrete engines: catalog/handle bookkeeping,
+/// join-index caches (materialized and lazy), query binding, and the
+/// shuffled row order used by sampling engines.
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "aqp/sampler.h"
+#include "common/random.h"
+#include "engines/cost.h"
+#include "engines/engine.h"
+#include "exec/bound_query.h"
+
+namespace idebench::engines {
+
+/// Common engine state and helpers.
+class EngineBase : public Engine {
+ public:
+  EngineBase(std::string name, double confidence_level, uint64_t seed);
+
+  const std::string& name() const override { return name_; }
+
+  /// Nominal rows the catalog represents (drives the cost model).
+  int64_t nominal_rows() const { return nominal_rows_; }
+
+  /// Physically materialized fact rows (drives answers).
+  int64_t actual_rows() const { return actual_rows_; }
+
+ protected:
+  /// Binds the engine to a catalog; called from Prepare implementations.
+  Status Attach(std::shared_ptr<const storage::Catalog> catalog);
+
+  /// True once Attach succeeded.
+  bool attached() const { return catalog_ != nullptr; }
+
+  /// Fresh query handle.
+  QueryHandle NextHandle() { return next_handle_++; }
+
+  /// Scale-up factor nominal/actual (>= 1 in normal configurations).
+  double scale() const { return scale_; }
+
+  /// z-score matching the configured confidence level.
+  double z_score() const { return z_; }
+
+  Rng* rng() { return &rng_; }
+
+  const storage::Catalog& catalog() const { return *catalog_; }
+
+  /// Returns the dimension tables `spec` needs joins for.
+  Result<std::vector<std::string>> RequiredJoins(
+      const query::QuerySpec& spec) const;
+
+  /// Returns (building and caching if needed) the materialized join index
+  /// for `dimension`; sets `*built_now` when this call constructed it (the
+  /// caller must charge the build cost).
+  Result<const exec::JoinIndex*> MaterializedJoin(const std::string& dimension,
+                                                  bool* built_now);
+
+  /// Returns (building and caching if needed) the lazy join index.
+  Result<const exec::JoinIndex*> LazyJoin(const std::string& dimension);
+
+  /// Binds `spec` using materialized (`lazy == false`) or lazy joins.
+  /// `spec` must outlive the returned BoundQuery.  `joins_built_now`
+  /// (optional) receives the number of materialized indexes constructed
+  /// by this call.
+  Result<exec::BoundQuery> BindQuery(const query::QuerySpec& spec, bool lazy,
+                                     int* joins_built_now = nullptr);
+
+  /// Shared shuffled row order over the fact table (built lazily); the
+  /// basis of without-replacement online sampling.
+  const aqp::ShuffledIndex& ShuffledRows();
+
+ private:
+  std::string name_;
+  double confidence_level_;
+  double z_;
+  Rng rng_;
+  std::shared_ptr<const storage::Catalog> catalog_;
+  int64_t nominal_rows_ = 0;
+  int64_t actual_rows_ = 0;
+  double scale_ = 1.0;
+  QueryHandle next_handle_ = 1;
+  std::unordered_map<std::string, std::unique_ptr<exec::JoinIndex>>
+      materialized_joins_;
+  std::unordered_map<std::string, std::unique_ptr<exec::JoinIndex>>
+      lazy_joins_;
+  std::unique_ptr<aqp::ShuffledIndex> shuffled_;
+};
+
+/// Canonical signature of a query (bins + aggregates + sorted predicates);
+/// used for result reuse and speculative-result matching.
+std::string QuerySignature(const query::QuerySpec& spec);
+
+}  // namespace idebench::engines
+
+#endif  // IDEBENCH_ENGINES_ENGINE_BASE_H_

@@ -1,0 +1,80 @@
+#include "engines/frontend_engine.h"
+
+#include <algorithm>
+
+namespace idebench::engines {
+
+FrontendEngine::FrontendEngine(std::unique_ptr<Engine> backend,
+                               FrontendEngineConfig config)
+    : name_("frontend+" + backend->name()),
+      backend_(std::move(backend)),
+      config_(config),
+      rng_(config.seed) {}
+
+Result<Micros> FrontendEngine::Prepare(
+    std::shared_ptr<const storage::Catalog> catalog) {
+  return backend_->Prepare(std::move(catalog));
+}
+
+Result<QueryHandle> FrontendEngine::Submit(const query::QuerySpec& spec) {
+  IDB_ASSIGN_OR_RETURN(QueryHandle handle, backend_->Submit(spec));
+  LayeredQuery layered;
+  layered.render_remaining =
+      rng_.UniformInt(config_.min_render_us, config_.max_render_us);
+  queries_.emplace(handle, layered);
+  return handle;
+}
+
+Micros FrontendEngine::RunFor(QueryHandle handle, Micros budget) {
+  auto it = queries_.find(handle);
+  if (it == queries_.end() || budget <= 0) return 0;
+  Micros consumed = backend_->RunFor(handle, budget);
+  if (backend_->IsDone(handle)) {
+    // Rendering happens after the backend result arrives and occupies the
+    // interaction timeline just like query time.
+    const Micros render = std::min(budget - consumed,
+                                   it->second.render_remaining);
+    it->second.render_remaining -= render;
+    consumed += render;
+  }
+  return consumed;
+}
+
+bool FrontendEngine::IsDone(QueryHandle handle) const {
+  auto it = queries_.find(handle);
+  if (it == queries_.end()) return false;
+  return backend_->IsDone(handle) && it->second.render_remaining == 0;
+}
+
+Result<query::QueryResult> FrontendEngine::PollResult(QueryHandle handle) {
+  auto it = queries_.find(handle);
+  if (it == queries_.end()) return Status::KeyError("unknown query handle");
+  if (it->second.render_remaining > 0) {
+    // The visualization is not on screen until rendering finishes.
+    query::QueryResult pending;
+    pending.available = false;
+    return pending;
+  }
+  return backend_->PollResult(handle);
+}
+
+void FrontendEngine::Cancel(QueryHandle handle) {
+  backend_->Cancel(handle);
+  queries_.erase(handle);
+}
+
+void FrontendEngine::LinkVizs(const std::string& from, const std::string& to) {
+  backend_->LinkVizs(from, to);
+}
+
+void FrontendEngine::DiscardViz(const std::string& viz) {
+  backend_->DiscardViz(viz);
+}
+
+void FrontendEngine::OnThink(Micros duration) { backend_->OnThink(duration); }
+
+void FrontendEngine::WorkflowStart() { backend_->WorkflowStart(); }
+
+void FrontendEngine::WorkflowEnd() { backend_->WorkflowEnd(); }
+
+}  // namespace idebench::engines

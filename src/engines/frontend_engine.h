@@ -1,0 +1,67 @@
+#ifndef IDEBENCH_ENGINES_FRONTEND_ENGINE_H_
+#define IDEBENCH_ENGINES_FRONTEND_ENGINE_H_
+
+/// \file frontend_engine.h
+/// A commercial IDE frontend layered over a DBMS backend (the paper's
+/// System Y stand-in, §5.6): it forwards queries to an inner engine and
+/// adds a per-query rendering/visualization delay of 1–2 s.  The paper
+/// found no evidence of pre-fetching or an intermediate optimization
+/// layer in System Y ("renders and updates the visualizations roughly at
+/// the same speed as when one uses MonetDB directly, with an added delay
+/// of about 1–2 s per query"), so none is modeled.
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "engines/engine.h"
+#include "common/random.h"
+
+namespace idebench::engines {
+
+/// Knobs of the frontend layer.
+struct FrontendEngineConfig {
+  Micros min_render_us = 1'000'000;  // 1 s
+  Micros max_render_us = 2'000'000;  // 2 s
+  uint64_t seed = 5;
+};
+
+/// Frontend layer over an inner engine.
+class FrontendEngine : public Engine {
+ public:
+  FrontendEngine(std::unique_ptr<Engine> backend,
+                 FrontendEngineConfig config = {});
+
+  const std::string& name() const override { return name_; }
+
+  Result<Micros> Prepare(
+      std::shared_ptr<const storage::Catalog> catalog) override;
+  Result<QueryHandle> Submit(const query::QuerySpec& spec) override;
+  Micros RunFor(QueryHandle handle, Micros budget) override;
+  bool IsDone(QueryHandle handle) const override;
+  Result<query::QueryResult> PollResult(QueryHandle handle) override;
+  void Cancel(QueryHandle handle) override;
+
+  void LinkVizs(const std::string& from, const std::string& to) override;
+  void DiscardViz(const std::string& viz) override;
+  void OnThink(Micros duration) override;
+  void WorkflowStart() override;
+  void WorkflowEnd() override;
+
+  Engine* backend() { return backend_.get(); }
+
+ private:
+  struct LayeredQuery {
+    Micros render_remaining = 0;  // rendering delay, paid after the backend
+  };
+
+  std::string name_;
+  std::unique_ptr<Engine> backend_;
+  FrontendEngineConfig config_;
+  Rng rng_;
+  std::unordered_map<QueryHandle, LayeredQuery> queries_;
+};
+
+}  // namespace idebench::engines
+
+#endif  // IDEBENCH_ENGINES_FRONTEND_ENGINE_H_

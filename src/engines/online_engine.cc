@@ -1,0 +1,159 @@
+#include "engines/online_engine.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace idebench::engines {
+
+OnlineEngine::OnlineEngine(OnlineEngineConfig config)
+    : EngineBase("online", config.confidence_level, config.seed),
+      config_(config) {}
+
+bool OnlineEngine::SupportsOnline(const query::QuerySpec& spec) {
+  if (spec.aggregates.size() != 1) return false;
+  const query::AggregateType type = spec.aggregates[0].type;
+  return type == query::AggregateType::kCount ||
+         type == query::AggregateType::kSum;
+}
+
+Result<Micros> OnlineEngine::Prepare(
+    std::shared_ptr<const storage::Catalog> catalog) {
+  IDB_RETURN_NOT_OK(Attach(std::move(catalog)));
+  double rows = 0.0;
+  for (const auto& table : this->catalog().tables()) {
+    rows += table.get() == this->catalog().fact_table()
+                ? static_cast<double>(nominal_rows())
+                : static_cast<double>(table->num_rows());
+  }
+  return static_cast<Micros>(rows * config_.load_ns_per_row / 1000.0);
+}
+
+Result<QueryHandle> OnlineEngine::Submit(const query::QuerySpec& spec) {
+  if (!attached()) return Status::Invalid("engine not prepared");
+  auto rq = std::make_unique<RunningQuery>();
+  rq->spec = spec;
+  rq->online = SupportsOnline(spec);
+  if (!rq->online && !config_.enable_fallback) {
+    return Status::NotImplemented(
+        "query not supported online and fallback is disabled");
+  }
+
+  int joins_built = 0;
+  IDB_ASSIGN_OR_RETURN(
+      exec::BoundQuery bound,
+      BindQuery(rq->spec, /*lazy=*/rq->online, &joins_built));
+  rq->bound = std::make_unique<exec::BoundQuery>(std::move(bound));
+  rq->aggregator = std::make_unique<exec::BinnedAggregator>(rq->bound.get());
+
+  IDB_ASSIGN_OR_RETURN(std::vector<std::string> dims, RequiredJoins(rq->spec));
+  const double mult = ComplexityMultiplier(
+      rq->spec, static_cast<int>(dims.size()), config_.factors);
+  if (rq->online) {
+    // Wander-join-style sampling: each sampled tuple costs sample_us
+    // (times complexity), independent of data scale — absolute sample
+    // size is what determines estimate quality.
+    rq->row_cost_us = config_.sample_us_per_row * mult;
+    rq->walk_offset = rng()->UniformInt(0, std::max<int64_t>(actual_rows(), 1) - 1);
+  } else {
+    // Blocking fallback at row-store scan speed over the nominal data;
+    // the normalized fact table's narrower rows scan faster.
+    double scan_ns = config_.fallback_scan_ns_per_row;
+    if (this->catalog().is_normalized()) {
+      scan_ns *= 1.0 - config_.normalized_scan_discount;
+    }
+    rq->row_cost_us = scan_ns * mult * scale() / 1000.0;
+    // Fallback joins are materialized and charged like a hash join build.
+    rq->overhead_remaining += static_cast<Micros>(
+        static_cast<double>(joins_built) * static_cast<double>(nominal_rows()) *
+        (2.0 * config_.fallback_scan_ns_per_row) / 1000.0);
+  }
+  rq->overhead_remaining += static_cast<Micros>(config_.query_overhead_us);
+
+  const QueryHandle handle = NextHandle();
+  queries_.emplace(handle, std::move(rq));
+  return handle;
+}
+
+void OnlineEngine::PublishSnapshot(RunningQuery* rq) {
+  query::QueryResult snapshot =
+      rq->aggregator->EstimateFromUniformSample(actual_rows(), z_score());
+  snapshot.available = rq->aggregator->rows_seen() > 0;
+  rq->snapshot = std::move(snapshot);
+  rq->last_report_us = rq->work_done_us;
+}
+
+Micros OnlineEngine::RunFor(QueryHandle handle, Micros budget) {
+  auto it = queries_.find(handle);
+  if (it == queries_.end() || budget <= 0) return 0;
+  RunningQuery& rq = *it->second;
+  if (rq.done) return 0;
+
+  Micros consumed = 0;
+  const Micros overhead = std::min(budget, rq.overhead_remaining);
+  rq.overhead_remaining -= overhead;
+  consumed += overhead;
+  if (rq.overhead_remaining > 0) return consumed;
+
+  rq.credit_us += static_cast<double>(budget - consumed);
+  const int64_t affordable =
+      rq.row_cost_us > 0.0
+          ? static_cast<int64_t>(rq.credit_us / rq.row_cost_us)
+          : actual_rows();
+  const int64_t remaining = actual_rows() - rq.cursor;
+  const int64_t todo = std::min(affordable, remaining);
+  if (todo > 0) {
+    if (rq.online) {
+      const aqp::ShuffledIndex& order = ShuffledRows();
+      for (int64_t i = 0; i < todo; ++i) {
+        rq.aggregator->ProcessRow(order.At(rq.walk_offset + rq.cursor + i));
+      }
+    } else {
+      rq.aggregator->ProcessRange(rq.cursor, rq.cursor + todo);
+    }
+    rq.cursor += todo;
+    const double spent = static_cast<double>(todo) * rq.row_cost_us;
+    rq.credit_us -= spent;
+    consumed += static_cast<Micros>(std::llround(spent));
+    rq.work_done_us += static_cast<Micros>(std::llround(spent));
+  }
+
+  if (rq.cursor >= actual_rows()) {
+    rq.done = true;
+    rq.credit_us = 0.0;
+    PublishSnapshot(&rq);
+  } else if (rq.online && rq.work_done_us - rq.last_report_us >=
+                              config_.report_interval_us) {
+    // Intermediate results surface only at report-interval boundaries.
+    PublishSnapshot(&rq);
+  }
+  // Leftover sub-row budget is banked in credit_us, so the whole slice
+  // counts as consumed while the query is still running.
+  if (!rq.done) return budget;
+  return std::min(consumed, budget);
+}
+
+bool OnlineEngine::IsDone(QueryHandle handle) const {
+  auto it = queries_.find(handle);
+  return it != queries_.end() && it->second->done;
+}
+
+Result<query::QueryResult> OnlineEngine::PollResult(QueryHandle handle) {
+  auto it = queries_.find(handle);
+  if (it == queries_.end()) return Status::KeyError("unknown query handle");
+  RunningQuery& rq = *it->second;
+  if (rq.done) {
+    query::QueryResult result = rq.aggregator->ExactResult();
+    result.available = true;
+    return result;
+  }
+  if (!rq.online) {
+    query::QueryResult pending;
+    pending.available = false;
+    return pending;
+  }
+  return rq.snapshot;  // may be unavailable before the first interval
+}
+
+void OnlineEngine::Cancel(QueryHandle handle) { queries_.erase(handle); }
+
+}  // namespace idebench::engines

@@ -1,0 +1,50 @@
+#include "engines/registry.h"
+
+#include "engines/blocking_engine.h"
+#include "engines/frontend_engine.h"
+#include "engines/online_engine.h"
+#include "engines/progressive_engine.h"
+#include "engines/stratified_engine.h"
+
+namespace idebench::engines {
+
+const std::vector<std::string>& BuiltinEngineNames() {
+  static const std::vector<std::string> kNames = {
+      "blocking", "online", "progressive", "stratified", "frontend"};
+  return kNames;
+}
+
+Result<std::unique_ptr<Engine>> CreateEngine(const std::string& name,
+                                             uint64_t seed) {
+  if (name == "blocking") {
+    BlockingEngineConfig config;
+    config.seed += seed;
+    return std::unique_ptr<Engine>(new BlockingEngine(config));
+  }
+  if (name == "online") {
+    OnlineEngineConfig config;
+    config.seed += seed;
+    return std::unique_ptr<Engine>(new OnlineEngine(config));
+  }
+  if (name == "progressive") {
+    ProgressiveEngineConfig config;
+    config.seed += seed;
+    return std::unique_ptr<Engine>(new ProgressiveEngine(config));
+  }
+  if (name == "stratified") {
+    StratifiedEngineConfig config;
+    config.seed += seed;
+    return std::unique_ptr<Engine>(new StratifiedEngine(config));
+  }
+  if (name == "frontend") {
+    BlockingEngineConfig backend_config;
+    backend_config.seed += seed;
+    FrontendEngineConfig config;
+    config.seed += seed;
+    return std::unique_ptr<Engine>(new FrontendEngine(
+        std::make_unique<BlockingEngine>(backend_config), config));
+  }
+  return Status::KeyError("unknown engine '" + name + "'");
+}
+
+}  // namespace idebench::engines

@@ -1,0 +1,136 @@
+#include "engines/stratified_engine.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace idebench::engines {
+
+StratifiedEngine::StratifiedEngine(StratifiedEngineConfig config)
+    : EngineBase("stratified", config.confidence_level, config.seed),
+      config_(config) {}
+
+Result<Micros> StratifiedEngine::Prepare(
+    std::shared_ptr<const storage::Catalog> catalog) {
+  IDB_RETURN_NOT_OK(Attach(std::move(catalog)));
+  if (this->catalog().is_normalized()) {
+    return Status::NotImplemented(
+        "the stratified engine only supports de-normalized data");
+  }
+  const storage::Table& fact = *this->catalog().fact_table();
+  const std::string strat_column =
+      fact.ColumnByName(config_.stratify_by) != nullptr ? config_.stratify_by
+                                                        : std::string();
+  IDB_ASSIGN_OR_RETURN(
+      sample_, aqp::BuildStratifiedSample(fact, strat_column,
+                                          config_.sampling_rate,
+                                          config_.min_rows_per_stratum, rng()));
+  // Preparation = CSV ingest + offline sample construction + warm-up
+  // query over the sample (paper §5.2: 27 min at 500 M).
+  const double nominal = static_cast<double>(nominal_rows());
+  const double load_us = nominal * config_.load_ns_per_row / 1000.0;
+  const double build_us =
+      nominal *
+      (config_.sample_build_scan_ns_per_row +
+       config_.sampling_rate * config_.sample_build_write_ns_per_sample) /
+      1000.0;
+  const double warmup_us = nominal * config_.sampling_rate *
+                           config_.sample_scan_ns_per_row / 1000.0;
+  return static_cast<Micros>(load_us + build_us + warmup_us);
+}
+
+Result<QueryHandle> StratifiedEngine::Submit(const query::QuerySpec& spec) {
+  if (!attached()) return Status::Invalid("engine not prepared");
+  IDB_ASSIGN_OR_RETURN(std::vector<std::string> dims, RequiredJoins(spec));
+  if (!dims.empty()) {
+    return Status::NotImplemented("stratified engine does not support joins");
+  }
+
+  auto rq = std::make_unique<RunningQuery>();
+  rq->spec = spec;
+  IDB_ASSIGN_OR_RETURN(exec::BoundQuery bound,
+                       BindQuery(rq->spec, /*lazy=*/true));
+  rq->bound = std::make_unique<exec::BoundQuery>(std::move(bound));
+  rq->aggregator = std::make_unique<exec::BinnedAggregator>(rq->bound.get());
+
+  const double mult = ComplexityMultiplier(rq->spec, 0, config_.factors);
+  // Scanning the whole sample costs rate * nominal * ns; spread evenly
+  // over the actual sample rows.
+  const double total_us = static_cast<double>(nominal_rows()) *
+                          config_.sampling_rate *
+                          config_.sample_scan_ns_per_row * mult / 1000.0;
+  rq->row_cost_us =
+      sample_.size() > 0 ? total_us / static_cast<double>(sample_.size()) : 0.0;
+  rq->overhead_remaining = static_cast<Micros>(config_.query_overhead_us);
+
+  const QueryHandle handle = NextHandle();
+  queries_.emplace(handle, std::move(rq));
+  return handle;
+}
+
+Micros StratifiedEngine::RunFor(QueryHandle handle, Micros budget) {
+  auto it = queries_.find(handle);
+  if (it == queries_.end() || budget <= 0) return 0;
+  RunningQuery& rq = *it->second;
+  if (rq.done) return 0;
+
+  Micros consumed = 0;
+  const Micros overhead = std::min(budget, rq.overhead_remaining);
+  rq.overhead_remaining -= overhead;
+  consumed += overhead;
+  if (rq.overhead_remaining > 0) return consumed;
+
+  rq.credit_us += static_cast<double>(budget - consumed);
+  const int64_t affordable =
+      rq.row_cost_us > 0.0
+          ? static_cast<int64_t>(rq.credit_us / rq.row_cost_us)
+          : sample_.size();
+  const int64_t remaining = sample_.size() - rq.cursor;
+  const int64_t todo = std::min(affordable, remaining);
+  if (todo > 0) {
+    for (int64_t i = 0; i < todo; ++i) {
+      const size_t pos = static_cast<size_t>(rq.cursor + i);
+      rq.aggregator->ProcessRowWeighted(sample_.rows[pos],
+                                        sample_.weights[pos]);
+    }
+    rq.cursor += todo;
+    const double spent = static_cast<double>(todo) * rq.row_cost_us;
+    rq.credit_us -= spent;
+    consumed += static_cast<Micros>(std::llround(spent));
+  }
+  if (rq.cursor >= sample_.size()) {
+    rq.done = true;
+    rq.credit_us = 0.0;
+  }
+  // Leftover sub-row budget is banked in credit_us, so the whole slice
+  // counts as consumed while the query is still running.
+  if (!rq.done) return budget;
+  return std::min(consumed, budget);
+}
+
+bool StratifiedEngine::IsDone(QueryHandle handle) const {
+  auto it = queries_.find(handle);
+  return it != queries_.end() && it->second->done;
+}
+
+Result<query::QueryResult> StratifiedEngine::PollResult(QueryHandle handle) {
+  auto it = queries_.find(handle);
+  if (it == queries_.end()) return Status::KeyError("unknown query handle");
+  const RunningQuery& rq = *it->second;
+  if (!rq.done) {
+    // The sample scan is blocking: no intermediate results.
+    query::QueryResult pending;
+    pending.available = false;
+    return pending;
+  }
+  query::QueryResult result =
+      rq.aggregator->EstimateFromWeightedSample(z_score());
+  result.available = true;
+  // Progress in nominal terms: the whole sample covers `sampling_rate` of
+  // the data.
+  result.progress = config_.sampling_rate;
+  return result;
+}
+
+void StratifiedEngine::Cancel(QueryHandle handle) { queries_.erase(handle); }
+
+}  // namespace idebench::engines

@@ -1,0 +1,219 @@
+#include "exec/aggregator.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace idebench::exec {
+
+using query::AggregateType;
+using query::BinResult;
+using query::QueryResult;
+
+BinnedAggregator::BinnedAggregator(const BoundQuery* query) : query_(query) {}
+
+void BinnedAggregator::ProcessRowWeighted(int64_t row, double weight) {
+  ++rows_seen_;
+  if (!query_->MatchesFilter(row)) return;
+  const int64_t key = query_->BinKey(row);
+  if (key < 0) return;
+  ++rows_matched_;
+
+  auto it = bins_.find(key);
+  if (it == bins_.end()) {
+    it = bins_.emplace(key, std::vector<AggAccum>(
+                                query_->spec().aggregates.size()))
+             .first;
+  }
+  std::vector<AggAccum>& accums = it->second;
+  for (size_t a = 0; a < accums.size(); ++a) {
+    const double v = query_->AggValueAt(a, row);
+    if (std::isnan(v)) continue;
+    AggAccum& acc = accums[a];
+    ++acc.n;
+    acc.sum += v;
+    acc.sumsq += v * v;
+    acc.wsum += weight;
+    acc.wvar += weight * (weight - 1.0);
+    acc.wvsum += weight * v;
+    acc.wvsumsq += weight * (weight - 1.0) * v * v;
+    acc.min = std::min(acc.min, v);
+    acc.max = std::max(acc.max, v);
+  }
+}
+
+void BinnedAggregator::ProcessRange(int64_t begin, int64_t end) {
+  for (int64_t row = begin; row < end; ++row) ProcessRow(row);
+}
+
+void BinnedAggregator::Reset() {
+  bins_.clear();
+  rows_seen_ = 0;
+  rows_matched_ = 0;
+}
+
+namespace {
+
+/// Sample standard deviation from n / sum / sumsq; 0 when n < 2.
+double SampleStddev(int64_t n, double sum, double sumsq) {
+  if (n < 2) return 0.0;
+  const double dn = static_cast<double>(n);
+  const double var = (sumsq - sum * sum / dn) / (dn - 1.0);
+  return var > 0.0 ? std::sqrt(var) : 0.0;
+}
+
+}  // namespace
+
+QueryResult BinnedAggregator::ExactResult() const {
+  QueryResult result;
+  result.exact = true;
+  result.progress = 1.0;
+  result.rows_processed = rows_seen_;
+  const auto& aggs = query_->spec().aggregates;
+  for (const auto& [key, accums] : bins_) {
+    BinResult bin;
+    bin.values.resize(aggs.size());
+    for (size_t a = 0; a < aggs.size(); ++a) {
+      const AggAccum& acc = accums[a];
+      query::AggValue& out = bin.values[a];
+      out.margin = 0.0;
+      switch (aggs[a].type) {
+        case AggregateType::kCount:
+          out.estimate = static_cast<double>(acc.n);
+          break;
+        case AggregateType::kSum:
+          out.estimate = acc.sum;
+          break;
+        case AggregateType::kAvg:
+          out.estimate = acc.n > 0 ? acc.sum / static_cast<double>(acc.n) : 0.0;
+          break;
+        case AggregateType::kMin:
+          out.estimate = acc.n > 0 ? acc.min : 0.0;
+          break;
+        case AggregateType::kMax:
+          out.estimate = acc.n > 0 ? acc.max : 0.0;
+          break;
+      }
+    }
+    if (!bin.values.empty()) result.bins.emplace(key, std::move(bin));
+  }
+  return result;
+}
+
+QueryResult BinnedAggregator::EstimateFromUniformSample(int64_t population,
+                                                        double z) const {
+  QueryResult result;
+  result.exact = false;
+  result.rows_processed = rows_seen_;
+  const double s = static_cast<double>(rows_seen_);
+  const double pop = static_cast<double>(std::max<int64_t>(population, 1));
+  result.progress = std::min(1.0, s / pop);
+  if (rows_seen_ <= 0) return result;
+
+  const double scale = pop / s;
+  // Finite-population correction: when the sample approaches the
+  // population, scale-up variance vanishes.
+  const double fpc = std::max(0.0, 1.0 - s / pop);
+  const bool complete = rows_seen_ >= population;
+  result.exact = complete;
+
+  const auto& aggs = query_->spec().aggregates;
+  for (const auto& [key, accums] : bins_) {
+    BinResult bin;
+    bin.values.resize(aggs.size());
+    for (size_t a = 0; a < aggs.size(); ++a) {
+      const AggAccum& acc = accums[a];
+      query::AggValue& out = bin.values[a];
+      switch (aggs[a].type) {
+        case AggregateType::kCount: {
+          // y_i = 1{row in bin}; est = N * mean(y).
+          const double mean_y = static_cast<double>(acc.n) / s;
+          out.estimate = complete ? static_cast<double>(acc.n)
+                                  : scale * static_cast<double>(acc.n);
+          const double var_y = mean_y * (1.0 - mean_y);
+          out.margin =
+              complete ? 0.0 : z * pop * std::sqrt(var_y * fpc / s);
+          break;
+        }
+        case AggregateType::kSum: {
+          // y_i = v_i * 1{row in bin}; est = N * mean(y).
+          const double mean_y = acc.sum / s;
+          out.estimate = complete ? acc.sum : scale * acc.sum;
+          const double var_y = std::max(0.0, acc.sumsq / s - mean_y * mean_y);
+          out.margin = complete ? 0.0 : z * pop * std::sqrt(var_y * fpc / s);
+          break;
+        }
+        case AggregateType::kAvg: {
+          const double n = static_cast<double>(acc.n);
+          out.estimate = acc.n > 0 ? acc.sum / n : 0.0;
+          const double sd = SampleStddev(acc.n, acc.sum, acc.sumsq);
+          out.margin =
+              complete || acc.n == 0 ? 0.0 : z * sd * std::sqrt(fpc) / std::sqrt(n);
+          break;
+        }
+        case AggregateType::kMin:
+          out.estimate = acc.n > 0 ? acc.min : 0.0;
+          out.margin = 0.0;  // no distribution-free CI for extremes
+          break;
+        case AggregateType::kMax:
+          out.estimate = acc.n > 0 ? acc.max : 0.0;
+          out.margin = 0.0;
+          break;
+      }
+    }
+    if (!bin.values.empty()) result.bins.emplace(key, std::move(bin));
+  }
+  return result;
+}
+
+QueryResult BinnedAggregator::EstimateFromWeightedSample(double z) const {
+  QueryResult result;
+  result.exact = false;
+  result.rows_processed = rows_seen_;
+  // Progress is intentionally left at the sample coverage the caller
+  // reports; weighted samples are fixed-size, so "progress" is 1 once the
+  // sample is fully scanned.  The engine overrides this field.
+  result.progress = 1.0;
+
+  const auto& aggs = query_->spec().aggregates;
+  for (const auto& [key, accums] : bins_) {
+    BinResult bin;
+    bin.values.resize(aggs.size());
+    for (size_t a = 0; a < aggs.size(); ++a) {
+      const AggAccum& acc = accums[a];
+      query::AggValue& out = bin.values[a];
+      switch (aggs[a].type) {
+        case AggregateType::kCount:
+          // Horvitz–Thompson: est = sum of weights; Poisson-approximation
+          // variance sum w_i (w_i - 1).
+          out.estimate = acc.wsum;
+          out.margin = z * std::sqrt(std::max(0.0, acc.wvar));
+          break;
+        case AggregateType::kSum:
+          out.estimate = acc.wvsum;
+          out.margin = z * std::sqrt(std::max(0.0, acc.wvsumsq));
+          break;
+        case AggregateType::kAvg: {
+          // Ratio estimator: weighted mean; CI from within-bin spread of
+          // the unweighted sample (Hájek-style approximation).
+          out.estimate = acc.wsum > 0 ? acc.wvsum / acc.wsum : 0.0;
+          const double sd = SampleStddev(acc.n, acc.sum, acc.sumsq);
+          out.margin =
+              acc.n > 0 ? z * sd / std::sqrt(static_cast<double>(acc.n)) : 0.0;
+          break;
+        }
+        case AggregateType::kMin:
+          out.estimate = acc.n > 0 ? acc.min : 0.0;
+          out.margin = 0.0;
+          break;
+        case AggregateType::kMax:
+          out.estimate = acc.n > 0 ? acc.max : 0.0;
+          out.margin = 0.0;
+          break;
+      }
+    }
+    if (!bin.values.empty()) result.bins.emplace(key, std::move(bin));
+  }
+  return result;
+}
+
+}  // namespace idebench::exec

@@ -1,0 +1,90 @@
+#ifndef IDEBENCH_EXEC_AGGREGATOR_H_
+#define IDEBENCH_EXEC_AGGREGATOR_H_
+
+/// \file aggregator.h
+/// Incremental binned aggregation with exact and approximate snapshots.
+///
+/// All engines funnel rows through a `BinnedAggregator`; what differs is
+/// *which* rows they feed (full scan, growing uniform sample, weighted
+/// stratified sample) and which snapshot they take:
+///
+///  * `ExactResult()` — the blocking engine after a complete scan.
+///  * `EstimateFromUniformSample()` — progressive/online engines that have
+///    processed a uniform sample of `rows_seen()` rows out of a population;
+///    estimates are Horvitz–Thompson scale-ups with CLT confidence
+///    intervals and a finite-population correction.
+///  * `EstimateFromWeightedSample()` — the offline stratified engine,
+///    where each row carries its stratum weight N_s/n_s; variances use a
+///    Poisson-sampling approximation (see DESIGN.md).
+
+#include <cstdint>
+#include <limits>
+#include <unordered_map>
+#include <vector>
+
+#include "exec/bound_query.h"
+#include "query/result.h"
+
+namespace idebench::exec {
+
+/// Per-(bin, aggregate) running sums.
+struct AggAccum {
+  int64_t n = 0;          // matched rows
+  double sum = 0.0;       // sum of input values (weighted when weights used)
+  double sumsq = 0.0;     // sum of squared inputs (unweighted)
+  double wsum = 0.0;      // sum of weights
+  double wvar = 0.0;      // sum of w*(w-1) — Poisson variance term
+  double wvsum = 0.0;     // sum of w*v
+  double wvsumsq = 0.0;   // sum of w*(w-1)*v^2
+  double min = std::numeric_limits<double>::infinity();
+  double max = -std::numeric_limits<double>::infinity();
+};
+
+/// Streaming group-by aggregation for one bound query.
+class BinnedAggregator {
+ public:
+  explicit BinnedAggregator(const BoundQuery* query);
+
+  /// Feeds fact row `row` with weight 1.
+  void ProcessRow(int64_t row) { ProcessRowWeighted(row, 1.0); }
+
+  /// Feeds fact row `row` with inverse-inclusion-probability `weight`.
+  void ProcessRowWeighted(int64_t row, double weight);
+
+  /// Feeds the half-open fact-row range [begin, end) with weight 1.
+  void ProcessRange(int64_t begin, int64_t end);
+
+  /// Rows fed so far (matched or not).
+  int64_t rows_seen() const { return rows_seen_; }
+
+  /// Rows that passed the filter so far.
+  int64_t rows_matched() const { return rows_matched_; }
+
+  /// Exact answer (weight-1 complete scan).
+  query::QueryResult ExactResult() const;
+
+  /// Scale-up estimate assuming the fed rows are a uniform sample of
+  /// `population` rows.  `z` is the normal quantile of the confidence
+  /// level (1.96 for 95 %).  Margins include a finite-population
+  /// correction so they shrink to zero as the sample approaches the
+  /// population.
+  query::QueryResult EstimateFromUniformSample(int64_t population,
+                                               double z) const;
+
+  /// Estimate from weighted rows (stratified/offline sampling); weights
+  /// were supplied per row via `ProcessRowWeighted`.
+  query::QueryResult EstimateFromWeightedSample(double z) const;
+
+  /// Drops all accumulated state.
+  void Reset();
+
+ private:
+  const BoundQuery* query_;
+  std::unordered_map<int64_t, std::vector<AggAccum>> bins_;
+  int64_t rows_seen_ = 0;
+  int64_t rows_matched_ = 0;
+};
+
+}  // namespace idebench::exec
+
+#endif  // IDEBENCH_EXEC_AGGREGATOR_H_

@@ -1,0 +1,125 @@
+#include "exec/bound_query.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace idebench::exec {
+namespace {
+
+/// Finds the table owning `column` and, when it is a dimension, the join
+/// index to reach it.
+Result<ColumnBinding> ResolveColumn(
+    const std::string& column, const storage::Catalog& catalog,
+    const std::vector<const JoinIndex*>& joins) {
+  const storage::Table* fact = catalog.fact_table();
+  if (fact == nullptr) return Status::Invalid("catalog has no fact table");
+  if (const storage::Column* col = fact->ColumnByName(column)) {
+    return ColumnBinding{col, nullptr};
+  }
+  for (const auto& table : catalog.tables()) {
+    if (table.get() == fact) continue;
+    const storage::Column* col = table->ColumnByName(column);
+    if (col == nullptr) continue;
+    for (const JoinIndex* join : joins) {
+      if (join != nullptr && join->dimension_table() == table->name()) {
+        return ColumnBinding{col, join};
+      }
+    }
+    return Status::Invalid("column '" + column + "' lives in dimension '" +
+                           table->name() + "' but no join index was provided");
+  }
+  return Status::KeyError("column '" + column + "' not found in catalog");
+}
+
+}  // namespace
+
+Result<std::vector<std::string>> BoundQuery::RequiredJoins(
+    const query::QuerySpec& spec, const storage::Catalog& catalog) {
+  std::vector<std::string> dims;
+  const storage::Table* fact = catalog.fact_table();
+  if (fact == nullptr) return Status::Invalid("catalog has no fact table");
+  auto consider = [&](const std::string& column) -> Status {
+    if (fact->ColumnByName(column) != nullptr) return Status::OK();
+    for (const auto& table : catalog.tables()) {
+      if (table.get() == fact) continue;
+      if (table->ColumnByName(column) != nullptr) {
+        if (std::find(dims.begin(), dims.end(), table->name()) == dims.end()) {
+          dims.push_back(table->name());
+        }
+        return Status::OK();
+      }
+    }
+    return Status::KeyError("column '" + column + "' not found in catalog");
+  };
+  for (const auto& d : spec.bins) IDB_RETURN_NOT_OK(consider(d.column));
+  for (const auto& p : spec.filter.predicates()) {
+    IDB_RETURN_NOT_OK(consider(p.column));
+  }
+  for (const auto& a : spec.aggregates) {
+    if (!a.column.empty()) IDB_RETURN_NOT_OK(consider(a.column));
+  }
+  return dims;
+}
+
+Result<BoundQuery> BoundQuery::Bind(const query::QuerySpec& spec,
+                                    const storage::Catalog& catalog,
+                                    const std::vector<const JoinIndex*>& joins) {
+  BoundQuery bq;
+  bq.spec_ = &spec;
+  bq.fact_ = catalog.fact_table();
+  if (bq.fact_ == nullptr) return Status::Invalid("catalog has no fact table");
+
+  for (const query::BinDimension& d : spec.bins) {
+    if (!d.resolved) {
+      return Status::Invalid("bin dimension '" + d.column + "' not resolved");
+    }
+    IDB_ASSIGN_OR_RETURN(ColumnBinding b,
+                         ResolveColumn(d.column, catalog, joins));
+    bq.bin_bindings_.push_back(b);
+  }
+  for (const query::AggregateSpec& a : spec.aggregates) {
+    if (a.column.empty()) {
+      bq.agg_bindings_.push_back(ColumnBinding{});  // COUNT: no input
+    } else {
+      IDB_ASSIGN_OR_RETURN(ColumnBinding b,
+                           ResolveColumn(a.column, catalog, joins));
+      bq.agg_bindings_.push_back(b);
+    }
+  }
+  for (const expr::Predicate& p : spec.filter.predicates()) {
+    IDB_ASSIGN_OR_RETURN(ColumnBinding b,
+                         ResolveColumn(p.column, catalog, joins));
+    bq.filter_bindings_.push_back(b);
+  }
+  return bq;
+}
+
+bool BoundQuery::MatchesFilter(int64_t row) const {
+  const auto& predicates = spec_->filter.predicates();
+  for (size_t i = 0; i < predicates.size(); ++i) {
+    const double v = filter_bindings_[i].Value(row);
+    if (std::isnan(v)) return false;  // join miss -> inner join drops row
+    if (!predicates[i].Matches(v)) return false;
+  }
+  return true;
+}
+
+int64_t BoundQuery::BinKey(int64_t row) const {
+  const double v0 = bin_bindings_[0].Value(row);
+  if (std::isnan(v0)) return -1;
+  const int64_t i0 = spec_->bins[0].BinIndex(v0);
+  if (spec_->bins.size() == 1) return spec_->EncodeKey(i0, 0);
+  const double v1 = bin_bindings_[1].Value(row);
+  if (std::isnan(v1)) return -1;
+  const int64_t i1 = spec_->bins[1].BinIndex(v1);
+  return spec_->EncodeKey(i0, i1);
+}
+
+double BoundQuery::AggValueAt(size_t agg_index, int64_t row) const {
+  const ColumnBinding& b = agg_bindings_[agg_index];
+  if (b.column == nullptr) return 1.0;  // COUNT contributes 1 per row
+  return b.Value(row);
+}
+
+}  // namespace idebench::exec

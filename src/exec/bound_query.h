@@ -1,0 +1,81 @@
+#ifndef IDEBENCH_EXEC_BOUND_QUERY_H_
+#define IDEBENCH_EXEC_BOUND_QUERY_H_
+
+/// \file bound_query.h
+/// Binding of a `QuerySpec` to physical storage.
+///
+/// A bound query resolves every column the query touches (binning, filter,
+/// aggregate inputs) to a physical column, routing dimension-table columns
+/// through a `JoinIndex` when the catalog is normalized.  After binding,
+/// operators access all values through a uniform `(fact_row) -> double`
+/// interface regardless of schema layout.
+
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "exec/join_index.h"
+#include "query/spec.h"
+#include "storage/catalog.h"
+
+namespace idebench::exec {
+
+/// A resolved column access path: either a fact column (direct) or a
+/// dimension column reached through a join index.
+struct ColumnBinding {
+  const storage::Column* column = nullptr;
+  const JoinIndex* join = nullptr;  // nullptr for fact columns
+
+  /// Numeric-view value for fact row `row`; NaN when the join misses.
+  double Value(int64_t row) const {
+    if (join == nullptr) return column->ValueAsDouble(row);
+    const int64_t dim_row = join->DimRow(row);
+    if (dim_row < 0) return std::numeric_limits<double>::quiet_NaN();
+    return column->ValueAsDouble(dim_row);
+  }
+};
+
+/// A fully resolved, executable query over one catalog.
+class BoundQuery {
+ public:
+  /// Binds `spec` to `catalog`.  The spec's bin dimensions must already be
+  /// resolved.  Join indexes for any referenced dimension tables must be
+  /// provided via `joins` (keyed by dimension table name); they can be
+  /// shared across queries.
+  static Result<BoundQuery> Bind(
+      const query::QuerySpec& spec, const storage::Catalog& catalog,
+      const std::vector<const JoinIndex*>& joins = {});
+
+  const query::QuerySpec& spec() const { return *spec_; }
+  const storage::Table& fact() const { return *fact_; }
+
+  /// Number of fact rows.
+  int64_t num_rows() const { return fact_->num_rows(); }
+
+  /// True when all of row's filter predicates pass.
+  bool MatchesFilter(int64_t row) const;
+
+  /// Bin key for `row`, or -1 when out of range / join miss.
+  int64_t BinKey(int64_t row) const;
+
+  /// Aggregate input value of aggregate `agg_index` at `row` (0 for COUNT).
+  double AggValueAt(size_t agg_index, int64_t row) const;
+
+  /// Dimension tables this query needs joins for (empty when the catalog
+  /// is de-normalized or all columns live in the fact table).
+  static Result<std::vector<std::string>> RequiredJoins(
+      const query::QuerySpec& spec, const storage::Catalog& catalog);
+
+ private:
+  const query::QuerySpec* spec_ = nullptr;
+  const storage::Table* fact_ = nullptr;
+  std::vector<ColumnBinding> bin_bindings_;
+  std::vector<ColumnBinding> agg_bindings_;    // parallel to aggregates
+  std::vector<ColumnBinding> filter_bindings_; // parallel to predicates
+};
+
+}  // namespace idebench::exec
+
+#endif  // IDEBENCH_EXEC_BOUND_QUERY_H_

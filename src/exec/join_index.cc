@@ -1,0 +1,74 @@
+#include "exec/join_index.h"
+
+namespace idebench::exec {
+namespace {
+
+struct FkColumns {
+  const storage::Column* fk = nullptr;
+  const storage::Column* pk = nullptr;
+  const storage::Table* dim = nullptr;
+};
+
+Result<FkColumns> ResolveFk(const storage::Catalog& catalog,
+                            const storage::ForeignKey& fk) {
+  const storage::Table* fact = catalog.fact_table();
+  if (fact == nullptr) return Status::Invalid("catalog has no fact table");
+  const storage::Table* dim = catalog.GetTable(fk.dimension_table);
+  if (dim == nullptr) {
+    return Status::KeyError("no dimension table '" + fk.dimension_table + "'");
+  }
+  FkColumns out;
+  out.fk = fact->ColumnByName(fk.fact_column);
+  out.pk = dim->ColumnByName(fk.dimension_key);
+  out.dim = dim;
+  if (out.fk == nullptr || out.pk == nullptr) {
+    return Status::KeyError("foreign key columns not found for dimension '" +
+                            fk.dimension_table + "'");
+  }
+  return out;
+}
+
+std::unordered_map<double, int64_t> HashDimension(const FkColumns& cols) {
+  std::unordered_map<double, int64_t> pk_index;
+  const int64_t n = cols.dim->num_rows();
+  pk_index.reserve(static_cast<size_t>(n));
+  for (int64_t r = 0; r < n; ++r) {
+    pk_index.emplace(cols.pk->ValueAsDouble(r), r);
+  }
+  return pk_index;
+}
+
+}  // namespace
+
+Result<JoinIndex> JoinIndex::BuildMaterialized(const storage::Catalog& catalog,
+                                               const storage::ForeignKey& fk) {
+  IDB_ASSIGN_OR_RETURN(FkColumns cols, ResolveFk(catalog, fk));
+  const std::unordered_map<double, int64_t> pk_index = HashDimension(cols);
+
+  JoinIndex out;
+  out.dimension_table_ = fk.dimension_table;
+  const int64_t fact_rows = catalog.fact_table()->num_rows();
+  out.mapping_.resize(static_cast<size_t>(fact_rows), -1);
+  for (int64_t r = 0; r < fact_rows; ++r) {
+    auto it = pk_index.find(cols.fk->ValueAsDouble(r));
+    if (it != pk_index.end()) {
+      out.mapping_[static_cast<size_t>(r)] = it->second;
+    } else {
+      ++out.miss_count_;
+    }
+  }
+  return out;
+}
+
+Result<JoinIndex> JoinIndex::BuildLazy(const storage::Catalog& catalog,
+                                       const storage::ForeignKey& fk) {
+  IDB_ASSIGN_OR_RETURN(FkColumns cols, ResolveFk(catalog, fk));
+  JoinIndex out;
+  out.dimension_table_ = fk.dimension_table;
+  out.lazy_ = true;
+  out.fk_column_ = cols.fk;
+  out.pk_index_ = HashDimension(cols);
+  return out;
+}
+
+}  // namespace idebench::exec

@@ -1,0 +1,71 @@
+#ifndef IDEBENCH_EXEC_JOIN_INDEX_H_
+#define IDEBENCH_EXEC_JOIN_INDEX_H_
+
+/// \file join_index.h
+/// Foreign-key join support for star schemas.
+///
+/// A `JoinIndex` maps fact row numbers to dimension row numbers for one
+/// fact→dimension foreign key.  It supports two physical forms:
+///
+///  * **Materialized** — a dense fact-length array, built by hashing the
+///    dimension's primary key and probing once per fact row.  This is the
+///    moral equivalent of a radix hash join's build+probe (what a blocking
+///    column store runs); building it costs a full fact scan, which
+///    engines charge against their virtual-time budget.
+///  * **Lazy** — only the dimension-side hash is built (cheap: dimensions
+///    are small).  Each `DimRow` call probes the hash with the fact row's
+///    FK value.  This is the access path of wander-join-style online
+///    aggregation (XDB): per-sampled-tuple random walks, no fact scan.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/catalog.h"
+
+namespace idebench::exec {
+
+/// Fact-row -> dimension-row mapping for one foreign key.
+class JoinIndex {
+ public:
+  /// Builds the materialized (dense array) form.  Fact rows with no
+  /// dimension match map to -1 (inner-join semantics drop them).
+  static Result<JoinIndex> BuildMaterialized(const storage::Catalog& catalog,
+                                             const storage::ForeignKey& fk);
+
+  /// Builds the lazy (hash-probe) form; touches only the dimension table.
+  static Result<JoinIndex> BuildLazy(const storage::Catalog& catalog,
+                                     const storage::ForeignKey& fk);
+
+  /// Dimension row for `fact_row`, or -1.
+  int64_t DimRow(int64_t fact_row) const {
+    if (!lazy_) return mapping_[static_cast<size_t>(fact_row)];
+    auto it = pk_index_.find(fk_column_->ValueAsDouble(fact_row));
+    return it == pk_index_.end() ? -1 : it->second;
+  }
+
+  const std::string& dimension_table() const { return dimension_table_; }
+
+  /// True for the lazy (wander-join) form.
+  bool is_lazy() const { return lazy_; }
+
+  /// Materialized form: number of fact rows with no dimension match.
+  int64_t miss_count() const { return miss_count_; }
+
+ private:
+  std::string dimension_table_;
+  bool lazy_ = false;
+  // Materialized form.
+  std::vector<int64_t> mapping_;
+  int64_t miss_count_ = 0;
+  // Lazy form.
+  const storage::Column* fk_column_ = nullptr;
+  std::unordered_map<double, int64_t> pk_index_;
+};
+
+}  // namespace idebench::exec
+
+#endif  // IDEBENCH_EXEC_JOIN_INDEX_H_

@@ -1,0 +1,251 @@
+#include "expr/predicate.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace idebench::expr {
+
+const char* CompareOpName(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return "eq";
+    case CompareOp::kNeq:
+      return "neq";
+    case CompareOp::kLt:
+      return "lt";
+    case CompareOp::kLe:
+      return "le";
+    case CompareOp::kGt:
+      return "gt";
+    case CompareOp::kGe:
+      return "ge";
+    case CompareOp::kRange:
+      return "range";
+    case CompareOp::kIn:
+      return "in";
+  }
+  return "unknown";
+}
+
+Result<CompareOp> CompareOpFromName(const std::string& name) {
+  static const std::pair<const char*, CompareOp> kOps[] = {
+      {"eq", CompareOp::kEq},   {"neq", CompareOp::kNeq},
+      {"lt", CompareOp::kLt},   {"le", CompareOp::kLe},
+      {"gt", CompareOp::kGt},   {"ge", CompareOp::kGe},
+      {"range", CompareOp::kRange}, {"in", CompareOp::kIn},
+  };
+  for (const auto& [n, op] : kOps) {
+    if (name == n) return op;
+  }
+  return Status::Invalid("unknown compare op '" + name + "'");
+}
+
+bool Predicate::Matches(double v) const {
+  switch (op) {
+    case CompareOp::kEq:
+      return v == value;
+    case CompareOp::kNeq:
+      return v != value;
+    case CompareOp::kLt:
+      return v < value;
+    case CompareOp::kLe:
+      return v <= value;
+    case CompareOp::kGt:
+      return v > value;
+    case CompareOp::kGe:
+      return v >= value;
+    case CompareOp::kRange:
+      return v >= lo && v < hi;
+    case CompareOp::kIn:
+      return std::find(set_values.begin(), set_values.end(), v) !=
+             set_values.end();
+  }
+  return false;
+}
+
+namespace {
+
+/// Renders a numeric-view value as a SQL literal, decoding dictionary
+/// codes back to quoted strings when the column is nominal.
+std::string SqlLiteral(const storage::Table* table, const std::string& column,
+                       double v, const std::vector<std::string>& strings,
+                       size_t string_index) {
+  if (string_index < strings.size()) {
+    return "'" + strings[string_index] + "'";
+  }
+  if (table != nullptr) {
+    const storage::Column* col = table->ColumnByName(column);
+    if (col != nullptr && col->type() == storage::DataType::kString) {
+      const int64_t code = static_cast<int64_t>(v);
+      if (code >= 0 && code < col->dictionary().size()) {
+        return "'" + col->dictionary().At(code) + "'";
+      }
+    }
+  }
+  if (v == std::floor(v) && std::fabs(v) < 1e15) {
+    return std::to_string(static_cast<long long>(v));
+  }
+  return FormatDouble(v, 6);
+}
+
+const char* SqlOp(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return "=";
+    case CompareOp::kNeq:
+      return "<>";
+    case CompareOp::kLt:
+      return "<";
+    case CompareOp::kLe:
+      return "<=";
+    case CompareOp::kGt:
+      return ">";
+    case CompareOp::kGe:
+      return ">=";
+    default:
+      return "?";
+  }
+}
+
+}  // namespace
+
+std::string Predicate::ToSql(const storage::Table* table) const {
+  switch (op) {
+    case CompareOp::kRange:
+      return "(" + column + " >= " +
+             SqlLiteral(table, column, lo, {}, 1) + " AND " + column + " < " +
+             SqlLiteral(table, column, hi, {}, 1) + ")";
+    case CompareOp::kIn: {
+      std::vector<std::string> lits;
+      lits.reserve(set_values.size());
+      for (size_t i = 0; i < set_values.size(); ++i) {
+        lits.push_back(
+            SqlLiteral(table, column, set_values[i], string_values, i));
+      }
+      return column + " IN (" + Join(lits, ", ") + ")";
+    }
+    default:
+      return column + " " + SqlOp(op) + " " +
+             SqlLiteral(table, column, value, string_values, 0);
+  }
+}
+
+JsonValue Predicate::ToJson() const {
+  JsonValue j = JsonValue::Object();
+  j.Set("column", column);
+  j.Set("op", CompareOpName(op));
+  switch (op) {
+    case CompareOp::kRange:
+      j.Set("lo", lo);
+      j.Set("hi", hi);
+      break;
+    case CompareOp::kIn: {
+      JsonValue arr = JsonValue::Array();
+      for (double v : set_values) arr.Append(v);
+      j.Set("values", std::move(arr));
+      if (!string_values.empty()) {
+        JsonValue sarr = JsonValue::Array();
+        for (const auto& s : string_values) sarr.Append(s);
+        j.Set("labels", std::move(sarr));
+      }
+      break;
+    }
+    default:
+      j.Set("value", value);
+      if (!string_values.empty()) j.Set("label", string_values[0]);
+  }
+  return j;
+}
+
+Result<Predicate> Predicate::FromJson(const JsonValue& j) {
+  if (!j.is_object()) return Status::Invalid("predicate must be an object");
+  Predicate p;
+  p.column = j.GetString("column", "");
+  if (p.column.empty()) return Status::Invalid("predicate missing 'column'");
+  IDB_ASSIGN_OR_RETURN(p.op, CompareOpFromName(j.GetString("op", "eq")));
+  switch (p.op) {
+    case CompareOp::kRange:
+      p.lo = j.GetDouble("lo", 0.0);
+      p.hi = j.GetDouble("hi", 0.0);
+      break;
+    case CompareOp::kIn: {
+      const JsonValue& arr = j.Get("values");
+      for (size_t i = 0; i < arr.size(); ++i) {
+        p.set_values.push_back(arr.at(i).AsDouble());
+      }
+      const JsonValue& labels = j.Get("labels");
+      for (size_t i = 0; i < labels.size(); ++i) {
+        p.string_values.push_back(labels.at(i).AsString());
+      }
+      break;
+    }
+    default:
+      p.value = j.GetDouble("value", 0.0);
+      if (j.Has("label")) p.string_values.push_back(j.GetString("label", ""));
+  }
+  return p;
+}
+
+bool Predicate::operator==(const Predicate& other) const {
+  return column == other.column && op == other.op && value == other.value &&
+         lo == other.lo && hi == other.hi && set_values == other.set_values &&
+         string_values == other.string_values;
+}
+
+void FilterExpr::ReplaceOn(Predicate p) {
+  RemoveOn(p.column);
+  predicates_.push_back(std::move(p));
+}
+
+void FilterExpr::RemoveOn(const std::string& column) {
+  predicates_.erase(
+      std::remove_if(predicates_.begin(), predicates_.end(),
+                     [&](const Predicate& p) { return p.column == column; }),
+      predicates_.end());
+}
+
+std::vector<std::string> FilterExpr::Columns() const {
+  std::vector<std::string> cols;
+  for (const Predicate& p : predicates_) {
+    if (std::find(cols.begin(), cols.end(), p.column) == cols.end()) {
+      cols.push_back(p.column);
+    }
+  }
+  return cols;
+}
+
+bool FilterExpr::Matches(const storage::Table& table, int64_t row) const {
+  for (const Predicate& p : predicates_) {
+    const storage::Column* col = table.ColumnByName(p.column);
+    if (col == nullptr) return false;
+    if (!p.Matches(col->ValueAsDouble(row))) return false;
+  }
+  return true;
+}
+
+std::string FilterExpr::ToSql(const storage::Table* table) const {
+  std::vector<std::string> parts;
+  parts.reserve(predicates_.size());
+  for (const Predicate& p : predicates_) parts.push_back(p.ToSql(table));
+  return Join(parts, " AND ");
+}
+
+JsonValue FilterExpr::ToJson() const {
+  JsonValue arr = JsonValue::Array();
+  for (const Predicate& p : predicates_) arr.Append(p.ToJson());
+  return arr;
+}
+
+Result<FilterExpr> FilterExpr::FromJson(const JsonValue& j) {
+  if (!j.is_array()) return Status::Invalid("filter must be an array");
+  FilterExpr f;
+  for (size_t i = 0; i < j.size(); ++i) {
+    IDB_ASSIGN_OR_RETURN(Predicate p, Predicate::FromJson(j.at(i)));
+    f.And(std::move(p));
+  }
+  return f;
+}
+
+}  // namespace idebench::expr

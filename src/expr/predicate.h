@@ -1,0 +1,115 @@
+#ifndef IDEBENCH_EXPR_PREDICATE_H_
+#define IDEBENCH_EXPR_PREDICATE_H_
+
+/// \file predicate.h
+/// Filter predicates over single columns, and conjunctions thereof.
+///
+/// IDE frontends build *conjunctive* filters incrementally: brushing a
+/// histogram adds a range predicate, clicking a bar adds an equality or
+/// set predicate (paper §2.2).  A `FilterExpr` is therefore a conjunction
+/// of per-column `Predicate`s; that is exactly the class of WHERE clauses
+/// IDEBench generates (Figure 4).
+
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "common/result.h"
+#include "storage/table.h"
+
+namespace idebench::expr {
+
+/// Comparison operator of a single predicate.
+enum class CompareOp : uint8_t {
+  kEq = 0,        // column == value           (nominal or quantitative)
+  kNeq = 1,       // column != value
+  kLt = 2,        // column <  value
+  kLe = 3,        // column <= value
+  kGt = 4,        // column >  value
+  kGe = 5,        // column >= value
+  kRange = 6,     // lo <= column < hi          (brushed quantitative range)
+  kIn = 7,        // column IN (set)            (multi-selected nominal bins)
+};
+
+/// Returns the benchmark's stable name of `op` ("eq", "range", ...).
+const char* CompareOpName(CompareOp op);
+
+/// Parses the stable name back to an operator.
+Result<CompareOp> CompareOpFromName(const std::string& name);
+
+/// A predicate over one column.  Values are expressed in the column's
+/// numeric view (dictionary codes for strings); `string_values` carries the
+/// human-readable literals for SQL rendering of nominal predicates.
+struct Predicate {
+  std::string column;
+  CompareOp op = CompareOp::kEq;
+  double value = 0.0;   // kEq..kGe
+  double lo = 0.0;      // kRange
+  double hi = 0.0;      // kRange (exclusive)
+  std::vector<double> set_values;            // kIn (numeric view)
+  std::vector<std::string> string_values;    // kIn / kEq on nominal columns
+
+  /// True when the numeric-view value `v` satisfies the predicate.
+  bool Matches(double v) const;
+
+  /// Renders the predicate as a SQL boolean expression.  `table` (optional)
+  /// is used to decode dictionary codes into string literals.
+  std::string ToSql(const storage::Table* table) const;
+
+  /// JSON round-trip (workflow specification format).
+  JsonValue ToJson() const;
+  static Result<Predicate> FromJson(const JsonValue& j);
+
+  bool operator==(const Predicate& other) const;
+};
+
+/// A conjunction of predicates, possibly over columns of several tables
+/// (the driver resolves tables at execution time).
+class FilterExpr {
+ public:
+  FilterExpr() = default;
+  explicit FilterExpr(std::vector<Predicate> predicates)
+      : predicates_(std::move(predicates)) {}
+
+  /// True when no predicates are present (matches everything).
+  bool empty() const { return predicates_.empty(); }
+
+  /// Number of predicates.
+  size_t size() const { return predicates_.size(); }
+
+  const std::vector<Predicate>& predicates() const { return predicates_; }
+
+  /// Adds a conjunct.
+  void And(Predicate p) { predicates_.push_back(std::move(p)); }
+
+  /// Replaces any existing predicate(s) on `p.column` with `p` — the
+  /// "refine filter" interaction in IDE frontends.
+  void ReplaceOn(Predicate p);
+
+  /// Removes all predicates on `column`.
+  void RemoveOn(const std::string& column);
+
+  /// Columns referenced by this filter (deduplicated, in first-use order).
+  std::vector<std::string> Columns() const;
+
+  /// Row test against a single table that must own all referenced columns.
+  bool Matches(const storage::Table& table, int64_t row) const;
+
+  /// Renders "a >= 1 AND a < 5 AND c = 'AA'"; empty string when empty.
+  std::string ToSql(const storage::Table* table) const;
+
+  /// JSON round-trip.
+  JsonValue ToJson() const;
+  static Result<FilterExpr> FromJson(const JsonValue& j);
+
+  bool operator==(const FilterExpr& other) const {
+    return predicates_ == other.predicates_;
+  }
+
+ private:
+  std::vector<Predicate> predicates_;
+};
+
+}  // namespace idebench::expr
+
+#endif  // IDEBENCH_EXPR_PREDICATE_H_

@@ -1,0 +1,124 @@
+#include "metrics/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace idebench::metrics {
+
+QueryMetrics Evaluate(const query::QueryResult& result,
+                      const query::QueryResult& ground_truth,
+                      bool tr_violated) {
+  QueryMetrics m;
+  m.tr_violated = tr_violated || !result.available;
+  m.bins_in_gt = static_cast<int64_t>(ground_truth.bins.size());
+
+  // Delivered bins that exist in the ground truth.  (With shared bin
+  // resolution a delivered bin absent from the ground truth cannot occur
+  // for exact filters; it is counted as delivered but contributes no
+  // error pair.)
+  int64_t delivered_in_gt = 0;
+  std::vector<double> rel_errors;
+  std::vector<double> smapes;
+  std::vector<double> rel_margins;
+  double sum_est = 0.0;
+  double sum_true = 0.0;
+  double dot = 0.0;
+  double norm_est = 0.0;
+  double norm_true = 0.0;
+
+  if (result.available) {
+    m.bins_delivered = static_cast<int64_t>(result.bins.size());
+    for (const auto& [key, bin] : result.bins) {
+      auto gt_it = ground_truth.bins.find(key);
+      if (gt_it == ground_truth.bins.end()) continue;
+      ++delivered_in_gt;
+      const size_t n_aggs =
+          std::min(bin.values.size(), gt_it->second.values.size());
+      for (size_t a = 0; a < n_aggs; ++a) {
+        const double f = bin.values[a].estimate;
+        const double truth = gt_it->second.values[a].estimate;
+        const double margin = bin.values[a].margin;
+
+        if (truth != 0.0) {
+          rel_errors.push_back(std::fabs(f - truth) / std::fabs(truth));
+        }
+        const double denom = std::fabs(f) + std::fabs(truth);
+        smapes.push_back(denom > 0.0 ? std::fabs(f - truth) / denom : 0.0);
+        if (f != 0.0) {
+          rel_margins.push_back(std::fabs(margin / f));
+        }
+        // The tolerance absorbs floating-point summation-order noise
+        // between the engine's accumulation order and the oracle's.
+        const double tolerance =
+            1e-9 * std::max({std::fabs(f), std::fabs(truth), 1.0});
+        if (std::fabs(f - truth) > margin + tolerance) {
+          ++m.bins_out_of_margin;
+        }
+
+        sum_est += f;
+        sum_true += truth;
+      }
+    }
+
+    // Cosine distance over the union of bins (first aggregate), with
+    // missing entries as zeros.
+    for (const auto& [key, gt_bin] : ground_truth.bins) {
+      const double truth =
+          gt_bin.values.empty() ? 0.0 : gt_bin.values[0].estimate;
+      double f = 0.0;
+      auto it = result.bins.find(key);
+      if (it != result.bins.end() && !it->second.values.empty()) {
+        f = it->second.values[0].estimate;
+      }
+      dot += f * truth;
+      norm_est += f * f;
+      norm_true += truth * truth;
+    }
+    // Delivered bins outside the ground truth extend the vectors with
+    // (f, 0) pairs: they increase |F| without adding to the dot product.
+    for (const auto& [key, bin] : result.bins) {
+      if (ground_truth.bins.count(key) != 0 || bin.values.empty()) continue;
+      norm_est += bin.values[0].estimate * bin.values[0].estimate;
+    }
+  }
+
+  m.missing_bins =
+      m.bins_in_gt > 0
+          ? 1.0 - static_cast<double>(delivered_in_gt) /
+                      static_cast<double>(m.bins_in_gt)
+          : 0.0;
+
+  auto mean_of = [](const std::vector<double>& v) {
+    if (v.empty()) return 0.0;
+    double s = 0.0;
+    for (double x : v) s += x;
+    return s / static_cast<double>(v.size());
+  };
+  auto stdev_of = [&](const std::vector<double>& v, double mean) {
+    if (v.size() < 2) return 0.0;
+    double ss = 0.0;
+    for (double x : v) ss += (x - mean) * (x - mean);
+    return std::sqrt(ss / static_cast<double>(v.size() - 1));
+  };
+
+  m.mean_rel_error = mean_of(rel_errors);
+  m.rel_error_stdev = stdev_of(rel_errors, m.mean_rel_error);
+  m.smape = mean_of(smapes);
+  m.mean_margin_rel = mean_of(rel_margins);
+  m.margin_stdev = stdev_of(rel_margins, m.mean_margin_rel);
+
+  if (norm_est > 0.0 && norm_true > 0.0) {
+    double cosine = dot / (std::sqrt(norm_est) * std::sqrt(norm_true));
+    cosine = std::clamp(cosine, -1.0, 1.0);
+    m.cosine_distance = 1.0 - cosine;
+  } else if (m.bins_in_gt > 0) {
+    // Nothing delivered against a non-empty truth: maximal distance.
+    m.cosine_distance = 1.0;
+  }
+
+  m.bias = sum_true != 0.0 ? sum_est / sum_true : 1.0;
+  return m;
+}
+
+}  // namespace idebench::metrics

@@ -1,0 +1,61 @@
+#include "query/aggregate.h"
+
+#include "common/string_util.h"
+
+namespace idebench::query {
+
+const char* AggregateTypeName(AggregateType type) {
+  switch (type) {
+    case AggregateType::kCount:
+      return "count";
+    case AggregateType::kSum:
+      return "sum";
+    case AggregateType::kAvg:
+      return "avg";
+    case AggregateType::kMin:
+      return "min";
+    case AggregateType::kMax:
+      return "max";
+  }
+  return "unknown";
+}
+
+Result<AggregateType> AggregateTypeFromName(const std::string& name) {
+  const std::string lower = ToLower(name);
+  if (lower == "count") return AggregateType::kCount;
+  if (lower == "sum") return AggregateType::kSum;
+  if (lower == "avg") return AggregateType::kAvg;
+  if (lower == "min") return AggregateType::kMin;
+  if (lower == "max") return AggregateType::kMax;
+  return Status::Invalid("unknown aggregate '" + name + "'");
+}
+
+std::string AggregateSpec::ToSql() const {
+  std::string fn = AggregateTypeName(type);
+  for (char& c : fn) c = static_cast<char>(std::toupper(c));
+  if (type == AggregateType::kCount) return fn + "(*)";
+  return fn + "(" + column + ")";
+}
+
+JsonValue AggregateSpec::ToJson() const {
+  JsonValue j = JsonValue::Object();
+  j.Set("type", AggregateTypeName(type));
+  if (!column.empty()) j.Set("column", column);
+  return j;
+}
+
+Result<AggregateSpec> AggregateSpec::FromJson(const JsonValue& j) {
+  if (!j.is_object()) return Status::Invalid("aggregate must be an object");
+  AggregateSpec spec;
+  IDB_ASSIGN_OR_RETURN(spec.type,
+                       AggregateTypeFromName(j.GetString("type", "count")));
+  spec.column = j.GetString("column", "");
+  if (spec.type != AggregateType::kCount && spec.column.empty()) {
+    return Status::Invalid("aggregate '" +
+                           std::string(AggregateTypeName(spec.type)) +
+                           "' requires a column");
+  }
+  return spec;
+}
+
+}  // namespace idebench::query

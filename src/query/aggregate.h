@@ -1,0 +1,49 @@
+#ifndef IDEBENCH_QUERY_AGGREGATE_H_
+#define IDEBENCH_QUERY_AGGREGATE_H_
+
+/// \file aggregate.h
+/// Aggregate function specifications for visualization queries.
+
+#include <string>
+
+#include "common/json.h"
+#include "common/result.h"
+
+namespace idebench::query {
+
+/// Aggregate function applied per bin (paper §2.2: COUNT/SUM/AVG dominate
+/// IDE workloads; MIN/MAX appear in axis computation).
+enum class AggregateType : uint8_t {
+  kCount = 0,
+  kSum = 1,
+  kAvg = 2,
+  kMin = 3,
+  kMax = 4,
+};
+
+/// Stable lower-case name ("count", "sum", "avg", "min", "max").
+const char* AggregateTypeName(AggregateType type);
+
+/// Parses a stable name back to the enum.
+Result<AggregateType> AggregateTypeFromName(const std::string& name);
+
+/// One aggregate in a query: a function and (except COUNT) a column.
+struct AggregateSpec {
+  AggregateType type = AggregateType::kCount;
+  std::string column;  // empty for COUNT
+
+  /// Renders "COUNT(*)" / "AVG(dep_delay)".
+  std::string ToSql() const;
+
+  /// JSON round-trip.
+  JsonValue ToJson() const;
+  static Result<AggregateSpec> FromJson(const JsonValue& j);
+
+  bool operator==(const AggregateSpec& other) const {
+    return type == other.type && column == other.column;
+  }
+};
+
+}  // namespace idebench::query
+
+#endif  // IDEBENCH_QUERY_AGGREGATE_H_

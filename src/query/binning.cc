@@ -1,0 +1,156 @@
+#include "query/binning.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace idebench::query {
+
+const char* BinningModeName(BinningMode mode) {
+  switch (mode) {
+    case BinningMode::kNominal:
+      return "nominal";
+    case BinningMode::kFixedCount:
+      return "fixed_count";
+    case BinningMode::kFixedWidth:
+      return "fixed_width";
+  }
+  return "unknown";
+}
+
+Result<BinningMode> BinningModeFromName(const std::string& name) {
+  if (name == "nominal") return BinningMode::kNominal;
+  if (name == "fixed_count") return BinningMode::kFixedCount;
+  if (name == "fixed_width") return BinningMode::kFixedWidth;
+  return Status::Invalid("unknown binning mode '" + name + "'");
+}
+
+Status BinDimension::Resolve(const storage::Table& table) {
+  const storage::Column* col = table.ColumnByName(column);
+  if (col == nullptr) {
+    return Status::KeyError("binning column '" + column + "' not found in '" +
+                            table.name() + "'");
+  }
+  switch (mode) {
+    case BinningMode::kNominal: {
+      if (col->type() != storage::DataType::kString) {
+        // Integer-coded nominal attribute (e.g. day_of_week): bins span
+        // [min, max] with width 1.
+        lo = col->Min();
+        width = 1.0;
+        bin_count = static_cast<int64_t>(col->Max() - col->Min()) + 1;
+      } else {
+        lo = 0.0;
+        width = 1.0;
+        bin_count = col->dictionary().size();
+      }
+      break;
+    }
+    case BinningMode::kFixedCount: {
+      if (requested_bins <= 0) {
+        return Status::Invalid("requested_bins must be positive");
+      }
+      const double min = col->Min();
+      const double max = col->Max();
+      lo = min;
+      bin_count = requested_bins;
+      const double span = max - min;
+      // Widen slightly so the max value falls in the last bin instead of
+      // creating an extra boundary bin.
+      width = span > 0 ? span / static_cast<double>(requested_bins) * (1.0 + 1e-9)
+                       : 1.0;
+      break;
+    }
+    case BinningMode::kFixedWidth: {
+      if (width <= 0) return Status::Invalid("width must be positive");
+      const double min = col->Min();
+      const double max = col->Max();
+      lo = origin + std::floor((min - origin) / width) * width;
+      bin_count =
+          static_cast<int64_t>(std::floor((max - lo) / width)) + 1;
+      break;
+    }
+  }
+  if (bin_count <= 0) bin_count = 1;
+  if (bin_count >= kBinKeyStride) {
+    return Status::Invalid("bin count " + std::to_string(bin_count) +
+                           " exceeds limit");
+  }
+  resolved = true;
+  return Status::OK();
+}
+
+int64_t BinDimension::BinIndex(double v) const {
+  if (!resolved) return -1;
+  if (mode == BinningMode::kNominal) {
+    const int64_t idx = static_cast<int64_t>(v - lo);
+    return (idx >= 0 && idx < bin_count) ? idx : -1;
+  }
+  const int64_t idx =
+      static_cast<int64_t>(std::floor((v - lo) / width));
+  return (idx >= 0 && idx < bin_count) ? idx : -1;
+}
+
+std::string BinDimension::BinLabel(int64_t index,
+                                   const storage::Table* table) const {
+  if (mode == BinningMode::kNominal) {
+    if (table != nullptr) {
+      const storage::Column* col = table->ColumnByName(column);
+      if (col != nullptr && col->type() == storage::DataType::kString) {
+        const int64_t code = index + static_cast<int64_t>(lo);
+        if (code >= 0 && code < col->dictionary().size()) {
+          return col->dictionary().At(code);
+        }
+      }
+    }
+    return std::to_string(index + static_cast<int64_t>(lo));
+  }
+  const double edge = BinLowerEdge(index);
+  return "[" + FormatDouble(edge, 2) + ", " + FormatDouble(edge + width, 2) +
+         ")";
+}
+
+std::string BinDimension::ToSqlExpr() const {
+  if (mode == BinningMode::kNominal) return column;
+  return StringPrintf("FLOOR((%s - %g) / %g)", column.c_str(), lo, width);
+}
+
+JsonValue BinDimension::ToJson() const {
+  JsonValue j = JsonValue::Object();
+  j.Set("column", column);
+  j.Set("mode", BinningModeName(mode));
+  switch (mode) {
+    case BinningMode::kFixedCount:
+      j.Set("bins", requested_bins);
+      break;
+    case BinningMode::kFixedWidth:
+      j.Set("width", width);
+      j.Set("origin", origin);
+      break;
+    case BinningMode::kNominal:
+      break;
+  }
+  return j;
+}
+
+Result<BinDimension> BinDimension::FromJson(const JsonValue& j) {
+  if (!j.is_object()) return Status::Invalid("bin dimension must be object");
+  BinDimension d;
+  d.column = j.GetString("column", "");
+  if (d.column.empty()) return Status::Invalid("bin dimension needs 'column'");
+  IDB_ASSIGN_OR_RETURN(d.mode,
+                       BinningModeFromName(j.GetString("mode", "fixed_count")));
+  d.requested_bins = j.GetInt("bins", 10);
+  d.width = j.GetDouble("width", 0.0);
+  d.origin = j.GetDouble("origin", 0.0);
+  return d;
+}
+
+bool BinDimension::operator==(const BinDimension& other) const {
+  return column == other.column && mode == other.mode &&
+         requested_bins == other.requested_bins && width == other.width &&
+         origin == other.origin;
+}
+
+}  // namespace idebench::query

@@ -1,0 +1,104 @@
+#ifndef IDEBENCH_QUERY_BINNING_H_
+#define IDEBENCH_QUERY_BINNING_H_
+
+/// \file binning.h
+/// Bin definitions for visualization queries.
+///
+/// The paper (§2.2) distinguishes two ways to define quantitative bin
+/// boundaries: (1) a fixed *number* of bins, which requires the current
+/// min/max of the attribute, and (2) a fixed bin *width* anchored at a
+/// reference value.  Nominal attributes get one bin per distinct value.
+/// A `BinDimension` starts as a declarative spec and is *resolved* against
+/// a dataset (filling lo/width/bin count) before execution, so that every
+/// engine and the ground-truth oracle bin identically.
+
+#include <cstdint>
+#include <string>
+
+#include "common/json.h"
+#include "common/result.h"
+#include "storage/table.h"
+
+namespace idebench::query {
+
+/// How bin boundaries are derived.
+enum class BinningMode : uint8_t {
+  kNominal = 0,     // one bin per dictionary code
+  kFixedCount = 1,  // N equi-width bins over [min, max]
+  kFixedWidth = 2,  // bins of a given width anchored at `origin`
+};
+
+/// Stable name ("nominal", "fixed_count", "fixed_width").
+const char* BinningModeName(BinningMode mode);
+
+/// Parses a stable name back to the enum.
+Result<BinningMode> BinningModeFromName(const std::string& name);
+
+/// One binning dimension of a visualization (1-D histograms have one,
+/// binned scatter plots / heat maps have two — paper Figure 1).
+struct BinDimension {
+  std::string column;
+  BinningMode mode = BinningMode::kFixedCount;
+  int64_t requested_bins = 10;  // kFixedCount
+  double width = 0.0;           // kFixedWidth; filled on resolve otherwise
+  double origin = 0.0;          // kFixedWidth anchor; resolved lo otherwise
+
+  // --- Filled by Resolve() -------------------------------------------
+  bool resolved = false;
+  double lo = 0.0;          // inclusive lower bound of bin 0
+  int64_t bin_count = 0;    // total number of bins
+
+  /// Resolves boundaries against the data in `table` (uses column min/max
+  /// for kFixedCount / kFixedWidth, dictionary size for kNominal).
+  Status Resolve(const storage::Table& table);
+
+  /// Maps a numeric-view value to its bin index, or -1 when out of range.
+  /// Requires `resolved`.
+  int64_t BinIndex(double v) const;
+
+  /// Lower edge of bin `index` (quantitative modes).
+  double BinLowerEdge(int64_t index) const { return lo + width * static_cast<double>(index); }
+
+  /// Human-readable label of bin `index` ("[10, 20)" or the nominal value;
+  /// `table` decodes dictionary codes).
+  std::string BinLabel(int64_t index, const storage::Table* table) const;
+
+  /// Renders the SQL grouping expression, e.g.
+  /// "FLOOR((dep_delay - 0) / 10)" or just the column for nominal bins.
+  std::string ToSqlExpr() const;
+
+  /// JSON round-trip.
+  JsonValue ToJson() const;
+  static Result<BinDimension> FromJson(const JsonValue& j);
+
+  bool operator==(const BinDimension& other) const;
+};
+
+/// Packs up to two bin indices into one map key.  Index values must be in
+/// [0, kBinKeyStride).
+constexpr int64_t kBinKeyStride = 1 << 21;
+
+/// Encodes a 1-D key.
+constexpr int64_t EncodeBinKey(int64_t i0) { return i0; }
+
+/// Encodes a 2-D key (row-major).
+constexpr int64_t EncodeBinKey(int64_t i0, int64_t i1) {
+  return i0 * kBinKeyStride + i1;
+}
+
+/// Splits a key back into (i0, i1); i1 is 0 for 1-D keys.
+constexpr int64_t BinKeyDim0(int64_t key) { return key / kBinKeyStride; }
+constexpr int64_t BinKeyDim1(int64_t key) { return key % kBinKeyStride; }
+
+/// Encodes a key for a 1-D or 2-D query given per-row indices; returns -1
+/// when any index is -1 (value out of binning range).
+inline int64_t EncodeBinKeyChecked(int64_t i0, int64_t i1, bool two_d) {
+  if (i0 < 0) return -1;
+  if (!two_d) return EncodeBinKey(0, i0);
+  if (i1 < 0) return -1;
+  return EncodeBinKey(i0, i1);
+}
+
+}  // namespace idebench::query
+
+#endif  // IDEBENCH_QUERY_BINNING_H_

@@ -1,0 +1,66 @@
+#ifndef IDEBENCH_QUERY_RESULT_H_
+#define IDEBENCH_QUERY_RESULT_H_
+
+/// \file result.h
+/// The result format every engine returns to the benchmark driver: one
+/// entry per delivered bin, each with an estimate and a margin of error
+/// per aggregate, plus execution progress metadata.
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "query/binning.h"
+
+namespace idebench::query {
+
+/// One aggregate value in one bin.
+struct AggValue {
+  double estimate = 0.0;
+  /// Absolute half-width of the confidence interval at the configured
+  /// confidence level; 0 for exact results.
+  double margin = 0.0;
+};
+
+/// All aggregates for one bin (parallel to the query's aggregate list).
+struct BinResult {
+  std::vector<AggValue> values;
+};
+
+/// A (possibly partial, possibly approximate) query answer.
+struct QueryResult {
+  /// True when this answer is fetchable by a frontend.  A blocking engine
+  /// only has an available result once the query completes; progressive
+  /// engines have one as soon as any rows were processed.  Note that an
+  /// *available* result may legitimately contain zero bins (a filter that
+  /// matches nothing).
+  bool available = false;
+
+  /// Delivered bins keyed by packed bin key (see binning.h).
+  std::unordered_map<int64_t, BinResult> bins;
+
+  /// Fraction of the (nominal) data incorporated so far, in [0, 1].
+  double progress = 0.0;
+
+  /// True when the answer is exact (complete scan, no sampling).
+  bool exact = false;
+
+  /// Number of base-table rows actually aggregated (diagnostics).
+  int64_t rows_processed = 0;
+
+  /// True when at least one bin has been delivered.
+  bool has_result() const { return !bins.empty(); }
+
+  /// Sum of the first aggregate's estimates over all bins (diagnostics).
+  double TotalEstimate(size_t agg_index = 0) const {
+    double total = 0.0;
+    for (const auto& [key, bin] : bins) {
+      if (agg_index < bin.values.size()) total += bin.values[agg_index].estimate;
+    }
+    return total;
+  }
+};
+
+}  // namespace idebench::query
+
+#endif  // IDEBENCH_QUERY_RESULT_H_

@@ -1,0 +1,80 @@
+#include "query/spec.h"
+
+namespace idebench::query {
+
+Status VizSpec::Validate() const {
+  if (name.empty()) return Status::Invalid("viz has no name");
+  if (source.empty()) return Status::Invalid("viz '" + name + "' has no source");
+  if (bins.empty() || bins.size() > 2) {
+    return Status::Invalid("viz '" + name + "' must have 1 or 2 bin dimensions");
+  }
+  if (aggregates.empty()) {
+    return Status::Invalid("viz '" + name + "' must have >= 1 aggregate");
+  }
+  for (const AggregateSpec& agg : aggregates) {
+    if (agg.type != AggregateType::kCount && agg.column.empty()) {
+      return Status::Invalid("viz '" + name + "': aggregate needs a column");
+    }
+  }
+  return Status::OK();
+}
+
+JsonValue VizSpec::ToJson() const {
+  JsonValue j = JsonValue::Object();
+  j.Set("name", name);
+  j.Set("source", source);
+  JsonValue bin_arr = JsonValue::Array();
+  for (const BinDimension& d : bins) bin_arr.Append(d.ToJson());
+  j.Set("binning", std::move(bin_arr));
+  JsonValue agg_arr = JsonValue::Array();
+  for (const AggregateSpec& a : aggregates) agg_arr.Append(a.ToJson());
+  j.Set("aggregates", std::move(agg_arr));
+  if (!filter.empty()) j.Set("filter", filter.ToJson());
+  if (!selection.empty()) j.Set("selection", selection.ToJson());
+  return j;
+}
+
+Result<VizSpec> VizSpec::FromJson(const JsonValue& j) {
+  if (!j.is_object()) return Status::Invalid("viz spec must be an object");
+  VizSpec v;
+  v.name = j.GetString("name", "");
+  v.source = j.GetString("source", "");
+  const JsonValue& bin_arr = j.Get("binning");
+  for (size_t i = 0; i < bin_arr.size(); ++i) {
+    IDB_ASSIGN_OR_RETURN(BinDimension d, BinDimension::FromJson(bin_arr.at(i)));
+    v.bins.push_back(std::move(d));
+  }
+  const JsonValue& agg_arr = j.Get("aggregates");
+  for (size_t i = 0; i < agg_arr.size(); ++i) {
+    IDB_ASSIGN_OR_RETURN(AggregateSpec a, AggregateSpec::FromJson(agg_arr.at(i)));
+    v.aggregates.push_back(std::move(a));
+  }
+  if (j.Has("filter")) {
+    IDB_ASSIGN_OR_RETURN(v.filter, expr::FilterExpr::FromJson(j.Get("filter")));
+  }
+  if (j.Has("selection")) {
+    IDB_ASSIGN_OR_RETURN(v.selection,
+                         expr::FilterExpr::FromJson(j.Get("selection")));
+  }
+  IDB_RETURN_NOT_OK(v.Validate());
+  return v;
+}
+
+Status QuerySpec::ResolveBins(const storage::Catalog& catalog) {
+  for (BinDimension& d : bins) {
+    IDB_ASSIGN_OR_RETURN(const storage::Table* table,
+                         catalog.TableForColumn(d.column));
+    IDB_RETURN_NOT_OK(d.Resolve(*table));
+  }
+  return Status::OK();
+}
+
+int64_t QuerySpec::MaxBinCount() const {
+  int64_t total = 1;
+  for (const BinDimension& d : bins) {
+    total *= d.bin_count > 0 ? d.bin_count : 1;
+  }
+  return total;
+}
+
+}  // namespace idebench::query

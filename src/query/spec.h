@@ -1,0 +1,69 @@
+#ifndef IDEBENCH_QUERY_SPEC_H_
+#define IDEBENCH_QUERY_SPEC_H_
+
+/// \file spec.h
+/// Visualization and query specifications.
+///
+/// A `VizSpec` is the declarative description of one visualization as an
+/// IDE frontend would create it (paper Figure 4): a data source, one or
+/// two binning dimensions, one or more aggregates, and the viz's own
+/// filter.  The driver combines a VizSpec with the filters/selections
+/// propagated along visualization links into an executable `QuerySpec`.
+
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "common/result.h"
+#include "expr/predicate.h"
+#include "query/aggregate.h"
+#include "query/binning.h"
+#include "storage/catalog.h"
+
+namespace idebench::query {
+
+/// Declarative specification of a visualization.
+struct VizSpec {
+  std::string name;                     // e.g. "viz_0"
+  std::string source;                   // fact table name
+  std::vector<BinDimension> bins;       // 1 or 2 dimensions
+  std::vector<AggregateSpec> aggregates;  // >= 1
+  expr::FilterExpr filter;              // the viz's own filter
+  expr::FilterExpr selection;           // brushed selection, exposed to links
+
+  /// Validates structural constraints (1-2 dims, >=1 aggregate, ...).
+  Status Validate() const;
+
+  /// JSON round-trip (workflow specification format, Figure 4).
+  JsonValue ToJson() const;
+  static Result<VizSpec> FromJson(const JsonValue& j);
+};
+
+/// An executable query: a VizSpec flattened with all filters that apply
+/// after link propagation, with binning resolved against the dataset.
+struct QuerySpec {
+  std::string viz_name;
+  std::vector<BinDimension> bins;        // resolved before execution
+  std::vector<AggregateSpec> aggregates;
+  expr::FilterExpr filter;               // full effective conjunction
+
+  /// True when the query groups on two dimensions.
+  bool two_dimensional() const { return bins.size() == 2; }
+
+  /// Resolves all bin dimensions against the catalog (each binning column
+  /// is looked up in the table that owns it).
+  Status ResolveBins(const storage::Catalog& catalog);
+
+  /// Total number of ground-truth bins (product of dimension bin counts);
+  /// requires resolved bins.
+  int64_t MaxBinCount() const;
+
+  /// Packs per-dimension indices into a key; -1 when out of range.
+  int64_t EncodeKey(int64_t i0, int64_t i1) const {
+    return EncodeBinKeyChecked(i0, i1, two_dimensional());
+  }
+};
+
+}  // namespace idebench::query
+
+#endif  // IDEBENCH_QUERY_SPEC_H_

@@ -1,0 +1,80 @@
+#include "query/sql.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace idebench::query {
+namespace {
+
+/// Collects the dimension tables referenced by the query's binning,
+/// filter or aggregate columns.
+std::vector<std::string> ReferencedDimensions(
+    const QuerySpec& spec, const storage::Catalog& catalog) {
+  std::vector<std::string> dims;
+  auto consider = [&](const std::string& column) {
+    const storage::Table* fact = catalog.fact_table();
+    if (fact != nullptr && fact->ColumnByName(column) != nullptr) return;
+    for (const auto& table : catalog.tables()) {
+      if (table.get() == fact) continue;
+      if (table->ColumnByName(column) != nullptr) {
+        if (std::find(dims.begin(), dims.end(), table->name()) == dims.end()) {
+          dims.push_back(table->name());
+        }
+        return;
+      }
+    }
+  };
+  for (const BinDimension& d : spec.bins) consider(d.column);
+  for (const expr::Predicate& p : spec.filter.predicates()) consider(p.column);
+  for (const AggregateSpec& a : spec.aggregates) {
+    if (!a.column.empty()) consider(a.column);
+  }
+  return dims;
+}
+
+}  // namespace
+
+std::string GenerateSql(const QuerySpec& spec,
+                        const storage::Catalog& catalog) {
+  const storage::Table* fact = catalog.fact_table();
+  const std::string fact_name = fact != nullptr ? fact->name() : "fact";
+
+  std::vector<std::string> select_exprs;
+  std::vector<std::string> group_exprs;
+  for (size_t i = 0; i < spec.bins.size(); ++i) {
+    const BinDimension& d = spec.bins[i];
+    const std::string alias = "bin_" + d.column;
+    select_exprs.push_back(d.ToSqlExpr() + " AS " + alias);
+    group_exprs.push_back(alias);
+  }
+  for (const AggregateSpec& a : spec.aggregates) {
+    select_exprs.push_back(a.ToSql());
+  }
+
+  std::string sql = "SELECT " + Join(select_exprs, ", ") + " FROM " + fact_name;
+
+  for (const std::string& dim_name : ReferencedDimensions(spec, catalog)) {
+    const storage::ForeignKey* fk = catalog.FindForeignKey(dim_name);
+    if (fk == nullptr) continue;
+    sql += " JOIN " + dim_name + " ON " + fact_name + "." + fk->fact_column +
+           " = " + dim_name + "." + fk->dimension_key;
+  }
+
+  if (!spec.filter.empty()) {
+    // Decode dictionary literals against whichever table owns each column.
+    std::vector<std::string> parts;
+    for (const expr::Predicate& p : spec.filter.predicates()) {
+      const storage::Table* owner = nullptr;
+      auto owner_result = catalog.TableForColumn(p.column);
+      if (owner_result.ok()) owner = owner_result.ValueOrDie();
+      parts.push_back(p.ToSql(owner));
+    }
+    sql += " WHERE " + Join(parts, " AND ");
+  }
+
+  sql += " GROUP BY " + Join(group_exprs, ", ");
+  return sql;
+}
+
+}  // namespace idebench::query

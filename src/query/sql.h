@@ -1,0 +1,29 @@
+#ifndef IDEBENCH_QUERY_SQL_H_
+#define IDEBENCH_QUERY_SQL_H_
+
+/// \file sql.h
+/// SQL rendering of executable queries.
+///
+/// The benchmark driver "automatically translates queries to SQL"
+/// (paper §4.4, Figure 4).  Our in-process engines consume `QuerySpec`
+/// directly, but the SQL text is part of the benchmark's public surface:
+/// it is what an adapter for an external DBMS would submit, and it appears
+/// in the detailed report for auditability.
+
+#include <string>
+
+#include "query/spec.h"
+#include "storage/catalog.h"
+
+namespace idebench::query {
+
+/// Renders `spec` as a SQL SELECT against `catalog`.
+///
+/// For a de-normalized catalog this is a single-table GROUP BY.  For a
+/// star schema, any filter/binning column owned by a dimension table adds
+/// the corresponding `JOIN dim ON fact.fk = dim.pk` clause.
+std::string GenerateSql(const QuerySpec& spec, const storage::Catalog& catalog);
+
+}  // namespace idebench::query
+
+#endif  // IDEBENCH_QUERY_SQL_H_

@@ -1,0 +1,198 @@
+#include "report/report.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+
+#include "common/string_util.h"
+
+namespace idebench::report {
+
+std::string DetailedReportHeader() {
+  return "id,interaction,viz_name,driver,data_size,think_time,time_req,"
+         "workflow,workflow_type,start_time,end_time,tr_violated,bin_dims,"
+         "binning_type,agg_type,num_concurrent,bins_delivered,bins_in_gt,"
+         "bins_ofm,rel_error_avg,rel_error_stdev,smape,missing_bins,"
+         "cosine_distance,margin_avg,margin_stdev,bias,progress";
+}
+
+std::string DetailedReportRow(const driver::QueryRecord& r) {
+  const metrics::QueryMetrics& m = r.metrics;
+  return StringPrintf(
+      "%lld,%lld,%s,%s,%s,%lld,%lld,%s,%s,%lld,%lld,%s,%d,%s,%s,%d,%lld,%lld,"
+      "%lld,%.4f,%.4f,%.4f,%.4f,%.4f,%.4f,%.4f,%.4f,%.4f",
+      static_cast<long long>(r.id), static_cast<long long>(r.interaction_id),
+      r.viz_name.c_str(), r.driver_name.c_str(), r.data_size.c_str(),
+      static_cast<long long>(r.think_time / 1000),
+      static_cast<long long>(r.time_requirement / 1000), r.workflow.c_str(),
+      r.workflow_type.c_str(), static_cast<long long>(r.start_time / 1000),
+      static_cast<long long>(r.end_time / 1000),
+      m.tr_violated ? "TRUE" : "FALSE", r.bin_dims, r.binning_type.c_str(),
+      r.agg_type.c_str(), r.num_concurrent,
+      static_cast<long long>(m.bins_delivered),
+      static_cast<long long>(m.bins_in_gt),
+      static_cast<long long>(m.bins_out_of_margin), m.mean_rel_error,
+      m.rel_error_stdev, m.smape, m.missing_bins, m.cosine_distance,
+      m.mean_margin_rel, m.margin_stdev, m.bias, r.progress);
+}
+
+Status WriteDetailedReport(const std::vector<driver::QueryRecord>& records,
+                           const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open '" + path + "' for writing");
+  out << DetailedReportHeader() << "\n";
+  for (const driver::QueryRecord& r : records) {
+    out << DetailedReportRow(r) << "\n";
+  }
+  if (!out) return Status::IOError("write to '" + path + "' failed");
+  return Status::OK();
+}
+
+std::string RenderDetailedTable(const std::vector<driver::QueryRecord>& records,
+                                size_t limit) {
+  std::string out = StringPrintf(
+      "%-4s %-5s %-8s %-12s %-6s %-6s %-5s %-22s %-6s %-6s %-7s %-7s %-7s "
+      "%-7s\n",
+      "id", "inter", "viz", "driver", "dims", "aggs", "tr!", "binning",
+      "bins", "gt", "mre", "miss", "cos", "margin");
+  const size_t n = std::min(limit, records.size());
+  for (size_t i = 0; i < n; ++i) {
+    const driver::QueryRecord& r = records[i];
+    const metrics::QueryMetrics& m = r.metrics;
+    out += StringPrintf(
+        "%-4lld %-5lld %-8s %-12s %-6d %-6s %-5s %-22s %-6lld %-6lld %-7.3f "
+        "%-7.3f %-7.3f %-7.3f\n",
+        static_cast<long long>(r.id),
+        static_cast<long long>(r.interaction_id), r.viz_name.c_str(),
+        r.driver_name.c_str(), r.bin_dims, r.agg_type.c_str(),
+        m.tr_violated ? "yes" : "no", r.binning_type.c_str(),
+        static_cast<long long>(m.bins_delivered),
+        static_cast<long long>(m.bins_in_gt), m.mean_rel_error,
+        m.missing_bins, m.cosine_distance, m.mean_margin_rel);
+  }
+  if (records.size() > n) {
+    out += StringPrintf("... (%zu more rows)\n", records.size() - n);
+  }
+  return out;
+}
+
+namespace {
+
+double MedianOf(std::vector<double> values) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const size_t n = values.size();
+  return n % 2 == 1 ? values[n / 2]
+                    : 0.5 * (values[n / 2 - 1] + values[n / 2]);
+}
+
+}  // namespace
+
+SummaryRow Summarize(const std::string& group,
+                     const std::vector<const driver::QueryRecord*>& records) {
+  SummaryRow row;
+  row.group = group;
+  row.queries = static_cast<int64_t>(records.size());
+  if (records.empty()) return row;
+
+  int64_t violations = 0;
+  std::vector<double> mres;
+  std::vector<double> margins;
+  std::vector<double> missing;
+  std::vector<double> cosines;
+  std::vector<double> smapes;
+  std::vector<double> biases;
+  int64_t ofm = 0;
+  int64_t delivered = 0;
+
+  for (const driver::QueryRecord* r : records) {
+    const metrics::QueryMetrics& m = r->metrics;
+    if (m.tr_violated) {
+      ++violations;
+      continue;
+    }
+    // Quality statistics cover only queries within the time requirement
+    // (paper §4.8).
+    mres.push_back(m.mean_rel_error);
+    margins.push_back(m.mean_margin_rel);
+    missing.push_back(m.missing_bins);
+    cosines.push_back(m.cosine_distance);
+    smapes.push_back(m.smape);
+    biases.push_back(m.bias);
+    ofm += m.bins_out_of_margin;
+    delivered += m.bins_delivered;
+  }
+
+  row.tr_violation_rate = static_cast<double>(violations) /
+                          static_cast<double>(records.size());
+  auto mean_of = [](const std::vector<double>& v) {
+    if (v.empty()) return 0.0;
+    double s = 0.0;
+    for (double x : v) s += x;
+    return s / static_cast<double>(v.size());
+  };
+  row.mean_missing_bins = mean_of(missing);
+  row.median_mre = MedianOf(mres);
+  row.mean_mre = mean_of(mres);
+  row.median_margin = MedianOf(margins);
+  row.mean_cosine_distance = mean_of(cosines);
+  row.mean_smape = mean_of(smapes);
+  row.mean_bias = biases.empty() ? 1.0 : mean_of(biases);
+  row.out_of_margin_rate =
+      delivered > 0 ? static_cast<double>(ofm) / static_cast<double>(delivered)
+                    : 0.0;
+  // Area above the truncated CDF equals the mean of min(error, 1).
+  double area = 0.0;
+  for (double e : mres) area += std::min(e, 1.0);
+  row.area_above_cdf = mres.empty() ? 0.0 : area / static_cast<double>(mres.size());
+  return row;
+}
+
+std::string RenderSummaryTable(const std::vector<SummaryRow>& rows) {
+  std::string out = StringPrintf(
+      "%-28s %7s %8s %9s %8s %8s %9s %9s %8s %8s\n", "group", "queries",
+      "tr_viol", "missing", "mre_med", "mre_avg", "area>cdf", "margin",
+      "cosine", "ofm");
+  for (const SummaryRow& r : rows) {
+    out += StringPrintf(
+        "%-28s %7lld %8s %9s %8.3f %8.3f %9s %9.3f %8.3f %8s\n",
+        r.group.c_str(), static_cast<long long>(r.queries),
+        FormatPercent(r.tr_violation_rate).c_str(),
+        FormatPercent(r.mean_missing_bins).c_str(), r.median_mre, r.mean_mre,
+        FormatPercent(r.area_above_cdf).c_str(), r.median_margin,
+        r.mean_cosine_distance, FormatPercent(r.out_of_margin_rate).c_str());
+  }
+  return out;
+}
+
+std::vector<double> MreCdf(
+    const std::vector<const driver::QueryRecord*>& records, int points) {
+  std::vector<double> mres;
+  for (const driver::QueryRecord* r : records) {
+    if (!r->metrics.tr_violated) mres.push_back(r->metrics.mean_rel_error);
+  }
+  std::vector<double> cdf(static_cast<size_t>(std::max(points, 2)), 0.0);
+  if (mres.empty()) return cdf;
+  std::sort(mres.begin(), mres.end());
+  for (int i = 0; i < points; ++i) {
+    const double threshold =
+        static_cast<double>(i) / static_cast<double>(points - 1);
+    const auto it = std::upper_bound(mres.begin(), mres.end(), threshold);
+    cdf[static_cast<size_t>(i)] =
+        static_cast<double>(it - mres.begin()) /
+        static_cast<double>(mres.size());
+  }
+  return cdf;
+}
+
+std::string RenderCdf(const std::vector<double>& cdf) {
+  static const char* kBlocks[] = {" ", "▁", "▂", "▃", "▄", "▅", "▆", "▇", "█"};
+  std::string out;
+  for (double v : cdf) {
+    const int level = static_cast<int>(std::round(v * 8.0));
+    out += kBlocks[std::clamp(level, 0, 8)];
+  }
+  return out;
+}
+
+}  // namespace idebench::report

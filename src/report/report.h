@@ -1,0 +1,94 @@
+#ifndef IDEBENCH_REPORT_REPORT_H_
+#define IDEBENCH_REPORT_REPORT_H_
+
+/// \file report.h
+/// Report generation (paper §4.8): a detailed per-query report (Table 1)
+/// and an aggregated summary report (Figure 5) with the mean-relative-
+/// error CDF and its area-above-the-curve statistic.
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "driver/benchmark_driver.h"
+
+namespace idebench::report {
+
+/// CSV header of the detailed report (Table 1 columns).
+std::string DetailedReportHeader();
+
+/// One detailed-report CSV row.
+std::string DetailedReportRow(const driver::QueryRecord& record);
+
+/// Writes the detailed report to `path`.
+Status WriteDetailedReport(const std::vector<driver::QueryRecord>& records,
+                           const std::string& path);
+
+/// Renders the first `limit` detailed rows as an aligned text table.
+std::string RenderDetailedTable(const std::vector<driver::QueryRecord>& records,
+                                size_t limit = 30);
+
+/// Aggregated statistics for one group of queries (one cell of the
+/// summary report).
+struct SummaryRow {
+  std::string group;
+  int64_t queries = 0;
+  double tr_violation_rate = 0.0;
+  double mean_missing_bins = 0.0;   // over non-violating queries
+  double median_mre = 0.0;          // over non-violating queries
+  double mean_mre = 0.0;
+  /// Area above the CDF of MREs truncated at 100 % — the smaller, the
+  /// better (Figure 5).
+  double area_above_cdf = 0.0;
+  double median_margin = 0.0;
+  double mean_cosine_distance = 0.0;
+  double mean_bias = 1.0;
+  double out_of_margin_rate = 0.0;  // share of value pairs out of margin
+  double mean_smape = 0.0;
+};
+
+/// Aggregates `records` into one summary row labeled `group`.
+SummaryRow Summarize(const std::string& group,
+                     const std::vector<const driver::QueryRecord*>& records);
+
+/// Convenience: group records by a key function and summarize each group
+/// (groups appear in first-encounter order).
+template <typename KeyFn>
+std::vector<SummaryRow> SummarizeBy(
+    const std::vector<driver::QueryRecord>& records, KeyFn key_fn) {
+  std::vector<std::string> order;
+  std::vector<std::vector<const driver::QueryRecord*>> buckets;
+  for (const driver::QueryRecord& r : records) {
+    const std::string key = key_fn(r);
+    size_t idx = 0;
+    for (; idx < order.size(); ++idx) {
+      if (order[idx] == key) break;
+    }
+    if (idx == order.size()) {
+      order.push_back(key);
+      buckets.emplace_back();
+    }
+    buckets[idx].push_back(&r);
+  }
+  std::vector<SummaryRow> rows;
+  rows.reserve(order.size());
+  for (size_t i = 0; i < order.size(); ++i) {
+    rows.push_back(Summarize(order[i], buckets[i]));
+  }
+  return rows;
+}
+
+/// Renders summary rows as an aligned text table.
+std::string RenderSummaryTable(const std::vector<SummaryRow>& rows);
+
+/// Empirical CDF of the (non-violating) queries' MREs evaluated at
+/// `points` equally spaced thresholds in [0, 1].
+std::vector<double> MreCdf(
+    const std::vector<const driver::QueryRecord*>& records, int points = 21);
+
+/// Renders a CDF as a compact ASCII sparkline-style row.
+std::string RenderCdf(const std::vector<double>& cdf);
+
+}  // namespace idebench::report
+
+#endif  // IDEBENCH_REPORT_REPORT_H_

@@ -1,0 +1,73 @@
+#include "storage/catalog.h"
+
+namespace idebench::storage {
+
+Status Catalog::AddTable(std::shared_ptr<Table> table) {
+  if (table == nullptr) return Status::Invalid("null table");
+  if (GetTable(table->name()) != nullptr) {
+    return Status::AlreadyExists("table '" + table->name() + "' exists");
+  }
+  tables_.push_back(std::move(table));
+  return Status::OK();
+}
+
+Status Catalog::AddForeignKey(ForeignKey fk) {
+  const Table* fact = fact_table();
+  if (fact == nullptr) return Status::Invalid("catalog has no fact table");
+  if (fact->ColumnByName(fk.fact_column) == nullptr) {
+    return Status::KeyError("fact table has no column '" + fk.fact_column +
+                            "'");
+  }
+  const Table* dim = GetTable(fk.dimension_table);
+  if (dim == nullptr) {
+    return Status::KeyError("no dimension table '" + fk.dimension_table + "'");
+  }
+  if (dim->ColumnByName(fk.dimension_key) == nullptr) {
+    return Status::KeyError("dimension table '" + fk.dimension_table +
+                            "' has no column '" + fk.dimension_key + "'");
+  }
+  foreign_keys_.push_back(std::move(fk));
+  return Status::OK();
+}
+
+const Table* Catalog::fact_table() const {
+  return tables_.empty() ? nullptr : tables_[0].get();
+}
+
+const Table* Catalog::GetTable(const std::string& name) const {
+  for (const auto& t : tables_) {
+    if (t->name() == name) return t.get();
+  }
+  return nullptr;
+}
+
+std::shared_ptr<Table> Catalog::GetTableShared(const std::string& name) const {
+  for (const auto& t : tables_) {
+    if (t->name() == name) return t;
+  }
+  return nullptr;
+}
+
+const ForeignKey* Catalog::FindForeignKey(
+    const std::string& dimension_table) const {
+  for (const auto& fk : foreign_keys_) {
+    if (fk.dimension_table == dimension_table) return &fk;
+  }
+  return nullptr;
+}
+
+Result<const Table*> Catalog::TableForColumn(
+    const std::string& column_name) const {
+  for (const auto& t : tables_) {
+    if (t->ColumnByName(column_name) != nullptr) return t.get();
+  }
+  return Status::KeyError("no table owns column '" + column_name + "'");
+}
+
+int64_t Catalog::nominal_rows() const {
+  if (nominal_rows_ > 0) return nominal_rows_;
+  const Table* fact = fact_table();
+  return fact == nullptr ? 0 : fact->num_rows();
+}
+
+}  // namespace idebench::storage

@@ -1,0 +1,74 @@
+#ifndef IDEBENCH_STORAGE_CATALOG_H_
+#define IDEBENCH_STORAGE_CATALOG_H_
+
+/// \file catalog.h
+/// A database instance handed to an engine: either one de-normalized table
+/// or a star schema (one fact table plus dimension tables reached through
+/// foreign keys).  IDEBench runs every engine against both layouts
+/// (paper §5.3, Figure 6e).
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/table.h"
+
+namespace idebench::storage {
+
+/// A foreign-key edge: fact.fk_column -> dimension.pk_column.
+struct ForeignKey {
+  std::string fact_column;       // FK column in the fact table
+  std::string dimension_table;   // referenced dimension table
+  std::string dimension_key;     // PK column in the dimension table
+};
+
+/// Owns the tables of one database instance.
+class Catalog {
+ public:
+  Catalog() = default;
+
+  /// Registers a table; the first registered table is the fact table.
+  Status AddTable(std::shared_ptr<Table> table);
+
+  /// Declares a foreign key; both endpoints must exist.
+  Status AddForeignKey(ForeignKey fk);
+
+  /// The fact table (first added).  nullptr when empty.
+  const Table* fact_table() const;
+
+  /// Table by name; nullptr when absent.
+  const Table* GetTable(const std::string& name) const;
+  std::shared_ptr<Table> GetTableShared(const std::string& name) const;
+
+  /// All tables in registration order.
+  const std::vector<std::shared_ptr<Table>>& tables() const { return tables_; }
+
+  /// Declared foreign keys.
+  const std::vector<ForeignKey>& foreign_keys() const { return foreign_keys_; }
+
+  /// True when more than one table is registered (star schema layout).
+  bool is_normalized() const { return tables_.size() > 1; }
+
+  /// Finds the foreign key that links the fact table to `dimension_table`;
+  /// nullptr when absent.
+  const ForeignKey* FindForeignKey(const std::string& dimension_table) const;
+
+  /// Locates the table that owns `column_name`, searching the fact table
+  /// first and then dimensions.  Returns the table or an error.
+  Result<const Table*> TableForColumn(const std::string& column_name) const;
+
+  /// Total number of nominal "logical" rows this catalog represents; used
+  /// by the virtual cost model.  Defaults to the fact-table row count.
+  int64_t nominal_rows() const;
+  void set_nominal_rows(int64_t n) { nominal_rows_ = n; }
+
+ private:
+  std::vector<std::shared_ptr<Table>> tables_;
+  std::vector<ForeignKey> foreign_keys_;
+  int64_t nominal_rows_ = -1;
+};
+
+}  // namespace idebench::storage
+
+#endif  // IDEBENCH_STORAGE_CATALOG_H_

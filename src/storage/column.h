@@ -1,0 +1,107 @@
+#ifndef IDEBENCH_STORAGE_COLUMN_H_
+#define IDEBENCH_STORAGE_COLUMN_H_
+
+/// \file column.h
+/// A single in-memory column: contiguous typed storage plus (for strings)
+/// a dictionary.  Columns expose a uniform numeric view used by binning
+/// and aggregation: string columns surface their dictionary codes.
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/types.h"
+
+namespace idebench::storage {
+
+/// Dictionary for string columns: code <-> string, insertion-ordered.
+class Dictionary {
+ public:
+  /// Returns the code for `value`, inserting it if new.
+  int64_t GetOrInsert(const std::string& value);
+
+  /// Returns the code for `value` or -1 when absent.
+  int64_t Lookup(const std::string& value) const;
+
+  /// Returns the string for `code`; requires a valid code.
+  const std::string& At(int64_t code) const;
+
+  /// Number of distinct values.
+  int64_t size() const { return static_cast<int64_t>(values_.size()); }
+
+  /// All distinct values in code order.
+  const std::vector<std::string>& values() const { return values_; }
+
+ private:
+  std::vector<std::string> values_;
+  std::unordered_map<std::string, int64_t> index_;
+};
+
+/// An append-only typed column.
+class Column {
+ public:
+  /// Creates an empty column of the given type.
+  explicit Column(Field field);
+
+  const Field& field() const { return field_; }
+  DataType type() const { return field_.type; }
+  const std::string& name() const { return field_.name; }
+
+  /// Number of rows.
+  int64_t size() const;
+
+  // --- Appending (type must match) -----------------------------------
+
+  void AppendInt(int64_t v);
+  void AppendDouble(double v);
+  void AppendString(const std::string& v);
+
+  /// Appends a value parsed from text according to the column type.
+  Status AppendParsed(const std::string& text);
+
+  /// Appends row `row` of `other` (same type required).
+  void AppendFrom(const Column& other, int64_t row);
+
+  /// Reserves capacity for `n` rows.
+  void Reserve(int64_t n);
+
+  // --- Reading --------------------------------------------------------
+
+  /// Numeric view of row `i`: raw value for int64/double, dictionary code
+  /// for strings.  This is the access path used by all operators.
+  double ValueAsDouble(int64_t i) const;
+
+  /// Integer view of row `i` (truncates doubles; code for strings).
+  int64_t ValueAsInt(int64_t i) const;
+
+  /// Renders row `i` as text (dictionary-decoded for strings).
+  std::string ValueAsString(int64_t i) const;
+
+  /// Raw typed storage (requires matching type).
+  const std::vector<int64_t>& ints() const { return ints_; }
+  const std::vector<double>& doubles() const { return doubles_; }
+  const std::vector<int64_t>& codes() const { return ints_; }
+  const Dictionary& dictionary() const { return dict_; }
+  Dictionary& mutable_dictionary() { return dict_; }
+
+  /// Appends a pre-encoded dictionary code (string columns only; the code
+  /// must already exist in the dictionary).
+  void AppendCode(int64_t code);
+
+  /// Minimum/maximum over the numeric view; zero for empty columns.
+  double Min() const;
+  double Max() const;
+
+ private:
+  Field field_;
+  std::vector<int64_t> ints_;     // int64 values or dictionary codes
+  std::vector<double> doubles_;   // double values
+  Dictionary dict_;               // string columns only
+};
+
+}  // namespace idebench::storage
+
+#endif  // IDEBENCH_STORAGE_COLUMN_H_

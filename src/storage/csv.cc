@@ -1,0 +1,125 @@
+#include "storage/csv.h"
+
+#include <fstream>
+
+#include "common/string_util.h"
+
+namespace idebench::storage {
+
+std::vector<std::string> ParseCsvLine(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string current;
+  bool in_quotes = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        current.push_back(c);
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(current));
+      current.clear();
+    } else if (c != '\r') {
+      current.push_back(c);
+    }
+  }
+  fields.push_back(std::move(current));
+  return fields;
+}
+
+Result<Table> ReadCsv(const std::string& path, const std::string& table_name,
+                      const Schema& schema) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open '" + path + "' for reading");
+
+  std::string line;
+  if (!std::getline(in, line)) {
+    return Status::IOError("'" + path + "' is empty (missing header)");
+  }
+  const std::vector<std::string> header = ParseCsvLine(line);
+  if (static_cast<int>(header.size()) != schema.num_fields()) {
+    return Status::Invalid("header has " + std::to_string(header.size()) +
+                           " fields, schema has " +
+                           std::to_string(schema.num_fields()));
+  }
+  for (int i = 0; i < schema.num_fields(); ++i) {
+    if (Trim(header[static_cast<size_t>(i)]) != schema.field(i).name) {
+      return Status::Invalid("header field '" + header[static_cast<size_t>(i)] +
+                             "' does not match schema field '" +
+                             schema.field(i).name + "'");
+    }
+  }
+
+  Table table(table_name, schema);
+  int64_t line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    const std::vector<std::string> values = ParseCsvLine(line);
+    if (static_cast<int>(values.size()) != schema.num_fields()) {
+      return Status::Invalid("line " + std::to_string(line_no) + " has " +
+                             std::to_string(values.size()) + " fields");
+    }
+    for (int c = 0; c < schema.num_fields(); ++c) {
+      Status st = table.mutable_column(c).AppendParsed(
+          values[static_cast<size_t>(c)]);
+      if (!st.ok()) {
+        return Status::Invalid("line " + std::to_string(line_no) + ", column " +
+                               schema.field(c).name + ": " + st.message());
+      }
+    }
+  }
+  return table;
+}
+
+namespace {
+
+bool NeedsQuoting(const std::string& s) {
+  return s.find_first_of(",\"\n\r") != std::string::npos;
+}
+
+void WriteField(std::ofstream& out, const std::string& s) {
+  if (!NeedsQuoting(s)) {
+    out << s;
+    return;
+  }
+  out << '"';
+  for (char c : s) {
+    if (c == '"') out << '"';
+    out << c;
+  }
+  out << '"';
+}
+
+}  // namespace
+
+Status WriteCsv(const Table& table, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open '" + path + "' for writing");
+  for (int c = 0; c < table.num_columns(); ++c) {
+    if (c > 0) out << ',';
+    WriteField(out, table.schema().field(c).name);
+  }
+  out << '\n';
+  const int64_t n = table.num_rows();
+  for (int64_t i = 0; i < n; ++i) {
+    for (int c = 0; c < table.num_columns(); ++c) {
+      if (c > 0) out << ',';
+      WriteField(out, table.column(c).ValueAsString(i));
+    }
+    out << '\n';
+  }
+  if (!out) return Status::IOError("write to '" + path + "' failed");
+  return Status::OK();
+}
+
+}  // namespace idebench::storage

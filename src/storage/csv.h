@@ -1,0 +1,32 @@
+#ifndef IDEBENCH_STORAGE_CSV_H_
+#define IDEBENCH_STORAGE_CSV_H_
+
+/// \file csv.h
+/// CSV import/export for tables.
+///
+/// Systems in the paper ingest the flights dataset from a CSV file
+/// (§5.2 "data preparation time").  The reader expects a header row and
+/// supports RFC-4180 quoting; the writer quotes only when needed.
+
+#include <string>
+
+#include "common/result.h"
+#include "storage/table.h"
+
+namespace idebench::storage {
+
+/// Reads a CSV file into a new table using `schema` (header must match the
+/// schema's field names in order).
+Result<Table> ReadCsv(const std::string& path, const std::string& table_name,
+                      const Schema& schema);
+
+/// Writes `table` (header + rows) to `path`.
+Status WriteCsv(const Table& table, const std::string& path);
+
+/// Parses one CSV record (handles quotes/escaped quotes).  Exposed for
+/// testing.
+std::vector<std::string> ParseCsvLine(const std::string& line);
+
+}  // namespace idebench::storage
+
+#endif  // IDEBENCH_STORAGE_CSV_H_

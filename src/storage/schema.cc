@@ -1,0 +1,38 @@
+#include "storage/schema.h"
+
+namespace idebench::storage {
+
+int Schema::FieldIndex(const std::string& name) const {
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (fields_[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Result<Field> Schema::FieldByName(const std::string& name) const {
+  const int idx = FieldIndex(name);
+  if (idx < 0) return Status::KeyError("no field named '" + name + "'");
+  return fields_[static_cast<size_t>(idx)];
+}
+
+Status Schema::AddField(Field field) {
+  if (FieldIndex(field.name) >= 0) {
+    return Status::AlreadyExists("field '" + field.name + "' already exists");
+  }
+  fields_.push_back(std::move(field));
+  return Status::OK();
+}
+
+std::string Schema::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += fields_[i].name;
+    out += ": ";
+    out += DataTypeName(fields_[i].type);
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace idebench::storage

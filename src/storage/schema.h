@@ -1,0 +1,52 @@
+#ifndef IDEBENCH_STORAGE_SCHEMA_H_
+#define IDEBENCH_STORAGE_SCHEMA_H_
+
+/// \file schema.h
+/// Ordered collection of fields with name lookup.
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/types.h"
+
+namespace idebench::storage {
+
+/// An ordered list of named, typed fields.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Field> fields) : fields_(std::move(fields)) {}
+
+  /// Number of fields.
+  int num_fields() const { return static_cast<int>(fields_.size()); }
+
+  /// Field at position `i`.
+  const Field& field(int i) const { return fields_[static_cast<size_t>(i)]; }
+
+  /// All fields in order.
+  const std::vector<Field>& fields() const { return fields_; }
+
+  /// Index of the field named `name`, or -1 when absent.
+  int FieldIndex(const std::string& name) const;
+
+  /// Field descriptor by name.
+  Result<Field> FieldByName(const std::string& name) const;
+
+  /// Appends a field; returns AlreadyExists on duplicate names.
+  Status AddField(Field field);
+
+  bool operator==(const Schema& other) const {
+    return fields_ == other.fields_;
+  }
+
+  /// Human-readable rendering, e.g. "(dep_delay: double, carrier: string)".
+  std::string ToString() const;
+
+ private:
+  std::vector<Field> fields_;
+};
+
+}  // namespace idebench::storage
+
+#endif  // IDEBENCH_STORAGE_SCHEMA_H_

@@ -1,0 +1,68 @@
+#include "storage/table.h"
+
+namespace idebench::storage {
+
+Table::Table(std::string name, Schema schema)
+    : name_(std::move(name)), schema_(std::move(schema)) {
+  columns_.reserve(static_cast<size_t>(schema_.num_fields()));
+  for (const Field& f : schema_.fields()) {
+    columns_.push_back(std::make_unique<Column>(f));
+  }
+}
+
+int64_t Table::num_rows() const {
+  return columns_.empty() ? 0 : columns_[0]->size();
+}
+
+const Column* Table::ColumnByName(const std::string& name) const {
+  const int idx = schema_.FieldIndex(name);
+  return idx < 0 ? nullptr : columns_[static_cast<size_t>(idx)].get();
+}
+
+Column* Table::MutableColumnByName(const std::string& name) {
+  const int idx = schema_.FieldIndex(name);
+  return idx < 0 ? nullptr : columns_[static_cast<size_t>(idx)].get();
+}
+
+void Table::Reserve(int64_t n) {
+  for (auto& col : columns_) col->Reserve(n);
+}
+
+Status Table::AppendRowFrom(const Table& other, int64_t row) {
+  if (other.num_columns() != num_columns()) {
+    return Status::Invalid("column count mismatch in AppendRowFrom");
+  }
+  if (row < 0 || row >= other.num_rows()) {
+    return Status::OutOfBounds("row index out of range in AppendRowFrom");
+  }
+  for (int c = 0; c < num_columns(); ++c) {
+    if (columns_[static_cast<size_t>(c)]->type() != other.column(c).type()) {
+      return Status::Invalid("column type mismatch in AppendRowFrom");
+    }
+    columns_[static_cast<size_t>(c)]->AppendFrom(other.column(c), row);
+  }
+  return Status::OK();
+}
+
+Status Table::Validate() const {
+  const int64_t n = num_rows();
+  for (const auto& col : columns_) {
+    if (col->size() != n) {
+      return Status::Invalid("column '" + col->name() +
+                             "' length mismatch: " + std::to_string(col->size()) +
+                             " vs " + std::to_string(n));
+    }
+  }
+  return Status::OK();
+}
+
+std::string Table::RowToString(int64_t i) const {
+  std::string out;
+  for (int c = 0; c < num_columns(); ++c) {
+    if (c > 0) out += ",";
+    out += column(c).ValueAsString(i);
+  }
+  return out;
+}
+
+}  // namespace idebench::storage

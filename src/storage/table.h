@@ -1,0 +1,67 @@
+#ifndef IDEBENCH_STORAGE_TABLE_H_
+#define IDEBENCH_STORAGE_TABLE_H_
+
+/// \file table.h
+/// An immutable-schema, append-only in-memory columnar table.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/column.h"
+#include "storage/schema.h"
+
+namespace idebench::storage {
+
+/// A named columnar table.  Rows are appended through typed column access
+/// or `AppendRowFrom`; all columns always have equal length.
+class Table {
+ public:
+  /// Creates an empty table with the given schema.
+  Table(std::string name, Schema schema);
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+
+  /// Number of rows (all columns agree).
+  int64_t num_rows() const;
+
+  /// Number of columns.
+  int num_columns() const { return static_cast<int>(columns_.size()); }
+
+  /// Column at position `i`.
+  const Column& column(int i) const { return *columns_[static_cast<size_t>(i)]; }
+  Column& mutable_column(int i) { return *columns_[static_cast<size_t>(i)]; }
+
+  /// Column by name; nullptr when absent.
+  const Column* ColumnByName(const std::string& name) const;
+  Column* MutableColumnByName(const std::string& name);
+
+  /// Index of the column named `name`, or -1.
+  int ColumnIndex(const std::string& name) const {
+    return schema_.FieldIndex(name);
+  }
+
+  /// Reserves capacity in every column.
+  void Reserve(int64_t n);
+
+  /// Copies row `row` of `other` into this table.  Schemas must match by
+  /// position and type (names may differ).
+  Status AppendRowFrom(const Table& other, int64_t row);
+
+  /// Verifies that all columns have equal length.
+  Status Validate() const;
+
+  /// Renders row `i` as comma-separated text (debugging aid).
+  std::string RowToString(int64_t i) const;
+
+ private:
+  std::string name_;
+  Schema schema_;
+  std::vector<std::unique_ptr<Column>> columns_;
+};
+
+}  // namespace idebench::storage
+
+#endif  // IDEBENCH_STORAGE_TABLE_H_

@@ -1,0 +1,27 @@
+#include "storage/types.h"
+
+namespace idebench::storage {
+
+const char* DataTypeName(DataType type) {
+  switch (type) {
+    case DataType::kInt64:
+      return "int64";
+    case DataType::kDouble:
+      return "double";
+    case DataType::kString:
+      return "string";
+  }
+  return "unknown";
+}
+
+const char* AttributeKindName(AttributeKind kind) {
+  switch (kind) {
+    case AttributeKind::kQuantitative:
+      return "quantitative";
+    case AttributeKind::kNominal:
+      return "nominal";
+  }
+  return "unknown";
+}
+
+}  // namespace idebench::storage

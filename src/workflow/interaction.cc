@@ -1,0 +1,131 @@
+#include "workflow/interaction.h"
+
+namespace idebench::workflow {
+
+const char* InteractionTypeName(InteractionType type) {
+  switch (type) {
+    case InteractionType::kCreateViz:
+      return "create_viz";
+    case InteractionType::kSetFilter:
+      return "set_filter";
+    case InteractionType::kSetSelection:
+      return "set_selection";
+    case InteractionType::kLink:
+      return "link";
+    case InteractionType::kDiscard:
+      return "discard";
+  }
+  return "unknown";
+}
+
+Result<InteractionType> InteractionTypeFromName(const std::string& name) {
+  if (name == "create_viz") return InteractionType::kCreateViz;
+  if (name == "set_filter") return InteractionType::kSetFilter;
+  if (name == "set_selection") return InteractionType::kSetSelection;
+  if (name == "link") return InteractionType::kLink;
+  if (name == "discard") return InteractionType::kDiscard;
+  return Status::Invalid("unknown interaction type '" + name + "'");
+}
+
+JsonValue Interaction::ToJson() const {
+  JsonValue j = JsonValue::Object();
+  j.Set("type", InteractionTypeName(type));
+  switch (type) {
+    case InteractionType::kCreateViz:
+      j.Set("viz", viz.ToJson());
+      break;
+    case InteractionType::kSetFilter:
+      j.Set("viz", viz_name);
+      j.Set("filter", filter.ToJson());
+      break;
+    case InteractionType::kSetSelection:
+      j.Set("viz", viz_name);
+      j.Set("selection", filter.ToJson());
+      break;
+    case InteractionType::kLink:
+      j.Set("from", link_from);
+      j.Set("to", link_to);
+      break;
+    case InteractionType::kDiscard:
+      j.Set("viz", viz_name);
+      break;
+  }
+  return j;
+}
+
+Result<Interaction> Interaction::FromJson(const JsonValue& j) {
+  if (!j.is_object()) return Status::Invalid("interaction must be an object");
+  Interaction out;
+  IDB_ASSIGN_OR_RETURN(out.type,
+                       InteractionTypeFromName(j.GetString("type", "")));
+  switch (out.type) {
+    case InteractionType::kCreateViz: {
+      IDB_ASSIGN_OR_RETURN(out.viz, query::VizSpec::FromJson(j.Get("viz")));
+      break;
+    }
+    case InteractionType::kSetFilter: {
+      out.viz_name = j.GetString("viz", "");
+      IDB_ASSIGN_OR_RETURN(out.filter,
+                           expr::FilterExpr::FromJson(j.Get("filter")));
+      break;
+    }
+    case InteractionType::kSetSelection: {
+      out.viz_name = j.GetString("viz", "");
+      IDB_ASSIGN_OR_RETURN(out.filter,
+                           expr::FilterExpr::FromJson(j.Get("selection")));
+      break;
+    }
+    case InteractionType::kLink:
+      out.link_from = j.GetString("from", "");
+      out.link_to = j.GetString("to", "");
+      if (out.link_from.empty() || out.link_to.empty()) {
+        return Status::Invalid("link interaction needs 'from' and 'to'");
+      }
+      break;
+    case InteractionType::kDiscard:
+      out.viz_name = j.GetString("viz", "");
+      break;
+  }
+  return out;
+}
+
+Interaction Interaction::CreateViz(query::VizSpec spec) {
+  Interaction i;
+  i.type = InteractionType::kCreateViz;
+  i.viz = std::move(spec);
+  return i;
+}
+
+Interaction Interaction::SetFilter(std::string viz, expr::FilterExpr filter) {
+  Interaction i;
+  i.type = InteractionType::kSetFilter;
+  i.viz_name = std::move(viz);
+  i.filter = std::move(filter);
+  return i;
+}
+
+Interaction Interaction::SetSelection(std::string viz,
+                                      expr::FilterExpr selection) {
+  Interaction i;
+  i.type = InteractionType::kSetSelection;
+  i.viz_name = std::move(viz);
+  i.filter = std::move(selection);
+  return i;
+}
+
+Interaction Interaction::Link(std::string from, std::string to) {
+  Interaction i;
+  i.type = InteractionType::kLink;
+  i.link_from = std::move(from);
+  i.link_to = std::move(to);
+  return i;
+}
+
+Interaction Interaction::Discard(std::string viz) {
+  Interaction i;
+  i.type = InteractionType::kDiscard;
+  i.viz_name = std::move(viz);
+  return i;
+}
+
+}  // namespace idebench::workflow

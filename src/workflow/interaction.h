@@ -1,0 +1,57 @@
+#ifndef IDEBENCH_WORKFLOW_INTERACTION_H_
+#define IDEBENCH_WORKFLOW_INTERACTION_H_
+
+/// \file interaction.h
+/// User interactions, the atoms of an IDEBench workflow (paper §4.3):
+/// creating a visualization, changing its filter or brushed selection,
+/// linking two visualizations, and discarding one.
+
+#include <string>
+
+#include "common/json.h"
+#include "common/result.h"
+#include "expr/predicate.h"
+#include "query/spec.h"
+
+namespace idebench::workflow {
+
+/// Kind of user interaction.
+enum class InteractionType : uint8_t {
+  kCreateViz = 0,     // formulate + execute a new visualization query
+  kSetFilter = 1,     // change a viz's own filter
+  kSetSelection = 2,  // brush/select data in a viz (propagates over links)
+  kLink = 3,          // link source viz -> target viz
+  kDiscard = 4,       // remove a viz from the dashboard
+};
+
+/// Stable name ("create_viz", "set_filter", ...).
+const char* InteractionTypeName(InteractionType type);
+
+/// Parses a stable name back to the enum.
+Result<InteractionType> InteractionTypeFromName(const std::string& name);
+
+/// One interaction.  Which members are meaningful depends on `type`.
+struct Interaction {
+  InteractionType type = InteractionType::kCreateViz;
+
+  query::VizSpec viz;        // kCreateViz
+  std::string viz_name;      // kSetFilter / kSetSelection / kDiscard
+  expr::FilterExpr filter;   // kSetFilter / kSetSelection payload
+  std::string link_from;     // kLink
+  std::string link_to;       // kLink
+
+  /// JSON round-trip (workflow file format, Figure 4).
+  JsonValue ToJson() const;
+  static Result<Interaction> FromJson(const JsonValue& j);
+
+  // Convenience constructors.
+  static Interaction CreateViz(query::VizSpec spec);
+  static Interaction SetFilter(std::string viz, expr::FilterExpr filter);
+  static Interaction SetSelection(std::string viz, expr::FilterExpr selection);
+  static Interaction Link(std::string from, std::string to);
+  static Interaction Discard(std::string viz);
+};
+
+}  // namespace idebench::workflow
+
+#endif  // IDEBENCH_WORKFLOW_INTERACTION_H_

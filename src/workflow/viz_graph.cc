@@ -1,0 +1,194 @@
+#include "workflow/viz_graph.h"
+
+#include <algorithm>
+#include <deque>
+
+namespace idebench::workflow {
+
+query::VizSpec* VizGraph::Find(const std::string& name) {
+  for (auto& v : vizs_) {
+    if (v.name == name) return &v;
+  }
+  return nullptr;
+}
+
+const query::VizSpec* VizGraph::Find(const std::string& name) const {
+  for (const auto& v : vizs_) {
+    if (v.name == name) return &v;
+  }
+  return nullptr;
+}
+
+bool VizGraph::HasViz(const std::string& name) const {
+  return Find(name) != nullptr;
+}
+
+Result<query::VizSpec> VizGraph::GetViz(const std::string& name) const {
+  const query::VizSpec* v = Find(name);
+  if (v == nullptr) return Status::KeyError("no viz named '" + name + "'");
+  return *v;
+}
+
+std::vector<std::string> VizGraph::VizNames() const {
+  std::vector<std::string> names;
+  names.reserve(vizs_.size());
+  for (const auto& v : vizs_) names.push_back(v.name);
+  return names;
+}
+
+std::vector<std::string> VizGraph::Targets(const std::string& name) const {
+  std::vector<std::string> out;
+  for (const auto& [from, to] : links_) {
+    if (from == name) out.push_back(to);
+  }
+  return out;
+}
+
+std::vector<std::string> VizGraph::Descendants(const std::string& name) const {
+  std::vector<std::string> out;
+  std::deque<std::string> frontier;
+  frontier.push_back(name);
+  while (!frontier.empty()) {
+    const std::string current = frontier.front();
+    frontier.pop_front();
+    for (const std::string& target : Targets(current)) {
+      if (target == name) continue;
+      if (std::find(out.begin(), out.end(), target) == out.end()) {
+        out.push_back(target);
+        frontier.push_back(target);
+      }
+    }
+  }
+  return out;
+}
+
+Status VizGraph::Apply(const Interaction& interaction,
+                       std::vector<std::string>* affected) {
+  switch (interaction.type) {
+    case InteractionType::kCreateViz: {
+      IDB_RETURN_NOT_OK(interaction.viz.Validate());
+      if (HasViz(interaction.viz.name)) {
+        return Status::AlreadyExists("viz '" + interaction.viz.name +
+                                     "' already exists");
+      }
+      vizs_.push_back(interaction.viz);
+      affected->push_back(interaction.viz.name);
+      return Status::OK();
+    }
+    case InteractionType::kSetFilter: {
+      query::VizSpec* v = Find(interaction.viz_name);
+      if (v == nullptr) {
+        return Status::KeyError("no viz named '" + interaction.viz_name + "'");
+      }
+      v->filter = interaction.filter;
+      affected->push_back(v->name);
+      for (const std::string& d : Descendants(v->name)) {
+        affected->push_back(d);
+      }
+      return Status::OK();
+    }
+    case InteractionType::kSetSelection: {
+      query::VizSpec* v = Find(interaction.viz_name);
+      if (v == nullptr) {
+        return Status::KeyError("no viz named '" + interaction.viz_name + "'");
+      }
+      v->selection = interaction.filter;
+      for (const std::string& d : Descendants(v->name)) {
+        affected->push_back(d);
+      }
+      return Status::OK();
+    }
+    case InteractionType::kLink: {
+      if (!HasViz(interaction.link_from)) {
+        return Status::KeyError("no viz named '" + interaction.link_from + "'");
+      }
+      if (!HasViz(interaction.link_to)) {
+        return Status::KeyError("no viz named '" + interaction.link_to + "'");
+      }
+      if (interaction.link_from == interaction.link_to) {
+        return Status::Invalid("cannot link a viz to itself");
+      }
+      // Reject links that would create a cycle.
+      const std::vector<std::string> reach = Descendants(interaction.link_to);
+      if (std::find(reach.begin(), reach.end(), interaction.link_from) !=
+          reach.end()) {
+        return Status::Invalid("link would create a cycle");
+      }
+      const std::pair<std::string, std::string> edge{interaction.link_from,
+                                                     interaction.link_to};
+      if (std::find(links_.begin(), links_.end(), edge) == links_.end()) {
+        links_.push_back(edge);
+      }
+      affected->push_back(interaction.link_to);
+      for (const std::string& d : Descendants(interaction.link_to)) {
+        affected->push_back(d);
+      }
+      return Status::OK();
+    }
+    case InteractionType::kDiscard: {
+      const query::VizSpec* v = Find(interaction.viz_name);
+      if (v == nullptr) {
+        return Status::KeyError("no viz named '" + interaction.viz_name + "'");
+      }
+      vizs_.erase(std::remove_if(vizs_.begin(), vizs_.end(),
+                                 [&](const query::VizSpec& spec) {
+                                   return spec.name == interaction.viz_name;
+                                 }),
+                  vizs_.end());
+      links_.erase(std::remove_if(
+                       links_.begin(), links_.end(),
+                       [&](const std::pair<std::string, std::string>& edge) {
+                         return edge.first == interaction.viz_name ||
+                                edge.second == interaction.viz_name;
+                       }),
+                   links_.end());
+      return Status::OK();
+    }
+  }
+  return Status::Invalid("unknown interaction type");
+}
+
+Result<query::QuerySpec> VizGraph::BuildQuery(
+    const std::string& viz_name) const {
+  const query::VizSpec* v = Find(viz_name);
+  if (v == nullptr) return Status::KeyError("no viz named '" + viz_name + "'");
+
+  query::QuerySpec q;
+  q.viz_name = v->name;
+  q.bins = v->bins;
+  q.aggregates = v->aggregates;
+  q.filter = v->filter;
+
+  // Conjoin filters and selections of all ancestors (cycle-safe reverse
+  // BFS over incoming links).
+  std::vector<std::string> visited{viz_name};
+  std::deque<std::string> frontier{viz_name};
+  while (!frontier.empty()) {
+    const std::string current = frontier.front();
+    frontier.pop_front();
+    for (const auto& [from, to] : links_) {
+      if (to != current) continue;
+      if (std::find(visited.begin(), visited.end(), from) != visited.end()) {
+        continue;
+      }
+      visited.push_back(from);
+      frontier.push_back(from);
+      const query::VizSpec* source = Find(from);
+      if (source == nullptr) continue;
+      for (const expr::Predicate& p : source->filter.predicates()) {
+        q.filter.And(p);
+      }
+      for (const expr::Predicate& p : source->selection.predicates()) {
+        q.filter.And(p);
+      }
+    }
+  }
+  return q;
+}
+
+void VizGraph::Clear() {
+  vizs_.clear();
+  links_.clear();
+}
+
+}  // namespace idebench::workflow

@@ -1,0 +1,78 @@
+#ifndef IDEBENCH_WORKFLOW_VIZ_GRAPH_H_
+#define IDEBENCH_WORKFLOW_VIZ_GRAPH_H_
+
+/// \file viz_graph.h
+/// The dashboard state the benchmark driver maintains while running a
+/// workflow (paper §4.4: "the driver keeps track of a visualization
+/// graph").  Nodes are visualizations; edges are directed links.  Applying
+/// an interaction mutates the graph and yields the set of visualizations
+/// whose queries must (re-)run:
+///
+///  * create_viz v       -> {v}
+///  * set_filter on v    -> {v} ∪ descendants(v)
+///  * set_selection on v -> descendants(v)   (the brushed viz itself does
+///                          not re-query; its selection filters targets)
+///  * link a -> b        -> {b} ∪ descendants(b)
+///  * discard v          -> {}   (v and its links are removed)
+///
+/// The *effective* filter of a viz is its own filter conjoined with the
+/// filters and selections of all its ancestors along links.
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "query/spec.h"
+#include "workflow/interaction.h"
+
+namespace idebench::workflow {
+
+/// Mutable dashboard state.
+class VizGraph {
+ public:
+  /// Applies `interaction`; appends the names of visualizations that must
+  /// update to `affected` (in deterministic order).
+  Status Apply(const Interaction& interaction,
+               std::vector<std::string>* affected);
+
+  /// True when a viz with this name exists.
+  bool HasViz(const std::string& name) const;
+
+  /// The viz spec; error when absent.
+  Result<query::VizSpec> GetViz(const std::string& name) const;
+
+  /// Builds the executable query for `viz_name`: the viz's binning and
+  /// aggregates plus the effective filter (own + ancestors').  Binning is
+  /// NOT yet resolved; the driver resolves it against the catalog.
+  Result<query::QuerySpec> BuildQuery(const std::string& viz_name) const;
+
+  /// Names of all live vizs, in creation order.
+  std::vector<std::string> VizNames() const;
+
+  /// Directed links (from, to), in creation order.
+  const std::vector<std::pair<std::string, std::string>>& links() const {
+    return links_;
+  }
+
+  /// Direct link targets of `name`.
+  std::vector<std::string> Targets(const std::string& name) const;
+
+  /// All vizs reachable from `name` via links (BFS order, cycle-safe,
+  /// excludes `name` itself).
+  std::vector<std::string> Descendants(const std::string& name) const;
+
+  /// Resets to an empty dashboard.
+  void Clear();
+
+ private:
+  std::vector<query::VizSpec> vizs_;
+  std::vector<std::pair<std::string, std::string>> links_;
+
+  query::VizSpec* Find(const std::string& name);
+  const query::VizSpec* Find(const std::string& name) const;
+};
+
+}  // namespace idebench::workflow
+
+#endif  // IDEBENCH_WORKFLOW_VIZ_GRAPH_H_

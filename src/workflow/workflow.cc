@@ -1,0 +1,82 @@
+#include "workflow/workflow.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace idebench::workflow {
+
+const char* WorkflowTypeName(WorkflowType type) {
+  switch (type) {
+    case WorkflowType::kIndependent:
+      return "independent";
+    case WorkflowType::kSequential:
+      return "sequential";
+    case WorkflowType::kOneToN:
+      return "one_to_n";
+    case WorkflowType::kNToOne:
+      return "n_to_one";
+    case WorkflowType::kMixed:
+      return "mixed";
+  }
+  return "unknown";
+}
+
+Result<WorkflowType> WorkflowTypeFromName(const std::string& name) {
+  if (name == "independent") return WorkflowType::kIndependent;
+  if (name == "sequential") return WorkflowType::kSequential;
+  if (name == "one_to_n") return WorkflowType::kOneToN;
+  if (name == "n_to_one") return WorkflowType::kNToOne;
+  if (name == "mixed") return WorkflowType::kMixed;
+  return Status::Invalid("unknown workflow type '" + name + "'");
+}
+
+const std::vector<WorkflowType>& AllWorkflowTypes() {
+  static const std::vector<WorkflowType> kAll = {
+      WorkflowType::kIndependent, WorkflowType::kSequential,
+      WorkflowType::kOneToN, WorkflowType::kNToOne, WorkflowType::kMixed};
+  return kAll;
+}
+
+JsonValue Workflow::ToJson() const {
+  JsonValue j = JsonValue::Object();
+  j.Set("name", name);
+  j.Set("type", WorkflowTypeName(type));
+  JsonValue arr = JsonValue::Array();
+  for (const Interaction& i : interactions) arr.Append(i.ToJson());
+  j.Set("interactions", std::move(arr));
+  return j;
+}
+
+Result<Workflow> Workflow::FromJson(const JsonValue& j) {
+  if (!j.is_object()) return Status::Invalid("workflow must be an object");
+  Workflow w;
+  w.name = j.GetString("name", "");
+  IDB_ASSIGN_OR_RETURN(w.type, WorkflowTypeFromName(j.GetString("type", "")));
+  const JsonValue& arr = j.Get("interactions");
+  if (!arr.is_array()) return Status::Invalid("'interactions' must be array");
+  for (size_t i = 0; i < arr.size(); ++i) {
+    IDB_ASSIGN_OR_RETURN(Interaction interaction,
+                         Interaction::FromJson(arr.at(i)));
+    w.interactions.push_back(std::move(interaction));
+  }
+  return w;
+}
+
+Status Workflow::SaveToFile(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open '" + path + "' for writing");
+  out << ToJson().DumpPretty() << "\n";
+  if (!out) return Status::IOError("write to '" + path + "' failed");
+  return Status::OK();
+}
+
+Result<Workflow> Workflow::LoadFromFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open '" + path + "' for reading");
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  IDB_ASSIGN_OR_RETURN(JsonValue j, JsonValue::Parse(buffer.str()));
+  return Workflow::FromJson(j);
+}
+
+}  // namespace idebench::workflow

@@ -1,0 +1,54 @@
+#ifndef IDEBENCH_WORKFLOW_WORKFLOW_H_
+#define IDEBENCH_WORKFLOW_WORKFLOW_H_
+
+/// \file workflow.h
+/// A workflow: a named, typed sequence of interactions (paper §4.3).
+
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "common/result.h"
+#include "workflow/interaction.h"
+
+namespace idebench::workflow {
+
+/// The four IDE browsing patterns of the paper (Figure 3) plus "mixed".
+enum class WorkflowType : uint8_t {
+  kIndependent = 0,  // unlinked overview browsing
+  kSequential = 1,   // chain of linked vizs (targeted drill-down)
+  kOneToN = 2,       // one source viz fans out to N linked targets
+  kNToOne = 3,       // N filter vizs feed one target
+  kMixed = 4,        // segments of all four
+};
+
+/// Stable name ("independent", "sequential", "one_to_n", "n_to_one",
+/// "mixed").
+const char* WorkflowTypeName(WorkflowType type);
+
+/// Parses a stable name back to the enum.
+Result<WorkflowType> WorkflowTypeFromName(const std::string& name);
+
+/// All five workflow types, in declaration order.
+const std::vector<WorkflowType>& AllWorkflowTypes();
+
+/// A named sequence of interactions.
+struct Workflow {
+  std::string name;
+  WorkflowType type = WorkflowType::kMixed;
+  std::vector<Interaction> interactions;
+
+  /// Number of interactions.
+  size_t size() const { return interactions.size(); }
+
+  /// JSON round-trip; `SaveToFile`/`LoadFromFile` for the on-disk format.
+  JsonValue ToJson() const;
+  static Result<Workflow> FromJson(const JsonValue& j);
+
+  Status SaveToFile(const std::string& path) const;
+  static Result<Workflow> LoadFromFile(const std::string& path);
+};
+
+}  // namespace idebench::workflow
+
+#endif  // IDEBENCH_WORKFLOW_WORKFLOW_H_

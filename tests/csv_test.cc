@@ -1,0 +1,121 @@
+#include "storage/csv.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace idebench::storage {
+namespace {
+
+/// Temp file path helper; files are removed in the destructor.
+class TempFile {
+ public:
+  explicit TempFile(const std::string& name)
+      : path_(std::string(::testing::TempDir()) + "/" + name) {}
+  ~TempFile() { std::remove(path_.c_str()); }
+  const std::string& path() const { return path_; }
+
+  void Write(const std::string& content) {
+    std::ofstream out(path_);
+    out << content;
+  }
+
+ private:
+  std::string path_;
+};
+
+TEST(CsvLineTest, PlainFields) {
+  EXPECT_EQ(ParseCsvLine("a,b,c"),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(ParseCsvLine(""), (std::vector<std::string>{""}));
+  EXPECT_EQ(ParseCsvLine("a,,c"), (std::vector<std::string>{"a", "", "c"}));
+}
+
+TEST(CsvLineTest, QuotedFields) {
+  EXPECT_EQ(ParseCsvLine(R"("a,b",c)"),
+            (std::vector<std::string>{"a,b", "c"}));
+  EXPECT_EQ(ParseCsvLine(R"("he said ""hi""",x)"),
+            (std::vector<std::string>{"he said \"hi\"", "x"}));
+}
+
+TEST(CsvLineTest, StripsCarriageReturn) {
+  EXPECT_EQ(ParseCsvLine("a,b\r"), (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(CsvIoTest, WriteThenReadRoundTrips) {
+  Table original = testutil::MakeTinyTable();
+  TempFile file("roundtrip.csv");
+  ASSERT_TRUE(WriteCsv(original, file.path()).ok());
+
+  auto read_back = ReadCsv(file.path(), "tiny", original.schema());
+  ASSERT_TRUE(read_back.ok());
+  EXPECT_EQ(read_back->num_rows(), original.num_rows());
+  for (int64_t r = 0; r < original.num_rows(); ++r) {
+    EXPECT_EQ(read_back->RowToString(r), original.RowToString(r));
+  }
+}
+
+TEST(CsvIoTest, QuotingSurvivesRoundTrip) {
+  Schema schema({{"s", DataType::kString, AttributeKind::kNominal}});
+  Table t("quoted", schema);
+  t.mutable_column(0).AppendString("has,comma");
+  t.mutable_column(0).AppendString("has \"quote\"");
+  TempFile file("quoting.csv");
+  ASSERT_TRUE(WriteCsv(t, file.path()).ok());
+  auto read_back = ReadCsv(file.path(), "quoted", schema);
+  ASSERT_TRUE(read_back.ok());
+  EXPECT_EQ(read_back->column(0).ValueAsString(0), "has,comma");
+  EXPECT_EQ(read_back->column(0).ValueAsString(1), "has \"quote\"");
+}
+
+TEST(CsvIoTest, MissingFileFails) {
+  Schema schema({{"a", DataType::kInt64, AttributeKind::kQuantitative}});
+  EXPECT_EQ(ReadCsv("/nonexistent/nope.csv", "t", schema).status().code(),
+            StatusCode::kIoError);
+}
+
+TEST(CsvIoTest, HeaderMismatchFails) {
+  TempFile file("badheader.csv");
+  file.Write("wrong\n1\n");
+  Schema schema({{"a", DataType::kInt64, AttributeKind::kQuantitative}});
+  EXPECT_FALSE(ReadCsv(file.path(), "t", schema).ok());
+}
+
+TEST(CsvIoTest, FieldCountMismatchFails) {
+  TempFile file("badrow.csv");
+  file.Write("a,b\n1\n");
+  Schema schema({{"a", DataType::kInt64, AttributeKind::kQuantitative},
+                 {"b", DataType::kInt64, AttributeKind::kQuantitative}});
+  EXPECT_FALSE(ReadCsv(file.path(), "t", schema).ok());
+}
+
+TEST(CsvIoTest, UnparsableValueReportsLineAndColumn) {
+  TempFile file("badvalue.csv");
+  file.Write("a\nnot_a_number\n");
+  Schema schema({{"a", DataType::kInt64, AttributeKind::kQuantitative}});
+  auto result = ReadCsv(file.path(), "t", schema);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(CsvIoTest, EmptyFileFails) {
+  TempFile file("empty.csv");
+  file.Write("");
+  Schema schema({{"a", DataType::kInt64, AttributeKind::kQuantitative}});
+  EXPECT_FALSE(ReadCsv(file.path(), "t", schema).ok());
+}
+
+TEST(CsvIoTest, SkipsBlankLines) {
+  TempFile file("blanks.csv");
+  file.Write("a\n1\n\n2\n");
+  Schema schema({{"a", DataType::kInt64, AttributeKind::kQuantitative}});
+  auto result = ReadCsv(file.path(), "t", schema);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->num_rows(), 2);
+}
+
+}  // namespace
+}  // namespace idebench::storage

@@ -1,0 +1,283 @@
+#include <cmath>
+#include <set>
+#include <unordered_map>
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "datagen/cholesky_scaler.h"
+#include "datagen/flights_seed.h"
+#include "datagen/normalizer.h"
+
+namespace idebench::datagen {
+namespace {
+
+storage::Table MakeSeed(int64_t rows = 20'000, uint64_t seed = 42) {
+  FlightsSeedConfig config;
+  config.rows = rows;
+  config.seed = seed;
+  auto table = GenerateFlightsSeed(config);
+  IDB_CHECK(table.ok());
+  return std::move(table).MoveValueUnsafe();
+}
+
+double Correlation(const storage::Column& a, const storage::Column& b) {
+  const int64_t n = a.size();
+  double ma = 0.0;
+  double mb = 0.0;
+  for (int64_t i = 0; i < n; ++i) {
+    ma += a.ValueAsDouble(i);
+    mb += b.ValueAsDouble(i);
+  }
+  ma /= static_cast<double>(n);
+  mb /= static_cast<double>(n);
+  double cov = 0.0;
+  double va = 0.0;
+  double vb = 0.0;
+  for (int64_t i = 0; i < n; ++i) {
+    const double da = a.ValueAsDouble(i) - ma;
+    const double db = b.ValueAsDouble(i) - mb;
+    cov += da * db;
+    va += da * da;
+    vb += db * db;
+  }
+  return cov / std::sqrt(va * vb);
+}
+
+TEST(FlightsSeedTest, SchemaAndShape) {
+  storage::Table t = MakeSeed(5'000);
+  EXPECT_EQ(t.num_rows(), 5'000);
+  EXPECT_EQ(t.schema(), FlightsSchema());
+  EXPECT_TRUE(t.Validate().ok());
+}
+
+TEST(FlightsSeedTest, Deterministic) {
+  storage::Table a = MakeSeed(2'000, 7);
+  storage::Table b = MakeSeed(2'000, 7);
+  for (int64_t r = 0; r < 100; ++r) {
+    EXPECT_EQ(a.RowToString(r), b.RowToString(r));
+  }
+}
+
+TEST(FlightsSeedTest, ValueRangesArePlausible) {
+  storage::Table t = MakeSeed();
+  EXPECT_GE(t.ColumnByName("dep_delay")->Min(), -25.0);
+  EXPECT_LE(t.ColumnByName("dep_delay")->Max(), 480.0 + 8.0);  // + evening bump
+  EXPECT_GE(t.ColumnByName("distance")->Min(), 80.0);
+  EXPECT_GE(t.ColumnByName("air_time")->Min(), 20.0);
+  EXPECT_GE(t.ColumnByName("dep_time")->Min(), 0.0);
+  EXPECT_LT(t.ColumnByName("dep_time")->Max(), 24.0);
+  EXPECT_GE(t.ColumnByName("day_of_week")->Min(), 1.0);
+  EXPECT_LE(t.ColumnByName("day_of_week")->Max(), 7.0);
+}
+
+TEST(FlightsSeedTest, CorrelationsBuiltIn) {
+  storage::Table t = MakeSeed();
+  // arr_delay tracks dep_delay strongly.
+  EXPECT_GT(Correlation(*t.ColumnByName("dep_delay"),
+                        *t.ColumnByName("arr_delay")),
+            0.7);
+  // air_time tracks distance nearly deterministically.
+  EXPECT_GT(Correlation(*t.ColumnByName("distance"),
+                        *t.ColumnByName("air_time")),
+            0.9);
+}
+
+TEST(FlightsSeedTest, CarrierPopularityIsSkewed) {
+  storage::Table t = MakeSeed();
+  const storage::Column* carrier = t.ColumnByName("carrier");
+  std::unordered_map<int64_t, int64_t> counts;
+  for (int64_t r = 0; r < t.num_rows(); ++r) {
+    ++counts[carrier->ValueAsInt(r)];
+  }
+  // Zipf: code 0 (most popular) should dominate the median carrier.
+  EXPECT_GT(counts[0], 5 * std::max<int64_t>(counts[12], 1));
+}
+
+TEST(FlightsSeedTest, FunctionalDependenciesHold) {
+  storage::Table t = MakeSeed(5'000);
+  const storage::Column* carrier = t.ColumnByName("carrier");
+  const storage::Column* name = t.ColumnByName("carrier_name");
+  std::unordered_map<int64_t, std::string> mapping;
+  for (int64_t r = 0; r < t.num_rows(); ++r) {
+    auto [it, inserted] =
+        mapping.emplace(carrier->ValueAsInt(r), name->ValueAsString(r));
+    if (!inserted) {
+      EXPECT_EQ(it->second, name->ValueAsString(r));
+    }
+  }
+}
+
+TEST(FlightsSeedTest, InvalidConfigRejected) {
+  FlightsSeedConfig bad;
+  bad.rows = 0;
+  EXPECT_FALSE(GenerateFlightsSeed(bad).ok());
+  bad.rows = 10;
+  bad.num_airports = 1;
+  EXPECT_FALSE(GenerateFlightsSeed(bad).ok());
+}
+
+TEST(ScalerTest, ProducesRequestedRowCount) {
+  storage::Table seed = MakeSeed(5'000);
+  ScalerConfig config;
+  config.target_rows = 12'345;
+  config.derived = FlightsDerivedColumns();
+  auto scaled = ScaleDataset(seed, config);
+  ASSERT_TRUE(scaled.ok());
+  EXPECT_EQ(scaled->num_rows(), 12'345);
+  EXPECT_EQ(scaled->schema(), seed.schema());
+}
+
+TEST(ScalerTest, DownsamplingWorks) {
+  storage::Table seed = MakeSeed(5'000);
+  ScalerConfig config;
+  config.target_rows = 500;
+  config.derived = FlightsDerivedColumns();
+  auto scaled = ScaleDataset(seed, config);
+  ASSERT_TRUE(scaled.ok());
+  EXPECT_EQ(scaled->num_rows(), 500);
+}
+
+TEST(ScalerTest, PreservesMarginalDistributions) {
+  storage::Table seed = MakeSeed(20'000);
+  ScalerConfig config;
+  config.target_rows = 20'000;
+  config.derived = FlightsDerivedColumns();
+  auto scaled = ScaleDataset(seed, config);
+  ASSERT_TRUE(scaled.ok());
+  for (const char* col : {"dep_delay", "distance", "dep_time"}) {
+    const storage::Column* s = seed.ColumnByName(col);
+    const storage::Column* g = scaled->ColumnByName(col);
+    double mean_s = 0.0;
+    double mean_g = 0.0;
+    for (int64_t r = 0; r < seed.num_rows(); ++r) mean_s += s->ValueAsDouble(r);
+    for (int64_t r = 0; r < scaled->num_rows(); ++r) {
+      mean_g += g->ValueAsDouble(r);
+    }
+    mean_s /= static_cast<double>(seed.num_rows());
+    mean_g /= static_cast<double>(scaled->num_rows());
+    EXPECT_NEAR(mean_g, mean_s, std::fabs(mean_s) * 0.1 + 1.0) << col;
+  }
+}
+
+TEST(ScalerTest, PreservesCorrelations) {
+  storage::Table seed = MakeSeed(20'000);
+  ScalerConfig config;
+  config.target_rows = 20'000;
+  config.derived = FlightsDerivedColumns();
+  auto scaled = ScaleDataset(seed, config);
+  ASSERT_TRUE(scaled.ok());
+  const double seed_corr = Correlation(*seed.ColumnByName("dep_delay"),
+                                       *seed.ColumnByName("arr_delay"));
+  const double scaled_corr = Correlation(*scaled->ColumnByName("dep_delay"),
+                                         *scaled->ColumnByName("arr_delay"));
+  // The Gaussian copula preserves rank dependence; Pearson correlation of
+  // the heavy-tailed delay mixture is attenuated somewhat, which the
+  // paper's method shares.  Require strong positive correlation and
+  // rough agreement.
+  EXPECT_GT(scaled_corr, 0.55);
+  EXPECT_NEAR(scaled_corr, seed_corr, 0.25);
+}
+
+TEST(ScalerTest, PreservesFunctionalDependencies) {
+  storage::Table seed = MakeSeed(5'000);
+  ScalerConfig config;
+  config.target_rows = 8'000;
+  config.derived = FlightsDerivedColumns();
+  auto scaled = ScaleDataset(seed, config);
+  ASSERT_TRUE(scaled.ok());
+  const storage::Column* carrier = scaled->ColumnByName("carrier");
+  const storage::Column* name = scaled->ColumnByName("carrier_name");
+  for (int64_t r = 0; r < scaled->num_rows(); ++r) {
+    EXPECT_EQ("Carrier " + carrier->ValueAsString(r), name->ValueAsString(r));
+  }
+}
+
+TEST(ScalerTest, DictionaryCodesMatchSeed) {
+  storage::Table seed = MakeSeed(5'000);
+  ScalerConfig config;
+  config.target_rows = 1'000;
+  config.derived = FlightsDerivedColumns();
+  auto scaled = ScaleDataset(seed, config);
+  ASSERT_TRUE(scaled.ok());
+  const auto& seed_dict = seed.ColumnByName("carrier")->dictionary();
+  const auto& scaled_dict = scaled->ColumnByName("carrier")->dictionary();
+  ASSERT_EQ(scaled_dict.size(), seed_dict.size());
+  for (int64_t c = 0; c < seed_dict.size(); ++c) {
+    EXPECT_EQ(scaled_dict.At(c), seed_dict.At(c));
+  }
+}
+
+TEST(ScalerTest, Errors) {
+  storage::Table seed = MakeSeed(1'000);
+  ScalerConfig bad;
+  bad.target_rows = 0;
+  EXPECT_FALSE(ScaleDataset(seed, bad).ok());
+  ScalerConfig bad_fd;
+  bad_fd.target_rows = 10;
+  bad_fd.derived = {{"ghost", "carrier"}};
+  EXPECT_FALSE(ScaleDataset(seed, bad_fd).ok());
+}
+
+TEST(NormalizerTest, FlightsStarSchema) {
+  storage::Table seed = MakeSeed(5'000);
+  auto catalog = Normalize(seed, FlightsDimensionSpecs());
+  ASSERT_TRUE(catalog.ok());
+  EXPECT_TRUE(catalog->is_normalized());
+  EXPECT_EQ(catalog->tables().size(), 3u);
+  const storage::Table* fact = catalog->fact_table();
+  ASSERT_NE(fact, nullptr);
+  EXPECT_EQ(fact->num_rows(), seed.num_rows());
+  // The nominal columns moved out; surrogate keys moved in.
+  EXPECT_EQ(fact->ColumnByName("carrier"), nullptr);
+  EXPECT_NE(fact->ColumnByName("carrier_id"), nullptr);
+  EXPECT_NE(fact->ColumnByName("airport_id"), nullptr);
+  // Dimensions carry the moved columns.
+  const storage::Table* carriers = catalog->GetTable("carriers");
+  ASSERT_NE(carriers, nullptr);
+  EXPECT_NE(carriers->ColumnByName("carrier"), nullptr);
+  EXPECT_NE(carriers->ColumnByName("carrier_name"), nullptr);
+  EXPECT_EQ(catalog->foreign_keys().size(), 2u);
+}
+
+TEST(NormalizerTest, JoinReconstructsOriginalValues) {
+  storage::Table seed = MakeSeed(2'000);
+  auto catalog = Normalize(seed, FlightsDimensionSpecs());
+  ASSERT_TRUE(catalog.ok());
+  const storage::Table* fact = catalog->fact_table();
+  const storage::Table* carriers = catalog->GetTable("carriers");
+  const storage::Column* fk = fact->ColumnByName("carrier_id");
+  const storage::Column* pk = carriers->ColumnByName("carrier_id");
+  const storage::Column* carrier = carriers->ColumnByName("carrier");
+  // PK is positionally dense (key k at row k), so FK value = dim row.
+  for (int64_t r = 0; r < 200; ++r) {
+    const int64_t key = fk->ValueAsInt(r);
+    EXPECT_EQ(pk->ValueAsInt(key), key);
+    EXPECT_EQ(carrier->ValueAsString(key),
+              seed.ColumnByName("carrier")->ValueAsString(r));
+  }
+}
+
+TEST(NormalizerTest, DimensionHasDistinctCombinations) {
+  storage::Table seed = MakeSeed(5'000);
+  auto catalog = Normalize(seed, FlightsDimensionSpecs());
+  ASSERT_TRUE(catalog.ok());
+  const storage::Table* carriers = catalog->GetTable("carriers");
+  std::set<std::string> combos;
+  for (int64_t r = 0; r < carriers->num_rows(); ++r) {
+    combos.insert(carriers->RowToString(r));
+  }
+  EXPECT_EQ(static_cast<int64_t>(combos.size()), carriers->num_rows());
+}
+
+TEST(NormalizerTest, Errors) {
+  storage::Table seed = MakeSeed(100);
+  EXPECT_FALSE(Normalize(seed, {{"d", {"ghost"}, "d_id"}}).ok());
+  EXPECT_FALSE(
+      Normalize(seed, {{"d1", {"carrier"}, "d1_id"},
+                       {"d2", {"carrier"}, "d2_id"}})
+          .ok());
+}
+
+}  // namespace
+}  // namespace idebench::datagen

@@ -1,0 +1,214 @@
+/// \file engine_properties_test.cc
+/// Property-style sweeps over all engines and time requirements:
+/// invariants every conforming system adapter must satisfy, plus
+/// failure-injection cases for the adapter contract.
+
+#include <gtest/gtest.h>
+
+#include "engines/registry.h"
+#include "tests/test_util.h"
+
+namespace idebench::engines {
+namespace {
+
+using query::QuerySpec;
+
+std::shared_ptr<const storage::Catalog> PropCatalog(int64_t nominal) {
+  auto catalog = testutil::MakeTinyCatalog();
+  catalog->set_nominal_rows(nominal);
+  return catalog;
+}
+
+/// (engine name, TR microseconds) sweep.
+class EngineTrSweep
+    : public ::testing::TestWithParam<std::tuple<std::string, Micros>> {};
+
+TEST_P(EngineTrSweep, RunForNeverOverconsumesAndPollIsSafe) {
+  const auto& [name, tr] = GetParam();
+  auto engine = CreateEngine(name);
+  ASSERT_TRUE(engine.ok());
+  auto catalog = PropCatalog(1'000'000'000);  // 1 B nominal: nothing finishes
+  ASSERT_TRUE((*engine)->Prepare(catalog).ok());
+  QuerySpec spec = testutil::MakeCountByGroupSpec(*catalog);
+  auto handle = (*engine)->Submit(spec);
+  ASSERT_TRUE(handle.ok());
+
+  Micros total = 0;
+  for (int i = 0; i < 16; ++i) {
+    const Micros slice = tr / 8 + 1;
+    const Micros consumed = (*engine)->RunFor(*handle, slice);
+    EXPECT_GE(consumed, 0);
+    EXPECT_LE(consumed, slice);
+    total += consumed;
+    // Polling mid-flight must always succeed (possibly unavailable).
+    auto result = (*engine)->PollResult(*handle);
+    ASSERT_TRUE(result.ok());
+    if (result->available) {
+      EXPECT_GE(result->progress, 0.0);
+      EXPECT_LE(result->progress, 1.0);
+    }
+  }
+  EXPECT_LE(total, 2 * tr + 16);
+  (*engine)->Cancel(*handle);
+}
+
+TEST_P(EngineTrSweep, CancelledHandleStopsResponding) {
+  const auto& [name, tr] = GetParam();
+  auto engine = CreateEngine(name);
+  ASSERT_TRUE(engine.ok());
+  auto catalog = PropCatalog(1'000'000);
+  ASSERT_TRUE((*engine)->Prepare(catalog).ok());
+  QuerySpec spec = testutil::MakeCountByGroupSpec(*catalog);
+  auto handle = (*engine)->Submit(spec);
+  ASSERT_TRUE(handle.ok());
+  (*engine)->RunFor(*handle, tr);
+  (*engine)->Cancel(*handle);
+  EXPECT_EQ((*engine)->RunFor(*handle, tr), 0);
+  EXPECT_FALSE((*engine)->IsDone(*handle));
+  EXPECT_FALSE((*engine)->PollResult(*handle).ok());
+}
+
+TEST_P(EngineTrSweep, UnknownHandleIsHarmless) {
+  const auto& [name, tr] = GetParam();
+  auto engine = CreateEngine(name);
+  ASSERT_TRUE(engine.ok());
+  auto catalog = PropCatalog(1'000'000);
+  ASSERT_TRUE((*engine)->Prepare(catalog).ok());
+  EXPECT_EQ((*engine)->RunFor(12345, tr), 0);
+  EXPECT_FALSE((*engine)->IsDone(12345));
+  EXPECT_FALSE((*engine)->PollResult(12345).ok());
+  (*engine)->Cancel(12345);  // no crash
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllEnginesAllTrs, EngineTrSweep,
+    ::testing::Combine(
+        ::testing::Values("blocking", "online", "progressive", "stratified",
+                          "frontend"),
+        ::testing::Values(Micros{500'000}, Micros{3'000'000},
+                          Micros{10'000'000})),
+    [](const auto& info) {
+      return std::get<0>(info.param) + "_tr" +
+             std::to_string(std::get<1>(info.param) / 1000) + "ms";
+    });
+
+/// Engines must refuse double preparation and queries before Prepare.
+class EngineLifecycle : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(EngineLifecycle, SubmitBeforePrepareFails) {
+  auto engine = CreateEngine(GetParam());
+  ASSERT_TRUE(engine.ok());
+  auto catalog = PropCatalog(1'000'000);
+  QuerySpec spec = testutil::MakeCountByGroupSpec(*catalog);
+  EXPECT_FALSE((*engine)->Submit(spec).ok());
+}
+
+TEST_P(EngineLifecycle, DoublePrepareFails) {
+  auto engine = CreateEngine(GetParam());
+  ASSERT_TRUE(engine.ok());
+  auto catalog = PropCatalog(1'000'000);
+  ASSERT_TRUE((*engine)->Prepare(catalog).ok());
+  EXPECT_FALSE((*engine)->Prepare(catalog).ok());
+}
+
+TEST_P(EngineLifecycle, UnresolvedBinsRejected) {
+  auto engine = CreateEngine(GetParam());
+  ASSERT_TRUE(engine.ok());
+  auto catalog = PropCatalog(1'000'000);
+  ASSERT_TRUE((*engine)->Prepare(catalog).ok());
+  QuerySpec spec;
+  spec.viz_name = "v";
+  query::BinDimension d;
+  d.column = "group";
+  d.mode = query::BinningMode::kNominal;  // not resolved
+  spec.bins = {d};
+  query::AggregateSpec agg;
+  agg.type = query::AggregateType::kCount;
+  spec.aggregates = {agg};
+  EXPECT_FALSE((*engine)->Submit(spec).ok());
+}
+
+TEST_P(EngineLifecycle, UnknownColumnRejected) {
+  auto engine = CreateEngine(GetParam());
+  ASSERT_TRUE(engine.ok());
+  auto catalog = PropCatalog(1'000'000);
+  ASSERT_TRUE((*engine)->Prepare(catalog).ok());
+  QuerySpec spec = testutil::MakeCountByGroupSpec(*catalog);
+  expr::Predicate p;
+  p.column = "no_such_column";
+  p.op = expr::CompareOp::kGe;
+  p.value = 0.0;
+  spec.filter.And(p);
+  EXPECT_FALSE((*engine)->Submit(spec).ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllEngines, EngineLifecycle,
+                         ::testing::Values("blocking", "online", "progressive",
+                                           "stratified", "frontend"),
+                         [](const auto& info) { return info.param; });
+
+/// Completed answers must agree with the exact ground truth for exact
+/// engines and reconstruct totals in expectation for sampling ones.
+class EngineAnswerQuality : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(EngineAnswerQuality, FilteredCountMatchesTruth) {
+  auto engine = CreateEngine(GetParam());
+  ASSERT_TRUE(engine.ok());
+  auto catalog = PropCatalog(100'000);  // small nominal: everything finishes
+  ASSERT_TRUE((*engine)->Prepare(catalog).ok());
+
+  QuerySpec spec = testutil::MakeCountByGroupSpec(*catalog);
+  expr::Predicate p;
+  p.column = "flag";
+  p.op = expr::CompareOp::kEq;
+  p.value = 1.0;
+  spec.filter.And(p);
+
+  auto handle = (*engine)->Submit(spec);
+  ASSERT_TRUE(handle.ok());
+  for (int i = 0; i < 64 && !(*engine)->IsDone(*handle); ++i) {
+    (*engine)->RunFor(*handle, 10'000'000);
+  }
+  ASSERT_TRUE((*engine)->IsDone(*handle));
+  auto result = (*engine)->PollResult(*handle);
+  ASSERT_TRUE(result.ok());
+  ASSERT_TRUE(result->available);
+  // True counts: flag==1 rows are {50,a},{60,b},{70,a},{80,b}: 2 per group.
+  EXPECT_NEAR(result->TotalEstimate(), 4.0, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllEngines, EngineAnswerQuality,
+                         ::testing::Values("blocking", "online", "progressive",
+                                           "stratified", "frontend"),
+                         [](const auto& info) { return info.param; });
+
+/// The progressive engine's margin shrinks monotonically as it runs —
+/// the defining property of progressive computation.
+TEST(ProgressiveMonotonicity, MarginsShrinkWithWork) {
+  auto engine = CreateEngine("progressive");
+  ASSERT_TRUE(engine.ok());
+  auto catalog = PropCatalog(100'000'000'000);  // effectively endless
+  ASSERT_TRUE((*engine)->Prepare(catalog).ok());
+  auto spec = testutil::MakeCountByGroupSpec(*catalog);
+  auto handle = (*engine)->Submit(spec);
+  ASSERT_TRUE(handle.ok());
+  // Burn the restart overhead + sample 2 rows.
+  (*engine)->RunFor(*handle, 700'000);
+
+  double last_margin = 1e18;
+  for (int step = 0; step < 3; ++step) {
+    (*engine)->RunFor(*handle, 16'000);  // 2 rows at 8 us each
+    auto result = (*engine)->PollResult(*handle);
+    ASSERT_TRUE(result.ok());
+    if (!result->available || result->bins.empty()) continue;
+    double margin = 0.0;
+    for (const auto& [key, bin] : result->bins) {
+      margin += bin.values[0].margin;
+    }
+    EXPECT_LE(margin, last_margin * 1.25);  // allow small estimator noise
+    last_margin = margin;
+  }
+}
+
+}  // namespace
+}  // namespace idebench::engines

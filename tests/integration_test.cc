@@ -1,0 +1,162 @@
+/// \file integration_test.cc
+/// End-to-end tests across modules: dataset building, full benchmark
+/// runs, determinism, and cross-engine invariants on realistic (small)
+/// configurations.
+
+#include <gtest/gtest.h>
+
+#include "core/dataset.h"
+#include "core/idebench.h"
+#include "query/sql.h"
+
+namespace idebench::core {
+namespace {
+
+DatasetConfig TinyDataset(bool normalized = false) {
+  DatasetConfig config;
+  config.nominal_rows = 50'000'000;  // 50 M nominal
+  config.actual_rows = 20'000;
+  config.seed_rows = 10'000;
+  config.normalized = normalized;
+  config.seed = 99;
+  return config;
+}
+
+BenchmarkConfig TinyBenchmark(const std::string& engine) {
+  BenchmarkConfig config;
+  config.engine = engine;
+  config.dataset = TinyDataset();
+  config.time_requirements_s = {0.5, 3.0};
+  config.workflows_per_type = 2;
+  config.seed = 5;
+  return config;
+}
+
+TEST(DatasetTest, BuildDenormalized) {
+  auto catalog = BuildFlightsCatalog(TinyDataset(false));
+  ASSERT_TRUE(catalog.ok());
+  EXPECT_FALSE((*catalog)->is_normalized());
+  EXPECT_EQ((*catalog)->fact_table()->num_rows(), 20'000);
+  EXPECT_EQ((*catalog)->nominal_rows(), 50'000'000);
+}
+
+TEST(DatasetTest, BuildNormalizedStarSchema) {
+  auto catalog = BuildFlightsCatalog(TinyDataset(true));
+  ASSERT_TRUE(catalog.ok());
+  EXPECT_TRUE((*catalog)->is_normalized());
+  EXPECT_EQ((*catalog)->tables().size(), 3u);
+  EXPECT_EQ((*catalog)->foreign_keys().size(), 2u);
+  // The fact table sheds the dimension columns.
+  EXPECT_EQ((*catalog)->fact_table()->ColumnByName("carrier"), nullptr);
+  EXPECT_NE((*catalog)->GetTable("carriers"), nullptr);
+}
+
+TEST(DatasetTest, DefaultActualRowsDerivation) {
+  DatasetConfig config = MediumDataset();
+  EXPECT_EQ(config.EffectiveActualRows(), 500'000);
+  config = LargeDataset();
+  EXPECT_EQ(config.EffectiveActualRows(), 600'000);  // capped
+  config.actual_rows = 1'000;
+  EXPECT_EQ(config.EffectiveActualRows(), 1'000);
+}
+
+TEST(DatasetTest, SizeLabels) {
+  EXPECT_EQ(DataSizeLabel(100'000'000), "100m");
+  EXPECT_EQ(DataSizeLabel(500'000'000), "500m");
+  EXPECT_EQ(DataSizeLabel(1'000'000'000), "1b");
+}
+
+TEST(IntegrationTest, FullRunProgressiveEngine) {
+  auto outcome = RunBenchmark(TinyBenchmark("progressive"));
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_GT(outcome->records.size(), 20u);
+  EXPECT_EQ(outcome->summary.size(), 2u);  // one per TR
+  EXPECT_GT(outcome->data_preparation_time, 0);
+  // The progressive engine almost never violates (restart overhead can
+  // cost the very first query at TR=0.5).
+  for (const auto& row : outcome->summary) {
+    EXPECT_LT(row.tr_violation_rate, 0.1) << row.group;
+  }
+}
+
+TEST(IntegrationTest, FullRunBlockingEngineViolatesTightTr) {
+  auto outcome = RunBenchmark(TinyBenchmark("blocking"));
+  ASSERT_TRUE(outcome.ok());
+  ASSERT_EQ(outcome->summary.size(), 2u);
+  // 50 M nominal at ~5 ns/row = 0.25 s base; complexity pushes many
+  // queries past 0.5 s but almost none past 3 s.
+  EXPECT_GT(outcome->summary[0].tr_violation_rate,
+            outcome->summary[1].tr_violation_rate);
+  // Whatever the blocking engine returns is exact.
+  for (const auto& r : outcome->records) {
+    if (!r.metrics.tr_violated) {
+      EXPECT_NEAR(r.metrics.mean_rel_error, 0.0, 1e-9);
+      EXPECT_NEAR(r.metrics.missing_bins, 0.0, 1e-9);
+    }
+  }
+}
+
+TEST(IntegrationTest, DeterministicAcrossRuns) {
+  auto a = RunBenchmark(TinyBenchmark("stratified"));
+  auto b = RunBenchmark(TinyBenchmark("stratified"));
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->records.size(), b->records.size());
+  for (size_t i = 0; i < a->records.size(); ++i) {
+    EXPECT_EQ(a->records[i].sql, b->records[i].sql);
+    EXPECT_DOUBLE_EQ(a->records[i].metrics.mean_rel_error,
+                     b->records[i].metrics.mean_rel_error);
+    EXPECT_EQ(a->records[i].metrics.tr_violated,
+              b->records[i].metrics.tr_violated);
+  }
+}
+
+TEST(IntegrationTest, NormalizedRunWithJoins) {
+  BenchmarkConfig config = TinyBenchmark("blocking");
+  config.dataset.normalized = true;
+  config.time_requirements_s = {3.0};
+  auto outcome = RunBenchmark(config);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_GT(outcome->records.size(), 10u);
+  // At least one query must reference a dimension column and render a
+  // JOIN in its SQL.
+  bool saw_join = false;
+  for (const auto& r : outcome->records) {
+    if (r.sql.find(" JOIN ") != std::string::npos) saw_join = true;
+  }
+  EXPECT_TRUE(saw_join);
+}
+
+TEST(IntegrationTest, OnlineEngineFallbackShareIsSubstantial) {
+  BenchmarkConfig config = TinyBenchmark("online");
+  config.dataset.nominal_rows = 500'000'000;  // make fallback scans slow
+  config.time_requirements_s = {1.0};
+  auto outcome = RunBenchmark(config);
+  ASSERT_TRUE(outcome.ok());
+  ASSERT_EQ(outcome->summary.size(), 1u);
+  // AVG/multi-aggregate queries fall back to blocking scans that cannot
+  // meet 1 s at 500 M: a large share of violations, as in the paper.
+  EXPECT_GT(outcome->summary[0].tr_violation_rate, 0.3);
+  EXPECT_LT(outcome->summary[0].tr_violation_rate, 0.9);
+}
+
+TEST(IntegrationTest, StratifiedQualityConstantAcrossTr) {
+  BenchmarkConfig config = TinyBenchmark("stratified");
+  auto outcome = RunBenchmark(config);
+  ASSERT_TRUE(outcome.ok());
+  ASSERT_EQ(outcome->summary.size(), 2u);
+  // Identical sample -> identical quality at both TRs (violation rates
+  // may differ).
+  EXPECT_NEAR(outcome->summary[0].mean_missing_bins,
+              outcome->summary[1].mean_missing_bins, 1e-9);
+  EXPECT_NEAR(outcome->summary[0].median_mre, outcome->summary[1].median_mre,
+              1e-9);
+}
+
+TEST(IntegrationTest, UnknownEngineFails) {
+  BenchmarkConfig config = TinyBenchmark("warp_drive");
+  EXPECT_FALSE(RunBenchmark(config).ok());
+}
+
+}  // namespace
+}  // namespace idebench::core

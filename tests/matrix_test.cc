@@ -1,0 +1,128 @@
+#include "datagen/matrix.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace idebench::datagen {
+namespace {
+
+TEST(MatrixTest, IdentityAndAccess) {
+  Matrix m = Matrix::Identity(3);
+  EXPECT_EQ(m.rows(), 3);
+  EXPECT_EQ(m.cols(), 3);
+  EXPECT_DOUBLE_EQ(m.at(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(m.at(0, 1), 0.0);
+  m.at(1, 2) = 5.0;
+  EXPECT_DOUBLE_EQ(m.at(1, 2), 5.0);
+}
+
+TEST(MatrixTest, MultiplyVector) {
+  Matrix m(2, 3);
+  m.at(0, 0) = 1;
+  m.at(0, 1) = 2;
+  m.at(0, 2) = 3;
+  m.at(1, 0) = 4;
+  m.at(1, 1) = 5;
+  m.at(1, 2) = 6;
+  const std::vector<double> y = m.MultiplyVector({1.0, 1.0, 1.0});
+  ASSERT_EQ(y.size(), 2u);
+  EXPECT_DOUBLE_EQ(y[0], 6.0);
+  EXPECT_DOUBLE_EQ(y[1], 15.0);
+}
+
+TEST(CholeskyTest, ReconstructsKnownMatrix) {
+  // M = [[4, 2], [2, 3]] has Cholesky L = [[2, 0], [1, sqrt(2)]].
+  Matrix m(2, 2);
+  m.at(0, 0) = 4;
+  m.at(0, 1) = 2;
+  m.at(1, 0) = 2;
+  m.at(1, 1) = 3;
+  auto l = CholeskyDecompose(m);
+  ASSERT_TRUE(l.ok());
+  EXPECT_NEAR(l->at(0, 0), 2.0, 1e-12);
+  EXPECT_NEAR(l->at(1, 0), 1.0, 1e-12);
+  EXPECT_NEAR(l->at(1, 1), std::sqrt(2.0), 1e-12);
+  EXPECT_NEAR(l->at(0, 1), 0.0, 1e-12);  // strictly lower triangular
+}
+
+TEST(CholeskyTest, LLtEqualsInput) {
+  Matrix m(3, 3);
+  // A correlation-like SPD matrix.
+  const double data[3][3] = {{1.0, 0.5, 0.2}, {0.5, 1.0, -0.3},
+                             {0.2, -0.3, 1.0}};
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 3; ++j) m.at(i, j) = data[i][j];
+  }
+  auto l = CholeskyDecompose(m);
+  ASSERT_TRUE(l.ok());
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 3; ++j) {
+      double sum = 0.0;
+      for (int k = 0; k < 3; ++k) sum += l->at(i, k) * l->at(j, k);
+      EXPECT_NEAR(sum, m.at(i, j), 1e-10) << i << "," << j;
+    }
+  }
+}
+
+TEST(CholeskyTest, SingularMatrixGetsRidge) {
+  // Perfectly collinear correlation matrix (rank 1): needs jitter.
+  Matrix m(2, 2);
+  m.at(0, 0) = 1.0;
+  m.at(0, 1) = 1.0;
+  m.at(1, 0) = 1.0;
+  m.at(1, 1) = 1.0;
+  auto l = CholeskyDecompose(m);
+  ASSERT_TRUE(l.ok());
+  EXPECT_GT(l->at(1, 1), 0.0);
+}
+
+TEST(CholeskyTest, NonSquareRejected) {
+  EXPECT_FALSE(CholeskyDecompose(Matrix(2, 3)).ok());
+}
+
+TEST(CholeskyTest, EmptyMatrixOk) {
+  auto l = CholeskyDecompose(Matrix(0, 0));
+  ASSERT_TRUE(l.ok());
+  EXPECT_EQ(l->rows(), 0);
+}
+
+TEST(CorrelationTest, PerfectCorrelationAndAnticorrelation) {
+  const std::vector<double> x = {1, 2, 3, 4, 5};
+  const std::vector<double> y = {2, 4, 6, 8, 10};
+  const std::vector<double> z = {5, 4, 3, 2, 1};
+  auto r = CorrelationMatrix({x, y, z});
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r->at(0, 1), 1.0, 1e-12);
+  EXPECT_NEAR(r->at(0, 2), -1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(r->at(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(r->at(1, 1), 1.0);
+}
+
+TEST(CorrelationTest, IndependentColumnsNearZero) {
+  const std::vector<double> x = {1, 2, 3, 4};
+  const std::vector<double> y = {1, -1, -1, 1};  // orthogonal-ish
+  auto r = CorrelationMatrix({x, y});
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r->at(0, 1), 0.0, 0.3);
+}
+
+TEST(CorrelationTest, ConstantColumnHandled) {
+  const std::vector<double> x = {1, 2, 3};
+  const std::vector<double> c = {7, 7, 7};
+  auto r = CorrelationMatrix({x, c});
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r->at(0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(r->at(1, 1), 1.0);
+}
+
+TEST(CorrelationTest, Errors) {
+  EXPECT_FALSE(CorrelationMatrix({{1.0, 2.0}, {1.0}}).ok());
+  EXPECT_FALSE(CorrelationMatrix({{}, {}}).ok());
+  auto empty = CorrelationMatrix({});
+  ASSERT_TRUE(empty.ok());
+  EXPECT_EQ(empty->rows(), 0);
+}
+
+}  // namespace
+}  // namespace idebench::datagen

@@ -1,0 +1,176 @@
+#include "metrics/metrics.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace idebench::metrics {
+namespace {
+
+using query::AggValue;
+using query::BinResult;
+using query::QueryResult;
+
+QueryResult MakeResult(std::vector<std::pair<int64_t, double>> bins,
+                       double margin = 0.0) {
+  QueryResult r;
+  r.available = true;
+  for (const auto& [key, value] : bins) {
+    BinResult bin;
+    bin.values.push_back(AggValue{value, margin});
+    r.bins.emplace(key, std::move(bin));
+  }
+  return r;
+}
+
+TEST(MetricsTest, ExactMatchIsPerfect) {
+  QueryResult truth = MakeResult({{0, 10.0}, {1, 20.0}, {2, 30.0}});
+  QueryMetrics m = Evaluate(truth, truth, /*tr_violated=*/false);
+  EXPECT_FALSE(m.tr_violated);
+  EXPECT_EQ(m.bins_delivered, 3);
+  EXPECT_EQ(m.bins_in_gt, 3);
+  EXPECT_DOUBLE_EQ(m.missing_bins, 0.0);
+  EXPECT_DOUBLE_EQ(m.mean_rel_error, 0.0);
+  EXPECT_DOUBLE_EQ(m.smape, 0.0);
+  EXPECT_NEAR(m.cosine_distance, 0.0, 1e-12);
+  EXPECT_DOUBLE_EQ(m.bias, 1.0);
+  EXPECT_EQ(m.bins_out_of_margin, 0);
+}
+
+TEST(MetricsTest, UnavailableResultViolatesTr) {
+  QueryResult truth = MakeResult({{0, 10.0}});
+  QueryResult nothing;  // available = false
+  QueryMetrics m = Evaluate(nothing, truth, /*tr_violated=*/false);
+  EXPECT_TRUE(m.tr_violated);
+  EXPECT_EQ(m.bins_delivered, 0);
+  EXPECT_DOUBLE_EQ(m.missing_bins, 1.0);
+  EXPECT_DOUBLE_EQ(m.cosine_distance, 1.0);
+}
+
+TEST(MetricsTest, MissingBinsRatio) {
+  QueryResult truth = MakeResult({{0, 10.0}, {1, 20.0}, {2, 30.0}, {3, 40.0}});
+  QueryResult partial = MakeResult({{0, 10.0}, {2, 30.0}});
+  QueryMetrics m = Evaluate(partial, truth, false);
+  EXPECT_DOUBLE_EQ(m.missing_bins, 0.5);
+  EXPECT_EQ(m.bins_delivered, 2);
+  EXPECT_EQ(m.bins_in_gt, 4);
+}
+
+TEST(MetricsTest, MeanRelativeError) {
+  QueryResult truth = MakeResult({{0, 100.0}, {1, 200.0}});
+  QueryResult estimate = MakeResult({{0, 110.0}, {1, 180.0}});
+  QueryMetrics m = Evaluate(estimate, truth, false);
+  // |110-100|/100 = 0.1; |180-200|/200 = 0.1.
+  EXPECT_NEAR(m.mean_rel_error, 0.1, 1e-12);
+  // SMAPE: 10/210 and 20/380.
+  EXPECT_NEAR(m.smape, 0.5 * (10.0 / 210.0 + 20.0 / 380.0), 1e-12);
+}
+
+TEST(MetricsTest, ZeroTruthSkippedInMreButNotSmape) {
+  QueryResult truth = MakeResult({{0, 0.0}, {1, 100.0}});
+  QueryResult estimate = MakeResult({{0, 5.0}, {1, 100.0}});
+  QueryMetrics m = Evaluate(estimate, truth, false);
+  // MRE only from bin 1 (error 0); bin 0 undefined and skipped.
+  EXPECT_DOUBLE_EQ(m.mean_rel_error, 0.0);
+  // SMAPE includes bin 0: 5/(5+0) = 1, bin 1: 0.
+  EXPECT_NEAR(m.smape, 0.5, 1e-12);
+}
+
+TEST(MetricsTest, BothZeroSmapeIsZero) {
+  QueryResult truth = MakeResult({{0, 0.0}});
+  QueryResult estimate = MakeResult({{0, 0.0}});
+  QueryMetrics m = Evaluate(estimate, truth, false);
+  EXPECT_DOUBLE_EQ(m.smape, 0.0);
+}
+
+TEST(MetricsTest, CosineDistanceShape) {
+  // Same shape, different magnitude: cosine distance 0.
+  QueryResult truth = MakeResult({{0, 1.0}, {1, 2.0}, {2, 3.0}});
+  QueryResult scaled = MakeResult({{0, 10.0}, {1, 20.0}, {2, 30.0}});
+  QueryMetrics m = Evaluate(scaled, truth, false);
+  EXPECT_NEAR(m.cosine_distance, 0.0, 1e-12);
+  // But the relative errors are large.
+  EXPECT_NEAR(m.mean_rel_error, 9.0, 1e-12);
+
+  // Orthogonal shape: distance 1.
+  QueryResult truth2 = MakeResult({{0, 1.0}, {1, 0.0}});
+  QueryResult orthogonal = MakeResult({{1, 1.0}});
+  QueryMetrics m2 = Evaluate(orthogonal, truth2, false);
+  EXPECT_NEAR(m2.cosine_distance, 1.0, 1e-12);
+}
+
+TEST(MetricsTest, MarginsAndOutOfMargin) {
+  QueryResult truth = MakeResult({{0, 100.0}, {1, 100.0}});
+  QueryResult estimate;
+  estimate.available = true;
+  BinResult in_margin;
+  in_margin.values.push_back(AggValue{105.0, 10.0});  // |105-100| <= 10
+  estimate.bins.emplace(0, in_margin);
+  BinResult out_margin;
+  out_margin.values.push_back(AggValue{120.0, 10.0});  // |120-100| > 10
+  estimate.bins.emplace(1, out_margin);
+
+  QueryMetrics m = Evaluate(estimate, truth, false);
+  EXPECT_EQ(m.bins_out_of_margin, 1);
+  // Relative margins: 10/105 and 10/120.
+  EXPECT_NEAR(m.mean_margin_rel, 0.5 * (10.0 / 105.0 + 10.0 / 120.0), 1e-12);
+  EXPECT_GT(m.margin_stdev, 0.0);
+}
+
+TEST(MetricsTest, BiasOverAndUnderEstimation) {
+  QueryResult truth = MakeResult({{0, 100.0}, {1, 100.0}});
+  QueryResult over = MakeResult({{0, 150.0}, {1, 150.0}});
+  EXPECT_NEAR(Evaluate(over, truth, false).bias, 1.5, 1e-12);
+  QueryResult under = MakeResult({{0, 50.0}, {1, 50.0}});
+  EXPECT_NEAR(Evaluate(under, truth, false).bias, 0.5, 1e-12);
+}
+
+TEST(MetricsTest, DeliveredBinOutsideGroundTruth) {
+  QueryResult truth = MakeResult({{0, 10.0}});
+  QueryResult extra = MakeResult({{0, 10.0}, {7, 5.0}});
+  QueryMetrics m = Evaluate(extra, truth, false);
+  EXPECT_EQ(m.bins_delivered, 2);
+  EXPECT_DOUBLE_EQ(m.missing_bins, 0.0);
+  // The spurious bin inflates |F| and thus the cosine distance.
+  EXPECT_GT(m.cosine_distance, 0.0);
+}
+
+TEST(MetricsTest, EmptyGroundTruth) {
+  QueryResult truth;  // no bins
+  truth.available = true;
+  QueryResult estimate = MakeResult({});
+  QueryMetrics m = Evaluate(estimate, truth, false);
+  EXPECT_DOUBLE_EQ(m.missing_bins, 0.0);
+  EXPECT_DOUBLE_EQ(m.cosine_distance, 0.0);
+  EXPECT_EQ(m.bins_in_gt, 0);
+}
+
+TEST(MetricsTest, MultipleAggregatesAllEvaluated) {
+  QueryResult truth;
+  truth.available = true;
+  BinResult tb;
+  tb.values.push_back(AggValue{100.0, 0.0});
+  tb.values.push_back(AggValue{50.0, 0.0});
+  truth.bins.emplace(0, tb);
+
+  QueryResult est;
+  est.available = true;
+  BinResult eb;
+  eb.values.push_back(AggValue{110.0, 0.0});  // 10 % off
+  eb.values.push_back(AggValue{60.0, 0.0});   // 20 % off
+  est.bins.emplace(0, eb);
+
+  QueryMetrics m = Evaluate(est, truth, false);
+  EXPECT_NEAR(m.mean_rel_error, 0.15, 1e-12);
+  EXPECT_EQ(m.bins_out_of_margin, 2);
+}
+
+TEST(MetricsTest, FloatingPointNoiseNotOutOfMargin) {
+  QueryResult truth = MakeResult({{0, 1e9}});
+  QueryResult estimate = MakeResult({{0, 1e9 * (1.0 + 1e-12)}});
+  QueryMetrics m = Evaluate(estimate, truth, false);
+  EXPECT_EQ(m.bins_out_of_margin, 0);
+}
+
+}  // namespace
+}  // namespace idebench::metrics

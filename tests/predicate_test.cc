@@ -1,0 +1,233 @@
+#include "expr/predicate.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace idebench::expr {
+namespace {
+
+TEST(PredicateTest, ComparisonOperators) {
+  Predicate p;
+  p.op = CompareOp::kLt;
+  p.value = 5.0;
+  EXPECT_TRUE(p.Matches(4.9));
+  EXPECT_FALSE(p.Matches(5.0));
+
+  p.op = CompareOp::kLe;
+  EXPECT_TRUE(p.Matches(5.0));
+  EXPECT_FALSE(p.Matches(5.1));
+
+  p.op = CompareOp::kGt;
+  EXPECT_TRUE(p.Matches(5.1));
+  EXPECT_FALSE(p.Matches(5.0));
+
+  p.op = CompareOp::kGe;
+  EXPECT_TRUE(p.Matches(5.0));
+  EXPECT_FALSE(p.Matches(4.9));
+
+  p.op = CompareOp::kEq;
+  EXPECT_TRUE(p.Matches(5.0));
+  EXPECT_FALSE(p.Matches(5.0001));
+
+  p.op = CompareOp::kNeq;
+  EXPECT_FALSE(p.Matches(5.0));
+  EXPECT_TRUE(p.Matches(6.0));
+}
+
+TEST(PredicateTest, RangeIsHalfOpen) {
+  Predicate p;
+  p.op = CompareOp::kRange;
+  p.lo = 10.0;
+  p.hi = 20.0;
+  EXPECT_TRUE(p.Matches(10.0));
+  EXPECT_TRUE(p.Matches(19.999));
+  EXPECT_FALSE(p.Matches(20.0));
+  EXPECT_FALSE(p.Matches(9.999));
+}
+
+TEST(PredicateTest, InSet) {
+  Predicate p;
+  p.op = CompareOp::kIn;
+  p.set_values = {1.0, 3.0};
+  EXPECT_TRUE(p.Matches(1.0));
+  EXPECT_TRUE(p.Matches(3.0));
+  EXPECT_FALSE(p.Matches(2.0));
+  p.set_values.clear();
+  EXPECT_FALSE(p.Matches(1.0));  // empty IN matches nothing
+}
+
+TEST(PredicateTest, OpNameRoundTrip) {
+  for (CompareOp op : {CompareOp::kEq, CompareOp::kNeq, CompareOp::kLt,
+                       CompareOp::kLe, CompareOp::kGt, CompareOp::kGe,
+                       CompareOp::kRange, CompareOp::kIn}) {
+    auto parsed = CompareOpFromName(CompareOpName(op));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, op);
+  }
+  EXPECT_FALSE(CompareOpFromName("bogus").ok());
+}
+
+TEST(PredicateTest, JsonRoundTrip) {
+  Predicate range;
+  range.column = "dep_delay";
+  range.op = CompareOp::kRange;
+  range.lo = -5.0;
+  range.hi = 30.0;
+  auto parsed = Predicate::FromJson(range.ToJson());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(*parsed, range);
+
+  Predicate in;
+  in.column = "carrier";
+  in.op = CompareOp::kIn;
+  in.set_values = {0.0, 4.0};
+  in.string_values = {"AA", "DL"};
+  auto parsed_in = Predicate::FromJson(in.ToJson());
+  ASSERT_TRUE(parsed_in.ok());
+  EXPECT_EQ(*parsed_in, in);
+
+  Predicate eq;
+  eq.column = "flag";
+  eq.op = CompareOp::kEq;
+  eq.value = 1.0;
+  auto parsed_eq = Predicate::FromJson(eq.ToJson());
+  ASSERT_TRUE(parsed_eq.ok());
+  EXPECT_EQ(*parsed_eq, eq);
+}
+
+TEST(PredicateTest, FromJsonErrors) {
+  EXPECT_FALSE(Predicate::FromJson(JsonValue(3)).ok());
+  JsonValue no_column = JsonValue::Object();
+  no_column.Set("op", "eq");
+  EXPECT_FALSE(Predicate::FromJson(no_column).ok());
+}
+
+TEST(PredicateTest, SqlRendering) {
+  storage::Table t = testutil::MakeTinyTable();
+  Predicate range;
+  range.column = "value";
+  range.op = CompareOp::kRange;
+  range.lo = 10;
+  range.hi = 20;
+  EXPECT_EQ(range.ToSql(&t), "(value >= 10 AND value < 20)");
+
+  Predicate in;
+  in.column = "group";
+  in.op = CompareOp::kIn;
+  in.set_values = {0.0, 1.0};  // dictionary codes of "a" and "b"
+  EXPECT_EQ(in.ToSql(&t), "group IN ('a', 'b')");
+
+  Predicate eq;
+  eq.column = "flag";
+  eq.op = CompareOp::kEq;
+  eq.value = 1.0;
+  EXPECT_EQ(eq.ToSql(&t), "flag = 1");
+}
+
+TEST(FilterExprTest, ConjunctionSemantics) {
+  storage::Table t = testutil::MakeTinyTable();
+  FilterExpr f;
+  Predicate ge;
+  ge.column = "value";
+  ge.op = CompareOp::kGe;
+  ge.value = 30.0;
+  f.And(ge);
+  Predicate grp;
+  grp.column = "group";
+  grp.op = CompareOp::kEq;
+  grp.value = 0.0;  // "a"
+  f.And(grp);
+
+  // Rows with value >= 30 AND group == "a": rows 2 (30,a), 4 (50,a), 6 (70,a).
+  int matches = 0;
+  for (int64_t r = 0; r < t.num_rows(); ++r) {
+    if (f.Matches(t, r)) ++matches;
+  }
+  EXPECT_EQ(matches, 3);
+}
+
+TEST(FilterExprTest, EmptyMatchesEverything) {
+  storage::Table t = testutil::MakeTinyTable();
+  FilterExpr f;
+  EXPECT_TRUE(f.empty());
+  for (int64_t r = 0; r < t.num_rows(); ++r) EXPECT_TRUE(f.Matches(t, r));
+}
+
+TEST(FilterExprTest, MissingColumnFailsClosed) {
+  storage::Table t = testutil::MakeTinyTable();
+  FilterExpr f;
+  Predicate p;
+  p.column = "ghost";
+  p.op = CompareOp::kGe;
+  p.value = 0.0;
+  f.And(p);
+  EXPECT_FALSE(f.Matches(t, 0));
+}
+
+TEST(FilterExprTest, ReplaceOnSwapsPredicate) {
+  FilterExpr f;
+  Predicate a;
+  a.column = "x";
+  a.op = CompareOp::kGe;
+  a.value = 1.0;
+  f.And(a);
+  Predicate b;
+  b.column = "x";
+  b.op = CompareOp::kLt;
+  b.value = 5.0;
+  f.ReplaceOn(b);
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f.predicates()[0].op, CompareOp::kLt);
+
+  f.RemoveOn("x");
+  EXPECT_TRUE(f.empty());
+}
+
+TEST(FilterExprTest, ColumnsDeduplicated) {
+  FilterExpr f;
+  Predicate p1;
+  p1.column = "x";
+  f.And(p1);
+  Predicate p2;
+  p2.column = "y";
+  f.And(p2);
+  Predicate p3;
+  p3.column = "x";
+  f.And(p3);
+  EXPECT_EQ(f.Columns(), (std::vector<std::string>{"x", "y"}));
+}
+
+TEST(FilterExprTest, JsonRoundTrip) {
+  FilterExpr f;
+  Predicate p;
+  p.column = "dep_delay";
+  p.op = CompareOp::kRange;
+  p.lo = 0;
+  p.hi = 60;
+  f.And(p);
+  auto parsed = FilterExpr::FromJson(f.ToJson());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(*parsed, f);
+  EXPECT_FALSE(FilterExpr::FromJson(JsonValue("no")).ok());
+}
+
+TEST(FilterExprTest, SqlJoinsWithAnd) {
+  storage::Table t = testutil::MakeTinyTable();
+  FilterExpr f;
+  Predicate a;
+  a.column = "value";
+  a.op = CompareOp::kGe;
+  a.value = 30;
+  f.And(a);
+  Predicate b;
+  b.column = "flag";
+  b.op = CompareOp::kEq;
+  b.value = 1;
+  f.And(b);
+  EXPECT_EQ(f.ToSql(&t), "value >= 30 AND flag = 1");
+  EXPECT_EQ(FilterExpr().ToSql(&t), "");
+}
+
+}  // namespace
+}  // namespace idebench::expr

@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include "query/aggregate.h"
+#include "query/spec.h"
+#include "query/sql.h"
+#include "tests/test_util.h"
+
+namespace idebench::query {
+namespace {
+
+TEST(AggregateTest, NameRoundTrip) {
+  for (AggregateType t :
+       {AggregateType::kCount, AggregateType::kSum, AggregateType::kAvg,
+        AggregateType::kMin, AggregateType::kMax}) {
+    auto parsed = AggregateTypeFromName(AggregateTypeName(t));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, t);
+  }
+  EXPECT_FALSE(AggregateTypeFromName("median").ok());
+  // Parsing is case-insensitive.
+  auto upper = AggregateTypeFromName("COUNT");
+  ASSERT_TRUE(upper.ok());
+  EXPECT_EQ(*upper, AggregateType::kCount);
+}
+
+TEST(AggregateTest, SqlRendering) {
+  AggregateSpec count;
+  count.type = AggregateType::kCount;
+  EXPECT_EQ(count.ToSql(), "COUNT(*)");
+  AggregateSpec avg;
+  avg.type = AggregateType::kAvg;
+  avg.column = "dep_delay";
+  EXPECT_EQ(avg.ToSql(), "AVG(dep_delay)");
+}
+
+TEST(AggregateTest, JsonRoundTripAndValidation) {
+  AggregateSpec sum;
+  sum.type = AggregateType::kSum;
+  sum.column = "distance";
+  auto parsed = AggregateSpec::FromJson(sum.ToJson());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(*parsed, sum);
+
+  JsonValue missing_column = JsonValue::Object();
+  missing_column.Set("type", "avg");
+  EXPECT_FALSE(AggregateSpec::FromJson(missing_column).ok());
+}
+
+TEST(VizSpecTest, ValidateRules) {
+  VizSpec v;
+  EXPECT_FALSE(v.Validate().ok());  // no name
+  v.name = "viz_0";
+  EXPECT_FALSE(v.Validate().ok());  // no source
+  v.source = "flights";
+  EXPECT_FALSE(v.Validate().ok());  // no bins
+  BinDimension d;
+  d.column = "x";
+  v.bins.push_back(d);
+  EXPECT_FALSE(v.Validate().ok());  // no aggregates
+  AggregateSpec a;
+  a.type = AggregateType::kCount;
+  v.aggregates.push_back(a);
+  EXPECT_TRUE(v.Validate().ok());
+  v.bins.push_back(d);
+  v.bins.push_back(d);
+  EXPECT_FALSE(v.Validate().ok());  // 3 dims
+}
+
+TEST(VizSpecTest, JsonRoundTrip) {
+  VizSpec v;
+  v.name = "viz_1";
+  v.source = "flights";
+  BinDimension d;
+  d.column = "dep_delay";
+  d.mode = BinningMode::kFixedCount;
+  d.requested_bins = 25;
+  v.bins.push_back(d);
+  AggregateSpec a;
+  a.type = AggregateType::kAvg;
+  a.column = "arr_delay";
+  v.aggregates.push_back(a);
+  expr::Predicate p;
+  p.column = "carrier";
+  p.op = expr::CompareOp::kIn;
+  p.set_values = {2.0};
+  p.string_values = {"AC"};
+  v.filter.And(p);
+
+  auto parsed = VizSpec::FromJson(v.ToJson());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->name, v.name);
+  EXPECT_EQ(parsed->bins.size(), 1u);
+  EXPECT_EQ(parsed->bins[0], v.bins[0]);
+  EXPECT_EQ(parsed->aggregates[0], v.aggregates[0]);
+  EXPECT_EQ(parsed->filter, v.filter);
+}
+
+TEST(QuerySpecTest, ResolveBinsAgainstCatalog) {
+  auto catalog = testutil::MakeTinyCatalog();
+  QuerySpec spec = testutil::MakeAvgValueSpec(*catalog, 4);
+  EXPECT_TRUE(spec.bins[0].resolved);
+  EXPECT_EQ(spec.MaxBinCount(), 4);
+  EXPECT_FALSE(spec.two_dimensional());
+}
+
+TEST(QuerySpecTest, MaxBinCountIsProductFor2D) {
+  auto catalog = testutil::MakeTinyCatalog();
+  QuerySpec spec;
+  spec.viz_name = "v";
+  BinDimension d1;
+  d1.column = "value";
+  d1.mode = BinningMode::kFixedCount;
+  d1.requested_bins = 4;
+  BinDimension d2;
+  d2.column = "group";
+  d2.mode = BinningMode::kNominal;
+  spec.bins = {d1, d2};
+  AggregateSpec a;
+  a.type = AggregateType::kCount;
+  spec.aggregates = {a};
+  ASSERT_TRUE(spec.ResolveBins(*catalog).ok());
+  EXPECT_TRUE(spec.two_dimensional());
+  EXPECT_EQ(spec.MaxBinCount(), 8);  // 4 x 2
+}
+
+TEST(SqlGenTest, SingleTableGroupBy) {
+  auto catalog = testutil::MakeTinyCatalog();
+  QuerySpec spec = testutil::MakeCountByGroupSpec(*catalog);
+  const std::string sql = GenerateSql(spec, *catalog);
+  EXPECT_EQ(sql,
+            "SELECT group AS bin_group, COUNT(*) FROM tiny GROUP BY "
+            "bin_group");
+}
+
+TEST(SqlGenTest, FilterRendersWhereClause) {
+  auto catalog = testutil::MakeTinyCatalog();
+  QuerySpec spec = testutil::MakeCountByGroupSpec(*catalog);
+  expr::Predicate p;
+  p.column = "value";
+  p.op = expr::CompareOp::kRange;
+  p.lo = 20;
+  p.hi = 60;
+  spec.filter.And(p);
+  const std::string sql = GenerateSql(spec, *catalog);
+  EXPECT_NE(sql.find("WHERE (value >= 20 AND value < 60)"), std::string::npos);
+}
+
+TEST(SqlGenTest, QuantitativeBinningUsesFloorExpression) {
+  auto catalog = testutil::MakeTinyCatalog();
+  QuerySpec spec = testutil::MakeAvgValueSpec(*catalog, 4);
+  const std::string sql = GenerateSql(spec, *catalog);
+  EXPECT_NE(sql.find("FLOOR((value"), std::string::npos);
+  EXPECT_NE(sql.find("AVG(value)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace idebench::query

@@ -1,0 +1,192 @@
+#include "common/random.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace idebench {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10'000; ++i) {
+    const double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, UniformIntCoversRangeInclusive) {
+  Rng rng(9);
+  std::vector<int> hits(5, 0);
+  for (int i = 0; i < 20'000; ++i) {
+    const int64_t v = rng.UniformInt(0, 4);
+    ASSERT_GE(v, 0);
+    ASSERT_LE(v, 4);
+    ++hits[static_cast<size_t>(v)];
+  }
+  for (int h : hits) EXPECT_GT(h, 3'000);  // ~4000 expected each
+}
+
+TEST(RngTest, UniformIntDegenerateRange) {
+  Rng rng(10);
+  EXPECT_EQ(rng.UniformInt(5, 5), 5);
+  EXPECT_EQ(rng.UniformInt(7, 3), 7);  // lo >= hi returns lo
+}
+
+TEST(RngTest, GaussianMomentsAreStandardNormal) {
+  Rng rng(11);
+  const int n = 200'000;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.Gaussian();
+    sum += g;
+    sum_sq += g * g;
+  }
+  const double mean = sum / n;
+  const double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+TEST(RngTest, ExponentialMeanMatchesRate) {
+  Rng rng(12);
+  const double lambda = 0.25;
+  double sum = 0.0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) sum += rng.Exponential(lambda);
+  EXPECT_NEAR(sum / n, 1.0 / lambda, 0.1);
+}
+
+TEST(RngTest, BernoulliEdgeCases) {
+  Rng rng(13);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(14);
+  int heads = 0;
+  const int n = 50'000;
+  for (int i = 0; i < n; ++i) heads += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(heads) / n, 0.3, 0.02);
+}
+
+TEST(RngTest, ZipfIsSkewedTowardSmallRanks) {
+  Rng rng(15);
+  std::vector<int> hits(10, 0);
+  for (int i = 0; i < 50'000; ++i) {
+    const int64_t v = rng.Zipf(10, 1.1);
+    ASSERT_GE(v, 0);
+    ASSERT_LT(v, 10);
+    ++hits[static_cast<size_t>(v)];
+  }
+  EXPECT_GT(hits[0], hits[4]);
+  EXPECT_GT(hits[4], hits[9]);
+  EXPECT_GT(hits[0], 5 * hits[9]);
+}
+
+TEST(RngTest, ZipfZeroSkewIsUniformish) {
+  Rng rng(16);
+  std::vector<int> hits(8, 0);
+  for (int i = 0; i < 40'000; ++i) {
+    ++hits[static_cast<size_t>(rng.Zipf(8, 0.0))];
+  }
+  for (int h : hits) EXPECT_NEAR(h, 5000, 600);
+}
+
+TEST(RngTest, CategoricalRespectsWeights) {
+  Rng rng(17);
+  std::vector<int> hits(3, 0);
+  for (int i = 0; i < 30'000; ++i) {
+    const int64_t v = rng.Categorical({1.0, 2.0, 7.0});
+    ASSERT_GE(v, 0);
+    ASSERT_LT(v, 3);
+    ++hits[static_cast<size_t>(v)];
+  }
+  EXPECT_NEAR(hits[0] / 30'000.0, 0.1, 0.02);
+  EXPECT_NEAR(hits[1] / 30'000.0, 0.2, 0.02);
+  EXPECT_NEAR(hits[2] / 30'000.0, 0.7, 0.02);
+}
+
+TEST(RngTest, CategoricalEdgeCases) {
+  Rng rng(18);
+  EXPECT_EQ(rng.Categorical({}), -1);
+  EXPECT_EQ(rng.Categorical({5.0}), 0);
+  // All-zero weights fall back to uniform; result must be in range.
+  const int64_t v = rng.Categorical({0.0, 0.0, 0.0});
+  EXPECT_GE(v, 0);
+  EXPECT_LT(v, 3);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(19);
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  std::vector<int> original = v;
+  rng.Shuffle(&v);
+  EXPECT_NE(v, original);  // astronomically unlikely to match
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, original);
+}
+
+TEST(RngTest, ForkProducesIndependentStreams) {
+  Rng parent(20);
+  Rng child1 = parent.Fork(1);
+  Rng child2 = parent.Fork(2);
+  // Parent state unchanged by forking: same next value as a twin.
+  Rng twin(20);
+  EXPECT_EQ(parent.Next(), twin.Next());
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (child1.Next() == child2.Next()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+/// Property sweep: UniformInt stays within arbitrary bounds.
+class UniformIntRangeTest
+    : public ::testing::TestWithParam<std::pair<int64_t, int64_t>> {};
+
+TEST_P(UniformIntRangeTest, StaysInBounds) {
+  const auto [lo, hi] = GetParam();
+  Rng rng(static_cast<uint64_t>(lo * 31 + hi));
+  for (int i = 0; i < 2'000; ++i) {
+    const int64_t v = rng.UniformInt(lo, hi);
+    EXPECT_GE(v, lo);
+    EXPECT_LE(v, hi);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Ranges, UniformIntRangeTest,
+    ::testing::Values(std::pair<int64_t, int64_t>{0, 1},
+                      std::pair<int64_t, int64_t>{-10, 10},
+                      std::pair<int64_t, int64_t>{0, 1'000'000},
+                      std::pair<int64_t, int64_t>{-1'000'000, -999'990},
+                      std::pair<int64_t, int64_t>{42, 42}));
+
+}  // namespace
+}  // namespace idebench

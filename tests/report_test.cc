@@ -1,0 +1,159 @@
+#include "report/report.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace idebench::report {
+namespace {
+
+driver::QueryRecord MakeRecord(int64_t id, bool violated, double mre,
+                               double missing = 0.1,
+                               const std::string& driver_name = "blocking") {
+  driver::QueryRecord r;
+  r.id = id;
+  r.driver_name = driver_name;
+  r.viz_name = "viz_0";
+  r.data_size = "500m";
+  r.workflow = "wf";
+  r.workflow_type = "mixed";
+  r.time_requirement = 3'000'000;
+  r.think_time = 1'000'000;
+  r.binning_type = "nominal";
+  r.agg_type = "count";
+  r.metrics.tr_violated = violated;
+  r.metrics.mean_rel_error = mre;
+  r.metrics.missing_bins = missing;
+  r.metrics.bins_delivered = 10;
+  r.metrics.bins_in_gt = 12;
+  r.metrics.mean_margin_rel = mre / 2.0;
+  r.metrics.cosine_distance = mre / 10.0;
+  r.metrics.bias = 1.0;
+  return r;
+}
+
+TEST(DetailedReportTest, HeaderAndRowFieldCountsMatch) {
+  const std::string header = DetailedReportHeader();
+  const std::string row = DetailedReportRow(MakeRecord(0, false, 0.25));
+  const auto count = [](const std::string& s) {
+    return std::count(s.begin(), s.end(), ',');
+  };
+  EXPECT_EQ(count(header), count(row));
+}
+
+TEST(DetailedReportTest, WriteCsvFile) {
+  std::vector<driver::QueryRecord> records = {MakeRecord(0, false, 0.1),
+                                              MakeRecord(1, true, 0.0)};
+  const std::string path =
+      std::string(::testing::TempDir()) + "/detailed_report.csv";
+  ASSERT_TRUE(WriteDetailedReport(records, path).ok());
+  std::ifstream in(path);
+  std::string line;
+  int lines = 0;
+  while (std::getline(in, line)) ++lines;
+  EXPECT_EQ(lines, 3);  // header + 2 rows
+  std::remove(path.c_str());
+}
+
+TEST(DetailedReportTest, RenderTableTruncates) {
+  std::vector<driver::QueryRecord> records;
+  for (int i = 0; i < 50; ++i) records.push_back(MakeRecord(i, false, 0.1));
+  const std::string table = RenderDetailedTable(records, 5);
+  EXPECT_NE(table.find("45 more rows"), std::string::npos);
+}
+
+TEST(SummaryTest, ViolationRateAndQualityStats) {
+  std::vector<driver::QueryRecord> records = {
+      MakeRecord(0, false, 0.10), MakeRecord(1, false, 0.30),
+      MakeRecord(2, true, 0.0),   MakeRecord(3, false, 0.20),
+  };
+  std::vector<const driver::QueryRecord*> ptrs;
+  for (const auto& r : records) ptrs.push_back(&r);
+  SummaryRow row = Summarize("test", ptrs);
+  EXPECT_EQ(row.queries, 4);
+  EXPECT_DOUBLE_EQ(row.tr_violation_rate, 0.25);
+  // Quality stats over the 3 non-violating queries only.
+  EXPECT_NEAR(row.median_mre, 0.20, 1e-12);
+  EXPECT_NEAR(row.mean_mre, 0.20, 1e-12);
+  EXPECT_NEAR(row.area_above_cdf, 0.20, 1e-12);
+  EXPECT_NEAR(row.mean_missing_bins, 0.1, 1e-12);
+}
+
+TEST(SummaryTest, AreaAboveCdfTruncatesAtOne) {
+  std::vector<driver::QueryRecord> records = {
+      MakeRecord(0, false, 5.0),  // truncated to 1
+      MakeRecord(1, false, 0.0),
+  };
+  std::vector<const driver::QueryRecord*> ptrs;
+  for (const auto& r : records) ptrs.push_back(&r);
+  SummaryRow row = Summarize("trunc", ptrs);
+  EXPECT_NEAR(row.area_above_cdf, 0.5, 1e-12);
+}
+
+TEST(SummaryTest, EmptyGroup) {
+  SummaryRow row = Summarize("empty", {});
+  EXPECT_EQ(row.queries, 0);
+  EXPECT_DOUBLE_EQ(row.tr_violation_rate, 0.0);
+}
+
+TEST(SummaryTest, SummarizeByGroupsInFirstEncounterOrder) {
+  std::vector<driver::QueryRecord> records = {
+      MakeRecord(0, false, 0.1, 0.1, "b_engine"),
+      MakeRecord(1, false, 0.2, 0.1, "a_engine"),
+      MakeRecord(2, false, 0.3, 0.1, "b_engine"),
+  };
+  auto rows = SummarizeBy(
+      records, [](const driver::QueryRecord& r) { return r.driver_name; });
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].group, "b_engine");
+  EXPECT_EQ(rows[0].queries, 2);
+  EXPECT_EQ(rows[1].group, "a_engine");
+  EXPECT_EQ(rows[1].queries, 1);
+}
+
+TEST(SummaryTest, RenderTableContainsGroups) {
+  std::vector<driver::QueryRecord> records = {MakeRecord(0, false, 0.1)};
+  auto rows = SummarizeBy(
+      records, [](const driver::QueryRecord& r) { return r.driver_name; });
+  const std::string table = RenderSummaryTable(rows);
+  EXPECT_NE(table.find("blocking"), std::string::npos);
+  EXPECT_NE(table.find("tr_viol"), std::string::npos);
+}
+
+TEST(CdfTest, MonotoneAndBounded) {
+  std::vector<driver::QueryRecord> records = {
+      MakeRecord(0, false, 0.05), MakeRecord(1, false, 0.25),
+      MakeRecord(2, false, 0.55), MakeRecord(3, false, 2.0),
+  };
+  std::vector<const driver::QueryRecord*> ptrs;
+  for (const auto& r : records) ptrs.push_back(&r);
+  const std::vector<double> cdf = MreCdf(ptrs, 11);
+  ASSERT_EQ(cdf.size(), 11u);
+  for (size_t i = 1; i < cdf.size(); ++i) EXPECT_GE(cdf[i], cdf[i - 1]);
+  EXPECT_GE(cdf.front(), 0.0);
+  // Error 2.0 exceeds the truncation point: CDF tops out at 0.75.
+  EXPECT_NEAR(cdf.back(), 0.75, 1e-12);
+  // At threshold 0.3 two of four errors are below.
+  EXPECT_NEAR(cdf[3], 0.5, 1e-12);
+}
+
+TEST(CdfTest, EmptyAndViolatedOnly) {
+  const std::vector<double> empty_cdf = MreCdf({}, 5);
+  for (double v : empty_cdf) EXPECT_DOUBLE_EQ(v, 0.0);
+
+  std::vector<driver::QueryRecord> records = {MakeRecord(0, true, 0.1)};
+  std::vector<const driver::QueryRecord*> ptrs{&records[0]};
+  const std::vector<double> cdf = MreCdf(ptrs, 5);
+  for (double v : cdf) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(CdfTest, RenderProducesOneGlyphPerPoint) {
+  const std::string rendered = RenderCdf({0.0, 0.5, 1.0});
+  // Each glyph is a multi-byte UTF-8 block character or space.
+  EXPECT_FALSE(rendered.empty());
+}
+
+}  // namespace
+}  // namespace idebench::report

@@ -1,0 +1,142 @@
+/// \file sql_join_test.cc
+/// SQL generation over star schemas (the Figure 4 translation with
+/// joins) and JSON-parser robustness sweeps.
+
+#include <gtest/gtest.h>
+
+#include "common/json.h"
+#include "common/logging.h"
+#include "datagen/flights_seed.h"
+#include "datagen/normalizer.h"
+#include "query/sql.h"
+
+namespace idebench {
+namespace {
+
+std::shared_ptr<storage::Catalog> NormalizedFlights() {
+  static std::shared_ptr<storage::Catalog> catalog = [] {
+    datagen::FlightsSeedConfig config;
+    config.rows = 2'000;
+    config.seed = 9;
+    auto seed = datagen::GenerateFlightsSeed(config);
+    IDB_CHECK(seed.ok());
+    auto normalized =
+        datagen::Normalize(*seed, datagen::FlightsDimensionSpecs());
+    IDB_CHECK(normalized.ok());
+    return std::make_shared<storage::Catalog>(
+        std::move(normalized).MoveValueUnsafe());
+  }();
+  return catalog;
+}
+
+TEST(SqlJoinTest, DimensionBinningRendersJoin) {
+  auto catalog = NormalizedFlights();
+  query::QuerySpec spec;
+  spec.viz_name = "v";
+  query::BinDimension d;
+  d.column = "carrier";  // lives in the carriers dimension now
+  d.mode = query::BinningMode::kNominal;
+  spec.bins = {d};
+  query::AggregateSpec agg;
+  agg.type = query::AggregateType::kCount;
+  spec.aggregates = {agg};
+  ASSERT_TRUE(spec.ResolveBins(*catalog).ok());
+
+  const std::string sql = query::GenerateSql(spec, *catalog);
+  EXPECT_NE(sql.find("FROM flights"), std::string::npos) << sql;
+  EXPECT_NE(sql.find("JOIN carriers ON flights.carrier_id = "
+                     "carriers.carrier_id"),
+            std::string::npos)
+      << sql;
+  EXPECT_NE(sql.find("GROUP BY bin_carrier"), std::string::npos) << sql;
+}
+
+TEST(SqlJoinTest, TwoDimensionsTwoJoins) {
+  auto catalog = NormalizedFlights();
+  query::QuerySpec spec;
+  spec.viz_name = "v";
+  query::BinDimension d1;
+  d1.column = "carrier";
+  d1.mode = query::BinningMode::kNominal;
+  query::BinDimension d2;
+  d2.column = "origin_state";  // airports dimension
+  d2.mode = query::BinningMode::kNominal;
+  spec.bins = {d1, d2};
+  query::AggregateSpec agg;
+  agg.type = query::AggregateType::kAvg;
+  agg.column = "dep_delay";  // fact column
+  spec.aggregates = {agg};
+  ASSERT_TRUE(spec.ResolveBins(*catalog).ok());
+
+  const std::string sql = query::GenerateSql(spec, *catalog);
+  EXPECT_NE(sql.find("JOIN carriers"), std::string::npos) << sql;
+  EXPECT_NE(sql.find("JOIN airports"), std::string::npos) << sql;
+  EXPECT_NE(sql.find("AVG(dep_delay)"), std::string::npos) << sql;
+}
+
+TEST(SqlJoinTest, FilterOnDimensionDecodesLiteral) {
+  auto catalog = NormalizedFlights();
+  const storage::Table* carriers = catalog->GetTable("carriers");
+  ASSERT_NE(carriers, nullptr);
+  const std::string label = carriers->ColumnByName("carrier")->ValueAsString(0);
+  const int64_t code =
+      carriers->ColumnByName("carrier")->dictionary().Lookup(label);
+
+  query::QuerySpec spec;
+  spec.viz_name = "v";
+  query::BinDimension d;
+  d.column = "dep_delay";
+  d.mode = query::BinningMode::kFixedCount;
+  d.requested_bins = 10;
+  spec.bins = {d};
+  query::AggregateSpec agg;
+  agg.type = query::AggregateType::kCount;
+  spec.aggregates = {agg};
+  expr::Predicate p;
+  p.column = "carrier";
+  p.op = expr::CompareOp::kIn;
+  p.set_values = {static_cast<double>(code)};
+  spec.filter.And(p);
+  ASSERT_TRUE(spec.ResolveBins(*catalog).ok());
+
+  const std::string sql = query::GenerateSql(spec, *catalog);
+  EXPECT_NE(sql.find("carrier IN ('" + label + "')"), std::string::npos)
+      << sql;
+  EXPECT_NE(sql.find("JOIN carriers"), std::string::npos) << sql;
+}
+
+/// Robustness sweep: malformed JSON documents must be rejected, never
+/// crash, and valid ones must round-trip.
+class JsonRobustness : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(JsonRobustness, MalformedRejected) {
+  auto parsed = JsonValue::Parse(GetParam());
+  EXPECT_FALSE(parsed.ok()) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Malformed, JsonRobustness,
+    ::testing::Values("{", "}", "[", "]", "{]", "[}", "{\"a\"}", "{\"a\":}",
+                      "{:1}", "{\"a\":1,}", "[1,,2]", "nul", "tru e",
+                      "\"\\q\"", "\"\\u12\"", "\"\\u12zz\"", "01a", "--1",
+                      "{\"a\":1}{", "[1]extra", "\x01"));
+
+class JsonRoundTrip : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(JsonRoundTrip, ParseDumpParseIsIdentity) {
+  auto first = JsonValue::Parse(GetParam());
+  ASSERT_TRUE(first.ok()) << GetParam();
+  auto second = JsonValue::Parse(first->Dump());
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(*first, *second);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Valid, JsonRoundTrip,
+    ::testing::Values("null", "true", "false", "0", "-0.5", "1e-3",
+                      "\"plain\"", "\"esc\\\"aped\\n\"", "[]", "{}",
+                      "[[[[1]]]]", R"({"a":{"b":{"c":[1,2,3]}}})",
+                      R"({"mixed":[null,true,1.5,"s",{"k":[]}]})"));
+
+}  // namespace
+}  // namespace idebench

@@ -1,0 +1,200 @@
+#include <gtest/gtest.h>
+
+#include "storage/catalog.h"
+#include "storage/column.h"
+#include "storage/schema.h"
+#include "storage/table.h"
+#include "tests/test_util.h"
+
+namespace idebench::storage {
+namespace {
+
+TEST(DictionaryTest, InsertionOrderedCodes) {
+  Dictionary d;
+  EXPECT_EQ(d.GetOrInsert("x"), 0);
+  EXPECT_EQ(d.GetOrInsert("y"), 1);
+  EXPECT_EQ(d.GetOrInsert("x"), 0);  // idempotent
+  EXPECT_EQ(d.size(), 2);
+  EXPECT_EQ(d.At(0), "x");
+  EXPECT_EQ(d.At(1), "y");
+  EXPECT_EQ(d.Lookup("y"), 1);
+  EXPECT_EQ(d.Lookup("absent"), -1);
+}
+
+TEST(ColumnTest, Int64Basics) {
+  Column c({"n", DataType::kInt64, AttributeKind::kQuantitative});
+  c.AppendInt(5);
+  c.AppendInt(-3);
+  EXPECT_EQ(c.size(), 2);
+  EXPECT_EQ(c.ValueAsInt(0), 5);
+  EXPECT_DOUBLE_EQ(c.ValueAsDouble(1), -3.0);
+  EXPECT_EQ(c.ValueAsString(1), "-3");
+  EXPECT_DOUBLE_EQ(c.Min(), -3.0);
+  EXPECT_DOUBLE_EQ(c.Max(), 5.0);
+}
+
+TEST(ColumnTest, DoubleBasics) {
+  Column c({"v", DataType::kDouble, AttributeKind::kQuantitative});
+  c.AppendDouble(1.5);
+  c.AppendDouble(-0.25);
+  EXPECT_DOUBLE_EQ(c.ValueAsDouble(0), 1.5);
+  EXPECT_EQ(c.ValueAsInt(1), 0);  // truncation
+  EXPECT_DOUBLE_EQ(c.Min(), -0.25);
+  EXPECT_DOUBLE_EQ(c.Max(), 1.5);
+}
+
+TEST(ColumnTest, StringIsDictionaryEncoded) {
+  Column c({"s", DataType::kString, AttributeKind::kQuantitative});
+  // String columns are forcibly nominal.
+  EXPECT_EQ(c.field().kind, AttributeKind::kNominal);
+  c.AppendString("aa");
+  c.AppendString("bb");
+  c.AppendString("aa");
+  EXPECT_EQ(c.size(), 3);
+  EXPECT_DOUBLE_EQ(c.ValueAsDouble(0), 0.0);  // code view
+  EXPECT_DOUBLE_EQ(c.ValueAsDouble(1), 1.0);
+  EXPECT_DOUBLE_EQ(c.ValueAsDouble(2), 0.0);
+  EXPECT_EQ(c.ValueAsString(2), "aa");
+  EXPECT_EQ(c.dictionary().size(), 2);
+}
+
+TEST(ColumnTest, AppendCodeRequiresExistingCode) {
+  Column c({"s", DataType::kString, AttributeKind::kNominal});
+  c.mutable_dictionary().GetOrInsert("only");
+  c.AppendCode(0);
+  EXPECT_EQ(c.ValueAsString(0), "only");
+}
+
+TEST(ColumnTest, AppendParsed) {
+  Column i({"i", DataType::kInt64, AttributeKind::kQuantitative});
+  EXPECT_TRUE(i.AppendParsed("42").ok());
+  EXPECT_FALSE(i.AppendParsed("xyz").ok());
+  Column d({"d", DataType::kDouble, AttributeKind::kQuantitative});
+  EXPECT_TRUE(d.AppendParsed("-1.5e2").ok());
+  EXPECT_DOUBLE_EQ(d.ValueAsDouble(0), -150.0);
+  EXPECT_FALSE(d.AppendParsed("").ok());
+  Column s({"s", DataType::kString, AttributeKind::kNominal});
+  EXPECT_TRUE(s.AppendParsed("anything").ok());
+}
+
+TEST(ColumnTest, AppendFromRemapsDictionary) {
+  Column src({"s", DataType::kString, AttributeKind::kNominal});
+  src.AppendString("a");
+  src.AppendString("b");
+  Column dst({"s", DataType::kString, AttributeKind::kNominal});
+  dst.AppendString("z");  // code 0 is taken by a different value
+  dst.AppendFrom(src, 1);
+  EXPECT_EQ(dst.ValueAsString(1), "b");
+}
+
+TEST(SchemaTest, FieldLookup) {
+  Schema s({{"a", DataType::kInt64, AttributeKind::kQuantitative},
+            {"b", DataType::kDouble, AttributeKind::kQuantitative}});
+  EXPECT_EQ(s.num_fields(), 2);
+  EXPECT_EQ(s.FieldIndex("b"), 1);
+  EXPECT_EQ(s.FieldIndex("missing"), -1);
+  ASSERT_TRUE(s.FieldByName("a").ok());
+  EXPECT_FALSE(s.FieldByName("missing").ok());
+}
+
+TEST(SchemaTest, AddFieldRejectsDuplicates) {
+  Schema s;
+  EXPECT_TRUE(
+      s.AddField({"a", DataType::kInt64, AttributeKind::kQuantitative}).ok());
+  EXPECT_EQ(
+      s.AddField({"a", DataType::kDouble, AttributeKind::kQuantitative})
+          .code(),
+      StatusCode::kAlreadyExists);
+}
+
+TEST(SchemaTest, ToStringListsFields) {
+  Schema s({{"x", DataType::kDouble, AttributeKind::kQuantitative}});
+  EXPECT_EQ(s.ToString(), "(x: double)");
+}
+
+TEST(TableTest, TinyTableShape) {
+  Table t = testutil::MakeTinyTable();
+  EXPECT_EQ(t.num_rows(), 8);
+  EXPECT_EQ(t.num_columns(), 3);
+  EXPECT_TRUE(t.Validate().ok());
+  EXPECT_NE(t.ColumnByName("value"), nullptr);
+  EXPECT_EQ(t.ColumnByName("nope"), nullptr);
+  EXPECT_EQ(t.RowToString(0), "10.000000,a,0");
+}
+
+TEST(TableTest, AppendRowFrom) {
+  Table a = testutil::MakeTinyTable();
+  Table b("copy", a.schema());
+  EXPECT_TRUE(b.AppendRowFrom(a, 3).ok());
+  EXPECT_EQ(b.num_rows(), 1);
+  EXPECT_DOUBLE_EQ(b.column(0).ValueAsDouble(0), 40.0);
+  EXPECT_EQ(b.column(1).ValueAsString(0), "b");
+  EXPECT_FALSE(b.AppendRowFrom(a, 100).ok());
+  Table mismatched("m", Schema({{"x", DataType::kInt64,
+                                 AttributeKind::kQuantitative}}));
+  EXPECT_FALSE(mismatched.AppendRowFrom(a, 0).ok());
+}
+
+TEST(CatalogTest, FirstTableIsFact) {
+  auto catalog = testutil::MakeTinyCatalog();
+  EXPECT_NE(catalog->fact_table(), nullptr);
+  EXPECT_EQ(catalog->fact_table()->name(), "tiny");
+  EXPECT_FALSE(catalog->is_normalized());
+  EXPECT_EQ(catalog->nominal_rows(), 8);
+}
+
+TEST(CatalogTest, NominalRowsOverride) {
+  auto catalog = testutil::MakeTinyCatalog();
+  catalog->set_nominal_rows(1'000'000);
+  EXPECT_EQ(catalog->nominal_rows(), 1'000'000);
+}
+
+TEST(CatalogTest, RejectsDuplicateTables) {
+  Catalog c;
+  auto t = std::make_shared<Table>(testutil::MakeTinyTable());
+  EXPECT_TRUE(c.AddTable(t).ok());
+  EXPECT_EQ(c.AddTable(t).code(), StatusCode::kAlreadyExists);
+  EXPECT_FALSE(c.AddTable(nullptr).ok());
+}
+
+TEST(CatalogTest, ForeignKeyValidation) {
+  Catalog c;
+  auto fact = std::make_shared<Table>(testutil::MakeTinyTable());
+  ASSERT_TRUE(c.AddTable(fact).ok());
+  Schema dim_schema({{"flag", DataType::kInt64, AttributeKind::kNominal},
+                     {"label", DataType::kString, AttributeKind::kNominal}});
+  auto dim = std::make_shared<Table>("flags", dim_schema);
+  dim->mutable_column(0).AppendInt(0);
+  dim->mutable_column(1).AppendString("off");
+  dim->mutable_column(0).AppendInt(1);
+  dim->mutable_column(1).AppendString("on");
+  ASSERT_TRUE(c.AddTable(dim).ok());
+
+  EXPECT_TRUE(c.AddForeignKey({"flag", "flags", "flag"}).ok());
+  EXPECT_TRUE(c.is_normalized());
+  EXPECT_NE(c.FindForeignKey("flags"), nullptr);
+  EXPECT_EQ(c.FindForeignKey("absent"), nullptr);
+
+  EXPECT_FALSE(c.AddForeignKey({"missing", "flags", "flag"}).ok());
+  EXPECT_FALSE(c.AddForeignKey({"flag", "missing", "flag"}).ok());
+  EXPECT_FALSE(c.AddForeignKey({"flag", "flags", "missing"}).ok());
+}
+
+TEST(CatalogTest, TableForColumnSearchesFactFirst) {
+  Catalog c;
+  auto fact = std::make_shared<Table>(testutil::MakeTinyTable());
+  ASSERT_TRUE(c.AddTable(fact).ok());
+  Schema dim_schema({{"other", DataType::kInt64, AttributeKind::kNominal}});
+  ASSERT_TRUE(c.AddTable(std::make_shared<Table>("dim", dim_schema)).ok());
+
+  auto fact_col = c.TableForColumn("value");
+  ASSERT_TRUE(fact_col.ok());
+  EXPECT_EQ((*fact_col)->name(), "tiny");
+  auto dim_col = c.TableForColumn("other");
+  ASSERT_TRUE(dim_col.ok());
+  EXPECT_EQ((*dim_col)->name(), "dim");
+  EXPECT_FALSE(c.TableForColumn("nowhere").ok());
+}
+
+}  // namespace
+}  // namespace idebench::storage

@@ -1,0 +1,67 @@
+#include "common/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace idebench {
+namespace {
+
+TEST(StringUtilTest, SplitKeepsEmptyFields) {
+  EXPECT_EQ(Split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(Split("a,,b", ','), (std::vector<std::string>{"a", "", "b"}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(Split(",", ','), (std::vector<std::string>{"", ""}));
+}
+
+TEST(StringUtilTest, JoinInvertsSplit) {
+  const std::vector<std::string> parts{"x", "y", "z"};
+  EXPECT_EQ(Join(parts, ","), "x,y,z");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"solo"}, ", "), "solo");
+}
+
+TEST(StringUtilTest, Trim) {
+  EXPECT_EQ(Trim("  hi  "), "hi");
+  EXPECT_EQ(Trim("\t\nx\r "), "x");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim("no-trim"), "no-trim");
+}
+
+TEST(StringUtilTest, ToLower) {
+  EXPECT_EQ(ToLower("MiXeD"), "mixed");
+  EXPECT_EQ(ToLower("123-ABC"), "123-abc");
+}
+
+TEST(StringUtilTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("workflow.json", "work"));
+  EXPECT_FALSE(StartsWith("a", "ab"));
+  EXPECT_TRUE(EndsWith("workflow.json", ".json"));
+  EXPECT_FALSE(EndsWith("x", "xy"));
+}
+
+TEST(StringUtilTest, StringPrintf) {
+  EXPECT_EQ(StringPrintf("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(StringPrintf("%.2f", 1.239), "1.24");
+  // Long output beyond any small static buffer.
+  const std::string long_out = StringPrintf("%0512d", 1);
+  EXPECT_EQ(long_out.size(), 512u);
+}
+
+TEST(StringUtilTest, FormatDoubleAndPercent) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatPercent(0.1234), "12.3%");
+  EXPECT_EQ(FormatPercent(1.0, 0), "100%");
+}
+
+TEST(StringUtilTest, HumanCount) {
+  EXPECT_EQ(HumanCount(100'000'000), "100M");
+  EXPECT_EQ(HumanCount(500'000'000), "500M");
+  EXPECT_EQ(HumanCount(1'000'000'000), "1B");
+  EXPECT_EQ(HumanCount(1'500'000'000), "1.5B");
+  EXPECT_EQ(HumanCount(2'500), "2.5K");
+  EXPECT_EQ(HumanCount(999), "999");
+  EXPECT_EQ(HumanCount(123), "123");
+}
+
+}  // namespace
+}  // namespace idebench

@@ -1,0 +1,83 @@
+#ifndef IDEBENCH_TESTS_TEST_UTIL_H_
+#define IDEBENCH_TESTS_TEST_UTIL_H_
+
+/// \file test_util.h
+/// Shared fixtures: tiny hand-built tables and query specs used across
+/// the module tests.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "query/spec.h"
+#include "storage/catalog.h"
+#include "storage/table.h"
+
+namespace idebench::testutil {
+
+/// A tiny deterministic sales-like table:
+///   value: double  {10, 20, 30, 40, 50, 60, 70, 80}
+///   group: string  {a, b, a, b, a, b, a, b}
+///   flag : int64   {0, 0, 0, 0, 1, 1, 1, 1}
+inline storage::Table MakeTinyTable() {
+  storage::Schema schema({
+      {"value", storage::DataType::kDouble,
+       storage::AttributeKind::kQuantitative},
+      {"group", storage::DataType::kString, storage::AttributeKind::kNominal},
+      {"flag", storage::DataType::kInt64, storage::AttributeKind::kNominal},
+  });
+  storage::Table t("tiny", schema);
+  const char* groups[] = {"a", "b"};
+  for (int i = 0; i < 8; ++i) {
+    t.mutable_column(0).AppendDouble(10.0 * (i + 1));
+    t.mutable_column(1).AppendString(groups[i % 2]);
+    t.mutable_column(2).AppendInt(i < 4 ? 0 : 1);
+  }
+  return t;
+}
+
+/// Wraps MakeTinyTable in a single-table catalog.
+inline std::shared_ptr<storage::Catalog> MakeTinyCatalog() {
+  auto catalog = std::make_shared<storage::Catalog>();
+  auto table = std::make_shared<storage::Table>(MakeTinyTable());
+  IDB_CHECK(catalog->AddTable(table).ok());
+  return catalog;
+}
+
+/// COUNT(*) grouped by `group` (2 nominal bins), bins resolved.
+inline query::QuerySpec MakeCountByGroupSpec(const storage::Catalog& catalog) {
+  query::QuerySpec spec;
+  spec.viz_name = "viz_test";
+  query::BinDimension dim;
+  dim.column = "group";
+  dim.mode = query::BinningMode::kNominal;
+  spec.bins.push_back(dim);
+  query::AggregateSpec agg;
+  agg.type = query::AggregateType::kCount;
+  spec.aggregates.push_back(agg);
+  IDB_CHECK(spec.ResolveBins(catalog).ok());
+  return spec;
+}
+
+/// AVG(value) binned over `value` in `bins` fixed-count bins.
+inline query::QuerySpec MakeAvgValueSpec(const storage::Catalog& catalog,
+                                         int64_t bins = 4) {
+  query::QuerySpec spec;
+  spec.viz_name = "viz_avg";
+  query::BinDimension dim;
+  dim.column = "value";
+  dim.mode = query::BinningMode::kFixedCount;
+  dim.requested_bins = bins;
+  spec.bins.push_back(dim);
+  query::AggregateSpec agg;
+  agg.type = query::AggregateType::kAvg;
+  agg.column = "value";
+  spec.aggregates.push_back(agg);
+  IDB_CHECK(spec.ResolveBins(catalog).ok());
+  return spec;
+}
+
+}  // namespace idebench::testutil
+
+#endif  // IDEBENCH_TESTS_TEST_UTIL_H_
