@@ -54,6 +54,101 @@ query::QuerySpec CountByCarrierSpec() {
   return spec;
 }
 
+/// The sampled-aggregation hot loop: a shuffled walk over the fact table
+/// feeding a filtered, binned COUNT + AVG — the per-row work every
+/// sampling engine performs.  Three variants trace the perf trajectory:
+/// scalar reference, vectorized kernels + hash bin table, and vectorized
+/// kernels + dense bin table (the default).  Run
+///   bench_micro --benchmark_filter=HotLoop --benchmark_format=json
+/// to emit the JSON recorded in BENCH_vectorized_pipeline.json.
+query::QuerySpec HotLoopSpec() {
+  query::QuerySpec spec;
+  spec.viz_name = "hot_loop";
+  query::BinDimension d;
+  d.column = "dep_delay";
+  d.mode = query::BinningMode::kFixedCount;
+  d.requested_bins = 25;
+  spec.bins = {d};
+  query::AggregateSpec count;
+  count.type = query::AggregateType::kCount;
+  query::AggregateSpec avg;
+  avg.type = query::AggregateType::kAvg;
+  avg.column = "distance";
+  spec.aggregates = {count, avg};
+  expr::Predicate p;
+  p.column = "air_time";
+  p.op = expr::CompareOp::kRange;
+  p.lo = 50;
+  p.hi = 200;
+  spec.filter.And(p);
+  IDB_CHECK(spec.ResolveBins(*SharedCatalog()).ok());
+  return spec;
+}
+
+/// Shuffled row order shared by the hot-loop variants (sampling engines
+/// walk a random permutation, not the physical order).
+const std::vector<int64_t>& SharedWalk() {
+  static const std::vector<int64_t> walk = [] {
+    Rng rng(17);
+    aqp::ShuffledIndex index(SharedTable().num_rows(), &rng);
+    return index.permutation();
+  }();
+  return walk;
+}
+
+void BM_HotLoopScalar(benchmark::State& state) {
+  auto catalog = SharedCatalog();
+  query::QuerySpec spec = HotLoopSpec();
+  auto bound = exec::BoundQuery::Bind(spec, *catalog);
+  IDB_CHECK(bound.ok());
+  const std::vector<int64_t>& walk = SharedWalk();
+  exec::BinnedAggregatorOptions options;
+  options.enable_vectorized = false;
+  for (auto _ : state) {
+    exec::BinnedAggregator agg(&*bound, options);
+    for (int64_t row : walk) agg.ProcessRow(row);
+    benchmark::DoNotOptimize(agg.rows_matched());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(walk.size()));
+}
+BENCHMARK(BM_HotLoopScalar);
+
+void BM_HotLoopVectorizedHashBins(benchmark::State& state) {
+  auto catalog = SharedCatalog();
+  query::QuerySpec spec = HotLoopSpec();
+  auto bound = exec::BoundQuery::Bind(spec, *catalog);
+  IDB_CHECK(bound.ok());
+  const std::vector<int64_t>& walk = SharedWalk();
+  exec::BinnedAggregatorOptions options;
+  options.enable_dense_bins = false;
+  for (auto _ : state) {
+    exec::BinnedAggregator agg(&*bound, options);
+    agg.ProcessBatch(walk.data(), static_cast<int64_t>(walk.size()));
+    benchmark::DoNotOptimize(agg.rows_matched());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(walk.size()));
+}
+BENCHMARK(BM_HotLoopVectorizedHashBins);
+
+void BM_HotLoopVectorized(benchmark::State& state) {
+  auto catalog = SharedCatalog();
+  query::QuerySpec spec = HotLoopSpec();
+  auto bound = exec::BoundQuery::Bind(spec, *catalog);
+  IDB_CHECK(bound.ok());
+  const std::vector<int64_t>& walk = SharedWalk();
+  for (auto _ : state) {
+    exec::BinnedAggregator agg(&*bound);
+    IDB_CHECK(agg.uses_dense_bins());
+    agg.ProcessBatch(walk.data(), static_cast<int64_t>(walk.size()));
+    benchmark::DoNotOptimize(agg.rows_matched());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(walk.size()));
+}
+BENCHMARK(BM_HotLoopVectorized);
+
 void BM_ScanBinnedCount(benchmark::State& state) {
   auto catalog = SharedCatalog();
   query::QuerySpec spec = CountByCarrierSpec();

@@ -12,6 +12,22 @@ ShuffledIndex::ShuffledIndex(int64_t n, Rng* rng) {
   rng->Shuffle(&permutation_);
 }
 
+void ShuffledIndex::Gather(int64_t start_pos, int64_t count,
+                           int64_t* out) const {
+  const int64_t n = size();
+  if (n <= 0 || count <= 0) return;
+  int64_t pos = start_pos % n;
+  int64_t remaining = count;
+  while (remaining > 0) {
+    const int64_t run = std::min(remaining, n - pos);
+    std::copy_n(permutation_.begin() + static_cast<ptrdiff_t>(pos),
+                static_cast<size_t>(run), out);
+    out += run;
+    remaining -= run;
+    pos = 0;
+  }
+}
+
 ReservoirSampler::ReservoirSampler(int64_t capacity, Rng* rng)
     : capacity_(std::max<int64_t>(capacity, 0)), rng_(rng) {
   sample_.reserve(static_cast<size_t>(capacity_));

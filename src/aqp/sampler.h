@@ -33,6 +33,11 @@ class ShuffledIndex {
     return permutation_[static_cast<size_t>(pos % size())];
   }
 
+  /// Copies `count` consecutive permutation entries starting at position
+  /// `start_pos` (wrapping modulo n) into `out` — the batch gather used
+  /// by the vectorized sampling engines instead of per-call `At`.
+  void Gather(int64_t start_pos, int64_t count, int64_t* out) const;
+
   int64_t size() const { return static_cast<int64_t>(permutation_.size()); }
 
   const std::vector<int64_t>& permutation() const { return permutation_; }

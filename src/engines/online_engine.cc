@@ -103,10 +103,9 @@ Micros OnlineEngine::RunFor(QueryHandle handle, Micros budget) {
   const int64_t todo = std::min(affordable, remaining);
   if (todo > 0) {
     if (rq.online) {
-      const aqp::ShuffledIndex& order = ShuffledRows();
-      for (int64_t i = 0; i < todo; ++i) {
-        rq.aggregator->ProcessRow(order.At(rq.walk_offset + rq.cursor + i));
-      }
+      // Batched shuffled-walk sampling through the vectorized pipeline.
+      rq.aggregator->ProcessShuffled(ShuffledRows(),
+                                     rq.walk_offset + rq.cursor, todo);
     } else {
       rq.aggregator->ProcessRange(rq.cursor, rq.cursor + todo);
     }

@@ -97,11 +97,9 @@ Micros ProgressiveEngine::AdvanceState(SampleState* state, Micros budget) {
     }
     return 0;
   }
-  const aqp::ShuffledIndex& order = ShuffledRows();
-  for (int64_t i = 0; i < todo; ++i) {
-    state->aggregator->ProcessRow(
-        order.At(state->walk_offset + state->cursor + i));
-  }
+  // Batched shuffled-walk sampling through the vectorized pipeline.
+  state->aggregator->ProcessShuffled(ShuffledRows(),
+                                     state->walk_offset + state->cursor, todo);
   state->cursor += todo;
   const double spent = static_cast<double>(todo) * state->row_cost_us;
   state->credit_us -= spent;

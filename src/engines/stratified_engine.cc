@@ -87,10 +87,19 @@ Micros StratifiedEngine::RunFor(QueryHandle handle, Micros budget) {
   const int64_t remaining = sample_.size() - rq.cursor;
   const int64_t todo = std::min(affordable, remaining);
   if (todo > 0) {
-    for (int64_t i = 0; i < todo; ++i) {
+    // The sample is laid out stratum by stratum, so per-row weights form
+    // runs of equal values; feed each run as one weighted batch through
+    // the vectorized pipeline.
+    for (int64_t i = 0; i < todo;) {
       const size_t pos = static_cast<size_t>(rq.cursor + i);
-      rq.aggregator->ProcessRowWeighted(sample_.rows[pos],
-                                        sample_.weights[pos]);
+      const double w = sample_.weights[pos];
+      int64_t j = i + 1;
+      while (j < todo &&
+             sample_.weights[static_cast<size_t>(rq.cursor + j)] == w) {
+        ++j;
+      }
+      rq.aggregator->ProcessBatch(&sample_.rows[pos], j - i, w);
+      i = j;
     }
     rq.cursor += todo;
     const double spent = static_cast<double>(todo) * rq.row_cost_us;

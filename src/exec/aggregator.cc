@@ -1,6 +1,7 @@
 #include "exec/aggregator.h"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 
 namespace idebench::exec {
@@ -9,7 +10,43 @@ using query::AggregateType;
 using query::BinResult;
 using query::QueryResult;
 
-BinnedAggregator::BinnedAggregator(const BoundQuery* query) : query_(query) {}
+BinnedAggregator::BinnedAggregator(const BoundQuery* query,
+                                   BinnedAggregatorOptions options)
+    : query_(query), options_(options) {
+  if (!options_.enable_vectorized) return;
+  auto vec = std::make_unique<VectorizedQuery>(VectorizedQuery::Compile(*query));
+  if (!vec->ok()) return;
+  vec_ = std::move(vec);
+  const int64_t keys = vec_->key_space();
+  const int64_t naggs =
+      std::max<int64_t>(1, static_cast<int64_t>(vec_->num_aggregates()));
+  use_dense_ = options_.enable_dense_bins && keys > 0 &&
+               keys <= options_.dense_key_limit &&
+               keys * naggs <= options_.dense_accum_limit;
+  dense_keys_ = use_dense_ ? keys : 0;
+}
+
+void BinnedAggregator::EnsureDenseAllocated() {
+  if (!dense_touched_.empty()) return;
+  const size_t naggs = query_->spec().aggregates.size();
+  dense_.assign(static_cast<size_t>(dense_keys_) * naggs, AggAccum{});
+  dense_touched_.assign(static_cast<size_t>(dense_keys_), 0);
+}
+
+AggAccum* BinnedAggregator::AccumsForPublicKey(int64_t key) {
+  const size_t naggs = query_->spec().aggregates.size();
+  if (use_dense_) {
+    EnsureDenseAllocated();
+    const int64_t d = vec_->PublicKeyToDense(key);
+    dense_touched_[static_cast<size_t>(d)] = 1;
+    return dense_.data() + static_cast<size_t>(d) * naggs;
+  }
+  auto it = bins_.find(key);
+  if (it == bins_.end()) {
+    it = bins_.emplace(key, std::vector<AggAccum>(naggs)).first;
+  }
+  return it->second.data();
+}
 
 void BinnedAggregator::ProcessRowWeighted(int64_t row, double weight) {
   ++rows_seen_;
@@ -18,35 +55,105 @@ void BinnedAggregator::ProcessRowWeighted(int64_t row, double weight) {
   if (key < 0) return;
   ++rows_matched_;
 
-  auto it = bins_.find(key);
-  if (it == bins_.end()) {
-    it = bins_.emplace(key, std::vector<AggAccum>(
-                                query_->spec().aggregates.size()))
-             .first;
-  }
-  std::vector<AggAccum>& accums = it->second;
-  for (size_t a = 0; a < accums.size(); ++a) {
+  AggAccum* accums = AccumsForPublicKey(key);
+  const size_t naggs = query_->spec().aggregates.size();
+  for (size_t a = 0; a < naggs; ++a) {
     const double v = query_->AggValueAt(a, row);
     if (std::isnan(v)) continue;
-    AggAccum& acc = accums[a];
-    ++acc.n;
-    acc.sum += v;
-    acc.sumsq += v * v;
-    acc.wsum += weight;
-    acc.wvar += weight * (weight - 1.0);
-    acc.wvsum += weight * v;
-    acc.wvsumsq += weight * (weight - 1.0) * v * v;
-    acc.min = std::min(acc.min, v);
-    acc.max = std::max(acc.max, v);
+    Accumulate(&accums[a], v, weight);
+  }
+}
+
+void BinnedAggregator::ProcessBatch(const int64_t* rows, int64_t n,
+                                    double weight) {
+  if (vec_ == nullptr) {
+    for (int64_t i = 0; i < n; ++i) ProcessRowWeighted(rows[i], weight);
+    return;
+  }
+  RowBatch batch;
+  std::array<AggAccum*, kVectorBatchSize> bases;
+  const size_t naggs = query_->spec().aggregates.size();
+
+  for (int64_t off = 0; off < n; off += kVectorBatchSize) {
+    batch.rows = rows + off;
+    batch.n = std::min(n - off, kVectorBatchSize);
+    rows_seen_ += batch.n;
+
+    const int64_t m = vec_->FilterAndBin(&batch);
+    rows_matched_ += m;
+    if (m == 0) continue;
+
+    // Resolve each selected row's accumulator base once.
+    if (use_dense_) {
+      EnsureDenseAllocated();
+      for (int64_t i = 0; i < m; ++i) {
+        const size_t d = static_cast<size_t>(batch.keys[i]);
+        dense_touched_[d] = 1;
+        bases[i] = dense_.data() + d * naggs;
+      }
+    } else {
+      for (int64_t i = 0; i < m; ++i) {
+        const int64_t key = vec_->DenseKeyToPublic(batch.keys[i]);
+        auto it = bins_.find(key);
+        if (it == bins_.end()) {
+          it = bins_.emplace(key, std::vector<AggAccum>(naggs)).first;
+        }
+        bases[i] = it->second.data();
+      }
+    }
+
+    const bool unit_weight = weight == 1.0;
+    for (size_t a = 0; a < naggs; ++a) {
+      if (vec_->agg_is_count(a)) {
+        if (unit_weight) {
+          for (int64_t i = 0; i < m; ++i) AccumulateUnit(&bases[i][a], 1.0);
+        } else {
+          for (int64_t i = 0; i < m; ++i) Accumulate(&bases[i][a], 1.0, weight);
+        }
+        continue;
+      }
+      vec_->GatherAggValues(a, &batch);
+      for (int64_t i = 0; i < m; ++i) {
+        const double v = batch.values[i];
+        if (!(v == v)) continue;  // NaN input: scalar parity
+        if (unit_weight) {
+          AccumulateUnit(&bases[i][a], v);
+        } else {
+          Accumulate(&bases[i][a], v, weight);
+        }
+      }
+    }
   }
 }
 
 void BinnedAggregator::ProcessRange(int64_t begin, int64_t end) {
-  for (int64_t row = begin; row < end; ++row) ProcessRow(row);
+  if (vec_ == nullptr) {
+    for (int64_t row = begin; row < end; ++row) ProcessRow(row);
+    return;
+  }
+  std::array<int64_t, kVectorBatchSize> rows;
+  for (int64_t b = begin; b < end; b += kVectorBatchSize) {
+    const int64_t c = std::min(end - b, kVectorBatchSize);
+    for (int64_t i = 0; i < c; ++i) rows[static_cast<size_t>(i)] = b + i;
+    ProcessBatch(rows.data(), c);
+  }
+}
+
+void BinnedAggregator::ProcessShuffled(const aqp::ShuffledIndex& order,
+                                       int64_t start_pos, int64_t count) {
+  std::array<int64_t, kVectorBatchSize> rows;
+  for (int64_t done = 0; done < count;) {
+    const int64_t c = std::min(count - done, kVectorBatchSize);
+    order.Gather(start_pos + done, c, rows.data());
+    ProcessBatch(rows.data(), c);
+    done += c;
+  }
 }
 
 void BinnedAggregator::Reset() {
   bins_.clear();
+  dense_.clear();
+  dense_touched_.clear();
   rows_seen_ = 0;
   rows_matched_ = 0;
 }
@@ -69,7 +176,7 @@ QueryResult BinnedAggregator::ExactResult() const {
   result.progress = 1.0;
   result.rows_processed = rows_seen_;
   const auto& aggs = query_->spec().aggregates;
-  for (const auto& [key, accums] : bins_) {
+  ForEachBin([&](int64_t key, const AggAccum* accums) {
     BinResult bin;
     bin.values.resize(aggs.size());
     for (size_t a = 0; a < aggs.size(); ++a) {
@@ -95,7 +202,7 @@ QueryResult BinnedAggregator::ExactResult() const {
       }
     }
     if (!bin.values.empty()) result.bins.emplace(key, std::move(bin));
-  }
+  });
   return result;
 }
 
@@ -117,7 +224,7 @@ QueryResult BinnedAggregator::EstimateFromUniformSample(int64_t population,
   result.exact = complete;
 
   const auto& aggs = query_->spec().aggregates;
-  for (const auto& [key, accums] : bins_) {
+  ForEachBin([&](int64_t key, const AggAccum* accums) {
     BinResult bin;
     bin.values.resize(aggs.size());
     for (size_t a = 0; a < aggs.size(); ++a) {
@@ -161,7 +268,7 @@ QueryResult BinnedAggregator::EstimateFromUniformSample(int64_t population,
       }
     }
     if (!bin.values.empty()) result.bins.emplace(key, std::move(bin));
-  }
+  });
   return result;
 }
 
@@ -175,7 +282,7 @@ QueryResult BinnedAggregator::EstimateFromWeightedSample(double z) const {
   result.progress = 1.0;
 
   const auto& aggs = query_->spec().aggregates;
-  for (const auto& [key, accums] : bins_) {
+  ForEachBin([&](int64_t key, const AggAccum* accums) {
     BinResult bin;
     bin.values.resize(aggs.size());
     for (size_t a = 0; a < aggs.size(); ++a) {
@@ -212,7 +319,7 @@ QueryResult BinnedAggregator::EstimateFromWeightedSample(double z) const {
       }
     }
     if (!bin.values.empty()) result.bins.emplace(key, std::move(bin));
-  }
+  });
   return result;
 }
 

@@ -16,13 +16,32 @@
 ///  * `EstimateFromWeightedSample()` — the offline stratified engine,
 ///    where each row carries its stratum weight N_s/n_s; variances use a
 ///    Poisson-sampling approximation (see DESIGN.md).
+///
+/// Rows arrive through two equivalent paths:
+///
+///  * the scalar reference path (`ProcessRow` / `ProcessRowWeighted`),
+///    one `MatchesFilter`+`BinKey`+`AggValueAt` chain per row;
+///  * the vectorized path (`ProcessBatch` / `ProcessRange`), which runs
+///    the type-specialized kernels in exec/vectorized.h over batches of
+///    ~1024 rows and accumulates into a *dense flat bin table* whenever
+///    the resolved bin-key space is small (the common IDEBench case),
+///    falling back to the hash map transparently otherwise.
+///
+/// Both paths write the same accumulator streams in the same per-bin
+/// order, so results are bit-identical; the scalar path is kept as the
+/// reference implementation for differential testing
+/// (`BinnedAggregatorOptions::enable_vectorized = false`).
 
+#include <algorithm>
 #include <cstdint>
 #include <limits>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
+#include "aqp/sampler.h"
 #include "exec/bound_query.h"
+#include "exec/vectorized.h"
 #include "query/result.h"
 
 namespace idebench::exec {
@@ -40,25 +59,62 @@ struct AggAccum {
   double max = -std::numeric_limits<double>::infinity();
 };
 
+/// Execution knobs; defaults enable the fast paths.
+struct BinnedAggregatorOptions {
+  /// Compile and use the vectorized kernels for batch entry points.
+  /// Disable to force the scalar reference path everywhere.
+  bool enable_vectorized = true;
+
+  /// Use the dense flat-array bin table when the key space is small.
+  bool enable_dense_bins = true;
+
+  /// Dense table engages only when the resolved bin-key space is at most
+  /// this many keys...
+  int64_t dense_key_limit = 64 * 1024;
+
+  /// ...and keys x aggregates is at most this many accumulators.
+  int64_t dense_accum_limit = 128 * 1024;
+};
+
 /// Streaming group-by aggregation for one bound query.
 class BinnedAggregator {
  public:
-  explicit BinnedAggregator(const BoundQuery* query);
+  explicit BinnedAggregator(const BoundQuery* query,
+                            BinnedAggregatorOptions options = {});
 
-  /// Feeds fact row `row` with weight 1.
+  /// Feeds fact row `row` with weight 1 (scalar reference path).
   void ProcessRow(int64_t row) { ProcessRowWeighted(row, 1.0); }
 
-  /// Feeds fact row `row` with inverse-inclusion-probability `weight`.
+  /// Feeds fact row `row` with inverse-inclusion-probability `weight`
+  /// (scalar reference path).
   void ProcessRowWeighted(int64_t row, double weight);
+
+  /// Feeds `n` gathered fact-row ids with a shared `weight` through the
+  /// vectorized kernels (chunked at kVectorBatchSize); falls back to the
+  /// scalar path when the query could not be compiled.
+  void ProcessBatch(const int64_t* rows, int64_t n, double weight = 1.0);
 
   /// Feeds the half-open fact-row range [begin, end) with weight 1.
   void ProcessRange(int64_t begin, int64_t end);
+
+  /// Feeds `count` rows of a shuffled walk starting at permutation
+  /// position `start_pos` (wrapping), gathering into batches internally —
+  /// the shared hot loop of the sampling engines.
+  void ProcessShuffled(const aqp::ShuffledIndex& order, int64_t start_pos,
+                       int64_t count);
 
   /// Rows fed so far (matched or not).
   int64_t rows_seen() const { return rows_seen_; }
 
   /// Rows that passed the filter so far.
   int64_t rows_matched() const { return rows_matched_; }
+
+  /// True when this aggregator accumulates into the dense flat bin table
+  /// (diagnostics/tests).
+  bool uses_dense_bins() const { return use_dense_; }
+
+  /// True when the batch entry points run the vectorized kernels.
+  bool uses_vectorized() const { return vec_ != nullptr && vec_->ok(); }
 
   /// Exact answer (weight-1 complete scan).
   query::QueryResult ExactResult() const;
@@ -72,15 +128,77 @@ class BinnedAggregator {
                                                double z) const;
 
   /// Estimate from weighted rows (stratified/offline sampling); weights
-  /// were supplied per row via `ProcessRowWeighted`.
+  /// were supplied per row via `ProcessRowWeighted`/`ProcessBatch`.
   query::QueryResult EstimateFromWeightedSample(double z) const;
 
   /// Drops all accumulated state.
   void Reset();
 
  private:
+  /// Applies one (value, weight) observation to `acc`; the single shared
+  /// update both paths funnel through.
+  static void Accumulate(AggAccum* acc, double v, double weight) {
+    ++acc->n;
+    acc->sum += v;
+    acc->sumsq += v * v;
+    acc->wsum += weight;
+    acc->wvar += weight * (weight - 1.0);
+    acc->wvsum += weight * v;
+    acc->wvsumsq += weight * (weight - 1.0) * v * v;
+    acc->min = std::min(acc->min, v);
+    acc->max = std::max(acc->max, v);
+  }
+
+  /// Weight-1 specialization of `Accumulate`: the Poisson terms
+  /// w*(w-1) and w*(w-1)*v^2 are exactly 0 and w*v is exactly v, so the
+  /// stored values are bit-identical to the general update (-0.0 vs +0.0
+  /// is unobservable: the estimators compare/max against 0 first).
+  static void AccumulateUnit(AggAccum* acc, double v) {
+    ++acc->n;
+    acc->sum += v;
+    acc->sumsq += v * v;
+    acc->wsum += 1.0;
+    acc->wvsum += v;
+    acc->min = std::min(acc->min, v);
+    acc->max = std::max(acc->max, v);
+  }
+
+  /// Accumulator row (naggs entries) for a public packed bin key,
+  /// creating it on first touch.
+  AggAccum* AccumsForPublicKey(int64_t key);
+
+  /// Allocates the dense table on first touch.
+  void EnsureDenseAllocated();
+
+  /// Visits (public_key, accums) for every touched bin.
+  template <typename Fn>
+  void ForEachBin(Fn&& fn) const {
+    const size_t naggs = query_->spec().aggregates.size();
+    if (use_dense_) {
+      if (dense_touched_.empty()) return;
+      for (int64_t d = 0; d < dense_keys_; ++d) {
+        if (!dense_touched_[static_cast<size_t>(d)]) continue;
+        fn(vec_->DenseKeyToPublic(d),
+           dense_.data() + static_cast<size_t>(d) * naggs);
+      }
+    } else {
+      for (const auto& [key, accums] : bins_) fn(key, accums.data());
+    }
+  }
+
   const BoundQuery* query_;
+  BinnedAggregatorOptions options_;
+  std::unique_ptr<VectorizedQuery> vec_;
+
+  // Hash-map bin store (always correct; the fallback).
   std::unordered_map<int64_t, std::vector<AggAccum>> bins_;
+
+  // Dense flat bin store (used when the key space is small).
+  bool use_dense_ = false;
+  int64_t dense_keys_ = 0;
+  std::vector<AggAccum> dense_;         // dense_keys_ x naggs, lazy
+  std::vector<uint8_t> dense_touched_;  // per dense key
+
   int64_t rows_seen_ = 0;
   int64_t rows_matched_ = 0;
 };

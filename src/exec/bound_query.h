@@ -68,6 +68,19 @@ class BoundQuery {
   static Result<std::vector<std::string>> RequiredJoins(
       const query::QuerySpec& spec, const storage::Catalog& catalog);
 
+  /// Resolved access paths (parallel to spec().bins / aggregates /
+  /// filter.predicates()); the inputs the vectorized kernel compiler
+  /// specializes on.
+  const std::vector<ColumnBinding>& bin_bindings() const {
+    return bin_bindings_;
+  }
+  const std::vector<ColumnBinding>& agg_bindings() const {
+    return agg_bindings_;
+  }
+  const std::vector<ColumnBinding>& filter_bindings() const {
+    return filter_bindings_;
+  }
+
  private:
   const query::QuerySpec* spec_ = nullptr;
   const storage::Table* fact_ = nullptr;

@@ -1,5 +1,11 @@
 #include "exec/join_index.h"
 
+#include <cmath>
+#include <limits>
+#include <string>
+
+#include "common/logging.h"
+
 namespace idebench::exec {
 namespace {
 
@@ -28,29 +34,59 @@ Result<FkColumns> ResolveFk(const storage::Catalog& catalog,
   return out;
 }
 
-std::unordered_map<double, int64_t> HashDimension(const FkColumns& cols) {
-  std::unordered_map<double, int64_t> pk_index;
-  const int64_t n = cols.dim->num_rows();
-  pk_index.reserve(static_cast<size_t>(n));
+}  // namespace
+
+namespace {
+
+/// The integer-keyed index requires double-typed key columns to hold
+/// integral values (truncating ValueAsInt would otherwise silently merge
+/// distinct fractional keys); enforce the documented constraint.
+Status CheckIntegralKeys(const storage::Column& col, const char* side) {
+  if (col.type() != storage::DataType::kDouble) return Status::OK();
+  const double* data = col.DoubleData();
+  const int64_t n = col.size();
   for (int64_t r = 0; r < n; ++r) {
-    pk_index.emplace(cols.pk->ValueAsDouble(r), r);
+    const double v = data[r];
+    if (!(v == std::floor(v)) ||
+        std::fabs(v) > 9.007199254740992e15) {  // 2^53: exact int range
+      return Status::Invalid(std::string(side) + " key column '" +
+                             col.name() + "' holds non-integral value " +
+                             std::to_string(v) +
+                             "; join keys must be integers");
+    }
   }
-  return pk_index;
+  return Status::OK();
 }
 
 }  // namespace
 
-Result<JoinIndex> JoinIndex::BuildMaterialized(const storage::Catalog& catalog,
-                                               const storage::ForeignKey& fk) {
+Result<JoinIndex> JoinIndex::Build(const storage::Catalog& catalog,
+                                   const storage::ForeignKey& fk, bool lazy) {
   IDB_ASSIGN_OR_RETURN(FkColumns cols, ResolveFk(catalog, fk));
-  const std::unordered_map<double, int64_t> pk_index = HashDimension(cols);
+  IDB_RETURN_NOT_OK(CheckIntegralKeys(*cols.pk, "dimension"));
+  IDB_RETURN_NOT_OK(CheckIntegralKeys(*cols.fk, "fact"));
+
+  // Hash the dimension's primary key on its integer view: exact integer
+  // equality, one cheap int64 hash per probe.
+  std::unordered_map<int64_t, int32_t> pk_index;
+  const int64_t dim_rows = cols.dim->num_rows();
+  if (dim_rows > std::numeric_limits<int32_t>::max()) {
+    return Status::Invalid("dimension '" + fk.dimension_table +
+                           "' exceeds the int32 row-id range of the flat "
+                           "join mapping");
+  }
+  pk_index.reserve(static_cast<size_t>(dim_rows));
+  for (int64_t r = 0; r < dim_rows; ++r) {
+    pk_index.emplace(cols.pk->ValueAsInt(r), static_cast<int32_t>(r));
+  }
 
   JoinIndex out;
   out.dimension_table_ = fk.dimension_table;
+  out.lazy_ = lazy;
   const int64_t fact_rows = catalog.fact_table()->num_rows();
   out.mapping_.resize(static_cast<size_t>(fact_rows), -1);
   for (int64_t r = 0; r < fact_rows; ++r) {
-    auto it = pk_index.find(cols.fk->ValueAsDouble(r));
+    auto it = pk_index.find(cols.fk->ValueAsInt(r));
     if (it != pk_index.end()) {
       out.mapping_[static_cast<size_t>(r)] = it->second;
     } else {
@@ -60,15 +96,14 @@ Result<JoinIndex> JoinIndex::BuildMaterialized(const storage::Catalog& catalog,
   return out;
 }
 
+Result<JoinIndex> JoinIndex::BuildMaterialized(const storage::Catalog& catalog,
+                                               const storage::ForeignKey& fk) {
+  return Build(catalog, fk, /*lazy=*/false);
+}
+
 Result<JoinIndex> JoinIndex::BuildLazy(const storage::Catalog& catalog,
                                        const storage::ForeignKey& fk) {
-  IDB_ASSIGN_OR_RETURN(FkColumns cols, ResolveFk(catalog, fk));
-  JoinIndex out;
-  out.dimension_table_ = fk.dimension_table;
-  out.lazy_ = true;
-  out.fk_column_ = cols.fk;
-  out.pk_index_ = HashDimension(cols);
-  return out;
+  return Build(catalog, fk, /*lazy=*/true);
 }
 
 }  // namespace idebench::exec

@@ -1,0 +1,298 @@
+#include "exec/vectorized.h"
+
+#include <cmath>
+#include <limits>
+
+namespace idebench::exec {
+namespace {
+
+using expr::CompareOp;
+
+/// Physical load path a kernel is specialized on.
+enum class Ld { kI64, kF64, kI64Join, kF64Join };
+
+/// Loads the numeric-view value of `row` through access path `L`.
+/// Returns false on a join miss (inner-join semantics drop the row).
+template <Ld L>
+inline bool Load(const ColumnAccess& c, int64_t row, double* v) {
+  if constexpr (L == Ld::kI64) {
+    *v = static_cast<double>(c.i64[row]);
+    return true;
+  } else if constexpr (L == Ld::kF64) {
+    *v = c.f64[row];
+    return true;
+  } else {
+    const int32_t dim = c.join[row];
+    if (dim < 0) return false;
+    if constexpr (L == Ld::kI64Join) {
+      *v = static_cast<double>(c.i64[dim]);
+    } else {
+      *v = c.f64[dim];
+    }
+    return true;
+  }
+}
+
+/// Predicate test, mirroring expr::Predicate::Matches exactly.
+template <CompareOp Op>
+inline bool Test(const FilterKernel& k, double v) {
+  if constexpr (Op == CompareOp::kEq) return v == k.value;
+  if constexpr (Op == CompareOp::kNeq) return v != k.value;
+  if constexpr (Op == CompareOp::kLt) return v < k.value;
+  if constexpr (Op == CompareOp::kLe) return v <= k.value;
+  if constexpr (Op == CompareOp::kGt) return v > k.value;
+  if constexpr (Op == CompareOp::kGe) return v >= k.value;
+  if constexpr (Op == CompareOp::kRange) return v >= k.lo && v < k.hi;
+  if constexpr (Op == CompareOp::kIn) {
+    for (const double* s = k.set_begin; s != k.set_end; ++s) {
+      if (*s == v) return true;
+    }
+    return false;
+  }
+}
+
+template <CompareOp Op, Ld L>
+int64_t FilterImpl(const FilterKernel& k, const int64_t* rows, int32_t* sel,
+                   int64_t n_sel) {
+  int64_t out = 0;
+  for (int64_t i = 0; i < n_sel; ++i) {
+    const int32_t s = sel[i];
+    double v = std::numeric_limits<double>::quiet_NaN();
+    const bool loaded = Load<L>(k.col, rows[s], &v);
+    // Branchless compaction; NaN fails every predicate (scalar parity).
+    const bool pass = loaded & (v == v) & Test<Op>(k, v);
+    sel[out] = s;
+    out += pass;
+  }
+  return out;
+}
+
+template <CompareOp Op>
+FilterKernel::Fn PickFilterForOp(Ld load) {
+  switch (load) {
+    case Ld::kI64:
+      return &FilterImpl<Op, Ld::kI64>;
+    case Ld::kF64:
+      return &FilterImpl<Op, Ld::kF64>;
+    case Ld::kI64Join:
+      return &FilterImpl<Op, Ld::kI64Join>;
+    case Ld::kF64Join:
+      return &FilterImpl<Op, Ld::kF64Join>;
+  }
+  return nullptr;
+}
+
+FilterKernel::Fn PickFilter(CompareOp op, Ld load) {
+  switch (op) {
+    case CompareOp::kEq:
+      return PickFilterForOp<CompareOp::kEq>(load);
+    case CompareOp::kNeq:
+      return PickFilterForOp<CompareOp::kNeq>(load);
+    case CompareOp::kLt:
+      return PickFilterForOp<CompareOp::kLt>(load);
+    case CompareOp::kLe:
+      return PickFilterForOp<CompareOp::kLe>(load);
+    case CompareOp::kGt:
+      return PickFilterForOp<CompareOp::kGt>(load);
+    case CompareOp::kGe:
+      return PickFilterForOp<CompareOp::kGe>(load);
+    case CompareOp::kRange:
+      return PickFilterForOp<CompareOp::kRange>(load);
+    case CompareOp::kIn:
+      return PickFilterForOp<CompareOp::kIn>(load);
+  }
+  return nullptr;
+}
+
+template <Ld L, bool Nominal>
+void BinImpl(const BinKernel& k, const int64_t* rows, const int32_t* sel,
+             int64_t n_sel, int64_t* out) {
+  for (int64_t i = 0; i < n_sel; ++i) {
+    double v;
+    if (!Load<L>(k.col, rows[sel[i]], &v) || !(v == v)) {
+      out[i] = -1;
+      continue;
+    }
+    // Same expressions as BinDimension::BinIndex: truncation for nominal
+    // (integer-coded) dimensions, floor division for quantitative ones.
+    int64_t idx;
+    if constexpr (Nominal) {
+      idx = static_cast<int64_t>(v - k.lo);
+    } else {
+      idx = static_cast<int64_t>(std::floor((v - k.lo) / k.width));
+    }
+    out[i] = (idx >= 0 && idx < k.bin_count) ? idx : -1;
+  }
+}
+
+BinKernel::Fn PickBin(Ld load, bool nominal) {
+  switch (load) {
+    case Ld::kI64:
+      return nominal ? &BinImpl<Ld::kI64, true> : &BinImpl<Ld::kI64, false>;
+    case Ld::kF64:
+      return nominal ? &BinImpl<Ld::kF64, true> : &BinImpl<Ld::kF64, false>;
+    case Ld::kI64Join:
+      return nominal ? &BinImpl<Ld::kI64Join, true>
+                     : &BinImpl<Ld::kI64Join, false>;
+    case Ld::kF64Join:
+      return nominal ? &BinImpl<Ld::kF64Join, true>
+                     : &BinImpl<Ld::kF64Join, false>;
+  }
+  return nullptr;
+}
+
+template <Ld L>
+void AggImpl(const AggKernel& k, const int64_t* rows, const int32_t* sel,
+             int64_t n_sel, double* out) {
+  for (int64_t i = 0; i < n_sel; ++i) {
+    double v;
+    out[i] = Load<L>(k.col, rows[sel[i]], &v)
+                 ? v
+                 : std::numeric_limits<double>::quiet_NaN();
+  }
+}
+
+AggKernel::Fn PickAgg(Ld load) {
+  switch (load) {
+    case Ld::kI64:
+      return &AggImpl<Ld::kI64>;
+    case Ld::kF64:
+      return &AggImpl<Ld::kF64>;
+    case Ld::kI64Join:
+      return &AggImpl<Ld::kI64Join>;
+    case Ld::kF64Join:
+      return &AggImpl<Ld::kF64Join>;
+  }
+  return nullptr;
+}
+
+/// Resolves the access path of `binding`; returns false when it cannot be
+/// vectorized.
+bool CompileAccess(const ColumnBinding& binding, ColumnAccess* access,
+                   Ld* load) {
+  if (binding.column == nullptr) return false;
+  const bool is_double =
+      binding.column->type() == storage::DataType::kDouble;
+  if (is_double) {
+    access->f64 = binding.column->DoubleData();
+  } else {
+    access->i64 = binding.column->Int64Data();
+  }
+  if (binding.join != nullptr) {
+    access->join = binding.join->mapping_data();
+    *load = is_double ? Ld::kF64Join : Ld::kI64Join;
+  } else {
+    *load = is_double ? Ld::kF64 : Ld::kI64;
+  }
+  return true;
+}
+
+}  // namespace
+
+VectorizedQuery VectorizedQuery::Compile(const BoundQuery& query) {
+  VectorizedQuery vq;
+  const query::QuerySpec& spec = query.spec();
+  if (spec.bins.empty() || spec.bins.size() > 2) return vq;
+
+  // Bin-key kernels.
+  for (size_t d = 0; d < spec.bins.size(); ++d) {
+    const query::BinDimension& dim = spec.bins[d];
+    if (!dim.resolved || dim.bin_count <= 0) return vq;
+    BinKernel k;
+    Ld load;
+    if (!CompileAccess(query.bin_bindings()[d], &k.col, &load)) return vq;
+    k.fn = PickBin(load, dim.mode == query::BinningMode::kNominal);
+    k.lo = dim.lo;
+    k.width = dim.width;
+    k.bin_count = dim.bin_count;
+    if (k.fn == nullptr) return vq;
+    vq.bin_kernels_.push_back(k);
+  }
+  vq.two_d_ = spec.bins.size() == 2;
+  vq.bins1_ = vq.two_d_ ? spec.bins[1].bin_count : 1;
+  vq.key_space_ = spec.bins[0].bin_count * vq.bins1_;
+
+  // Filter kernels, one per conjunct.
+  const auto& predicates = spec.filter.predicates();
+  for (size_t p = 0; p < predicates.size(); ++p) {
+    const expr::Predicate& pred = predicates[p];
+    FilterKernel k;
+    Ld load;
+    if (!CompileAccess(query.filter_bindings()[p], &k.col, &load)) return vq;
+    k.fn = PickFilter(pred.op, load);
+    if (k.fn == nullptr) return vq;
+    k.value = pred.value;
+    k.lo = pred.lo;
+    k.hi = pred.hi;
+    k.set_begin = pred.set_values.data();
+    k.set_end = pred.set_values.data() + pred.set_values.size();
+    vq.filters_.push_back(k);
+  }
+
+  // Aggregate gather kernels.
+  for (size_t a = 0; a < spec.aggregates.size(); ++a) {
+    AggKernel k;
+    if (query.agg_bindings()[a].column == nullptr) {
+      k.is_count = true;  // COUNT contributes 1 per row
+    } else {
+      Ld load;
+      if (!CompileAccess(query.agg_bindings()[a], &k.col, &load)) return vq;
+      k.fn = PickAgg(load);
+      if (k.fn == nullptr) return vq;
+    }
+    vq.agg_kernels_.push_back(k);
+  }
+
+  vq.ok_ = true;
+  return vq;
+}
+
+int64_t VectorizedQuery::FilterAndBin(RowBatch* batch) const {
+  const int64_t n = batch->n;
+  int64_t n_sel = n;
+  for (int64_t i = 0; i < n; ++i) batch->sel[i] = static_cast<int32_t>(i);
+  for (const FilterKernel& k : filters_) {
+    if (n_sel == 0) break;
+    n_sel = k.fn(k, batch->rows, batch->sel.data(), n_sel);
+  }
+  if (n_sel == 0) {
+    batch->n_sel = 0;
+    return 0;
+  }
+
+  const BinKernel& b0 = bin_kernels_[0];
+  b0.fn(b0, batch->rows, batch->sel.data(), n_sel, batch->keys.data());
+  if (two_d_) {
+    const BinKernel& b1 = bin_kernels_[1];
+    b1.fn(b1, batch->rows, batch->sel.data(), n_sel, batch->keys2.data());
+  }
+
+  // Drop rows with any out-of-range dimension and pack dense keys
+  // (branchless compaction: out <= i, so in-place writes are safe).
+  int64_t out = 0;
+  if (!two_d_) {
+    for (int64_t i = 0; i < n_sel; ++i) {
+      const int64_t i0 = batch->keys[i];
+      batch->sel[out] = batch->sel[i];
+      batch->keys[out] = i0;
+      out += i0 >= 0;
+    }
+  } else {
+    for (int64_t i = 0; i < n_sel; ++i) {
+      const int64_t i0 = batch->keys[i];
+      const int64_t i1 = batch->keys2[i];
+      batch->sel[out] = batch->sel[i];
+      batch->keys[out] = i0 * bins1_ + i1;
+      out += (i0 >= 0) & (i1 >= 0);
+    }
+  }
+  batch->n_sel = out;
+  return out;
+}
+
+void VectorizedQuery::GatherAggValues(size_t a, RowBatch* batch) const {
+  const AggKernel& k = agg_kernels_[a];
+  k.fn(k, batch->rows, batch->sel.data(), batch->n_sel, batch->values.data());
+}
+
+}  // namespace idebench::exec

@@ -1,0 +1,150 @@
+#ifndef IDEBENCH_EXEC_VECTORIZED_H_
+#define IDEBENCH_EXEC_VECTORIZED_H_
+
+/// \file vectorized.h
+/// Vectorized (batch-at-a-time) execution kernels for sampled aggregation.
+///
+/// The scalar path runs one `MatchesFilter` + `BinKey` + `AggValueAt` call
+/// chain per row, each doing a per-call type switch inside
+/// `Column::ValueAsDouble`.  This subsystem replaces that hot loop with
+/// type-specialized kernels compiled once per bound query:
+///
+///  * a `RowBatch` carries up to `kVectorBatchSize` gathered fact-row ids
+///    plus a *selection vector* that filter kernels compact in place;
+///  * filter kernels (range / IN-set / equality / ordering) are selected
+///    from a per-(op, column-type, join) kernel table at compile time and
+///    read raw contiguous arrays (`Column::Int64Data` / `DoubleData`);
+///  * bin-key kernels map selected rows to dense bin indices;
+///  * aggregate gather kernels materialize the aggregate inputs for the
+///    surviving selection.
+///
+/// Semantics are bit-compatible with the scalar reference: every kernel
+/// evaluates the same double-typed expression the scalar path evaluates
+/// (including int64→double casts, NaN-never-matches, truncation for
+/// nominal bins and `std::floor` for quantitative bins), so per-bin
+/// accumulator streams are identical in value *and order*.
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "exec/bound_query.h"
+
+namespace idebench::exec {
+
+/// Rows processed per kernel invocation.  Large enough to amortize
+/// dispatch, small enough that batch scratch stays cache-resident.
+inline constexpr int64_t kVectorBatchSize = 1024;
+
+/// One batch of fact rows threaded through the kernels.  `rows` is the
+/// caller-owned gather list (e.g. a slice of a shuffled walk); `sel`
+/// holds the indices into `rows` that survived filtering; `keys` holds
+/// the dense bin key per selected row after `FilterAndBin`.
+struct RowBatch {
+  const int64_t* rows = nullptr;
+  int64_t n = 0;
+  int64_t n_sel = 0;
+  std::array<int32_t, kVectorBatchSize> sel;
+  std::array<int64_t, kVectorBatchSize> keys;
+  std::array<int64_t, kVectorBatchSize> keys2;   // scratch: 2nd-dim indices
+  std::array<double, kVectorBatchSize> values;   // gathered agg inputs
+};
+
+/// A compiled column access path: exactly one of `i64`/`f64` is set
+/// (dictionary codes ride the int64 array); `join` is the flat fact→dim
+/// mapping for dimension columns, nullptr for fact columns.
+struct ColumnAccess {
+  const int64_t* i64 = nullptr;
+  const double* f64 = nullptr;
+  const int32_t* join = nullptr;
+};
+
+/// A compiled filter predicate: a type-specialized function pointer plus
+/// its operands.
+struct FilterKernel {
+  using Fn = int64_t (*)(const FilterKernel&, const int64_t* rows,
+                         int32_t* sel, int64_t n_sel);
+  Fn fn = nullptr;
+  ColumnAccess col;
+  double value = 0.0;  // kEq..kGe
+  double lo = 0.0;     // kRange
+  double hi = 0.0;     // kRange (exclusive)
+  const double* set_begin = nullptr;  // kIn
+  const double* set_end = nullptr;
+};
+
+/// A compiled bin dimension: maps selected rows to per-dimension bin
+/// indices (-1 = out of range / join miss / NaN).
+struct BinKernel {
+  using Fn = void (*)(const BinKernel&, const int64_t* rows,
+                      const int32_t* sel, int64_t n_sel, int64_t* out);
+  Fn fn = nullptr;
+  ColumnAccess col;
+  double lo = 0.0;
+  double width = 1.0;
+  int64_t bin_count = 0;
+};
+
+/// A compiled aggregate input: gathers the aggregate's value per selected
+/// row (NaN on join miss).  COUNT has no kernel (`is_count`).
+struct AggKernel {
+  using Fn = void (*)(const AggKernel&, const int64_t* rows,
+                      const int32_t* sel, int64_t n_sel, double* out);
+  Fn fn = nullptr;
+  ColumnAccess col;
+  bool is_count = false;
+};
+
+/// The vectorized form of one `BoundQuery`: a kernel table compiled at
+/// bind time.  When a query shape cannot be compiled (`!ok()`), callers
+/// fall back to the scalar reference path.
+class VectorizedQuery {
+ public:
+  /// Compiles kernels for `query`.  The query (and the spec/storage it
+  /// points into) must outlive the compiled form.
+  static VectorizedQuery Compile(const BoundQuery& query);
+
+  /// False when the query shape could not be vectorized.
+  bool ok() const { return ok_; }
+
+  /// Size of the dense bin-key space (product of per-dimension counts).
+  int64_t key_space() const { return key_space_; }
+
+  size_t num_aggregates() const { return agg_kernels_.size(); }
+  bool agg_is_count(size_t a) const { return agg_kernels_[a].is_count; }
+
+  /// Runs all filter kernels then the bin-key kernels over
+  /// `batch->rows[0..n)`.  On return `batch->sel[0..n_sel)` are the
+  /// surviving row indices and `batch->keys[0..n_sel)` their *dense* bin
+  /// keys.  Returns `n_sel`.
+  int64_t FilterAndBin(RowBatch* batch) const;
+
+  /// Gathers aggregate `a`'s inputs for the current selection into
+  /// `batch->values` (requires `!agg_is_count(a)`).
+  void GatherAggValues(size_t a, RowBatch* batch) const;
+
+  /// Converts a dense key to the public packed key used in results.
+  int64_t DenseKeyToPublic(int64_t dense) const {
+    if (!two_d_) return dense;
+    return query::EncodeBinKey(dense / bins1_, dense % bins1_);
+  }
+
+  /// Converts a public packed key to its dense index.
+  int64_t PublicKeyToDense(int64_t key) const {
+    if (!two_d_) return key;
+    return query::BinKeyDim0(key) * bins1_ + query::BinKeyDim1(key);
+  }
+
+ private:
+  std::vector<FilterKernel> filters_;
+  std::vector<BinKernel> bin_kernels_;  // 1 or 2
+  std::vector<AggKernel> agg_kernels_;
+  bool two_d_ = false;
+  int64_t bins1_ = 1;        // 2nd-dimension bin count (1 for 1-D)
+  int64_t key_space_ = 0;
+  bool ok_ = false;
+};
+
+}  // namespace idebench::exec
+
+#endif  // IDEBENCH_EXEC_VECTORIZED_H_

@@ -42,22 +42,27 @@ int64_t Column::size() const {
 void Column::AppendInt(int64_t v) {
   IDB_CHECK(field_.type == DataType::kInt64);
   ints_.push_back(v);
+  UpdateMinMax(static_cast<double>(v));
 }
 
 void Column::AppendDouble(double v) {
   IDB_CHECK(field_.type == DataType::kDouble);
   doubles_.push_back(v);
+  UpdateMinMax(v);
 }
 
 void Column::AppendString(const std::string& v) {
   IDB_CHECK(field_.type == DataType::kString);
-  ints_.push_back(dict_.GetOrInsert(v));
+  const int64_t code = dict_.GetOrInsert(v);
+  ints_.push_back(code);
+  UpdateMinMax(static_cast<double>(code));
 }
 
 void Column::AppendCode(int64_t code) {
   IDB_CHECK(field_.type == DataType::kString);
   IDB_CHECK(code >= 0 && code < dict_.size());
   ints_.push_back(code);
+  UpdateMinMax(static_cast<double>(code));
 }
 
 Status Column::AppendParsed(const std::string& text) {
@@ -69,6 +74,7 @@ Status Column::AppendParsed(const std::string& text) {
         return Status::Invalid("cannot parse int64 from '" + text + "'");
       }
       ints_.push_back(v);
+      UpdateMinMax(static_cast<double>(v));
       return Status::OK();
     }
     case DataType::kDouble: {
@@ -78,11 +84,15 @@ Status Column::AppendParsed(const std::string& text) {
         return Status::Invalid("cannot parse double from '" + text + "'");
       }
       doubles_.push_back(v);
+      UpdateMinMax(v);
       return Status::OK();
     }
-    case DataType::kString:
-      ints_.push_back(dict_.GetOrInsert(text));
+    case DataType::kString: {
+      const int64_t code = dict_.GetOrInsert(text);
+      ints_.push_back(code);
+      UpdateMinMax(static_cast<double>(code));
       return Status::OK();
+    }
   }
   return Status::Invalid("unknown column type");
 }
@@ -90,16 +100,25 @@ Status Column::AppendParsed(const std::string& text) {
 void Column::AppendFrom(const Column& other, int64_t row) {
   IDB_CHECK(other.field_.type == field_.type);
   switch (field_.type) {
-    case DataType::kInt64:
-      ints_.push_back(other.ints_[static_cast<size_t>(row)]);
+    case DataType::kInt64: {
+      const int64_t v = other.ints_[static_cast<size_t>(row)];
+      ints_.push_back(v);
+      UpdateMinMax(static_cast<double>(v));
       return;
-    case DataType::kDouble:
-      doubles_.push_back(other.doubles_[static_cast<size_t>(row)]);
+    }
+    case DataType::kDouble: {
+      const double v = other.doubles_[static_cast<size_t>(row)];
+      doubles_.push_back(v);
+      UpdateMinMax(v);
       return;
-    case DataType::kString:
-      ints_.push_back(
-          dict_.GetOrInsert(other.dict_.At(other.ints_[static_cast<size_t>(row)])));
+    }
+    case DataType::kString: {
+      const int64_t code = dict_.GetOrInsert(
+          other.dict_.At(other.ints_[static_cast<size_t>(row)]));
+      ints_.push_back(code);
+      UpdateMinMax(static_cast<double>(code));
       return;
+    }
   }
 }
 
@@ -133,22 +152,6 @@ std::string Column::ValueAsString(int64_t i) const {
       return dict_.At(ints_[static_cast<size_t>(i)]);
   }
   return {};
-}
-
-double Column::Min() const {
-  const int64_t n = size();
-  if (n == 0) return 0.0;
-  double best = ValueAsDouble(0);
-  for (int64_t i = 1; i < n; ++i) best = std::min(best, ValueAsDouble(i));
-  return best;
-}
-
-double Column::Max() const {
-  const int64_t n = size();
-  if (n == 0) return 0.0;
-  double best = ValueAsDouble(0);
-  for (int64_t i = 1; i < n; ++i) best = std::max(best, ValueAsDouble(i));
-  return best;
 }
 
 }  // namespace idebench::storage

@@ -6,6 +6,7 @@
 /// a dictionary.  Columns expose a uniform numeric view used by binning
 /// and aggregation: string columns surface their dictionary codes.
 
+#include <algorithm>
 #include <cstdint>
 #include <string>
 #include <unordered_map>
@@ -84,6 +85,13 @@ class Column {
   const std::vector<int64_t>& ints() const { return ints_; }
   const std::vector<double>& doubles() const { return doubles_; }
   const std::vector<int64_t>& codes() const { return ints_; }
+
+  /// Contiguous typed accessors for vectorized kernels.  `Int64Data()` is
+  /// the raw array for int64 columns and the dictionary-code array for
+  /// string columns; `DoubleData()` is the raw array for double columns.
+  /// Pointers are invalidated by appends.
+  const int64_t* Int64Data() const { return ints_.data(); }
+  const double* DoubleData() const { return doubles_.data(); }
   const Dictionary& dictionary() const { return dict_; }
   Dictionary& mutable_dictionary() { return dict_; }
 
@@ -92,14 +100,31 @@ class Column {
   void AppendCode(int64_t code);
 
   /// Minimum/maximum over the numeric view; zero for empty columns.
-  double Min() const;
-  double Max() const;
+  /// Maintained incrementally on append (O(1) reads, no re-scan); const
+  /// reads never mutate state, so they are safe to share across threads.
+  double Min() const { return size() == 0 ? 0.0 : cached_min_; }
+  double Max() const { return size() == 0 ? 0.0 : cached_max_; }
 
  private:
+  /// Folds one appended numeric-view value into the min/max cache (same
+  /// std::min/std::max fold the old full scans performed, so cached
+  /// values are identical — including NaN-ignoring semantics).
+  void UpdateMinMax(double v) {
+    if (size() == 1) {
+      cached_min_ = v;
+      cached_max_ = v;
+    } else {
+      cached_min_ = std::min(cached_min_, v);
+      cached_max_ = std::max(cached_max_, v);
+    }
+  }
+
   Field field_;
   std::vector<int64_t> ints_;     // int64 values or dictionary codes
   std::vector<double> doubles_;   // double values
   Dictionary dict_;               // string columns only
+  double cached_min_ = 0.0;
+  double cached_max_ = 0.0;
 };
 
 }  // namespace idebench::storage
