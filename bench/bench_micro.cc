@@ -15,6 +15,7 @@
 #include "driver/ground_truth.h"
 #include "exec/aggregator.h"
 #include "exec/bound_query.h"
+#include "exec/parallel.h"
 #include "workflow/generator.h"
 
 namespace {
@@ -148,6 +149,36 @@ void BM_HotLoopVectorized(benchmark::State& state) {
                           static_cast<int64_t>(walk.size()));
 }
 BENCHMARK(BM_HotLoopVectorized);
+
+/// Morsel-parallel variant of the hot loop: the same shuffled walk, fed
+/// through exec::MorselProcessShuffled at 1/2/4/8 worker threads.  The
+/// walk is repeated `kWalkRepeats` times per iteration so it spans many
+/// 64K-row morsels (a single pass over the 100K-row table is barely two).
+/// Run
+///   bench_micro --benchmark_filter=HotLoop --benchmark_format=json
+/// to emit the JSON recorded in BENCH_parallel_pipeline.json.
+void BM_HotLoopParallel(benchmark::State& state) {
+  constexpr int64_t kWalkRepeats = 8;
+  const int threads = static_cast<int>(state.range(0));
+  auto catalog = SharedCatalog();
+  query::QuerySpec spec = HotLoopSpec();
+  auto bound = exec::BoundQuery::Bind(spec, *catalog);
+  IDB_CHECK(bound.ok());
+  static const aqp::ShuffledIndex* walk_order = [] {
+    Rng rng(17);
+    return new aqp::ShuffledIndex(SharedTable().num_rows(), &rng);
+  }();
+  const int64_t count = kWalkRepeats * walk_order->size();
+  for (auto _ : state) {
+    exec::BinnedAggregator agg(&*bound);
+    exec::MorselProcessShuffled(&agg, *walk_order, 0, count, threads);
+    benchmark::DoNotOptimize(agg.rows_matched());
+  }
+  state.SetItemsProcessed(state.iterations() * count);
+}
+// Wall-clock measurement: the work happens on pool threads, so the
+// default main-thread CPU-time metric would wildly overstate throughput.
+BENCHMARK(BM_HotLoopParallel)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
 
 void BM_ScanBinnedCount(benchmark::State& state) {
   auto catalog = SharedCatalog();

@@ -13,6 +13,9 @@
 ///     --types LIST         comma list: independent,sequential,one_to_n,
 ///                          n_to_one,mixed (default mixed)
 ///     --normalized         use the star-schema layout
+///     --threads N          execution threads: 1 = single-threaded path
+///                          (default), 0 = all cores, n = n-way morsel
+///                          parallelism (results identical for any n)
 ///     --seed N             master seed (default 7)
 ///     --report FILE        write the detailed report CSV here
 ///     --save-workflows DIR write generated workflow JSON files here
@@ -67,6 +70,8 @@ int main(int argc, char** argv) {
       trs.push_back(std::atof(next().c_str()));
     } else if (arg == "--think") {
       config.think_time_s = std::atof(next().c_str());
+    } else if (arg == "--threads") {
+      config.threads = std::atoi(next().c_str());
     } else if (arg == "--workflows") {
       config.workflows_per_type = std::atoi(next().c_str());
     } else if (arg == "--types") {
@@ -130,12 +135,13 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  std::printf("engine=%s size=%s rows=%lld think=%.1fs types=%zu x %d\n",
-              config.engine.c_str(),
-              core::DataSizeLabel(config.dataset.nominal_rows).c_str(),
-              static_cast<long long>(config.dataset.EffectiveActualRows()),
-              config.think_time_s, config.workflow_types.size(),
-              config.workflows_per_type);
+  std::printf(
+      "engine=%s size=%s rows=%lld think=%.1fs types=%zu x %d threads=%d\n",
+      config.engine.c_str(),
+      core::DataSizeLabel(config.dataset.nominal_rows).c_str(),
+      static_cast<long long>(config.dataset.EffectiveActualRows()),
+      config.think_time_s, config.workflow_types.size(),
+      config.workflows_per_type, config.threads);
 
   auto outcome = core::RunBenchmark(config);
   if (!outcome.ok()) {

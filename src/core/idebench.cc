@@ -34,13 +34,16 @@ Result<BenchmarkOutcome> RunBenchmark(const BenchmarkConfig& config) {
 
   BenchmarkOutcome outcome;
   // Exact answers depend only on the catalog; share the oracle's cache
-  // across the whole time-requirement sweep.
-  auto oracle = std::make_shared<driver::GroundTruthOracle>(catalog);
+  // across the whole time-requirement sweep.  The oracle runs at the
+  // configured parallelism (its answers are thread-count independent).
+  auto oracle =
+      std::make_shared<driver::GroundTruthOracle>(catalog, config.threads);
   for (double tr_s : config.time_requirements_s) {
     // A fresh engine per time requirement keeps runs independent, as
     // restarting the system between configurations would.
-    IDB_ASSIGN_OR_RETURN(std::unique_ptr<engines::Engine> engine,
-                         engines::CreateEngine(config.engine, config.seed));
+    IDB_ASSIGN_OR_RETURN(
+        std::unique_ptr<engines::Engine> engine,
+        engines::CreateEngine(config.engine, config.seed, config.threads));
 
     driver::Settings settings;
     settings.time_requirement = SecondsToMicros(tr_s);
@@ -48,6 +51,7 @@ Result<BenchmarkOutcome> RunBenchmark(const BenchmarkConfig& config) {
     settings.confidence_level = config.confidence_level;
     settings.data_size_label = DataSizeLabel(config.dataset.nominal_rows);
     settings.use_joins = config.dataset.normalized;
+    settings.threads = config.threads;
     IDB_RETURN_NOT_OK(settings.Validate());
 
     driver::BenchmarkDriver bench_driver(settings, engine.get(), catalog,

@@ -51,6 +51,11 @@ struct BenchmarkConfig {
   std::vector<workflow::WorkflowType> workflow_types = {
       workflow::WorkflowType::kMixed};
 
+  /// Physical execution threads for the engine under test
+  /// (Settings::threads semantics: 1 = single-threaded path, 0 =
+  /// hardware concurrency).
+  int threads = 1;
+
   uint64_t seed = 7;
 };
 

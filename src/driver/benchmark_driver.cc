@@ -17,7 +17,11 @@ BenchmarkDriver::BenchmarkDriver(
     : settings_(std::move(settings)),
       engine_(engine),
       catalog_(std::move(catalog)),
-      oracle_(std::make_shared<GroundTruthOracle>(catalog_)) {}
+      // The oracle inherits the configured execution parallelism; its
+      // answers are thread-count independent (morsel path), so this only
+      // affects cold-start wall-clock time.
+      oracle_(std::make_shared<GroundTruthOracle>(catalog_,
+                                                  settings_.threads)) {}
 
 BenchmarkDriver::BenchmarkDriver(
     Settings settings, engines::Engine* engine,

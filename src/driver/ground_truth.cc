@@ -1,12 +1,13 @@
 #include "driver/ground_truth.h"
 
 #include "engines/engine_base.h"
+#include "exec/parallel.h"
 
 namespace idebench::driver {
 
 GroundTruthOracle::GroundTruthOracle(
-    std::shared_ptr<const storage::Catalog> catalog)
-    : catalog_(std::move(catalog)) {}
+    std::shared_ptr<const storage::Catalog> catalog, int threads)
+    : catalog_(std::move(catalog)), threads_(threads) {}
 
 Result<const query::QueryResult*> GroundTruthOracle::Get(
     const query::QuerySpec& spec) {
@@ -40,7 +41,10 @@ Result<const query::QueryResult*> GroundTruthOracle::Get(
   IDB_ASSIGN_OR_RETURN(exec::BoundQuery bound,
                        exec::BoundQuery::Bind(spec, *catalog_, joins));
   exec::BinnedAggregator aggregator(&bound);
-  aggregator.ProcessRange(0, catalog_->fact_table()->num_rows());
+  // Morsel-parallel full scan; results do not depend on the thread count
+  // (exec/parallel.h), so cached answers are machine-independent.
+  exec::MorselProcessRange(&aggregator, 0, catalog_->fact_table()->num_rows(),
+                           exec::ResolveThreadCount(threads_));
   auto result = std::make_unique<query::QueryResult>(aggregator.ExactResult());
   result->available = true;
   const query::QueryResult* ptr = result.get();

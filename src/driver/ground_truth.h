@@ -21,7 +21,13 @@ namespace idebench::driver {
 /// Exact-answer oracle with a signature-keyed cache.
 class GroundTruthOracle {
  public:
-  explicit GroundTruthOracle(std::shared_ptr<const storage::Catalog> catalog);
+  /// `threads` is the physical parallelism of the full-table scan each
+  /// uncached query runs (the slowest cold-start step of the benchmark
+  /// driver): 0 (default) = hardware concurrency.  The scan always uses
+  /// the morsel-parallel path, whose results are independent of the
+  /// thread count — oracle answers are reproducible across machines.
+  explicit GroundTruthOracle(std::shared_ptr<const storage::Catalog> catalog,
+                             int threads = 0);
 
   /// Exact answer for `spec` (bins must be resolved).  The returned
   /// pointer stays valid for the oracle's lifetime.
@@ -32,6 +38,7 @@ class GroundTruthOracle {
 
  private:
   std::shared_ptr<const storage::Catalog> catalog_;
+  int threads_ = 0;
   std::unordered_map<std::string, std::unique_ptr<exec::JoinIndex>> joins_;
   std::unordered_map<std::string, std::unique_ptr<query::QueryResult>> cache_;
   int64_t cache_hits_ = 0;

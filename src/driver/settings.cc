@@ -10,6 +10,7 @@ JsonValue Settings::ToJson() const {
   j.Set("data_size_label", data_size_label);
   j.Set("use_joins", use_joins);
   j.Set("concurrency_penalty", concurrency_penalty);
+  j.Set("threads", static_cast<double>(threads));
   return j;
 }
 
@@ -22,6 +23,7 @@ Result<Settings> Settings::FromJson(const JsonValue& j) {
   s.data_size_label = j.GetString("data_size_label", "500m");
   s.use_joins = j.GetBool("use_joins", false);
   s.concurrency_penalty = j.GetDouble("concurrency_penalty", 0.0);
+  s.threads = static_cast<int>(j.GetDouble("threads", 1.0));
   IDB_RETURN_NOT_OK(s.Validate());
   return s;
 }
@@ -36,6 +38,9 @@ Status Settings::Validate() const {
   }
   if (concurrency_penalty < 0.0) {
     return Status::Invalid("concurrency_penalty must be >= 0");
+  }
+  if (threads < 0) {
+    return Status::Invalid("threads must be >= 0 (0 = hardware concurrency)");
   }
   return Status::OK();
 }

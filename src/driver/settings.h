@@ -39,6 +39,13 @@ struct Settings {
   /// effect on a 20-core box).  An ablation bench sweeps this.
   double concurrency_penalty = 0.0;
 
+  /// Physical worker threads for the engines' batch execution pipeline
+  /// (exec/parallel.h): 1 (default) = the exact single-threaded code
+  /// path, 0 = hardware concurrency, n = n-way morsel-parallel
+  /// execution.  Affects wall-clock throughput only, never the virtual
+  /// cost model; results are identical for every value >= 2 (and 0).
+  int threads = 1;
+
   /// JSON round-trip for configuration files.
   JsonValue ToJson() const;
   static Result<Settings> FromJson(const JsonValue& j);

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "exec/parallel.h"
+
 namespace idebench::engines {
 
 BlockingEngine::BlockingEngine(BlockingEngineConfig config)
@@ -78,7 +80,8 @@ Micros BlockingEngine::RunFor(QueryHandle handle, Micros budget) {
   const int64_t remaining = actual_rows() - rq.cursor;
   const int64_t todo = std::min(affordable, remaining);
   if (todo > 0) {
-    rq.aggregator->ProcessRange(rq.cursor, rq.cursor + todo);
+    exec::ProcessRangeParallel(rq.aggregator.get(), rq.cursor,
+                               rq.cursor + todo, config_.execution_threads);
     rq.cursor += todo;
     const double spent = static_cast<double>(todo) * rq.row_cost_us;
     rq.credit_us -= spent;

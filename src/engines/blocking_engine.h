@@ -42,6 +42,11 @@ struct BlockingEngineConfig {
   double normalized_scan_discount = 0.12;
   double confidence_level = 0.95;
   uint64_t seed = 1;
+  /// Physical worker threads for the scan pipeline: 1 = the exact
+  /// single-threaded code path, 0 = hardware concurrency, n = n-way
+  /// morsel-parallel execution (exec/parallel.h).  Virtual-time cost
+  /// accounting is unaffected; this controls wall-clock speed only.
+  int execution_threads = 1;
 };
 
 /// Blocking exact engine.

@@ -37,6 +37,10 @@ Result<std::vector<std::string>> EngineBase::RequiredJoins(
 
 Result<const exec::JoinIndex*> EngineBase::MaterializedJoin(
     const std::string& dimension, bool* built_now) {
+  // Coarse once-per-dimension guard: the index is built completely (and
+  // its mapping frozen) before the pointer escapes the lock, so morsel
+  // workers can gather from it without further synchronization.
+  std::lock_guard<std::mutex> lock(join_mu_);
   if (built_now != nullptr) *built_now = false;
   auto it = materialized_joins_.find(dimension);
   if (it != materialized_joins_.end()) return it->second.get();
@@ -55,6 +59,7 @@ Result<const exec::JoinIndex*> EngineBase::MaterializedJoin(
 
 Result<const exec::JoinIndex*> EngineBase::LazyJoin(
     const std::string& dimension) {
+  std::lock_guard<std::mutex> lock(join_mu_);
   auto it = lazy_joins_.find(dimension);
   if (it != lazy_joins_.end()) return it->second.get();
   const storage::ForeignKey* fk = catalog_->FindForeignKey(dimension);

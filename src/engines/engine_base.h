@@ -7,6 +7,7 @@
 /// shuffled row order used by sampling engines.
 
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -59,10 +60,17 @@ class EngineBase : public Engine {
   /// Returns (building and caching if needed) the materialized join index
   /// for `dimension`; sets `*built_now` when this call constructed it (the
   /// caller must charge the build cost).
+  ///
+  /// Threading: join indexes are built *eagerly and completely* here at
+  /// bind time — before any morsel dispatch — and a `JoinIndex`'s flat
+  /// fact→dim mapping is immutable after construction, so morsel workers
+  /// only ever read frozen arrays.  The cache maps themselves are guarded
+  /// by `join_mu_` so concurrent Submit calls cannot race on insertion.
   Result<const exec::JoinIndex*> MaterializedJoin(const std::string& dimension,
                                                   bool* built_now);
 
-  /// Returns (building and caching if needed) the lazy join index.
+  /// Returns (building and caching if needed) the lazy join index; same
+  /// threading contract as `MaterializedJoin`.
   Result<const exec::JoinIndex*> LazyJoin(const std::string& dimension);
 
   /// Binds `spec` using materialized (`lazy == false`) or lazy joins.
@@ -86,6 +94,10 @@ class EngineBase : public Engine {
   int64_t actual_rows_ = 0;
   double scale_ = 1.0;
   QueryHandle next_handle_ = 1;
+  /// Guards the join caches: binding may run while morsel workers of a
+  /// previously bound query are still touching *other* join mappings, and
+  /// rehashing the cache map must never invalidate anything mid-build.
+  std::mutex join_mu_;
   std::unordered_map<std::string, std::unique_ptr<exec::JoinIndex>>
       materialized_joins_;
   std::unordered_map<std::string, std::unique_ptr<exec::JoinIndex>>

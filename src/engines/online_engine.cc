@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "exec/parallel.h"
+
 namespace idebench::engines {
 
 OnlineEngine::OnlineEngine(OnlineEngineConfig config)
@@ -104,10 +106,12 @@ Micros OnlineEngine::RunFor(QueryHandle handle, Micros budget) {
   if (todo > 0) {
     if (rq.online) {
       // Batched shuffled-walk sampling through the vectorized pipeline.
-      rq.aggregator->ProcessShuffled(ShuffledRows(),
-                                     rq.walk_offset + rq.cursor, todo);
+      exec::ProcessShuffledParallel(rq.aggregator.get(), ShuffledRows(),
+                                    rq.walk_offset + rq.cursor, todo,
+                                    config_.execution_threads);
     } else {
-      rq.aggregator->ProcessRange(rq.cursor, rq.cursor + todo);
+      exec::ProcessRangeParallel(rq.aggregator.get(), rq.cursor,
+                                 rq.cursor + todo, config_.execution_threads);
     }
     rq.cursor += todo;
     const double spent = static_cast<double>(todo) * rq.row_cost_us;

@@ -43,6 +43,9 @@ struct OnlineEngineConfig {
   CostFactors factors;
   double confidence_level = 0.95;
   uint64_t seed = 2;
+  /// Physical worker threads for the sampling/scan pipeline (1 = exact
+  /// single-threaded path, 0 = hardware concurrency; see exec/parallel.h).
+  int execution_threads = 1;
 };
 
 /// Online-aggregation engine with blocking fallback.

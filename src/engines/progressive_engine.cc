@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "exec/parallel.h"
+
 namespace idebench::engines {
 
 ProgressiveEngine::ProgressiveEngine(ProgressiveEngineConfig config)
@@ -97,9 +99,11 @@ Micros ProgressiveEngine::AdvanceState(SampleState* state, Micros budget) {
     }
     return 0;
   }
-  // Batched shuffled-walk sampling through the vectorized pipeline.
-  state->aggregator->ProcessShuffled(ShuffledRows(),
-                                     state->walk_offset + state->cursor, todo);
+  // Batched shuffled-walk sampling through the vectorized pipeline,
+  // morsel-parallel when the engine is configured with worker threads.
+  exec::ProcessShuffledParallel(state->aggregator.get(), ShuffledRows(),
+                                state->walk_offset + state->cursor, todo,
+                                config_.execution_threads);
   state->cursor += todo;
   const double spent = static_cast<double>(todo) * state->row_cost_us;
   state->credit_us -= spent;

@@ -49,6 +49,9 @@ struct ProgressiveEngineConfig {
   CostFactors factors;
   double confidence_level = 0.95;
   uint64_t seed = 3;
+  /// Physical worker threads for the shuffled-walk pipeline (1 = exact
+  /// single-threaded path, 0 = hardware concurrency; see exec/parallel.h).
+  int execution_threads = 1;
 };
 
 /// Progressive AQP engine with reuse and optional speculation.

@@ -15,30 +15,38 @@ const std::vector<std::string>& BuiltinEngineNames() {
 }
 
 Result<std::unique_ptr<Engine>> CreateEngine(const std::string& name,
-                                             uint64_t seed) {
+                                             uint64_t seed, int threads) {
+  if (threads < 0) {
+    return Status::Invalid("threads must be >= 0 (0 = hardware concurrency)");
+  }
   if (name == "blocking") {
     BlockingEngineConfig config;
     config.seed += seed;
+    config.execution_threads = threads;
     return std::unique_ptr<Engine>(new BlockingEngine(config));
   }
   if (name == "online") {
     OnlineEngineConfig config;
     config.seed += seed;
+    config.execution_threads = threads;
     return std::unique_ptr<Engine>(new OnlineEngine(config));
   }
   if (name == "progressive") {
     ProgressiveEngineConfig config;
     config.seed += seed;
+    config.execution_threads = threads;
     return std::unique_ptr<Engine>(new ProgressiveEngine(config));
   }
   if (name == "stratified") {
     StratifiedEngineConfig config;
     config.seed += seed;
+    config.execution_threads = threads;
     return std::unique_ptr<Engine>(new StratifiedEngine(config));
   }
   if (name == "frontend") {
     BlockingEngineConfig backend_config;
     backend_config.seed += seed;
+    backend_config.execution_threads = threads;
     FrontendEngineConfig config;
     config.seed += seed;
     return std::unique_ptr<Engine>(new FrontendEngine(

@@ -20,9 +20,12 @@ const std::vector<std::string>& BuiltinEngineNames();
 
 /// Creates an engine by name with default configuration.  "frontend"
 /// layers the rendering delay over a blocking backend (as in Exp. 5).
-/// `seed` perturbs the engine's internal randomness.
+/// `seed` perturbs the engine's internal randomness.  `threads` sets the
+/// engine's physical execution parallelism (Settings::threads semantics:
+/// 1 = single-threaded path, 0 = hardware concurrency).
 Result<std::unique_ptr<Engine>> CreateEngine(const std::string& name,
-                                             uint64_t seed = 0);
+                                             uint64_t seed = 0,
+                                             int threads = 1);
 
 }  // namespace idebench::engines
 

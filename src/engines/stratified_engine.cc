@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "exec/parallel.h"
+
 namespace idebench::engines {
 
 StratifiedEngine::StratifiedEngine(StratifiedEngineConfig config)
@@ -98,7 +100,8 @@ Micros StratifiedEngine::RunFor(QueryHandle handle, Micros budget) {
              sample_.weights[static_cast<size_t>(rq.cursor + j)] == w) {
         ++j;
       }
-      rq.aggregator->ProcessBatch(&sample_.rows[pos], j - i, w);
+      exec::ProcessBatchParallel(rq.aggregator.get(), &sample_.rows[pos],
+                                 j - i, w, config_.execution_threads);
       i = j;
     }
     rq.cursor += todo;

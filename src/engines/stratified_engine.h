@@ -43,6 +43,9 @@ struct StratifiedEngineConfig {
   CostFactors factors;
   double confidence_level = 0.95;
   uint64_t seed = 4;
+  /// Physical worker threads for the weighted sample scan (1 = exact
+  /// single-threaded path, 0 = hardware concurrency; see exec/parallel.h).
+  int execution_threads = 1;
 };
 
 /// Offline stratified-sampling AQP engine.

@@ -4,6 +4,8 @@
 #include <array>
 #include <cmath>
 
+#include "common/logging.h"
+
 namespace idebench::exec {
 
 using query::AggregateType;
@@ -14,9 +16,21 @@ BinnedAggregator::BinnedAggregator(const BoundQuery* query,
                                    BinnedAggregatorOptions options)
     : query_(query), options_(options) {
   if (!options_.enable_vectorized) return;
-  auto vec = std::make_unique<VectorizedQuery>(VectorizedQuery::Compile(*query));
+  auto vec =
+      std::make_shared<VectorizedQuery>(VectorizedQuery::Compile(*query));
   if (!vec->ok()) return;
   vec_ = std::move(vec);
+  DecideDense();
+}
+
+BinnedAggregator::BinnedAggregator(const BoundQuery* query,
+                                   BinnedAggregatorOptions options,
+                                   std::shared_ptr<const VectorizedQuery> vec)
+    : query_(query), options_(options), vec_(std::move(vec)) {
+  if (vec_ != nullptr && vec_->ok()) DecideDense();
+}
+
+void BinnedAggregator::DecideDense() {
   const int64_t keys = vec_->key_space();
   const int64_t naggs =
       std::max<int64_t>(1, static_cast<int64_t>(vec_->num_aggregates()));
@@ -24,6 +38,43 @@ BinnedAggregator::BinnedAggregator(const BoundQuery* query,
                keys <= options_.dense_key_limit &&
                keys * naggs <= options_.dense_accum_limit;
   dense_keys_ = use_dense_ ? keys : 0;
+}
+
+std::unique_ptr<BinnedAggregator> BinnedAggregator::NewPartial() const {
+  return std::unique_ptr<BinnedAggregator>(
+      new BinnedAggregator(query_, options_, vec_));
+}
+
+void BinnedAggregator::MergeFrom(const BinnedAggregator& other) {
+  IDB_CHECK(query_ == other.query_);
+  if (other.rows_seen_ == 0) return;
+  rows_seen_ += other.rows_seen_;
+  rows_matched_ += other.rows_matched_;
+  const size_t naggs = query_->spec().aggregates.size();
+
+  // Fast path: both sides use the same dense layout — a flat index-wise
+  // fold with no key translation.
+  if (use_dense_ && other.use_dense_ && dense_keys_ == other.dense_keys_) {
+    if (other.dense_touched_.empty()) return;
+    EnsureDenseAllocated();
+    for (int64_t d = 0; d < dense_keys_; ++d) {
+      if (!other.dense_touched_[static_cast<size_t>(d)]) continue;
+      dense_touched_[static_cast<size_t>(d)] = 1;
+      AggAccum* into = dense_.data() + static_cast<size_t>(d) * naggs;
+      const AggAccum* from =
+          other.dense_.data() + static_cast<size_t>(d) * naggs;
+      for (size_t a = 0; a < naggs; ++a) MergeAccum(&into[a], from[a]);
+    }
+    return;
+  }
+
+  // General path reconciling the dense/hash boundary: walk the other
+  // side's touched bins by public key and fold into whichever table this
+  // side uses.  Bins are independent, so the visit order is immaterial.
+  other.ForEachBin([&](int64_t key, const AggAccum* from) {
+    AggAccum* into = AccumsForPublicKey(key);
+    for (size_t a = 0; a < naggs; ++a) MergeAccum(&into[a], from[a]);
+  });
 }
 
 void BinnedAggregator::EnsureDenseAllocated() {

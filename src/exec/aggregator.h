@@ -31,6 +31,16 @@
 /// order, so results are bit-identical; the scalar path is kept as the
 /// reference implementation for differential testing
 /// (`BinnedAggregatorOptions::enable_vectorized = false`).
+///
+/// For multi-core execution (exec/parallel.h) an aggregator is
+/// *mergeable*: morsel workers accumulate into partial aggregators
+/// created with `NewPartial()` — each with its own dense/hash bin table
+/// but sharing this aggregator's immutable compiled kernels — and the
+/// dispatcher folds them back with `MergeFrom()` in morsel order.  Every
+/// accumulator field is a sum (or min/max), so merging is exact for
+/// counts, weights with integral values, and extremes; double-valued
+/// sums merge associatively up to the usual last-ulp floating-point
+/// grouping effects (see exec/parallel.h for the determinism contract).
 
 #include <algorithm>
 #include <cstdint>
@@ -82,6 +92,19 @@ class BinnedAggregator {
   explicit BinnedAggregator(const BoundQuery* query,
                             BinnedAggregatorOptions options = {});
 
+  /// Creates an empty partial aggregator over the same bound query that
+  /// *shares* this aggregator's compiled kernels (immutable after
+  /// construction, so safe to use from many threads at once) but owns its
+  /// own bin tables and counters.  Morsel workers accumulate into
+  /// partials; the dispatcher folds them back with `MergeFrom`.
+  std::unique_ptr<BinnedAggregator> NewPartial() const;
+
+  /// Folds `other`'s accumulated state into this aggregator: counters
+  /// add, per-bin accumulators merge field-wise (sums add, min/max fold),
+  /// and bins only one side touched are reconciled across the dense/hash
+  /// table boundary.  `other` must aggregate the same bound query.
+  void MergeFrom(const BinnedAggregator& other);
+
   /// Feeds fact row `row` with weight 1 (scalar reference path).
   void ProcessRow(int64_t row) { ProcessRowWeighted(row, 1.0); }
 
@@ -116,6 +139,12 @@ class BinnedAggregator {
   /// True when the batch entry points run the vectorized kernels.
   bool uses_vectorized() const { return vec_ != nullptr && vec_->ok(); }
 
+  /// The bound query this aggregator executes.
+  const BoundQuery& query() const { return *query_; }
+
+  /// The execution options this aggregator was built with.
+  const BinnedAggregatorOptions& options() const { return options_; }
+
   /// Exact answer (weight-1 complete scan).
   query::QueryResult ExactResult() const;
 
@@ -135,6 +164,27 @@ class BinnedAggregator {
   void Reset();
 
  private:
+  /// Partial-aggregator constructor: adopts an already-compiled kernel
+  /// table instead of recompiling (see `NewPartial`).
+  BinnedAggregator(const BoundQuery* query, BinnedAggregatorOptions options,
+                   std::shared_ptr<const VectorizedQuery> vec);
+
+  /// Applies the dense-table sizing decision shared by both constructors.
+  void DecideDense();
+
+  /// Folds one accumulator into another: sums add, extremes fold.
+  static void MergeAccum(AggAccum* into, const AggAccum& from) {
+    into->n += from.n;
+    into->sum += from.sum;
+    into->sumsq += from.sumsq;
+    into->wsum += from.wsum;
+    into->wvar += from.wvar;
+    into->wvsum += from.wvsum;
+    into->wvsumsq += from.wvsumsq;
+    into->min = std::min(into->min, from.min);
+    into->max = std::max(into->max, from.max);
+  }
+
   /// Applies one (value, weight) observation to `acc`; the single shared
   /// update both paths funnel through.
   static void Accumulate(AggAccum* acc, double v, double weight) {
@@ -188,7 +238,9 @@ class BinnedAggregator {
 
   const BoundQuery* query_;
   BinnedAggregatorOptions options_;
-  std::unique_ptr<VectorizedQuery> vec_;
+  // Compiled kernel table; immutable after construction and shared with
+  // partial aggregators, so morsel workers can run it concurrently.
+  std::shared_ptr<const VectorizedQuery> vec_;
 
   // Hash-map bin store (always correct; the fallback).
   std::unordered_map<int64_t, std::vector<AggAccum>> bins_;

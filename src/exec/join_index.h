@@ -23,6 +23,12 @@
 /// Double-typed key columns must hold integral values (keys in this
 /// benchmark are int64 or dictionary codes); fractional keys are rejected
 /// with an error at build time rather than silently truncated.
+///
+/// Thread safety: both forms materialize the complete mapping inside
+/// `Build` and never mutate it afterwards, so a fully constructed
+/// `JoinIndex` is safe to probe from any number of morsel workers
+/// concurrently.  Construction itself must finish before the index is
+/// shared (EngineBase guards its caches accordingly).
 
 #include <cstdint>
 #include <memory>

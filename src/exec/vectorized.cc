@@ -67,6 +67,43 @@ int64_t FilterImpl(const FilterKernel& k, const int64_t* rows, int32_t* sel,
   return out;
 }
 
+/// SIMD-friendly specialization of the two hottest kernels: the int64 and
+/// double *fact-column* range filters.  The generic `FilterImpl` keeps a
+/// predicate test inside the gather loop, which blocks vectorization of
+/// the comparisons; here the gather is split into its own loop writing a
+/// contiguous scratch array, so the compare + branchless compaction loop
+/// is a pure vertical operation the compiler can turn into SIMD compares
+/// (and, with -march=native, the gather loop into hardware gathers).
+/// Semantics are identical to FilterImpl<kRange, L>: NaN never matches
+/// ((NaN >= lo) is false), bounds are [lo, hi).
+template <Ld L>
+int64_t RangeFilterDense(const FilterKernel& k, const int64_t* rows,
+                         int32_t* sel, int64_t n_sel) {
+  static_assert(L == Ld::kI64 || L == Ld::kF64,
+                "join loads keep the generic kernel");
+  const double lo = k.lo;
+  const double hi = k.hi;
+  alignas(64) double vals[kVectorBatchSize];
+  if constexpr (L == Ld::kI64) {
+    const int64_t* data = k.col.i64;
+    for (int64_t i = 0; i < n_sel; ++i) {
+      vals[i] = static_cast<double>(data[rows[sel[i]]]);
+    }
+  } else {
+    const double* data = k.col.f64;
+    for (int64_t i = 0; i < n_sel; ++i) {
+      vals[i] = data[rows[sel[i]]];
+    }
+  }
+  int64_t out = 0;
+  for (int64_t i = 0; i < n_sel; ++i) {
+    const int32_t s = sel[i];
+    sel[out] = s;
+    out += (vals[i] >= lo) & (vals[i] < hi);
+  }
+  return out;
+}
+
 template <CompareOp Op>
 FilterKernel::Fn PickFilterForOp(Ld load) {
   switch (load) {
@@ -97,6 +134,9 @@ FilterKernel::Fn PickFilter(CompareOp op, Ld load) {
     case CompareOp::kGe:
       return PickFilterForOp<CompareOp::kGe>(load);
     case CompareOp::kRange:
+      // Fact-column range filters take the SIMD-friendly two-phase kernel.
+      if (load == Ld::kI64) return &RangeFilterDense<Ld::kI64>;
+      if (load == Ld::kF64) return &RangeFilterDense<Ld::kF64>;
       return PickFilterForOp<CompareOp::kRange>(load);
     case CompareOp::kIn:
       return PickFilterForOp<CompareOp::kIn>(load);
