@@ -13,6 +13,7 @@
 #include "datagen/cholesky_scaler.h"
 #include "datagen/flights_seed.h"
 #include "driver/ground_truth.h"
+#include "engines/blocking_engine.h"
 #include "exec/aggregator.h"
 #include "exec/bound_query.h"
 #include "exec/parallel.h"
@@ -179,6 +180,92 @@ void BM_HotLoopParallel(benchmark::State& state) {
 // Wall-clock measurement: the work happens on pool threads, so the
 // default main-thread CPU-time metric would wildly overstate throughput.
 BENCHMARK(BM_HotLoopParallel)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
+
+/// Repeated-refinement workflow through the blocking engine: a base
+/// filtered aggregation followed by five drill-down steps that each AND
+/// one more (or a narrower) predicate — the canonical IDEBench
+/// interaction sequence.  With the cross-interaction reuse cache on,
+/// step k+1 replays only step k's candidate rows instead of rescanning
+/// the full table, so physical work tracks the shrinking selectivity.
+/// Results are bit-identical either way (the transparency contract of
+/// exec/reuse_cache.h); only wall-clock changes.  Run
+///   bench_micro --benchmark_filter=RefinementWorkflow
+///               --benchmark_format=json
+/// to emit the JSON recorded in BENCH_reuse_cache.json.
+void BM_RefinementWorkflow(benchmark::State& state) {
+  const bool reuse = state.range(0) != 0;
+  auto catalog = SharedCatalog();
+
+  // The drill-down chain: each step's filter refines the previous one.
+  // Selectivities follow the workflow generator's brush/filter ranges
+  // (base ~25 %, refinements narrowing toward a few percent).
+  std::vector<query::QuerySpec> steps;
+  {
+    query::QuerySpec base = HotLoopSpec();
+    expr::Predicate air = base.filter.predicates()[0];  // air_time range
+    air.lo = 50;
+    air.hi = 90;  // ~25 % of rows
+    base.filter = expr::FilterExpr({air});
+    steps.push_back(base);
+    expr::Predicate narrow = air;
+    narrow.hi = 70;  // ~13 %
+    query::QuerySpec s1 = base;
+    s1.filter = expr::FilterExpr({narrow});
+    steps.push_back(s1);
+    expr::Predicate dist;
+    dist.column = "distance";
+    dist.op = expr::CompareOp::kRange;
+    dist.lo = 200;
+    dist.hi = 500;
+    query::QuerySpec s2 = s1;
+    s2.filter.And(dist);
+    steps.push_back(s2);
+    expr::Predicate delay;
+    delay.column = "dep_delay";
+    delay.op = expr::CompareOp::kRange;
+    delay.lo = 0;
+    delay.hi = 20;
+    query::QuerySpec s3 = s2;
+    s3.filter.And(delay);
+    steps.push_back(s3);
+    steps.push_back(s3);  // linked-viz update re-triggers the same query
+    expr::Predicate tight = dist;
+    tight.lo = 250;
+    tight.hi = 450;
+    query::QuerySpec s5 = s3;
+    s5.filter.ReplaceOn(tight);
+    steps.push_back(s5);
+    // The user toggles between the two drill-down views (A/B
+    // comparison): every toggle resubmits a previously seen query.
+    steps.push_back(s5);
+    steps.push_back(s3);
+    steps.push_back(s5);
+  }
+
+  int64_t rows_total = 0;
+  for (auto _ : state) {
+    engines::BlockingEngineConfig config;
+    config.query_overhead_us = 0;
+    config.reuse_cache = reuse;
+    engines::BlockingEngine engine(config);
+    IDB_CHECK(engine.Prepare(catalog).ok());
+    for (const query::QuerySpec& spec : steps) {
+      auto handle = engine.Submit(spec);
+      IDB_CHECK(handle.ok());
+      while (!engine.IsDone(*handle)) {
+        engine.RunFor(*handle, 60'000'000'000LL);
+      }
+      auto result = engine.PollResult(*handle);
+      IDB_CHECK(result.ok());
+      benchmark::DoNotOptimize(result->bins.size());
+      engine.Cancel(*handle);  // snapshots into the reuse cache
+      rows_total += SharedTable().num_rows();
+    }
+  }
+  state.SetItemsProcessed(rows_total);
+  state.SetLabel(reuse ? "reuse_cache=on" : "reuse_cache=off");
+}
+BENCHMARK(BM_RefinementWorkflow)->Arg(0)->Arg(1);
 
 void BM_ScanBinnedCount(benchmark::State& state) {
   auto catalog = SharedCatalog();

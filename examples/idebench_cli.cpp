@@ -16,6 +16,8 @@
 ///     --threads N          execution threads: 1 = single-threaded path
 ///                          (default), 0 = all cores, n = n-way morsel
 ///                          parallelism (results identical for any n)
+///     --reuse-cache        enable the cross-interaction result-reuse
+///                          cache (physical work only; results identical)
 ///     --seed N             master seed (default 7)
 ///     --report FILE        write the detailed report CSV here
 ///     --save-workflows DIR write generated workflow JSON files here
@@ -84,6 +86,8 @@ int main(int argc, char** argv) {
         }
         config.workflow_types.push_back(*type);
       }
+    } else if (arg == "--reuse-cache") {
+      config.reuse_cache = true;
     } else if (arg == "--normalized") {
       config.dataset.normalized = true;
     } else if (arg == "--seed") {
@@ -152,6 +156,9 @@ int main(int argc, char** argv) {
   std::printf("data preparation time: %.1f min (virtual)\n\n",
               MicrosToSeconds(outcome->data_preparation_time) / 60.0);
   std::cout << report::RenderSummaryTable(outcome->summary);
+  if (config.reuse_cache) {
+    std::cout << "\n" << report::RenderReuseStats(outcome->reuse) << "\n";
+  }
 
   if (!report_path.empty()) {
     if (auto st = report::WriteDetailedReport(outcome->records, report_path);

@@ -43,7 +43,8 @@ Result<BenchmarkOutcome> RunBenchmark(const BenchmarkConfig& config) {
     // restarting the system between configurations would.
     IDB_ASSIGN_OR_RETURN(
         std::unique_ptr<engines::Engine> engine,
-        engines::CreateEngine(config.engine, config.seed, config.threads));
+        engines::CreateEngine(config.engine, config.seed, config.threads,
+                              config.reuse_cache));
 
     driver::Settings settings;
     settings.time_requirement = SecondsToMicros(tr_s);
@@ -52,6 +53,7 @@ Result<BenchmarkOutcome> RunBenchmark(const BenchmarkConfig& config) {
     settings.data_size_label = DataSizeLabel(config.dataset.nominal_rows);
     settings.use_joins = config.dataset.normalized;
     settings.threads = config.threads;
+    settings.reuse_cache = config.reuse_cache;
     IDB_RETURN_NOT_OK(settings.Validate());
 
     driver::BenchmarkDriver bench_driver(settings, engine.get(), catalog,
@@ -63,6 +65,7 @@ Result<BenchmarkOutcome> RunBenchmark(const BenchmarkConfig& config) {
     for (driver::QueryRecord& r : records) {
       outcome.records.push_back(std::move(r));
     }
+    outcome.reuse += engine->reuse_cache_stats();
   }
 
   outcome.summary = report::SummarizeBy(

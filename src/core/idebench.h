@@ -56,6 +56,11 @@ struct BenchmarkConfig {
   /// hardware concurrency).
   int threads = 1;
 
+  /// Cross-interaction result-reuse cache for the engine under test
+  /// (Settings::reuse_cache semantics: displaces physical work only;
+  /// results are unchanged; default off).
+  bool reuse_cache = false;
+
   uint64_t seed = 7;
 };
 
@@ -69,6 +74,10 @@ struct BenchmarkOutcome {
 
   /// Summary rows grouped by (engine, time requirement).
   std::vector<report::SummaryRow> summary;
+
+  /// Reuse-cache telemetry summed over the engines of the sweep (zeros
+  /// when `BenchmarkConfig::reuse_cache` is off).
+  metrics::ReuseCacheStats reuse;
 };
 
 /// Builds the dataset, generates workflows, prepares the engine and runs

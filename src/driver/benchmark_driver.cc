@@ -37,8 +37,9 @@ Result<Micros> BenchmarkDriver::PrepareEngine() {
   return prep_time_;
 }
 
-Status BenchmarkDriver::ResolveQuery(query::QuerySpec* spec) const {
-  IDB_RETURN_NOT_OK(spec->ResolveBins(*catalog_));
+Status ResolveQueryAgainst(const storage::Catalog& catalog,
+                           query::QuerySpec* spec) {
+  IDB_RETURN_NOT_OK(spec->ResolveBins(catalog));
   // Rewrite label-based nominal predicates to the owning column's
   // dictionary codes (workflow files are portable across catalog layouts;
   // codes are not).
@@ -46,7 +47,7 @@ Status BenchmarkDriver::ResolveQuery(query::QuerySpec* spec) const {
   for (expr::Predicate p : spec->filter.predicates()) {
     if (!p.string_values.empty()) {
       IDB_ASSIGN_OR_RETURN(const storage::Table* owner,
-                           catalog_->TableForColumn(p.column));
+                           catalog.TableForColumn(p.column));
       const storage::Column* col = owner->ColumnByName(p.column);
       if (col != nullptr && col->type() == storage::DataType::kString) {
         if (p.op == expr::CompareOp::kIn) {
@@ -68,6 +69,49 @@ Status BenchmarkDriver::ResolveQuery(query::QuerySpec* spec) const {
   }
   spec->filter = expr::FilterExpr(std::move(rewritten));
   return Status::OK();
+}
+
+Status BenchmarkDriver::ResolveQuery(query::QuerySpec* spec) const {
+  return ResolveQueryAgainst(*catalog_, spec);
+}
+
+Status ForEachInteraction(
+    const storage::Catalog& catalog, const workflow::Workflow& wf,
+    const std::function<Status(const workflow::Interaction& interaction,
+                               int64_t interaction_id,
+                               std::vector<query::QuerySpec>& specs)>& fn) {
+  workflow::VizGraph graph;
+  for (size_t i = 0; i < wf.interactions.size(); ++i) {
+    const Interaction& interaction = wf.interactions[i];
+    std::vector<std::string> affected;
+    IDB_RETURN_NOT_OK(graph.Apply(interaction, &affected));
+    std::vector<query::QuerySpec> specs;
+    specs.reserve(affected.size());
+    for (const std::string& viz_name : affected) {
+      IDB_ASSIGN_OR_RETURN(query::QuerySpec spec, graph.BuildQuery(viz_name));
+      IDB_RETURN_NOT_OK(ResolveQueryAgainst(catalog, &spec));
+      specs.push_back(std::move(spec));
+    }
+    IDB_RETURN_NOT_OK(fn(interaction, static_cast<int64_t>(i), specs));
+  }
+  return Status::OK();
+}
+
+Status BenchmarkDriver::WarmGroundTruth(
+    const std::vector<workflow::Workflow>& workflows) {
+  // Dry-run the dashboard graphs to enumerate every query the workflows
+  // will trigger; graph application is engine-independent and cheap next
+  // to the full scans the oracle runs.
+  std::vector<query::QuerySpec> specs;
+  for (const workflow::Workflow& wf : workflows) {
+    IDB_RETURN_NOT_OK(ForEachInteraction(
+        *catalog_, wf,
+        [&](const Interaction&, int64_t, std::vector<query::QuerySpec>& s) {
+          for (query::QuerySpec& spec : s) specs.push_back(std::move(spec));
+          return Status::OK();
+        }));
+  }
+  return oracle_->Warm(specs);
 }
 
 namespace {
@@ -96,7 +140,6 @@ std::string AggTypeLabel(const QuerySpec& spec) {
 
 Status BenchmarkDriver::RunWorkflow(const workflow::Workflow& wf,
                                     std::vector<QueryRecord>* records) {
-  workflow::VizGraph graph;
   engine_->WorkflowStart();
   // Default deterministic time source; SetClock can substitute a
   // WallClock to pace the workflow in real time.
@@ -106,13 +149,10 @@ Status BenchmarkDriver::RunWorkflow(const workflow::Workflow& wf,
                      : static_cast<Clock*>(&internal_clock);
   const Micros workflow_epoch = clock->Now();
 
-  for (size_t interaction_id = 0; interaction_id < wf.interactions.size();
-       ++interaction_id) {
-    const Interaction& interaction = wf.interactions[interaction_id];
-
-    std::vector<std::string> affected;
-    IDB_RETURN_NOT_OK(graph.Apply(interaction, &affected));
-
+  IDB_RETURN_NOT_OK(ForEachInteraction(
+      *catalog_, wf,
+      [&](const Interaction& interaction, int64_t interaction_id,
+          std::vector<QuerySpec>& specs) -> Status {
     // Forward dashboard hints.
     if (interaction.type == InteractionType::kLink) {
       engine_->LinkVizs(interaction.link_from, interaction.link_to);
@@ -120,8 +160,8 @@ Status BenchmarkDriver::RunWorkflow(const workflow::Workflow& wf,
       engine_->DiscardViz(interaction.viz_name);
     }
 
-    // Build, resolve and submit one query per affected viz.  All queries
-    // of one interaction run concurrently.
+    // Submit one query per affected viz.  All queries of one interaction
+    // run concurrently.
     struct InFlight {
       QuerySpec spec;
       engines::QueryHandle handle = -1;
@@ -130,10 +170,9 @@ Status BenchmarkDriver::RunWorkflow(const workflow::Workflow& wf,
       bool unsupported = false;
     };
     std::vector<InFlight> inflight;
-    for (const std::string& viz_name : affected) {
+    for (QuerySpec& spec : specs) {
       InFlight q;
-      IDB_ASSIGN_OR_RETURN(q.spec, graph.BuildQuery(viz_name));
-      IDB_RETURN_NOT_OK(ResolveQuery(&q.spec));
+      q.spec = std::move(spec);
       auto submit = engine_->Submit(q.spec);
       if (!submit.ok()) {
         if (submit.status().code() == StatusCode::kNotImplemented) {
@@ -212,7 +251,8 @@ Status BenchmarkDriver::RunWorkflow(const workflow::Workflow& wf,
     // may spend it.  A wall clock actually sleeps here.
     engine_->OnThink(settings_.think_time);
     clock->Advance(settings_.think_time);
-  }
+    return Status::OK();
+  }));
 
   engine_->WorkflowEnd();
   return Status::OK();
@@ -220,6 +260,13 @@ Status BenchmarkDriver::RunWorkflow(const workflow::Workflow& wf,
 
 Result<std::vector<QueryRecord>> BenchmarkDriver::RunWorkflows(
     const std::vector<workflow::Workflow>& workflows) {
+  // Cold-start bottleneck: the oracle's per-query full scans.  With
+  // physical parallelism configured, compute them across queries up
+  // front (ROADMAP: "parallelize ground-truth warm-up across queries");
+  // the per-query answers are identical either way.
+  if (settings_.threads != 1) {
+    IDB_RETURN_NOT_OK(WarmGroundTruth(workflows));
+  }
   std::vector<QueryRecord> records;
   for (const workflow::Workflow& wf : workflows) {
     IDB_RETURN_NOT_OK(RunWorkflow(wf, &records));

@@ -8,6 +8,7 @@
 /// think time, computes ground truth, and evaluates every query into a
 /// detailed-report row.
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -23,6 +24,27 @@
 #include "workflow/workflow.h"
 
 namespace idebench::driver {
+
+/// Resolves an executable query against `catalog`: resolves bin
+/// boundaries and rewrites nominal predicates expressed as string labels
+/// into the owning column's dictionary codes (workflow files are portable
+/// across catalog layouts; codes are not).  The free-function form of
+/// `BenchmarkDriver::ResolveQuery`, shared with test harnesses.
+Status ResolveQueryAgainst(const storage::Catalog& catalog,
+                           query::QuerySpec* spec);
+
+/// Replays `wf`'s interactions on a fresh dashboard graph and invokes
+/// `fn(interaction, interaction_id, specs)` once per interaction in
+/// driver order, where `specs` holds the resolved executable query of
+/// every affected viz (each spec carries its viz name).  The single
+/// definition of "which queries does this workflow trigger" — shared by
+/// the benchmark run, the ground-truth warm pass, and the test
+/// harnesses, so they can never drift apart.
+Status ForEachInteraction(
+    const storage::Catalog& catalog, const workflow::Workflow& wf,
+    const std::function<Status(const workflow::Interaction& interaction,
+                               int64_t interaction_id,
+                               std::vector<query::QuerySpec>& specs)>& fn);
 
 /// One row of the detailed report (paper Table 1).
 struct QueryRecord {
@@ -88,6 +110,13 @@ class BenchmarkDriver {
   /// labels into the owning column's dictionary codes.  Exposed for
   /// tests and custom drivers.
   Status ResolveQuery(query::QuerySpec* spec) const;
+
+  /// Pre-computes ground truth for every query `workflows` will trigger
+  /// by dry-running the visualization graphs (no engine involvement),
+  /// then warming the oracle in parallel across queries
+  /// (GroundTruthOracle::Warm).  Called automatically by RunWorkflows
+  /// when `Settings::threads != 1`; answers are identical either way.
+  Status WarmGroundTruth(const std::vector<workflow::Workflow>& workflows);
 
  private:
   Settings settings_;

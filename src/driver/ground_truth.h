@@ -9,6 +9,7 @@
 #include <memory>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "common/result.h"
 #include "exec/aggregator.h"
@@ -33,10 +34,31 @@ class GroundTruthOracle {
   /// pointer stays valid for the oracle's lifetime.
   Result<const query::QueryResult*> Get(const query::QuerySpec& spec);
 
+  /// Pre-computes the answers for every uncached spec in `specs`,
+  /// parallelizing *across queries* on the shared worker pool (each
+  /// query's own scan additionally uses the morsel path) — the warm-up
+  /// bottleneck of a cold benchmark run is many independent full scans.
+  /// Answers are identical to sequential `Get` calls: each query runs
+  /// the same thread-count-independent morsel scan, and the cache is
+  /// filled in deterministic (input) order.
+  Status Warm(const std::vector<query::QuerySpec>& specs);
+
   /// Number of oracle executions that hit the cache.
   int64_t cache_hits() const { return cache_hits_; }
 
+  /// Number of cached answers.
+  int64_t cache_size() const { return static_cast<int64_t>(cache_.size()); }
+
  private:
+  /// Returns (building and caching if needed) the join indexes `spec`
+  /// requires, in RequiredJoins order.
+  Result<std::vector<const exec::JoinIndex*>> JoinsFor(
+      const query::QuerySpec& spec);
+
+  /// Computes the exact answer (no cache interaction).
+  Result<query::QueryResult> Compute(
+      const query::QuerySpec& spec,
+      const std::vector<const exec::JoinIndex*>& joins) const;
   std::shared_ptr<const storage::Catalog> catalog_;
   int threads_ = 0;
   std::unordered_map<std::string, std::unique_ptr<exec::JoinIndex>> joins_;

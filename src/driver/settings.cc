@@ -11,6 +11,7 @@ JsonValue Settings::ToJson() const {
   j.Set("use_joins", use_joins);
   j.Set("concurrency_penalty", concurrency_penalty);
   j.Set("threads", static_cast<double>(threads));
+  j.Set("reuse_cache", reuse_cache);
   return j;
 }
 
@@ -24,6 +25,7 @@ Result<Settings> Settings::FromJson(const JsonValue& j) {
   s.use_joins = j.GetBool("use_joins", false);
   s.concurrency_penalty = j.GetDouble("concurrency_penalty", 0.0);
   s.threads = static_cast<int>(j.GetDouble("threads", 1.0));
+  s.reuse_cache = j.GetBool("reuse_cache", false);
   IDB_RETURN_NOT_OK(s.Validate());
   return s;
 }

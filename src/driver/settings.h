@@ -46,6 +46,13 @@ struct Settings {
   /// cost model; results are identical for every value >= 2 (and 0).
   int threads = 1;
 
+  /// Cross-interaction result-reuse cache (exec/reuse_cache.h): engines
+  /// snapshot partial aggregations and resume when a later interaction's
+  /// query equals or refines an earlier one.  Displaces physical work
+  /// only — the virtual cost model and every result are unchanged — and
+  /// defaults off so baseline/oracle runs carry no cache state.
+  bool reuse_cache = false;
+
   /// JSON round-trip for configuration files.
   JsonValue ToJson() const;
   static Result<Settings> FromJson(const JsonValue& j);

@@ -14,6 +14,7 @@ BlockingEngine::BlockingEngine(BlockingEngineConfig config)
 Result<Micros> BlockingEngine::Prepare(
     std::shared_ptr<const storage::Catalog> catalog) {
   IDB_RETURN_NOT_OK(Attach(std::move(catalog)));
+  if (config_.reuse_cache) EnableReuseCache();
   // CSV ingest of every table; dimensions are negligible next to the fact
   // table but are charged for completeness.
   double rows = 0.0;
@@ -36,7 +37,9 @@ Result<QueryHandle> BlockingEngine::Submit(const query::QuerySpec& spec) {
   IDB_ASSIGN_OR_RETURN(exec::BoundQuery bound,
                        BindQuery(rq->spec, /*lazy=*/false, &joins_built));
   rq->bound = std::make_unique<exec::BoundQuery>(std::move(bound));
-  rq->aggregator = std::make_unique<exec::BinnedAggregator>(rq->bound.get());
+  rq->aggregator = std::make_unique<exec::BinnedAggregator>(
+      rq->bound.get(), MakeAggregatorOptions());
+  rq->reuse = AcquireReuse(rq->spec);
 
   IDB_ASSIGN_OR_RETURN(std::vector<std::string> dims, RequiredJoins(rq->spec));
   const double mult = ComplexityMultiplier(
@@ -80,8 +83,15 @@ Micros BlockingEngine::RunFor(QueryHandle handle, Micros budget) {
   const int64_t remaining = actual_rows() - rq.cursor;
   const int64_t todo = std::min(affordable, remaining);
   if (todo > 0) {
-    exec::ProcessRangeParallel(rq.aggregator.get(), rq.cursor,
-                               rq.cursor + todo, config_.execution_threads);
+    // Scan positions covered by a cached snapshot are served from it; the
+    // remainder runs through the physical pipeline as usual.
+    const int64_t end = rq.cursor + todo;
+    const int64_t served_to =
+        ServeReuse(rq.reuse, rq.aggregator.get(), rq.cursor, end);
+    if (served_to < end) {
+      exec::ProcessRangeParallel(rq.aggregator.get(), served_to, end,
+                                 config_.execution_threads);
+    }
     rq.cursor += todo;
     const double spent = static_cast<double>(todo) * rq.row_cost_us;
     rq.credit_us -= spent;
@@ -123,6 +133,12 @@ Result<query::QueryResult> BlockingEngine::PollResult(QueryHandle handle) {
   return result;
 }
 
-void BlockingEngine::Cancel(QueryHandle handle) { queries_.erase(handle); }
+void BlockingEngine::Cancel(QueryHandle handle) {
+  auto it = queries_.find(handle);
+  if (it != queries_.end()) {
+    StoreReuse(it->second->spec, *it->second->aggregator, /*lazy_joins=*/false);
+    queries_.erase(it);
+  }
+}
 
 }  // namespace idebench::engines

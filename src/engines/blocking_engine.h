@@ -47,6 +47,10 @@ struct BlockingEngineConfig {
   /// morsel-parallel execution (exec/parallel.h).  Virtual-time cost
   /// accounting is unaffected; this controls wall-clock speed only.
   int execution_threads = 1;
+  /// Cross-interaction reuse cache (exec/reuse_cache.h): repeated or
+  /// refined scans resume from cached snapshots.  Physical work only;
+  /// virtual costs and results are unchanged.
+  bool reuse_cache = false;
 };
 
 /// Blocking exact engine.
@@ -69,6 +73,7 @@ class BlockingEngine : public EngineBase {
     query::QuerySpec spec;
     std::unique_ptr<exec::BoundQuery> bound;
     std::unique_ptr<exec::BinnedAggregator> aggregator;
+    exec::ReuseCache::Match reuse;  // cached prefix to serve scans from
     int64_t cursor = 0;            // next actual fact row
     Micros overhead_remaining = 0; // fixed costs to pay before scanning
     double row_cost_us = 0.0;      // virtual cost per actual row

@@ -30,6 +30,7 @@
 
 #include "common/clock.h"
 #include "common/result.h"
+#include "metrics/metrics.h"
 #include "query/result.h"
 #include "query/spec.h"
 #include "storage/catalog.h"
@@ -82,6 +83,10 @@ class Engine {
   /// Workflow lifecycle notifications.
   virtual void WorkflowStart() {}
   virtual void WorkflowEnd() {}
+
+  /// Cross-interaction reuse-cache telemetry (exec/reuse_cache.h); zeros
+  /// when the engine has no cache or it is disabled.
+  virtual metrics::ReuseCacheStats reuse_cache_stats() const { return {}; }
 };
 
 }  // namespace idebench::engines

@@ -11,6 +11,7 @@ EngineBase::EngineBase(std::string name, double confidence_level,
     : name_(std::move(name)),
       confidence_level_(confidence_level),
       z_(aqp::ZScoreForConfidence(confidence_level)),
+      seed_(seed),
       rng_(seed) {}
 
 Status EngineBase::Attach(std::shared_ptr<const storage::Catalog> catalog) {
@@ -102,28 +103,81 @@ const aqp::ShuffledIndex& EngineBase::ShuffledRows() {
   return *shuffled_;
 }
 
-std::string QuerySignature(const query::QuerySpec& spec) {
-  JsonValue j = JsonValue::Object();
-  JsonValue bins = JsonValue::Array();
-  for (const query::BinDimension& d : spec.bins) bins.Append(d.ToJson());
-  j.Set("bins", std::move(bins));
-  JsonValue aggs = JsonValue::Array();
-  for (const query::AggregateSpec& a : spec.aggregates) aggs.Append(a.ToJson());
-  j.Set("aggs", std::move(aggs));
-  // Predicates are conjunctive, so ordering is irrelevant; sort their
-  // serialized forms to make the signature canonical.
-  std::vector<std::string> preds;
-  for (const expr::Predicate& p : spec.filter.predicates()) {
-    preds.push_back(p.ToJson().Dump());
+void EngineBase::EnableReuseCache(const exec::ReuseCacheOptions& options) {
+  if (reuse_cache_ == nullptr) {
+    reuse_cache_ = std::make_unique<exec::ReuseCache>(options);
   }
-  std::sort(preds.begin(), preds.end());
-  // Drop exact duplicates (the same predicate can arrive via several link
-  // paths).
-  preds.erase(std::unique(preds.begin(), preds.end()), preds.end());
-  JsonValue parr = JsonValue::Array();
-  for (const std::string& p : preds) parr.Append(p);
-  j.Set("filter", std::move(parr));
-  return j.Dump();
+}
+
+void EngineBase::WorkflowStart() {
+  if (reuse_cache_ != nullptr) reuse_cache_->Clear();
+}
+
+void EngineBase::DiscardViz(const std::string& viz) {
+  if (reuse_cache_ != nullptr) reuse_cache_->DropViz(viz);
+}
+
+metrics::ReuseCacheStats EngineBase::reuse_cache_stats() const {
+  return reuse_cache_ != nullptr ? reuse_cache_->stats()
+                                 : metrics::ReuseCacheStats{};
+}
+
+exec::BinnedAggregatorOptions EngineBase::MakeAggregatorOptions() const {
+  exec::BinnedAggregatorOptions options;
+  options.record_matches = reuse_cache_enabled();
+  return options;
+}
+
+exec::ReuseCache::Match EngineBase::AcquireReuse(
+    const query::QuerySpec& spec) {
+  if (reuse_cache_ == nullptr) return {};
+  return reuse_cache_->Lookup(spec);
+}
+
+int64_t EngineBase::ServeReuse(const exec::ReuseCache::Match& match,
+                               exec::BinnedAggregator* agg, int64_t begin,
+                               int64_t end) {
+  if (reuse_cache_ == nullptr) return begin;
+  const int64_t served_to = exec::ReuseCache::Serve(match, agg, begin, end);
+  if (served_to > begin) reuse_cache_->AddRowsServed(served_to - begin);
+  return served_to;
+}
+
+void EngineBase::StoreReuse(const query::QuerySpec& spec,
+                            const exec::BinnedAggregator& agg,
+                            bool lazy_joins) {
+  if (reuse_cache_ == nullptr) return;
+  reuse_cache_->Store(spec, agg, [this, lazy_joins](const query::QuerySpec& s) {
+    return BindQuery(s, lazy_joins);
+  });
+}
+
+namespace {
+
+/// FNV-1a over a string, finished with a SplitMix64 mix: a stable,
+/// platform-independent 64-bit hash (std::hash makes no such promise).
+uint64_t StableHash(const std::string& s, uint64_t seed) {
+  uint64_t h = 1469598103934665603ULL ^ seed;
+  for (const char c : s) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 1099511628211ULL;
+  }
+  h += 0x9e3779b97f4a7c15ULL;
+  h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  h = (h ^ (h >> 27)) * 0x94d049bb133111ebULL;
+  return h ^ (h >> 31);
+}
+
+}  // namespace
+
+int64_t EngineBase::WalkOffsetFor(const query::QuerySpec& spec) const {
+  if (actual_rows_ <= 0) return 0;
+  const uint64_t h = StableHash(spec.CoreSignature(), seed_);
+  return static_cast<int64_t>(h % static_cast<uint64_t>(actual_rows_));
+}
+
+std::string QuerySignature(const query::QuerySpec& spec) {
+  return spec.Signature();
 }
 
 }  // namespace idebench::engines

@@ -17,6 +17,7 @@
 #include "engines/cost.h"
 #include "engines/engine.h"
 #include "exec/bound_query.h"
+#include "exec/reuse_cache.h"
 
 namespace idebench::engines {
 
@@ -32,6 +33,18 @@ class EngineBase : public Engine {
 
   /// Physically materialized fact rows (drives answers).
   int64_t actual_rows() const { return actual_rows_; }
+
+  /// Telemetry of the cross-interaction reuse cache (zeros when off).
+  metrics::ReuseCacheStats reuse_cache_stats() const override;
+
+  /// A workflow models a fresh user session: cached physical work must
+  /// not carry across the boundary.  Engines overriding this must call
+  /// the base implementation.
+  void WorkflowStart() override;
+
+  /// Discarding a viz drops its cached snapshots.  Engines overriding
+  /// this must call the base implementation.
+  void DiscardViz(const std::string& viz) override;
 
  protected:
   /// Binds the engine to a catalog; called from Prepare implementations.
@@ -84,10 +97,51 @@ class EngineBase : public Engine {
   /// basis of without-replacement online sampling.
   const aqp::ShuffledIndex& ShuffledRows();
 
+  // --- Cross-interaction reuse (exec/reuse_cache.h) --------------------
+  //
+  // Engines opt in from Prepare via `EnableReuseCache`; every query then
+  // (1) builds its aggregator with `MakeAggregatorOptions` so candidates
+  // are recorded, (2) acquires a match at Submit, (3) routes each feed
+  // advance through `ServeReuse` before processing the remainder
+  // physically, and (4) stores its snapshot from Cancel.  All helpers are
+  // no-ops when the cache is disabled, keeping engine behavior (and
+  // results — see the transparency contract in reuse_cache.h) identical
+  // either way.
+
+  /// Turns the cache on (Settings::reuse_cache).
+  void EnableReuseCache(const exec::ReuseCacheOptions& options = {});
+
+  bool reuse_cache_enabled() const { return reuse_cache_ != nullptr; }
+
+  /// Aggregator options for live queries: default execution knobs, with
+  /// match recording on when the cache is enabled.
+  exec::BinnedAggregatorOptions MakeAggregatorOptions() const;
+
+  /// Best cached entry for `spec` (empty when disabled or no match).
+  exec::ReuseCache::Match AcquireReuse(const query::QuerySpec& spec);
+
+  /// Serves feed positions [begin, end) into `agg` from `match`; returns
+  /// the position up to which the cache served (begin when nothing was).
+  int64_t ServeReuse(const exec::ReuseCache::Match& match,
+                     exec::BinnedAggregator* agg, int64_t begin, int64_t end);
+
+  /// Snapshots `agg` under `spec`'s signature (no-op when disabled);
+  /// `lazy_joins` selects the join strategy for the entry's binding.
+  void StoreReuse(const query::QuerySpec& spec,
+                  const exec::BinnedAggregator& agg, bool lazy_joins);
+
+  /// Deterministic start offset into the shuffled walk for `spec`:
+  /// stable-hashed from the engine seed and the spec's *core* signature,
+  /// so queries that differ only in their predicate sets share one walk —
+  /// the precondition for replaying a cached prefix under a refined
+  /// filter — and repeated submissions re-walk identical rows.
+  int64_t WalkOffsetFor(const query::QuerySpec& spec) const;
+
  private:
   std::string name_;
   double confidence_level_;
   double z_;
+  uint64_t seed_;
   Rng rng_;
   std::shared_ptr<const storage::Catalog> catalog_;
   int64_t nominal_rows_ = 0;
@@ -103,10 +157,12 @@ class EngineBase : public Engine {
   std::unordered_map<std::string, std::unique_ptr<exec::JoinIndex>>
       lazy_joins_;
   std::unique_ptr<aqp::ShuffledIndex> shuffled_;
+  std::unique_ptr<exec::ReuseCache> reuse_cache_;
 };
 
-/// Canonical signature of a query (bins + aggregates + sorted predicates);
-/// used for result reuse and speculative-result matching.
+/// Canonical signature of a query (bins + aggregates + canonicalized
+/// predicate set); used for result reuse and speculative-result matching.
+/// Delegates to `query::QuerySpec::Signature`.
 std::string QuerySignature(const query::QuerySpec& spec);
 
 }  // namespace idebench::engines

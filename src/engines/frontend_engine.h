@@ -50,6 +50,11 @@ class FrontendEngine : public Engine {
 
   Engine* backend() { return backend_.get(); }
 
+  /// The backend owns any reuse cache; surface its telemetry.
+  metrics::ReuseCacheStats reuse_cache_stats() const override {
+    return backend_->reuse_cache_stats();
+  }
+
  private:
   struct LayeredQuery {
     Micros render_remaining = 0;  // rendering delay, paid after the backend

@@ -21,6 +21,7 @@ bool OnlineEngine::SupportsOnline(const query::QuerySpec& spec) {
 Result<Micros> OnlineEngine::Prepare(
     std::shared_ptr<const storage::Catalog> catalog) {
   IDB_RETURN_NOT_OK(Attach(std::move(catalog)));
+  if (config_.reuse_cache) EnableReuseCache();
   double rows = 0.0;
   for (const auto& table : this->catalog().tables()) {
     rows += table.get() == this->catalog().fact_table()
@@ -45,7 +46,9 @@ Result<QueryHandle> OnlineEngine::Submit(const query::QuerySpec& spec) {
       exec::BoundQuery bound,
       BindQuery(rq->spec, /*lazy=*/rq->online, &joins_built));
   rq->bound = std::make_unique<exec::BoundQuery>(std::move(bound));
-  rq->aggregator = std::make_unique<exec::BinnedAggregator>(rq->bound.get());
+  rq->aggregator = std::make_unique<exec::BinnedAggregator>(
+      rq->bound.get(), MakeAggregatorOptions());
+  rq->reuse = AcquireReuse(rq->spec);
 
   IDB_ASSIGN_OR_RETURN(std::vector<std::string> dims, RequiredJoins(rq->spec));
   const double mult = ComplexityMultiplier(
@@ -53,9 +56,11 @@ Result<QueryHandle> OnlineEngine::Submit(const query::QuerySpec& spec) {
   if (rq->online) {
     // Wander-join-style sampling: each sampled tuple costs sample_us
     // (times complexity), independent of data scale — absolute sample
-    // size is what determines estimate quality.
+    // size is what determines estimate quality.  The walk offset is a
+    // stable function of the query's core signature, so equal or refined
+    // queries re-walk the same rows — the precondition for reuse.
     rq->row_cost_us = config_.sample_us_per_row * mult;
-    rq->walk_offset = rng()->UniformInt(0, std::max<int64_t>(actual_rows(), 1) - 1);
+    rq->walk_offset = WalkOffsetFor(rq->spec);
   } else {
     // Blocking fallback at row-store scan speed over the nominal data;
     // the normalized fact table's narrower rows scan faster.
@@ -104,14 +109,23 @@ Micros OnlineEngine::RunFor(QueryHandle handle, Micros budget) {
   const int64_t remaining = actual_rows() - rq.cursor;
   const int64_t todo = std::min(affordable, remaining);
   if (todo > 0) {
-    if (rq.online) {
-      // Batched shuffled-walk sampling through the vectorized pipeline.
-      exec::ProcessShuffledParallel(rq.aggregator.get(), ShuffledRows(),
-                                    rq.walk_offset + rq.cursor, todo,
-                                    config_.execution_threads);
-    } else {
-      exec::ProcessRangeParallel(rq.aggregator.get(), rq.cursor,
-                                 rq.cursor + todo, config_.execution_threads);
+    // Positions covered by a cached snapshot (walk and scan positions
+    // alike — the mode is a function of the core signature) are served
+    // from it; the remainder runs through the physical pipeline.
+    const int64_t end = rq.cursor + todo;
+    const int64_t served_to =
+        ServeReuse(rq.reuse, rq.aggregator.get(), rq.cursor, end);
+    if (served_to < end) {
+      if (rq.online) {
+        // Batched shuffled-walk sampling through the vectorized pipeline.
+        exec::ProcessShuffledParallel(rq.aggregator.get(), ShuffledRows(),
+                                      rq.walk_offset + served_to,
+                                      end - served_to,
+                                      config_.execution_threads);
+      } else {
+        exec::ProcessRangeParallel(rq.aggregator.get(), served_to, end,
+                                   config_.execution_threads);
+      }
     }
     rq.cursor += todo;
     const double spent = static_cast<double>(todo) * rq.row_cost_us;
@@ -157,6 +171,13 @@ Result<query::QueryResult> OnlineEngine::PollResult(QueryHandle handle) {
   return rq.snapshot;  // may be unavailable before the first interval
 }
 
-void OnlineEngine::Cancel(QueryHandle handle) { queries_.erase(handle); }
+void OnlineEngine::Cancel(QueryHandle handle) {
+  auto it = queries_.find(handle);
+  if (it != queries_.end()) {
+    StoreReuse(it->second->spec, *it->second->aggregator,
+               /*lazy_joins=*/it->second->online);
+    queries_.erase(it);
+  }
+}
 
 }  // namespace idebench::engines

@@ -46,6 +46,9 @@ struct OnlineEngineConfig {
   /// Physical worker threads for the sampling/scan pipeline (1 = exact
   /// single-threaded path, 0 = hardware concurrency; see exec/parallel.h).
   int execution_threads = 1;
+  /// Cross-interaction reuse cache (exec/reuse_cache.h); physical work
+  /// only, results unchanged.
+  bool reuse_cache = false;
 };
 
 /// Online-aggregation engine with blocking fallback.
@@ -71,6 +74,7 @@ class OnlineEngine : public EngineBase {
     query::QuerySpec spec;
     std::unique_ptr<exec::BoundQuery> bound;
     std::unique_ptr<exec::BinnedAggregator> aggregator;
+    exec::ReuseCache::Match reuse;  // cached prefix (walk or scan)
     bool online = false;
     int64_t cursor = 0;             // position in the shuffled walk / scan
     int64_t walk_offset = 0;        // random start into the permutation

@@ -14,6 +14,7 @@ ProgressiveEngine::ProgressiveEngine(ProgressiveEngineConfig config)
 Result<Micros> ProgressiveEngine::Prepare(
     std::shared_ptr<const storage::Catalog> catalog) {
   IDB_RETURN_NOT_OK(Attach(std::move(catalog)));
+  if (config_.reuse_cache) EnableReuseCache();
   first_query_after_prepare_ = true;
   // IDEA "expects data in a single CSV file and does not need any
   // pre-processing"; start-up loads a fixed amount into memory (§5.2).
@@ -27,14 +28,17 @@ ProgressiveEngine::MakeState(const query::QuerySpec& spec) {
   IDB_ASSIGN_OR_RETURN(exec::BoundQuery bound,
                        BindQuery(state->spec, /*lazy=*/true));
   state->bound = std::make_unique<exec::BoundQuery>(std::move(bound));
-  state->aggregator =
-      std::make_unique<exec::BinnedAggregator>(state->bound.get());
+  state->aggregator = std::make_unique<exec::BinnedAggregator>(
+      state->bound.get(), MakeAggregatorOptions());
+  state->reuse = AcquireReuse(state->spec);
   IDB_ASSIGN_OR_RETURN(std::vector<std::string> dims, RequiredJoins(spec));
   const double mult = ComplexityMultiplier(
       spec, static_cast<int>(dims.size()), config_.factors);
   state->row_cost_us = config_.sample_us_per_row * mult;
-  state->walk_offset =
-      rng()->UniformInt(0, std::max<int64_t>(actual_rows(), 1) - 1);
+  // Stable per-core-signature offset: equal or refined queries re-walk
+  // the same permutation positions, which is what lets the reuse cache
+  // replay one query's candidates under another's filter.
+  state->walk_offset = WalkOffsetFor(spec);
   return state;
 }
 
@@ -99,11 +103,18 @@ Micros ProgressiveEngine::AdvanceState(SampleState* state, Micros budget) {
     }
     return 0;
   }
-  // Batched shuffled-walk sampling through the vectorized pipeline,
-  // morsel-parallel when the engine is configured with worker threads.
-  exec::ProcessShuffledParallel(state->aggregator.get(), ShuffledRows(),
-                                state->walk_offset + state->cursor, todo,
-                                config_.execution_threads);
+  // Walk positions covered by a cached snapshot are served from it; the
+  // remainder runs batched shuffled-walk sampling through the vectorized
+  // pipeline, morsel-parallel when worker threads are configured.
+  const int64_t end = state->cursor + todo;
+  const int64_t served_to =
+      ServeReuse(state->reuse, state->aggregator.get(), state->cursor, end);
+  if (served_to < end) {
+    exec::ProcessShuffledParallel(state->aggregator.get(), ShuffledRows(),
+                                  state->walk_offset + served_to,
+                                  end - served_to,
+                                  config_.execution_threads);
+  }
   state->cursor += todo;
   const double spent = static_cast<double>(todo) * state->row_cost_us;
   state->credit_us -= spent;
@@ -147,8 +158,15 @@ Result<query::QueryResult> ProgressiveEngine::PollResult(QueryHandle handle) {
 }
 
 void ProgressiveEngine::Cancel(QueryHandle handle) {
-  // The sample state stays in the reuse cache; only the handle dies.
-  queries_.erase(handle);
+  // The sample state stays in the semantic reuse cache; only the handle
+  // dies.  The cross-interaction cache snapshots the state's progress so
+  // later equal/refined queries can skip the physical recomputation.
+  auto it = queries_.find(handle);
+  if (it != queries_.end()) {
+    const SampleState& state = *it->second->state;
+    StoreReuse(state.spec, *state.aggregator, /*lazy_joins=*/true);
+    queries_.erase(it);
+  }
 }
 
 void ProgressiveEngine::LinkVizs(const std::string& from,
@@ -161,6 +179,7 @@ void ProgressiveEngine::LinkVizs(const std::string& from,
 }
 
 void ProgressiveEngine::DiscardViz(const std::string& viz) {
+  EngineBase::DiscardViz(viz);
   last_spec_.erase(viz);
   links_.erase(std::remove_if(links_.begin(), links_.end(),
                               [&](const auto& edge) {
@@ -171,7 +190,9 @@ void ProgressiveEngine::DiscardViz(const std::string& viz) {
 }
 
 void ProgressiveEngine::WorkflowStart() {
-  // A workflow models a fresh user session: the dashboard state resets.
+  // A workflow models a fresh user session: the dashboard state resets
+  // (the base drops the cross-interaction reuse snapshots).
+  EngineBase::WorkflowStart();
   links_.clear();
   last_spec_.clear();
   speculations_.clear();

@@ -52,6 +52,12 @@ struct ProgressiveEngineConfig {
   /// Physical worker threads for the shuffled-walk pipeline (1 = exact
   /// single-threaded path, 0 = hardware concurrency; see exec/parallel.h).
   int execution_threads = 1;
+  /// Cross-interaction reuse cache (exec/reuse_cache.h).  Orthogonal to
+  /// `enable_reuse`: that models IDEA's *semantic* reuse (an identical
+  /// query continues sampling and improves), which changes answers by
+  /// design; this cache displaces physical recomputation only and never
+  /// changes an answer.
+  bool reuse_cache = false;
 };
 
 /// Progressive AQP engine with reuse and optional speculation.
@@ -86,8 +92,9 @@ class ProgressiveEngine : public EngineBase {
     query::QuerySpec spec;
     std::unique_ptr<exec::BoundQuery> bound;
     std::unique_ptr<exec::BinnedAggregator> aggregator;
+    exec::ReuseCache::Match reuse;  // cached walk prefix to serve from
     int64_t cursor = 0;       // progress along the shuffled walk
-    int64_t walk_offset = 0;  // random start into the permutation
+    int64_t walk_offset = 0;  // signature-stable start into the permutation
     double row_cost_us = 0.0;
     double credit_us = 0.0;
   };

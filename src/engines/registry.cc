@@ -15,7 +15,8 @@ const std::vector<std::string>& BuiltinEngineNames() {
 }
 
 Result<std::unique_ptr<Engine>> CreateEngine(const std::string& name,
-                                             uint64_t seed, int threads) {
+                                             uint64_t seed, int threads,
+                                             bool reuse_cache) {
   if (threads < 0) {
     return Status::Invalid("threads must be >= 0 (0 = hardware concurrency)");
   }
@@ -23,30 +24,35 @@ Result<std::unique_ptr<Engine>> CreateEngine(const std::string& name,
     BlockingEngineConfig config;
     config.seed += seed;
     config.execution_threads = threads;
+    config.reuse_cache = reuse_cache;
     return std::unique_ptr<Engine>(new BlockingEngine(config));
   }
   if (name == "online") {
     OnlineEngineConfig config;
     config.seed += seed;
     config.execution_threads = threads;
+    config.reuse_cache = reuse_cache;
     return std::unique_ptr<Engine>(new OnlineEngine(config));
   }
   if (name == "progressive") {
     ProgressiveEngineConfig config;
     config.seed += seed;
     config.execution_threads = threads;
+    config.reuse_cache = reuse_cache;
     return std::unique_ptr<Engine>(new ProgressiveEngine(config));
   }
   if (name == "stratified") {
     StratifiedEngineConfig config;
     config.seed += seed;
     config.execution_threads = threads;
+    config.reuse_cache = reuse_cache;
     return std::unique_ptr<Engine>(new StratifiedEngine(config));
   }
   if (name == "frontend") {
     BlockingEngineConfig backend_config;
     backend_config.seed += seed;
     backend_config.execution_threads = threads;
+    backend_config.reuse_cache = reuse_cache;
     FrontendEngineConfig config;
     config.seed += seed;
     return std::unique_ptr<Engine>(new FrontendEngine(

@@ -22,10 +22,13 @@ const std::vector<std::string>& BuiltinEngineNames();
 /// layers the rendering delay over a blocking backend (as in Exp. 5).
 /// `seed` perturbs the engine's internal randomness.  `threads` sets the
 /// engine's physical execution parallelism (Settings::threads semantics:
-/// 1 = single-threaded path, 0 = hardware concurrency).
+/// 1 = single-threaded path, 0 = hardware concurrency).  `reuse_cache`
+/// enables the cross-interaction result-reuse cache (Settings::reuse_cache
+/// semantics: physical work only, results unchanged).
 Result<std::unique_ptr<Engine>> CreateEngine(const std::string& name,
                                              uint64_t seed = 0,
-                                             int threads = 1);
+                                             int threads = 1,
+                                             bool reuse_cache = false);
 
 }  // namespace idebench::engines
 

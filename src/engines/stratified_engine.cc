@@ -26,6 +26,7 @@ Result<Micros> StratifiedEngine::Prepare(
       sample_, aqp::BuildStratifiedSample(fact, strat_column,
                                           config_.sampling_rate,
                                           config_.min_rows_per_stratum, rng()));
+  if (config_.reuse_cache) EnableReuseCache();
   // Preparation = CSV ingest + offline sample construction + warm-up
   // query over the sample (paper §5.2: 27 min at 500 M).
   const double nominal = static_cast<double>(nominal_rows());
@@ -52,7 +53,9 @@ Result<QueryHandle> StratifiedEngine::Submit(const query::QuerySpec& spec) {
   IDB_ASSIGN_OR_RETURN(exec::BoundQuery bound,
                        BindQuery(rq->spec, /*lazy=*/true));
   rq->bound = std::make_unique<exec::BoundQuery>(std::move(bound));
-  rq->aggregator = std::make_unique<exec::BinnedAggregator>(rq->bound.get());
+  rq->aggregator = std::make_unique<exec::BinnedAggregator>(
+      rq->bound.get(), MakeAggregatorOptions());
+  rq->reuse = AcquireReuse(rq->spec);
 
   const double mult = ComplexityMultiplier(rq->spec, 0, config_.factors);
   // Scanning the whole sample costs rate * nominal * ns; spread evenly
@@ -89,15 +92,19 @@ Micros StratifiedEngine::RunFor(QueryHandle handle, Micros budget) {
   const int64_t remaining = sample_.size() - rq.cursor;
   const int64_t todo = std::min(affordable, remaining);
   if (todo > 0) {
-    // The sample is laid out stratum by stratum, so per-row weights form
-    // runs of equal values; feed each run as one weighted batch through
-    // the vectorized pipeline.
-    for (int64_t i = 0; i < todo;) {
-      const size_t pos = static_cast<size_t>(rq.cursor + i);
+    // Sample positions covered by a cached snapshot are served from it
+    // (candidates carry their stratum weights).  The sample is laid out
+    // stratum by stratum, so per-row weights of the remainder form runs
+    // of equal values; feed each run as one weighted batch through the
+    // vectorized pipeline.
+    const int64_t end = rq.cursor + todo;
+    const int64_t served_to =
+        ServeReuse(rq.reuse, rq.aggregator.get(), rq.cursor, end);
+    for (int64_t i = served_to; i < end;) {
+      const size_t pos = static_cast<size_t>(i);
       const double w = sample_.weights[pos];
       int64_t j = i + 1;
-      while (j < todo &&
-             sample_.weights[static_cast<size_t>(rq.cursor + j)] == w) {
+      while (j < end && sample_.weights[static_cast<size_t>(j)] == w) {
         ++j;
       }
       exec::ProcessBatchParallel(rq.aggregator.get(), &sample_.rows[pos],
@@ -143,6 +150,12 @@ Result<query::QueryResult> StratifiedEngine::PollResult(QueryHandle handle) {
   return result;
 }
 
-void StratifiedEngine::Cancel(QueryHandle handle) { queries_.erase(handle); }
+void StratifiedEngine::Cancel(QueryHandle handle) {
+  auto it = queries_.find(handle);
+  if (it != queries_.end()) {
+    StoreReuse(it->second->spec, *it->second->aggregator, /*lazy_joins=*/true);
+    queries_.erase(it);
+  }
+}
 
 }  // namespace idebench::engines

@@ -46,6 +46,9 @@ struct StratifiedEngineConfig {
   /// Physical worker threads for the weighted sample scan (1 = exact
   /// single-threaded path, 0 = hardware concurrency; see exec/parallel.h).
   int execution_threads = 1;
+  /// Cross-interaction reuse cache (exec/reuse_cache.h); positions are
+  /// sample indices, replayed with their recorded stratum weights.
+  bool reuse_cache = false;
 };
 
 /// Offline stratified-sampling AQP engine.
@@ -71,6 +74,7 @@ class StratifiedEngine : public EngineBase {
     query::QuerySpec spec;
     std::unique_ptr<exec::BoundQuery> bound;
     std::unique_ptr<exec::BinnedAggregator> aggregator;
+    exec::ReuseCache::Match reuse;  // cached sample-scan prefix
     int64_t cursor = 0;  // position within the sample
     Micros overhead_remaining = 0;
     double row_cost_us = 0.0;  // per sample row

@@ -45,9 +45,64 @@ std::unique_ptr<BinnedAggregator> BinnedAggregator::NewPartial() const {
       new BinnedAggregator(query_, options_, vec_));
 }
 
+namespace {
+
+/// Equivalent query shape: same binning columns and resolved bin counts,
+/// same aggregate list.  (Filters are intentionally not compared: the
+/// reuse cache only merges equal-signature snapshots, and morsel
+/// partials share the identical bound query anyway.)
+bool SameQueryShape(const query::QuerySpec& a, const query::QuerySpec& b) {
+  if (a.bins.size() != b.bins.size() ||
+      a.aggregates.size() != b.aggregates.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < a.bins.size(); ++i) {
+    if (a.bins[i].column != b.bins[i].column ||
+        a.bins[i].bin_count != b.bins[i].bin_count) {
+      return false;
+    }
+  }
+  for (size_t i = 0; i < a.aggregates.size(); ++i) {
+    if (a.aggregates[i].type != b.aggregates[i].type ||
+        a.aggregates[i].column != b.aggregates[i].column) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
 void BinnedAggregator::MergeFrom(const BinnedAggregator& other) {
-  IDB_CHECK(query_ == other.query_);
+  // Same bound query (morsel partials), or an equivalent binding of an
+  // equal-shape spec (the reuse cache merges snapshots bound to
+  // entry-owned spec copies).
+  IDB_CHECK(query_ == other.query_ ||
+            SameQueryShape(query_->spec(), other.query_->spec()));
   if (other.rows_seen_ == 0) return;
+  if (options_.record_matches) {
+    // A side whose matched rows were not (fully) recorded poisons the
+    // candidate list: mark this recorder overflowed rather than leave an
+    // incomplete list that looks replay-safe.
+    const bool other_replayable =
+        other.options_.record_matches && !other.matches_overflowed_;
+    if (!other_replayable) {
+      if (other.rows_matched_ > 0) {
+        matches_overflowed_ = true;
+        matches_ = {};
+      }
+    } else if (!other.matches_.empty() &&
+               RecorderAccepts(static_cast<int64_t>(other.matches_.size()))) {
+      // Shift the other side's feed positions past ours: partials fold
+      // in morsel order, so positions stay the walk positions of the
+      // whole feed; snapshots adopt into empty aggregators with a zero
+      // shift.
+      matches_.reserve(matches_.size() + other.matches_.size());
+      for (const MatchedRow& m : other.matches_) {
+        matches_.push_back({m.pos + rows_seen_, m.row, m.weight});
+      }
+    }
+  }
   rows_seen_ += other.rows_seen_;
   rows_matched_ += other.rows_matched_;
   const size_t naggs = query_->spec().aggregates.size();
@@ -100,11 +155,16 @@ AggAccum* BinnedAggregator::AccumsForPublicKey(int64_t key) {
 }
 
 void BinnedAggregator::ProcessRowWeighted(int64_t row, double weight) {
+  ProcessRowAt(row, weight, rows_seen_);
+}
+
+void BinnedAggregator::ProcessRowAt(int64_t row, double weight, int64_t pos) {
   ++rows_seen_;
   if (!query_->MatchesFilter(row)) return;
   const int64_t key = query_->BinKey(row);
   if (key < 0) return;
   ++rows_matched_;
+  if (RecorderAccepts(1)) matches_.push_back({pos, row, weight});
 
   AggAccum* accums = AccumsForPublicKey(key);
   const size_t naggs = query_->spec().aggregates.size();
@@ -118,7 +178,11 @@ void BinnedAggregator::ProcessRowWeighted(int64_t row, double weight) {
 void BinnedAggregator::ProcessBatch(const int64_t* rows, int64_t n,
                                     double weight) {
   if (vec_ == nullptr) {
-    for (int64_t i = 0; i < n; ++i) ProcessRowWeighted(rows[i], weight);
+    for (int64_t i = 0; i < n; ++i) {
+      ProcessRowAt(rows[i], weight,
+                   replay_positions_ != nullptr ? replay_positions_[i]
+                                                : rows_seen_);
+    }
     return;
   }
   RowBatch batch;
@@ -128,11 +192,31 @@ void BinnedAggregator::ProcessBatch(const int64_t* rows, int64_t n,
   for (int64_t off = 0; off < n; off += kVectorBatchSize) {
     batch.rows = rows + off;
     batch.n = std::min(n - off, kVectorBatchSize);
+    const int64_t pos_base = rows_seen_;  // feed position of batch.rows[0]
     rows_seen_ += batch.n;
 
     const int64_t m = vec_->FilterAndBin(&batch);
     rows_matched_ += m;
     if (m == 0) continue;
+
+    if (RecorderAccepts(m)) {
+      // Bulk-append with one resize: per-element push_back capacity
+      // checks cost more than the whole recording otherwise.
+      const size_t old_size = matches_.size();
+      matches_.resize(old_size + static_cast<size_t>(m));
+      MatchedRow* out = matches_.data() + old_size;
+      if (replay_positions_ != nullptr) {
+        for (int64_t i = 0; i < m; ++i) {
+          const int64_t idx = batch.sel[i];
+          out[i] = {replay_positions_[off + idx], batch.rows[idx], weight};
+        }
+      } else {
+        for (int64_t i = 0; i < m; ++i) {
+          const int64_t idx = batch.sel[i];
+          out[i] = {pos_base + idx, batch.rows[idx], weight};
+        }
+      }
+    }
 
     // Resolve each selected row's accumulator base once.
     if (use_dense_) {
@@ -201,10 +285,50 @@ void BinnedAggregator::ProcessShuffled(const aqp::ShuffledIndex& order,
   }
 }
 
+void BinnedAggregator::ReplayMatches(const std::vector<MatchedRow>& matches,
+                                     int64_t pos_begin, int64_t pos_end) {
+  const int64_t span = pos_end - pos_begin;
+  if (span <= 0) return;
+  auto it = std::lower_bound(
+      matches.begin(), matches.end(), pos_begin,
+      [](const MatchedRow& m, int64_t p) { return m.pos < p; });
+
+  // Feed the recorded rows in batches sharing one weight, carrying their
+  // original positions for the recorder; gaps (rows that did not match
+  // the recording filter, so cannot match this one either) are accounted
+  // at the end in one SkipRows.  Accumulator update order equals the
+  // original feed order, so the state is bit-compatible with a direct
+  // walk of the underlying rows.
+  std::array<int64_t, kVectorBatchSize> rows;
+  std::array<int64_t, kVectorBatchSize> positions;
+  int64_t fed = 0;
+  int64_t n = 0;
+  double w = 1.0;
+  const auto flush = [&] {
+    if (n == 0) return;
+    replay_positions_ = positions.data();
+    ProcessBatch(rows.data(), n, w);
+    replay_positions_ = nullptr;
+    fed += n;
+    n = 0;
+  };
+  for (; it != matches.end() && it->pos < pos_end; ++it) {
+    if (n == kVectorBatchSize || (n > 0 && it->weight != w)) flush();
+    if (n == 0) w = it->weight;
+    rows[static_cast<size_t>(n)] = it->row;
+    positions[static_cast<size_t>(n)] = it->pos;
+    ++n;
+  }
+  flush();
+  SkipRows(span - fed);
+}
+
 void BinnedAggregator::Reset() {
   bins_.clear();
   dense_.clear();
   dense_touched_.clear();
+  matches_.clear();
+  matches_overflowed_ = false;
   rows_seen_ = 0;
   rows_matched_ = 0;
 }

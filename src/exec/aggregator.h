@@ -84,6 +84,30 @@ struct BinnedAggregatorOptions {
 
   /// ...and keys x aggregates is at most this many accumulators.
   int64_t dense_accum_limit = 128 * 1024;
+
+  /// Record every matched row as (feed position, row id, weight) so the
+  /// accumulated state can later be replayed into another aggregator over
+  /// an equivalent (or refined) query — the substrate of the
+  /// cross-interaction reuse cache (exec/reuse_cache.h).  Off by default:
+  /// recording costs memory proportional to the matched row count.
+  bool record_matches = false;
+
+  /// Hard cap on recorded matches: beyond it the recorder overflows
+  /// (releases its memory and marks the state non-replayable — see
+  /// `matches_overflowed`) instead of growing without bound.  1 M
+  /// matches = 24 MB, already far past where replaying beats rescanning.
+  int64_t record_matches_limit = 1 << 20;
+};
+
+/// One recorded match: the position of the row in this aggregator's feed
+/// (0-based; skipped/unmatched rows still advance positions), the fact
+/// row id, and the weight it was fed with.  Deliberately trivial (no
+/// default member initializers) so bulk vector growth in the recording
+/// hot path memsets instead of constructing element-wise.
+struct MatchedRow {
+  int64_t pos;
+  int64_t row;
+  double weight;
 };
 
 /// Streaming group-by aggregation for one bound query.
@@ -102,7 +126,13 @@ class BinnedAggregator {
   /// Folds `other`'s accumulated state into this aggregator: counters
   /// add, per-bin accumulators merge field-wise (sums add, min/max fold),
   /// and bins only one side touched are reconciled across the dense/hash
-  /// table boundary.  `other` must aggregate the same bound query.
+  /// table boundary.  `other` must aggregate the same bound query, or an
+  /// equivalent binding of the same spec (identical bins and aggregates —
+  /// how the reuse cache revives snapshots bound to an entry-owned spec
+  /// copy).  Recorded matches are appended with positions shifted past
+  /// this aggregator's rows seen so far, which is exactly right both for
+  /// morsel partials folded in morsel order and for adopting a snapshot
+  /// into an empty aggregator.
   void MergeFrom(const BinnedAggregator& other);
 
   /// Feeds fact row `row` with weight 1 (scalar reference path).
@@ -125,6 +155,43 @@ class BinnedAggregator {
   /// the shared hot loop of the sampling engines.
   void ProcessShuffled(const aqp::ShuffledIndex& order, int64_t start_pos,
                        int64_t count);
+
+  /// Advances `rows_seen()` by `n` without feeding rows — the accounting
+  /// for feed positions whose rows are known (from a recorded match list)
+  /// not to pass the filter.
+  void SkipRows(int64_t n) { rows_seen_ += n; }
+
+  /// Replays the slice of `matches` with positions in [pos_begin,
+  /// pos_end) through the normal processing pipeline (each row re-runs
+  /// filter + bin + aggregate, at its original feed position and weight)
+  /// and accounts the gaps with `SkipRows` — on return `rows_seen()` has
+  /// advanced by exactly `pos_end - pos_begin`.  When `matches` was
+  /// recorded by an aggregator whose filter this query's filter equals or
+  /// refines, and both fed the same underlying row sequence, the
+  /// resulting state is identical to having fed that sequence directly.
+  /// `matches` must be position-sorted (recorders only ever append in
+  /// feed order).
+  void ReplayMatches(const std::vector<MatchedRow>& matches,
+                     int64_t pos_begin, int64_t pos_end);
+
+  /// Matched rows recorded so far (empty unless
+  /// `options().record_matches`).
+  const std::vector<MatchedRow>& matched_rows() const { return matches_; }
+
+  /// True when recording hit `record_matches_limit` (directly or via a
+  /// merge): the candidate list is incomplete, so this state must not be
+  /// replayed or cached.
+  bool matches_overflowed() const { return matches_overflowed_; }
+
+  /// Estimated resident bytes of the accumulated state (bin tables +
+  /// recorded matches) — what a cache entry holding this state costs.
+  int64_t ApproxMemoryBytes() const {
+    const size_t naggs = query_->spec().aggregates.size();
+    return static_cast<int64_t>(
+        matches_.size() * sizeof(MatchedRow) +
+        dense_.size() * sizeof(AggAccum) + dense_touched_.size() +
+        bins_.size() * (naggs * sizeof(AggAccum) + 64));
+  }
 
   /// Rows fed so far (matched or not).
   int64_t rows_seen() const { return rows_seen_; }
@@ -251,8 +318,33 @@ class BinnedAggregator {
   std::vector<AggAccum> dense_;         // dense_keys_ x naggs, lazy
   std::vector<uint8_t> dense_touched_;  // per dense key
 
+  /// Applies one row through filter + bin + aggregates, recording the
+  /// match at feed position `pos`; the scalar reference path.
+  void ProcessRowAt(int64_t row, double weight, int64_t pos);
+
   int64_t rows_seen_ = 0;
   int64_t rows_matched_ = 0;
+
+  // Matched-row recorder (options_.record_matches).
+  std::vector<MatchedRow> matches_;
+  bool matches_overflowed_ = false;
+
+  /// True when the recorder should take `count` more matches; flips to
+  /// overflowed (and releases the list) when that would exceed the cap.
+  bool RecorderAccepts(int64_t count) {
+    if (!options_.record_matches || matches_overflowed_) return false;
+    if (static_cast<int64_t>(matches_.size()) + count >
+        options_.record_matches_limit) {
+      matches_overflowed_ = true;
+      matches_ = {};
+      return false;
+    }
+    return true;
+  }
+  // During ReplayMatches: original feed positions of the current batch
+  // (parallel to the batch's rows); null in normal processing, where the
+  // position is the running rows_seen index.
+  const int64_t* replay_positions_ = nullptr;
 };
 
 }  // namespace idebench::exec

@@ -194,6 +194,99 @@ bool Predicate::operator==(const Predicate& other) const {
          string_values == other.string_values;
 }
 
+bool Implies(const Predicate& a, const Predicate& b) {
+  if (a.column != b.column) return false;
+  if (a == b) return true;
+  if (!a.string_values.empty() || !b.string_values.empty()) {
+    // Label-carrying nominal predicates: reason over the labels, never
+    // the numeric view — it may be unresolved (a default 0.0 would make
+    // distinct labels wrongly imply each other).
+    if (a.string_values.empty() || b.string_values.empty()) return false;
+    const bool point_ops = (a.op == CompareOp::kEq || a.op == CompareOp::kIn) &&
+                           (b.op == CompareOp::kEq || b.op == CompareOp::kIn);
+    if (!point_ops) return false;
+    const size_t a_labels = a.op == CompareOp::kEq ? 1 : a.string_values.size();
+    for (size_t i = 0; i < a_labels && i < a.string_values.size(); ++i) {
+      const std::string& label = a.string_values[i];
+      const size_t b_labels =
+          b.op == CompareOp::kEq ? 1 : b.string_values.size();
+      bool found = false;
+      for (size_t j = 0; j < b_labels && j < b.string_values.size(); ++j) {
+        if (b.string_values[j] == label) {
+          found = true;
+          break;
+        }
+      }
+      if (!found) return false;
+    }
+    return true;
+  }
+  switch (a.op) {
+    case CompareOp::kEq:
+      // a pins the column to one value: implied iff b accepts it.
+      return b.Matches(a.value);
+    case CompareOp::kIn: {
+      // Every member of a's set must satisfy b.
+      if (a.set_values.empty()) return false;
+      for (double v : a.set_values) {
+        if (!b.Matches(v)) return false;
+      }
+      return true;
+    }
+    case CompareOp::kRange:
+      // a constrains the column to [lo, hi); check b accepts the whole
+      // interval.  (Empty a-intervals are not special-cased: the checks
+      // below remain sound for them.)
+      switch (b.op) {
+        case CompareOp::kRange:
+          return a.lo >= b.lo && a.hi <= b.hi;
+        case CompareOp::kGe:
+          return a.lo >= b.value;
+        case CompareOp::kGt:
+          return a.lo > b.value;
+        case CompareOp::kLt:
+          return a.hi <= b.value;
+        case CompareOp::kLe:
+          // v < a.hi <= b.value ensures v <= b.value.
+          return a.hi <= b.value;
+        case CompareOp::kNeq:
+          return b.value < a.lo || b.value >= a.hi;
+        default:
+          return false;
+      }
+    case CompareOp::kLt:
+      return (b.op == CompareOp::kLt || b.op == CompareOp::kLe) &&
+             a.value <= b.value;
+    case CompareOp::kLe:
+      // v <= a.value implies v < b.value only past a strict gap.
+      return (b.op == CompareOp::kLe && a.value <= b.value) ||
+             (b.op == CompareOp::kLt && a.value < b.value);
+    case CompareOp::kGt:
+      return (b.op == CompareOp::kGt || b.op == CompareOp::kGe) &&
+             a.value >= b.value;
+    case CompareOp::kGe:
+      // v >= a.value implies v > b.value only past a strict gap.
+      return (b.op == CompareOp::kGe && a.value >= b.value) ||
+             (b.op == CompareOp::kGt && a.value > b.value);
+    default:
+      return false;
+  }
+}
+
+bool Refines(const FilterExpr& a, const FilterExpr& b) {
+  for (const Predicate& pb : b.predicates()) {
+    bool implied = false;
+    for (const Predicate& pa : a.predicates()) {
+      if (Implies(pa, pb)) {
+        implied = true;
+        break;
+      }
+    }
+    if (!implied) return false;
+  }
+  return true;
+}
+
 void FilterExpr::ReplaceOn(Predicate p) {
   RemoveOn(p.column);
   predicates_.push_back(std::move(p));

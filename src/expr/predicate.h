@@ -63,6 +63,14 @@ struct Predicate {
   bool operator==(const Predicate& other) const;
 };
 
+/// True when satisfying `a` guarantees satisfying `b` (sound, not
+/// complete: false negatives are allowed, false positives are not).
+/// Covers the shapes IDE frontends generate: identical predicates, point
+/// predicates (kEq, kIn) checked against `b` directly, and range
+/// containment against ranges and ordering operators.  Predicates on
+/// different columns never imply each other.
+bool Implies(const Predicate& a, const Predicate& b);
+
 /// A conjunction of predicates, possibly over columns of several tables
 /// (the driver resolves tables at execution time).
 class FilterExpr {
@@ -109,6 +117,11 @@ class FilterExpr {
  private:
   std::vector<Predicate> predicates_;
 };
+
+/// True when conjunction `a` refines conjunction `b`: every predicate of
+/// `b` is implied by some predicate of `a`, so every row matching `a`
+/// also matches `b`.  Equal filters trivially refine each other.
+bool Refines(const FilterExpr& a, const FilterExpr& b);
 
 }  // namespace idebench::expr
 

@@ -44,6 +44,33 @@ struct QueryMetrics {
   double bias = 1.0;
 };
 
+/// Telemetry of a cross-interaction result-reuse cache
+/// (exec/reuse_cache.h): how often interactions hit snapshots of earlier
+/// ones, and how much physical work the hits displaced.  Surfaced per
+/// engine and aggregated into the CLI report.
+struct ReuseCacheStats {
+  int64_t equal_hits = 0;       // submissions matching a cached signature
+  int64_t refinement_hits = 0;  // submissions refining a cached predicate set
+  int64_t misses = 0;           // submissions with no usable entry
+  int64_t stores = 0;           // snapshots stored or extended
+  int64_t evictions = 0;        // entries dropped by the per-viz LRU
+  int64_t rows_served = 0;      // feed positions served from snapshots
+  int64_t entries = 0;          // live entries at sampling time
+
+  ReuseCacheStats& operator+=(const ReuseCacheStats& o) {
+    equal_hits += o.equal_hits;
+    refinement_hits += o.refinement_hits;
+    misses += o.misses;
+    stores += o.stores;
+    evictions += o.evictions;
+    rows_served += o.rows_served;
+    // `entries` is a gauge, not a counter: across engines/configurations
+    // report the peak, not a meaningless sum.
+    entries = entries > o.entries ? entries : o.entries;
+    return *this;
+  }
+};
+
 /// Evaluates `result` against `ground_truth`.
 ///
 /// When `tr_violated` is set (or the result is unavailable), the quality

@@ -1,5 +1,7 @@
 #include "query/spec.h"
 
+#include <algorithm>
+
 namespace idebench::query {
 
 Status VizSpec::Validate() const {
@@ -67,6 +69,37 @@ Status QuerySpec::ResolveBins(const storage::Catalog& catalog) {
     IDB_RETURN_NOT_OK(d.Resolve(*table));
   }
   return Status::OK();
+}
+
+std::vector<std::string> CanonicalPredicates(const expr::FilterExpr& filter) {
+  std::vector<std::string> preds;
+  preds.reserve(filter.size());
+  for (const expr::Predicate& p : filter.predicates()) {
+    preds.push_back(p.ToJson().Dump());
+  }
+  std::sort(preds.begin(), preds.end());
+  preds.erase(std::unique(preds.begin(), preds.end()), preds.end());
+  return preds;
+}
+
+std::string QuerySpec::CoreSignature() const {
+  JsonValue j = JsonValue::Object();
+  JsonValue bin_arr = JsonValue::Array();
+  for (const BinDimension& d : bins) bin_arr.Append(d.ToJson());
+  j.Set("bins", std::move(bin_arr));
+  JsonValue agg_arr = JsonValue::Array();
+  for (const AggregateSpec& a : aggregates) agg_arr.Append(a.ToJson());
+  j.Set("aggs", std::move(agg_arr));
+  return j.Dump();
+}
+
+std::string QuerySpec::Signature() const {
+  JsonValue j = JsonValue::Object();
+  j.Set("core", CoreSignature());
+  JsonValue parr = JsonValue::Array();
+  for (const std::string& p : CanonicalPredicates(filter)) parr.Append(p);
+  j.Set("filter", std::move(parr));
+  return j.Dump();
 }
 
 int64_t QuerySpec::MaxBinCount() const {

@@ -62,7 +62,26 @@ struct QuerySpec {
   int64_t EncodeKey(int64_t i0, int64_t i1) const {
     return EncodeBinKeyChecked(i0, i1, two_dimensional());
   }
+
+  /// Canonical signature of the query *shape*: bin spec + aggregate list
+  /// (and, implicitly, the table/join chain — every column name resolves
+  /// through the catalog's fixed fact table and foreign keys).  The viz
+  /// name and the filter are excluded: queries sharing a core signature
+  /// read the same columns through the same joins and bin identically, so
+  /// their sampled walks are interchangeable — the basis of result reuse
+  /// across filter refinements.
+  std::string CoreSignature() const;
+
+  /// Full canonical signature: `CoreSignature()` plus the canonicalized
+  /// predicate set (see `CanonicalPredicates`).  Two specs with equal
+  /// signatures answer identically.
+  std::string Signature() const;
 };
+
+/// Canonical form of a conjunctive predicate set: per-predicate JSON,
+/// sorted and deduplicated (conjunction is order-insensitive, and the same
+/// predicate can arrive via several link paths).
+std::vector<std::string> CanonicalPredicates(const expr::FilterExpr& filter);
 
 }  // namespace idebench::query
 

@@ -165,6 +165,19 @@ std::string RenderSummaryTable(const std::vector<SummaryRow>& rows) {
   return out;
 }
 
+std::string RenderReuseStats(const metrics::ReuseCacheStats& stats) {
+  return StringPrintf(
+      "reuse cache: %lld equal + %lld refinement hits, %lld misses, "
+      "%lld stores, %lld evictions, %lld rows served, %lld entries",
+      static_cast<long long>(stats.equal_hits),
+      static_cast<long long>(stats.refinement_hits),
+      static_cast<long long>(stats.misses),
+      static_cast<long long>(stats.stores),
+      static_cast<long long>(stats.evictions),
+      static_cast<long long>(stats.rows_served),
+      static_cast<long long>(stats.entries));
+}
+
 std::vector<double> MreCdf(
     const std::vector<const driver::QueryRecord*>& records, int points) {
   std::vector<double> mres;

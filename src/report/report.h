@@ -81,6 +81,11 @@ std::vector<SummaryRow> SummarizeBy(
 /// Renders summary rows as an aligned text table.
 std::string RenderSummaryTable(const std::vector<SummaryRow>& rows);
 
+/// Renders reuse-cache telemetry as one compact line, e.g.
+/// "reuse cache: 12 equal + 7 refinement hits, 31 misses, 19 stores,
+/// 2 evictions, 48123 rows served, 11 entries".
+std::string RenderReuseStats(const metrics::ReuseCacheStats& stats);
+
 /// Empirical CDF of the (non-violating) queries' MREs evaluated at
 /// `points` equally spaced thresholds in [0, 1].
 std::vector<double> MreCdf(

@@ -78,6 +78,52 @@ TEST(GroundTruthTest, ExactAndCached) {
   EXPECT_EQ(oracle.cache_hits(), 1);
 }
 
+/// Warm must fill the cache with answers bit-identical to sequential Get
+/// calls, independent of the oracle's thread count, and leave later Gets
+/// as pure cache hits.
+TEST(GroundTruthTest, WarmThreadInvariant) {
+  auto catalog = testutil::MakeTinyCatalog();
+
+  // A few distinct specs (plus a duplicate, which Warm must dedupe).
+  std::vector<query::QuerySpec> specs;
+  specs.push_back(testutil::MakeCountByGroupSpec(*catalog));
+  specs.push_back(testutil::MakeAvgValueSpec(*catalog));
+  specs.push_back(testutil::MakeAvgValueSpec(*catalog, 2));
+  specs.push_back(testutil::MakeCountByGroupSpec(*catalog));
+
+  GroundTruthOracle sequential(catalog, /*threads=*/1);
+  for (const query::QuerySpec& spec : specs) {
+    ASSERT_TRUE(sequential.Get(spec).ok());
+  }
+
+  for (int threads : {1, 4}) {
+    GroundTruthOracle warmed(catalog, threads);
+    ASSERT_TRUE(warmed.Warm(specs).ok());
+    EXPECT_EQ(warmed.cache_size(), 3);
+    for (const query::QuerySpec& spec : specs) {
+      auto expected = sequential.Get(spec);
+      auto actual = warmed.Get(spec);
+      ASSERT_TRUE(expected.ok());
+      ASSERT_TRUE(actual.ok());
+      ASSERT_EQ((*expected)->bins.size(), (*actual)->bins.size());
+      for (const auto& [key, bin] : (*expected)->bins) {
+        const auto it = (*actual)->bins.find(key);
+        ASSERT_NE(it, (*actual)->bins.end());
+        ASSERT_EQ(bin.values.size(), it->second.values.size());
+        for (size_t v = 0; v < bin.values.size(); ++v) {
+          EXPECT_EQ(bin.values[v].estimate, it->second.values[v].estimate);
+          EXPECT_EQ(bin.values[v].margin, it->second.values[v].margin);
+        }
+      }
+    }
+    // Every post-warm Get was a cache hit.
+    EXPECT_EQ(warmed.cache_hits(), static_cast<int64_t>(specs.size()));
+    // Warming again is a no-op.
+    ASSERT_TRUE(warmed.Warm(specs).ok());
+    EXPECT_EQ(warmed.cache_size(), 3);
+  }
+}
+
 class DriverTest : public ::testing::Test {
  protected:
   void SetUp() override {
@@ -134,6 +180,26 @@ TEST_F(DriverTest, RunsWorkflowAndRecordsQueries) {
   EXPECT_DOUBLE_EQ(records[3].metrics.missing_bins, 0.0);
   // Interaction ids recorded against the triggering interaction.
   EXPECT_EQ(records[3].interaction_id, 3);
+}
+
+TEST_F(DriverTest, WarmGroundTruthPrecomputesWorkflowQueries) {
+  BlockingEngineConfig config;
+  config.scan_ns_per_row = 10.0;
+  config.query_overhead_us = 0;
+  BlockingEngine engine(config);
+  auto oracle = std::make_shared<GroundTruthOracle>(catalog_, /*threads=*/4);
+  BenchmarkDriver driver(FastSettings(), &engine, catalog_, oracle);
+  ASSERT_TRUE(driver.PrepareEngine().ok());
+
+  // The dry pass enumerates and resolves the same queries the run will
+  // trigger, so the run itself is all cache hits.
+  ASSERT_TRUE(driver.WarmGroundTruth({TwoVizWorkflow()}).ok());
+  const int64_t warmed = oracle->cache_size();
+  EXPECT_GT(warmed, 0);
+  std::vector<QueryRecord> records;
+  ASSERT_TRUE(driver.RunWorkflow(TwoVizWorkflow(), &records).ok());
+  EXPECT_EQ(oracle->cache_size(), warmed);
+  EXPECT_EQ(oracle->cache_hits(), static_cast<int64_t>(records.size()));
 }
 
 TEST_F(DriverTest, TrViolationsForSlowEngine) {

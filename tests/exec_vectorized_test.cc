@@ -269,6 +269,103 @@ TEST(VectorizedDifferentialTest, OrderingOpsAndFixedWidthBins) {
   RunDifferential(spec, catalog, SequentialRows(), 1.0);
 }
 
+/// Dedicated IN-set kernel coverage (the range kernels have their own
+/// SIMD-specialized cases above): set shapes, types, joined columns, and
+/// NaN inputs, each differentially against the scalar reference.
+TEST(VectorizedDifferentialTest, InSetKernelShapes) {
+  auto catalog = MakeWideCatalog();
+  QuerySpec base;
+  base.viz_name = "v";
+  BinDimension d;
+  d.column = "group";
+  d.mode = BinningMode::kNominal;
+  base.bins = {d};
+  base.aggregates = {Agg(AggregateType::kCount),
+                     Agg(AggregateType::kSum, "value")};
+
+  const auto run_with = [&](expr::Predicate in_set) {
+    QuerySpec spec = base;
+    spec.filter.And(std::move(in_set));
+    ASSERT_TRUE(spec.ResolveBins(*catalog).ok());
+    RunDifferential(spec, catalog, SequentialRows(), 1.0);
+    RunDifferential(spec, catalog, ShuffledRows(31), 1.0);
+  };
+
+  expr::Predicate in_i64;  // int64 fact column
+  in_i64.column = "code";
+  in_i64.op = expr::CompareOp::kIn;
+  in_i64.set_values = {0.0, 2.0, 4.0, 6.0, 8.0, 10.0, 12.0};
+  run_with(in_i64);
+
+  expr::Predicate in_single;  // single-element set == equality
+  in_single.column = "code";
+  in_single.op = expr::CompareOp::kIn;
+  in_single.set_values = {5.0};
+  run_with(in_single);
+
+  expr::Predicate in_none;  // values absent from the data: empty result
+  in_none.column = "code";
+  in_none.op = expr::CompareOp::kIn;
+  in_none.set_values = {-1.0, 99.0};
+  run_with(in_none);
+
+  expr::Predicate in_dict;  // dictionary codes of a string column
+  in_dict.column = "group";
+  in_dict.op = expr::CompareOp::kIn;
+  in_dict.set_values = {0.0, 3.0, 5.0};
+  run_with(in_dict);
+
+  expr::Predicate in_f64;  // double column with ~5% NaN inputs
+  in_f64.column = "amount";
+  in_f64.op = expr::CompareOp::kIn;
+  in_f64.set_values = {100.0, 250.5, 999.0};
+  run_with(in_f64);
+
+  expr::Predicate in_join;  // dimension column reached through the join
+  in_join.column = "dval";
+  in_join.op = expr::CompareOp::kIn;
+  in_join.set_values = {-3.0, 2.0, 9.5};
+  run_with(in_join);
+}
+
+/// Dedicated equality/inequality kernel coverage across column types,
+/// joined columns, and values that cannot match.
+TEST(VectorizedDifferentialTest, EqualityKernelShapes) {
+  auto catalog = MakeWideCatalog();
+  QuerySpec base;
+  base.viz_name = "v";
+  BinDimension d;
+  d.column = "code";
+  d.mode = BinningMode::kNominal;
+  base.bins = {d};
+  base.aggregates = {Agg(AggregateType::kCount),
+                     Agg(AggregateType::kAvg, "amount")};
+
+  const auto run_with = [&](const std::string& column, expr::CompareOp op,
+                            double value) {
+    QuerySpec spec = base;
+    expr::Predicate p;
+    p.column = column;
+    p.op = op;
+    p.value = value;
+    spec.filter.And(p);
+    ASSERT_TRUE(spec.ResolveBins(*catalog).ok());
+    RunDifferential(spec, catalog, SequentialRows(), 1.0);
+    RunDifferential(spec, catalog, ShuffledRows(37), 1.0);
+  };
+
+  run_with("code", expr::CompareOp::kEq, 7.0);     // int64 fact column
+  run_with("code", expr::CompareOp::kNeq, 7.0);
+  run_with("group", expr::CompareOp::kEq, 1.0);    // string dictionary code
+  run_with("group", expr::CompareOp::kNeq, 4.0);
+  run_with("value", expr::CompareOp::kEq, 12.5);   // double: exact compare
+  run_with("amount", expr::CompareOp::kNeq, 0.0);  // NaN never matches
+  run_with("code", expr::CompareOp::kEq, -5.0);    // no row matches
+  run_with("code", expr::CompareOp::kEq, 6.5);     // fractional vs int64
+  run_with("dlabel", expr::CompareOp::kEq, 2.0);   // joined dictionary code
+  run_with("dval", expr::CompareOp::kNeq, 2.0);    // joined double
+}
+
 TEST(VectorizedDifferentialTest, TwoDimensionalBinning) {
   auto catalog = MakeWideCatalog();
   QuerySpec spec;

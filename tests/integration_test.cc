@@ -1,13 +1,18 @@
 /// \file integration_test.cc
 /// End-to-end tests across modules: dataset building, full benchmark
-/// runs, determinism, and cross-engine invariants on realistic (small)
-/// configurations.
+/// runs, determinism, golden-file replay, and cross-engine invariants on
+/// realistic (small) configurations.
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
 
 #include <gtest/gtest.h>
 
 #include "core/dataset.h"
 #include "core/idebench.h"
 #include "query/sql.h"
+#include "workflow/generator.h"
 
 namespace idebench::core {
 namespace {
@@ -156,6 +161,101 @@ TEST(IntegrationTest, StratifiedQualityConstantAcrossTr) {
 TEST(IntegrationTest, UnknownEngineFails) {
   BenchmarkConfig config = TinyBenchmark("warp_drive");
   EXPECT_FALSE(RunBenchmark(config).ok());
+}
+
+// --- Golden-file end-to-end replay -----------------------------------------
+
+constexpr const char* kGoldenWorkflowPath =
+    IDEBENCH_SOURCE_DIR "/tests/golden/workflow_small.json";
+constexpr const char* kGoldenExpectedPath =
+    IDEBENCH_SOURCE_DIR "/tests/golden/workflow_small_expected.json";
+
+/// Serializes the metrics fields of the detailed report as pretty JSON;
+/// doubles print at %.17g (common/json.cc), so the text is a faithful
+/// bit-level witness of every metric.
+std::string MetricsReportJson(const std::vector<driver::QueryRecord>& records) {
+  JsonValue arr = JsonValue::Array();
+  for (const driver::QueryRecord& r : records) {
+    JsonValue j = JsonValue::Object();
+    j.Set("id", static_cast<double>(r.id));
+    j.Set("interaction_id", static_cast<double>(r.interaction_id));
+    j.Set("viz", r.viz_name);
+    j.Set("sql", r.sql);
+    j.Set("progress", r.progress);
+    j.Set("tr_violated", r.metrics.tr_violated);
+    j.Set("bins_delivered", static_cast<double>(r.metrics.bins_delivered));
+    j.Set("bins_in_gt", static_cast<double>(r.metrics.bins_in_gt));
+    j.Set("missing_bins", r.metrics.missing_bins);
+    j.Set("mean_rel_error", r.metrics.mean_rel_error);
+    j.Set("rel_error_stdev", r.metrics.rel_error_stdev);
+    j.Set("smape", r.metrics.smape);
+    j.Set("cosine_distance", r.metrics.cosine_distance);
+    j.Set("mean_margin_rel", r.metrics.mean_margin_rel);
+    j.Set("margin_stdev", r.metrics.margin_stdev);
+    j.Set("bins_out_of_margin",
+          static_cast<double>(r.metrics.bins_out_of_margin));
+    j.Set("bias", r.metrics.bias);
+    arr.Append(std::move(j));
+  }
+  return arr.DumpPretty() + "\n";
+}
+
+/// Replays the committed workflow on a fixed configuration and compares
+/// the produced metrics report, field for field and bit for bit, against
+/// the committed expectation.  Regenerate both files after an intended
+/// behavior change with:
+///   IDEBENCH_REGEN_GOLDEN=1 ./idebench_tests --gtest_filter='*GoldenWorkflow*'
+TEST(IntegrationTest, GoldenWorkflowReplayMatchesCommittedReport) {
+  const bool regen = std::getenv("IDEBENCH_REGEN_GOLDEN") != nullptr;
+
+  DatasetConfig dataset = TinyDataset();
+  dataset.actual_rows = 8'000;
+  auto catalog = BuildFlightsCatalog(dataset);
+  ASSERT_TRUE(catalog.ok());
+
+  workflow::Workflow wf;
+  if (regen) {
+    workflow::GeneratorConfig generator_config;
+    workflow::WorkflowGenerator generator((*catalog)->fact_table(),
+                                          generator_config, /*seed=*/42);
+    auto generated = generator.Generate(workflow::WorkflowType::kMixed,
+                                        "golden_small");
+    ASSERT_TRUE(generated.ok());
+    wf = std::move(generated).MoveValueUnsafe();
+    ASSERT_TRUE(wf.SaveToFile(kGoldenWorkflowPath).ok());
+  } else {
+    auto loaded = workflow::Workflow::LoadFromFile(kGoldenWorkflowPath);
+    ASSERT_TRUE(loaded.ok()) << "missing golden workflow file";
+    wf = std::move(loaded).MoveValueUnsafe();
+  }
+
+  auto engine = engines::CreateEngine("progressive", /*seed=*/0,
+                                      /*threads=*/1, /*reuse_cache=*/false);
+  ASSERT_TRUE(engine.ok());
+  driver::Settings settings;
+  settings.time_requirement = SecondsToMicros(1.0);
+  settings.think_time = SecondsToMicros(1.0);
+  settings.data_size_label = "50m";
+  driver::BenchmarkDriver bench_driver(settings, engine->get(), *catalog);
+  ASSERT_TRUE(bench_driver.PrepareEngine().ok());
+  std::vector<driver::QueryRecord> records;
+  ASSERT_TRUE(bench_driver.RunWorkflow(wf, &records).ok());
+  ASSERT_GT(records.size(), 5u);
+
+  const std::string report = MetricsReportJson(records);
+  if (regen) {
+    std::ofstream out(kGoldenExpectedPath);
+    ASSERT_TRUE(out.good());
+    out << report;
+    return;
+  }
+  std::ifstream in(kGoldenExpectedPath);
+  ASSERT_TRUE(in.good()) << "missing golden expectation file";
+  std::stringstream expected;
+  expected << in.rdbuf();
+  EXPECT_EQ(report, expected.str())
+      << "metrics drifted from the committed golden report; if the change "
+         "is intended, regenerate with IDEBENCH_REGEN_GOLDEN=1";
 }
 
 }  // namespace

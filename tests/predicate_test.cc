@@ -212,6 +212,139 @@ TEST(FilterExprTest, JsonRoundTrip) {
   EXPECT_FALSE(FilterExpr::FromJson(JsonValue("no")).ok());
 }
 
+namespace {
+
+Predicate Make(const std::string& column, CompareOp op, double value = 0.0) {
+  Predicate p;
+  p.column = column;
+  p.op = op;
+  p.value = value;
+  return p;
+}
+
+Predicate MakeRange(const std::string& column, double lo, double hi) {
+  Predicate p;
+  p.column = column;
+  p.op = CompareOp::kRange;
+  p.lo = lo;
+  p.hi = hi;
+  return p;
+}
+
+Predicate MakeIn(const std::string& column, std::vector<double> values) {
+  Predicate p;
+  p.column = column;
+  p.op = CompareOp::kIn;
+  p.set_values = std::move(values);
+  return p;
+}
+
+}  // namespace
+
+TEST(PredicateImpliesTest, PointPredicates) {
+  // kEq implies anything that accepts its value.
+  EXPECT_TRUE(Implies(Make("x", CompareOp::kEq, 5), MakeRange("x", 0, 10)));
+  EXPECT_FALSE(Implies(Make("x", CompareOp::kEq, 15), MakeRange("x", 0, 10)));
+  EXPECT_TRUE(Implies(Make("x", CompareOp::kEq, 5),
+                      Make("x", CompareOp::kNeq, 6)));
+  EXPECT_TRUE(Implies(Make("x", CompareOp::kEq, 5), MakeIn("x", {1, 5, 9})));
+  // Different columns never imply.
+  EXPECT_FALSE(Implies(Make("x", CompareOp::kEq, 5), MakeRange("y", 0, 10)));
+  // Identity.
+  EXPECT_TRUE(Implies(MakeIn("x", {1, 2}), MakeIn("x", {1, 2})));
+  // kIn subset and superset.
+  EXPECT_TRUE(Implies(MakeIn("x", {1, 2}), MakeIn("x", {1, 2, 3})));
+  EXPECT_FALSE(Implies(MakeIn("x", {1, 2, 3}), MakeIn("x", {1, 2})));
+  EXPECT_TRUE(Implies(MakeIn("x", {2, 4}), MakeRange("x", 0, 10)));
+  // Empty IN sets are conservatively not implication sources.
+  EXPECT_FALSE(Implies(MakeIn("x", {}), MakeRange("x", 0, 10)));
+}
+
+TEST(PredicateImpliesTest, RangeContainmentAndOrdering) {
+  EXPECT_TRUE(Implies(MakeRange("x", 2, 8), MakeRange("x", 0, 10)));
+  EXPECT_TRUE(Implies(MakeRange("x", 0, 10), MakeRange("x", 0, 10)));
+  EXPECT_FALSE(Implies(MakeRange("x", 0, 10), MakeRange("x", 2, 8)));
+  EXPECT_FALSE(Implies(MakeRange("x", 2, 12), MakeRange("x", 0, 10)));
+  // Range vs ordering operators: [2, 8) means v >= 2 and v < 8.
+  EXPECT_TRUE(Implies(MakeRange("x", 2, 8), Make("x", CompareOp::kGe, 2)));
+  EXPECT_FALSE(Implies(MakeRange("x", 2, 8), Make("x", CompareOp::kGt, 2)));
+  EXPECT_TRUE(Implies(MakeRange("x", 2, 8), Make("x", CompareOp::kGt, 1)));
+  EXPECT_TRUE(Implies(MakeRange("x", 2, 8), Make("x", CompareOp::kLt, 8)));
+  EXPECT_TRUE(Implies(MakeRange("x", 2, 8), Make("x", CompareOp::kLe, 8)));
+  EXPECT_FALSE(Implies(MakeRange("x", 2, 8), Make("x", CompareOp::kLt, 7)));
+  EXPECT_TRUE(Implies(MakeRange("x", 2, 8), Make("x", CompareOp::kNeq, 9)));
+  EXPECT_TRUE(Implies(MakeRange("x", 2, 8), Make("x", CompareOp::kNeq, 8)));
+  EXPECT_FALSE(Implies(MakeRange("x", 2, 8), Make("x", CompareOp::kNeq, 5)));
+  // Ordering vs ordering.
+  EXPECT_TRUE(Implies(Make("x", CompareOp::kLt, 5), Make("x", CompareOp::kLe, 5)));
+  EXPECT_FALSE(Implies(Make("x", CompareOp::kLe, 5), Make("x", CompareOp::kLt, 5)));
+  EXPECT_TRUE(Implies(Make("x", CompareOp::kLe, 4), Make("x", CompareOp::kLt, 5)));
+  EXPECT_TRUE(Implies(Make("x", CompareOp::kGt, 5), Make("x", CompareOp::kGe, 5)));
+  EXPECT_TRUE(Implies(Make("x", CompareOp::kGe, 6), Make("x", CompareOp::kGt, 5)));
+  EXPECT_FALSE(Implies(Make("x", CompareOp::kGe, 5), Make("x", CompareOp::kGt, 5)));
+}
+
+TEST(PredicateImpliesTest, LabelPredicatesCompareLabelsNotNumericView) {
+  // Unresolved nominal predicates carry labels with a default numeric
+  // view (0.0): implication must reason over the labels, or distinct
+  // labels would wrongly imply each other.
+  Predicate eq_aa = Make("carrier", CompareOp::kEq, 0.0);
+  eq_aa.string_values = {"AA"};
+  Predicate eq_bb = Make("carrier", CompareOp::kEq, 0.0);
+  eq_bb.string_values = {"BB"};
+  EXPECT_FALSE(Implies(eq_aa, eq_bb));
+  EXPECT_FALSE(Implies(eq_bb, eq_aa));
+  EXPECT_TRUE(Implies(eq_aa, eq_aa));
+
+  Predicate in_ab = MakeIn("carrier", {0.0, 0.0});
+  in_ab.string_values = {"AA", "BB"};
+  EXPECT_TRUE(Implies(eq_aa, in_ab));
+  EXPECT_FALSE(Implies(in_ab, eq_aa));
+  Predicate in_a = MakeIn("carrier", {0.0});
+  in_a.string_values = {"AA"};
+  EXPECT_TRUE(Implies(in_a, in_ab));
+  EXPECT_FALSE(Implies(in_ab, in_a));
+
+  // Mixed label/numeric predicates are conservatively unrelated.
+  EXPECT_FALSE(Implies(eq_aa, MakeIn("carrier", {0.0})));
+  EXPECT_FALSE(Implies(MakeIn("carrier", {0.0}), eq_aa));
+}
+
+TEST(PredicateImpliesTest, FilterRefinement) {
+  FilterExpr base;
+  base.And(MakeRange("x", 0, 10));
+  base.And(Make("g", CompareOp::kEq, 2));
+
+  // Same predicates, different order: mutual refinement.
+  FilterExpr reordered;
+  reordered.And(Make("g", CompareOp::kEq, 2));
+  reordered.And(MakeRange("x", 0, 10));
+  EXPECT_TRUE(Refines(reordered, base));
+  EXPECT_TRUE(Refines(base, reordered));
+
+  // Extra conjunct refines.
+  FilterExpr extra = base;
+  extra.And(MakeRange("y", 1, 2));
+  EXPECT_TRUE(Refines(extra, base));
+  EXPECT_FALSE(Refines(base, extra));
+
+  // Narrowed range refines.
+  FilterExpr narrowed;
+  narrowed.And(MakeRange("x", 2, 8));
+  narrowed.And(Make("g", CompareOp::kEq, 2));
+  EXPECT_TRUE(Refines(narrowed, base));
+
+  // Dropping a conjunct does not.
+  FilterExpr dropped;
+  dropped.And(MakeRange("x", 0, 10));
+  EXPECT_FALSE(Refines(dropped, base));
+
+  // The empty filter is refined by everything and refines nothing
+  // non-empty.
+  EXPECT_TRUE(Refines(base, FilterExpr()));
+  EXPECT_FALSE(Refines(FilterExpr(), base));
+}
+
 TEST(FilterExprTest, SqlJoinsWithAnd) {
   storage::Table t = testutil::MakeTinyTable();
   FilterExpr f;

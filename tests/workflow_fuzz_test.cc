@@ -1,0 +1,144 @@
+/// \file workflow_fuzz_test.cc
+/// Differential workflow fuzz: sweep the workflow generator across seeds
+/// and replay every generated workflow on each engine with the
+/// cross-interaction reuse cache on vs. off, at 1 and 4 execution
+/// threads, asserting bit-identical `QueryResult`s throughout.  This is
+/// the transparency proof for exec/reuse_cache.h — reuse may only
+/// displace physical work, never change an answer — and the regression
+/// harness future execution-pipeline changes run under (see
+/// workflow_harness.h).
+///
+/// The fixture catalog stays below exec::kMorselRows so every feed chunk
+/// aggregates sequentially: with larger inputs, real-valued sums across
+/// differently-chunked morsel merges may regroup in the last ulp (the
+/// documented exec/parallel.h caveat), which would make exact ==
+/// comparison too strict without weakening the test where it matters.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "datagen/flights_seed.h"
+#include "engines/registry.h"
+#include "tests/workflow_harness.h"
+#include "workflow/generator.h"
+
+namespace idebench {
+namespace {
+
+constexpr int kSeeds = 20;
+constexpr int kThreadCounts[] = {1, 4};
+
+/// Shared small flights catalog (4000 rows, denormalized — the layout
+/// all four engines support).
+std::shared_ptr<storage::Catalog> FuzzCatalog() {
+  static const std::shared_ptr<storage::Catalog> catalog = [] {
+    datagen::FlightsSeedConfig config;
+    config.rows = 4000;
+    config.seed = 11;
+    auto table = datagen::GenerateFlightsSeed(config);
+    IDB_CHECK(table.ok());
+    auto c = std::make_shared<storage::Catalog>();
+    IDB_CHECK(c->AddTable(std::make_shared<storage::Table>(
+                              std::move(table).MoveValueUnsafe()))
+                  .ok());
+    return c;
+  }();
+  return catalog;
+}
+
+/// One generated workflow per seed (mixed type: covers create/filter/
+/// brush/link/discard segments of all four browsing patterns).
+const workflow::Workflow& FuzzWorkflow(int seed) {
+  static std::vector<workflow::Workflow>* workflows = [] {
+    auto* out = new std::vector<workflow::Workflow>();
+    for (int s = 0; s < kSeeds; ++s) {
+      workflow::GeneratorConfig config;
+      workflow::WorkflowGenerator generator(FuzzCatalog()->fact_table(),
+                                            config,
+                                            static_cast<uint64_t>(s) + 1);
+      auto wf = generator.Generate(workflow::WorkflowType::kMixed,
+                                   "fuzz_" + std::to_string(s));
+      IDB_CHECK(wf.ok());
+      out->push_back(std::move(wf).MoveValueUnsafe());
+    }
+    return out;
+  }();
+  return (*workflows)[static_cast<size_t>(seed)];
+}
+
+/// Replays workflow `seed` on a fresh engine; returns the outcomes and
+/// (optionally) the engine's reuse telemetry.
+std::vector<testharness::QueryOutcome> Replay(
+    const std::string& engine_name, int seed, int threads, bool reuse,
+    metrics::ReuseCacheStats* stats = nullptr) {
+  auto engine = engines::CreateEngine(engine_name, /*seed=*/0, threads, reuse);
+  IDB_CHECK(engine.ok());
+  auto prepared = (*engine)->Prepare(FuzzCatalog());
+  IDB_CHECK(prepared.ok());
+  auto outcomes = testharness::RunWorkflowOnEngine(
+      engine->get(), *FuzzCatalog(), FuzzWorkflow(seed));
+  IDB_CHECK(outcomes.ok());
+  if (stats != nullptr) *stats += (*engine)->reuse_cache_stats();
+  return std::move(outcomes).MoveValueUnsafe();
+}
+
+/// The differential sweep for one engine: reuse on vs. off must be
+/// bit-identical for every seed and thread count, and across all seeds
+/// the cache must actually have served work (otherwise the test proves
+/// nothing).
+void RunFuzz(const std::string& engine_name) {
+  metrics::ReuseCacheStats total;
+  for (int seed = 0; seed < kSeeds; ++seed) {
+    for (int threads : kThreadCounts) {
+      const std::string label = engine_name + ", seed " +
+                                std::to_string(seed) + ", threads " +
+                                std::to_string(threads);
+      auto off = Replay(engine_name, seed, threads, /*reuse=*/false);
+      auto on = Replay(engine_name, seed, threads, /*reuse=*/true, &total);
+      testharness::ExpectOutcomesBitIdentical(off, on, label);
+      if (::testing::Test::HasFatalFailure()) return;
+    }
+  }
+  EXPECT_GT(total.equal_hits + total.refinement_hits, 0)
+      << engine_name << ": the sweep never hit the cache";
+  EXPECT_GT(total.rows_served, 0)
+      << engine_name << ": hits never displaced physical work";
+}
+
+TEST(WorkflowFuzzTest, BlockingReuseOnOffBitIdentical) { RunFuzz("blocking"); }
+
+TEST(WorkflowFuzzTest, OnlineReuseOnOffBitIdentical) { RunFuzz("online"); }
+
+TEST(WorkflowFuzzTest, ProgressiveReuseOnOffBitIdentical) {
+  RunFuzz("progressive");
+}
+
+TEST(WorkflowFuzzTest, StratifiedReuseOnOffBitIdentical) {
+  RunFuzz("stratified");
+}
+
+/// Reuse must also compose with thread-count invariance: the same
+/// workflow with the cache on yields bit-identical results at 1 and 4
+/// threads (each feed chunk of the fixture spans a single morsel, so the
+/// parallel path's determinism contract gives exact equality).
+TEST(WorkflowFuzzTest, ReuseOnThreadInvariant) {
+  for (const char* engine : {"blocking", "online", "progressive",
+                             "stratified"}) {
+    for (int seed = 0; seed < 5; ++seed) {
+      auto t1 = Replay(engine, seed, /*threads=*/1, /*reuse=*/true);
+      auto t4 = Replay(engine, seed, /*threads=*/4, /*reuse=*/true);
+      testharness::ExpectOutcomesBitIdentical(
+          t1, t4,
+          std::string(engine) + " seed " + std::to_string(seed) +
+              ", threads 1 vs 4");
+      if (::testing::Test::HasFatalFailure()) return;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace idebench

@@ -1,0 +1,146 @@
+#ifndef IDEBENCH_TESTS_WORKFLOW_HARNESS_H_
+#define IDEBENCH_TESTS_WORKFLOW_HARNESS_H_
+
+/// \file workflow_harness.h
+/// Differential workflow harness: replays a generated workflow against an
+/// engine the way the benchmark driver does (dashboard graph, query
+/// building/resolution, budgeted RunFor, poll, cancel, think time) but
+/// captures the raw `QueryResult` of every query instead of quality
+/// metrics — so two runs of the same workflow under different execution
+/// configurations (reuse cache on/off, thread counts, future pipeline
+/// variants) can be compared bit for bit.  Shared by
+/// `workflow_fuzz_test.cc` and available to future differential suites.
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "driver/benchmark_driver.h"
+#include "engines/engine.h"
+#include "query/result.h"
+#include "storage/catalog.h"
+#include "workflow/viz_graph.h"
+#include "workflow/workflow.h"
+
+namespace idebench::testharness {
+
+/// The raw answer of one query triggered by one interaction.
+struct QueryOutcome {
+  int64_t interaction_id = 0;
+  std::string viz;
+  bool unsupported = false;  // engine returned NotImplemented at Submit
+  query::QueryResult result;
+};
+
+/// Replay knobs.  Budgets cycle per query so a workflow exercises full
+/// completions, partial walks, and overhead-starved queries alike.
+struct HarnessOptions {
+  std::vector<Micros> budgets = {3'000'000, 50'000, 400'000};
+  Micros think_time = 1'000'000;
+};
+
+/// Replays `wf` against a prepared `engine`; returns one outcome per
+/// (interaction, affected viz) in driver order.  Query enumeration is
+/// shared with the benchmark driver (`driver::ForEachInteraction`), so
+/// the harness replays exactly the queries a real run would submit.
+inline Result<std::vector<QueryOutcome>> RunWorkflowOnEngine(
+    engines::Engine* engine, const storage::Catalog& catalog,
+    const workflow::Workflow& wf, const HarnessOptions& options = {}) {
+  std::vector<QueryOutcome> outcomes;
+  engine->WorkflowStart();
+  int64_t query_index = 0;
+  IDB_RETURN_NOT_OK(driver::ForEachInteraction(
+      catalog, wf,
+      [&](const workflow::Interaction& interaction, int64_t interaction_id,
+          std::vector<query::QuerySpec>& specs) -> Status {
+        if (interaction.type == workflow::InteractionType::kLink) {
+          engine->LinkVizs(interaction.link_from, interaction.link_to);
+        } else if (interaction.type == workflow::InteractionType::kDiscard) {
+          engine->DiscardViz(interaction.viz_name);
+        }
+
+        for (query::QuerySpec& spec : specs) {
+          QueryOutcome outcome;
+          outcome.interaction_id = interaction_id;
+          outcome.viz = spec.viz_name;
+          auto submit = engine->Submit(spec);
+          const Micros budget =
+              options.budgets.empty()
+                  ? 1'000'000
+                  : options.budgets[static_cast<size_t>(
+                        query_index %
+                        static_cast<int64_t>(options.budgets.size()))];
+          ++query_index;
+          if (!submit.ok()) {
+            if (submit.status().code() != StatusCode::kNotImplemented) {
+              return submit.status();
+            }
+            outcome.unsupported = true;
+            outcomes.push_back(std::move(outcome));
+            continue;
+          }
+          const engines::QueryHandle handle = *submit;
+          Micros consumed = 0;
+          while (consumed < budget && !engine->IsDone(handle)) {
+            const Micros step = engine->RunFor(handle, budget - consumed);
+            if (step <= 0) break;
+            consumed += step;
+          }
+          IDB_ASSIGN_OR_RETURN(outcome.result, engine->PollResult(handle));
+          engine->Cancel(handle);
+          outcomes.push_back(std::move(outcome));
+        }
+        engine->OnThink(options.think_time);
+        return Status::OK();
+      }));
+  engine->WorkflowEnd();
+  return outcomes;
+}
+
+/// Asserts two query results agree bit for bit: flags, progress, row
+/// counters, bin keys, and every estimate/margin compared with exact
+/// (==) double equality.
+inline void ExpectResultsBitIdentical(const query::QueryResult& a,
+                                      const query::QueryResult& b,
+                                      const std::string& label) {
+  EXPECT_EQ(a.available, b.available) << label;
+  EXPECT_EQ(a.exact, b.exact) << label;
+  EXPECT_EQ(a.progress, b.progress) << label;
+  EXPECT_EQ(a.rows_processed, b.rows_processed) << label;
+  ASSERT_EQ(a.bins.size(), b.bins.size()) << label;
+  for (const auto& [key, bin] : a.bins) {
+    auto it = b.bins.find(key);
+    ASSERT_NE(it, b.bins.end()) << label << ": bin " << key << " missing";
+    ASSERT_EQ(bin.values.size(), it->second.values.size())
+        << label << ": bin " << key;
+    for (size_t v = 0; v < bin.values.size(); ++v) {
+      EXPECT_EQ(bin.values[v].estimate, it->second.values[v].estimate)
+          << label << ": estimate, bin " << key << " agg " << v;
+      EXPECT_EQ(bin.values[v].margin, it->second.values[v].margin)
+          << label << ": margin, bin " << key << " agg " << v;
+    }
+  }
+}
+
+/// Asserts two workflow replays delivered bit-identical answers.
+inline void ExpectOutcomesBitIdentical(const std::vector<QueryOutcome>& a,
+                                       const std::vector<QueryOutcome>& b,
+                                       const std::string& label) {
+  ASSERT_EQ(a.size(), b.size()) << label;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const std::string q = label + ", query " + std::to_string(i) + " (viz " +
+                          a[i].viz + ", interaction " +
+                          std::to_string(a[i].interaction_id) + ")";
+    EXPECT_EQ(a[i].interaction_id, b[i].interaction_id) << q;
+    EXPECT_EQ(a[i].viz, b[i].viz) << q;
+    ASSERT_EQ(a[i].unsupported, b[i].unsupported) << q;
+    if (!a[i].unsupported) {
+      ExpectResultsBitIdentical(a[i].result, b[i].result, q);
+    }
+  }
+}
+
+}  // namespace idebench::testharness
+
+#endif  // IDEBENCH_TESTS_WORKFLOW_HARNESS_H_
