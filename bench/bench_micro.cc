@@ -14,9 +14,11 @@
 #include "datagen/flights_seed.h"
 #include "driver/ground_truth.h"
 #include "engines/blocking_engine.h"
+#include "engines/progressive_engine.h"
 #include "exec/aggregator.h"
 #include "exec/bound_query.h"
 #include "exec/parallel.h"
+#include "session/session.h"
 #include "workflow/generator.h"
 
 namespace {
@@ -266,6 +268,82 @@ void BM_RefinementWorkflow(benchmark::State& state) {
   state.SetLabel(reuse ? "reuse_cache=on" : "reuse_cache=off");
 }
 BENCHMARK(BM_RefinementWorkflow)->Arg(0)->Arg(1);
+
+/// Multi-session serving sweep (1/4/16/64 concurrent dashboards): each
+/// session replays its own generated mixed workflow against ONE shared
+/// progressive engine through the session scheduler
+/// (session/session.h) — round-robin time slices, per-query deadlines,
+/// push-based result delivery.  Total per-query work is fixed, so the
+/// sweep isolates the multiplexing overhead and the contention penalty's
+/// fair budget division.  Run
+///   bench_micro --benchmark_filter=SessionConcurrency
+///               --benchmark_format=json
+/// to emit the JSON recorded in BENCH_session_concurrency.json.
+void BM_SessionConcurrency(benchmark::State& state) {
+  const int sessions = static_cast<int>(state.range(0));
+  static std::vector<workflow::Workflow>* workflows = [] {
+    auto* out = new std::vector<workflow::Workflow>();
+    workflow::GeneratorConfig config;
+    for (int s = 0; s < 64; ++s) {
+      workflow::WorkflowGenerator generator(&SharedTable(), config,
+                                            static_cast<uint64_t>(s) + 1);
+      auto wf = generator.Generate(workflow::WorkflowType::kMixed,
+                                   "session_" + std::to_string(s));
+      IDB_CHECK(wf.ok());
+      out->push_back(std::move(wf).MoveValueUnsafe());
+    }
+    return out;
+  }();
+
+  class CountingSink : public idebench::session::ResultSink {
+   public:
+    void OnUpdate(const idebench::session::ProgressiveUpdate& u) override {
+      ++updates;
+      if (u.final_update && u.cancelled) ++cancelled;
+    }
+    int64_t updates = 0;
+    int64_t cancelled = 0;
+  };
+
+  int64_t queries = 0;
+  int64_t updates = 0;
+  int64_t cancelled = 0;
+  for (auto _ : state) {
+    engines::ProgressiveEngineConfig config;
+    config.query_overhead_us = 0;
+    config.restart_overhead_us = 0;
+    engines::ProgressiveEngine engine(config);
+    IDB_CHECK(engine.Prepare(SharedCatalog()).ok());
+
+    idebench::session::SessionManagerOptions opts;
+    opts.time_requirement = 250'000;
+    opts.quantum = 50'000;
+    opts.contention_penalty = 0.1;
+    CountingSink sink;  // must outlive the manager
+    idebench::session::SessionManager manager(opts, &engine, SharedCatalog());
+    std::vector<idebench::session::SessionReplay> runs;
+    for (int s = 0; s < sessions; ++s) {
+      auto created = manager.CreateSession(&sink);
+      IDB_CHECK(created.ok());
+      runs.push_back({*created, &(*workflows)[static_cast<size_t>(s)]});
+    }
+    IDB_CHECK(idebench::session::ReplaySessionsToCompletion(&manager, runs,
+                                                            /*think_time=*/0)
+                  .ok());
+    const idebench::session::SchedulerStats stats = manager.stats();
+    IDB_CHECK(stats.max_deadline_overshoot == 0);  // fairness guarantee
+    queries += stats.queries_submitted;
+    updates += sink.updates;
+    cancelled += sink.cancelled;
+  }
+  state.SetItemsProcessed(queries);
+  state.counters["updates"] =
+      benchmark::Counter(static_cast<double>(updates));
+  state.counters["tr_cancelled"] =
+      benchmark::Counter(static_cast<double>(cancelled));
+}
+BENCHMARK(BM_SessionConcurrency)->Arg(1)->Arg(4)->Arg(16)->Arg(64)
+    ->UseRealTime()->Unit(benchmark::kMillisecond);
 
 void BM_ScanBinnedCount(benchmark::State& state) {
   auto catalog = SharedCatalog();

@@ -16,6 +16,10 @@
 ///     --threads N          execution threads: 1 = single-threaded path
 ///                          (default), 0 = all cores, n = n-way morsel
 ///                          parallelism (results identical for any n)
+///     --sessions N         concurrent exploration sessions served by one
+///                          shared engine (default 1 = the legacy single
+///                          client; try 1/4/16/64 for the concurrency
+///                          sweep)
 ///     --reuse-cache        enable the cross-interaction result-reuse
 ///                          cache (physical work only; results identical)
 ///     --seed N             master seed (default 7)
@@ -74,6 +78,8 @@ int main(int argc, char** argv) {
       config.think_time_s = std::atof(next().c_str());
     } else if (arg == "--threads") {
       config.threads = std::atoi(next().c_str());
+    } else if (arg == "--sessions") {
+      config.sessions = std::atoi(next().c_str());
     } else if (arg == "--workflows") {
       config.workflows_per_type = std::atoi(next().c_str());
     } else if (arg == "--types") {
@@ -140,12 +146,13 @@ int main(int argc, char** argv) {
   }
 
   std::printf(
-      "engine=%s size=%s rows=%lld think=%.1fs types=%zu x %d threads=%d\n",
+      "engine=%s size=%s rows=%lld think=%.1fs types=%zu x %d threads=%d "
+      "sessions=%d\n",
       config.engine.c_str(),
       core::DataSizeLabel(config.dataset.nominal_rows).c_str(),
       static_cast<long long>(config.dataset.EffectiveActualRows()),
       config.think_time_s, config.workflow_types.size(),
-      config.workflows_per_type, config.threads);
+      config.workflows_per_type, config.threads, config.sessions);
 
   auto outcome = core::RunBenchmark(config);
   if (!outcome.ok()) {
@@ -158,6 +165,9 @@ int main(int argc, char** argv) {
   std::cout << report::RenderSummaryTable(outcome->summary);
   if (config.reuse_cache) {
     std::cout << "\n" << report::RenderReuseStats(outcome->reuse) << "\n";
+  }
+  if (config.sessions > 1) {
+    std::cout << "\n" << report::RenderSessionStats(outcome->scheduler) << "\n";
   }
 
   if (!report_path.empty()) {

@@ -44,7 +44,7 @@ Result<BenchmarkOutcome> RunBenchmark(const BenchmarkConfig& config) {
     IDB_ASSIGN_OR_RETURN(
         std::unique_ptr<engines::Engine> engine,
         engines::CreateEngine(config.engine, config.seed, config.threads,
-                              config.reuse_cache));
+                              config.reuse_cache, config.sessions));
 
     driver::Settings settings;
     settings.time_requirement = SecondsToMicros(tr_s);
@@ -54,6 +54,7 @@ Result<BenchmarkOutcome> RunBenchmark(const BenchmarkConfig& config) {
     settings.use_joins = config.dataset.normalized;
     settings.threads = config.threads;
     settings.reuse_cache = config.reuse_cache;
+    settings.sessions = config.sessions;
     IDB_RETURN_NOT_OK(settings.Validate());
 
     driver::BenchmarkDriver bench_driver(settings, engine.get(), catalog,
@@ -66,6 +67,7 @@ Result<BenchmarkOutcome> RunBenchmark(const BenchmarkConfig& config) {
       outcome.records.push_back(std::move(r));
     }
     outcome.reuse += engine->reuse_cache_stats();
+    outcome.scheduler = bench_driver.scheduler_stats();
   }
 
   outcome.summary = report::SummarizeBy(

@@ -61,6 +61,12 @@ struct BenchmarkConfig {
   /// results are unchanged; default off).
   bool reuse_cache = false;
 
+  /// Concurrent exploration sessions served by one shared engine
+  /// (Settings::sessions semantics): 1 = the seed single-client behavior,
+  /// n > 1 = the workflow suite distributed round-robin over n sessions
+  /// under the fair time-slice scheduler (session/session.h).
+  int sessions = 1;
+
   uint64_t seed = 7;
 };
 
@@ -78,6 +84,10 @@ struct BenchmarkOutcome {
   /// Reuse-cache telemetry summed over the engines of the sweep (zeros
   /// when `BenchmarkConfig::reuse_cache` is off).
   metrics::ReuseCacheStats reuse;
+
+  /// Scheduler telemetry of the last time requirement's run (fairness /
+  /// cancellation counters; zeros for single-session configurations).
+  session::SchedulerStats scheduler;
 };
 
 /// Builds the dataset, generates workflows, prepares the engine and runs

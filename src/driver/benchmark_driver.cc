@@ -1,6 +1,8 @@
 #include "driver/benchmark_driver.h"
 
 #include <algorithm>
+#include <limits>
+#include <unordered_map>
 
 #include "common/logging.h"
 #include "query/sql.h"
@@ -9,7 +11,53 @@ namespace idebench::driver {
 
 using query::QuerySpec;
 using workflow::Interaction;
-using workflow::InteractionType;
+using workflow::Workflow;
+
+namespace {
+
+/// Round-robin time slice of the multi-session scheduler (virtual
+/// micros).  Coarse enough that slicing overhead stays negligible, fine
+/// enough that 64 sessions interleave visibly within one time
+/// requirement.  Single-session runs use quantum 0 (seed-exact turns).
+constexpr Micros kMultiSessionQuantum = 100'000;
+
+/// Collects the final pushed update of every query of one session.
+class FinalsSink : public session::ResultSink {
+ public:
+  void OnUpdate(const session::ProgressiveUpdate& update) override {
+    if (update.final_update) finals_[update.query_id] = update;
+  }
+
+  const session::ProgressiveUpdate* Final(int64_t query_id) const {
+    auto it = finals_.find(query_id);
+    return it == finals_.end() ? nullptr : &it->second;
+  }
+
+ private:
+  std::unordered_map<int64_t, session::ProgressiveUpdate> finals_;
+};
+
+/// Space-separated binning kinds, e.g. "quantitative quantitative".
+std::string BinningTypeLabel(const QuerySpec& spec) {
+  std::string out;
+  for (size_t i = 0; i < spec.bins.size(); ++i) {
+    if (i > 0) out += " ";
+    out += spec.bins[i].mode == query::BinningMode::kNominal ? "nominal"
+                                                             : "quantitative";
+  }
+  return out;
+}
+
+std::string AggTypeLabel(const QuerySpec& spec) {
+  std::string out;
+  for (size_t i = 0; i < spec.aggregates.size(); ++i) {
+    if (i > 0) out += " ";
+    out += query::AggregateTypeName(spec.aggregates[i].type);
+  }
+  return out;
+}
+
+}  // namespace
 
 BenchmarkDriver::BenchmarkDriver(
     Settings settings, engines::Engine* engine,
@@ -37,74 +85,18 @@ Result<Micros> BenchmarkDriver::PrepareEngine() {
   return prep_time_;
 }
 
-Status ResolveQueryAgainst(const storage::Catalog& catalog,
-                           query::QuerySpec* spec) {
-  IDB_RETURN_NOT_OK(spec->ResolveBins(catalog));
-  // Rewrite label-based nominal predicates to the owning column's
-  // dictionary codes (workflow files are portable across catalog layouts;
-  // codes are not).
-  std::vector<expr::Predicate> rewritten;
-  for (expr::Predicate p : spec->filter.predicates()) {
-    if (!p.string_values.empty()) {
-      IDB_ASSIGN_OR_RETURN(const storage::Table* owner,
-                           catalog.TableForColumn(p.column));
-      const storage::Column* col = owner->ColumnByName(p.column);
-      if (col != nullptr && col->type() == storage::DataType::kString) {
-        if (p.op == expr::CompareOp::kIn) {
-          p.set_values.clear();
-          for (const std::string& label : p.string_values) {
-            const int64_t code = col->dictionary().Lookup(label);
-            // Labels unknown in this catalog select nothing; encode as an
-            // impossible code rather than dropping the predicate.
-            p.set_values.push_back(code >= 0 ? static_cast<double>(code)
-                                             : -1.0);
-          }
-        } else {
-          const int64_t code = col->dictionary().Lookup(p.string_values[0]);
-          p.value = code >= 0 ? static_cast<double>(code) : -1.0;
-        }
-      }
-    }
-    rewritten.push_back(std::move(p));
-  }
-  spec->filter = expr::FilterExpr(std::move(rewritten));
-  return Status::OK();
-}
-
 Status BenchmarkDriver::ResolveQuery(query::QuerySpec* spec) const {
-  return ResolveQueryAgainst(*catalog_, spec);
-}
-
-Status ForEachInteraction(
-    const storage::Catalog& catalog, const workflow::Workflow& wf,
-    const std::function<Status(const workflow::Interaction& interaction,
-                               int64_t interaction_id,
-                               std::vector<query::QuerySpec>& specs)>& fn) {
-  workflow::VizGraph graph;
-  for (size_t i = 0; i < wf.interactions.size(); ++i) {
-    const Interaction& interaction = wf.interactions[i];
-    std::vector<std::string> affected;
-    IDB_RETURN_NOT_OK(graph.Apply(interaction, &affected));
-    std::vector<query::QuerySpec> specs;
-    specs.reserve(affected.size());
-    for (const std::string& viz_name : affected) {
-      IDB_ASSIGN_OR_RETURN(query::QuerySpec spec, graph.BuildQuery(viz_name));
-      IDB_RETURN_NOT_OK(ResolveQueryAgainst(catalog, &spec));
-      specs.push_back(std::move(spec));
-    }
-    IDB_RETURN_NOT_OK(fn(interaction, static_cast<int64_t>(i), specs));
-  }
-  return Status::OK();
+  return workflow::ResolveQueryAgainst(*catalog_, spec);
 }
 
 Status BenchmarkDriver::WarmGroundTruth(
-    const std::vector<workflow::Workflow>& workflows) {
+    const std::vector<Workflow>& workflows) {
   // Dry-run the dashboard graphs to enumerate every query the workflows
   // will trigger; graph application is engine-independent and cheap next
   // to the full scans the oracle runs.
   std::vector<query::QuerySpec> specs;
-  for (const workflow::Workflow& wf : workflows) {
-    IDB_RETURN_NOT_OK(ForEachInteraction(
+  for (const Workflow& wf : workflows) {
+    IDB_RETURN_NOT_OK(workflow::ForEachInteraction(
         *catalog_, wf,
         [&](const Interaction&, int64_t, std::vector<query::QuerySpec>& s) {
           for (query::QuerySpec& spec : s) specs.push_back(std::move(spec));
@@ -114,33 +106,56 @@ Status BenchmarkDriver::WarmGroundTruth(
   return oracle_->Warm(specs);
 }
 
-namespace {
+Result<QueryRecord> BenchmarkDriver::MakeRecord(
+    const session::SubmittedQuery& sq, const session::ProgressiveUpdate& fin,
+    const Workflow& wf, int64_t interaction_id, int concurrency,
+    Micros start_time, Micros end_time, int session_id) {
+  const query::QueryResult& result = fin.result;
+  const bool tr_violated = !result.available;
+  IDB_ASSIGN_OR_RETURN(const query::QueryResult* truth, oracle_->Get(sq.spec));
 
-/// Space-separated binning kinds, e.g. "quantitative quantitative".
-std::string BinningTypeLabel(const QuerySpec& spec) {
-  std::string out;
-  for (size_t i = 0; i < spec.bins.size(); ++i) {
-    if (i > 0) out += " ";
-    out += spec.bins[i].mode == query::BinningMode::kNominal ? "nominal"
-                                                             : "quantitative";
-  }
-  return out;
+  QueryRecord record;
+  record.id = next_query_id_++;
+  record.interaction_id = interaction_id;
+  record.viz_name = sq.spec.viz_name;
+  record.driver_name = engine_->name();
+  record.data_size = settings_.data_size_label;
+  record.think_time = settings_.think_time;
+  record.time_requirement = settings_.time_requirement;
+  record.workflow = wf.name;
+  record.workflow_type = workflow::WorkflowTypeName(wf.type);
+  record.start_time = start_time;
+  record.end_time = end_time;
+  record.bin_dims = static_cast<int>(sq.spec.bins.size());
+  record.binning_type = BinningTypeLabel(sq.spec);
+  record.agg_type = AggTypeLabel(sq.spec);
+  record.num_concurrent = concurrency;
+  record.session = session_id;
+  record.sql = query::GenerateSql(sq.spec, *catalog_);
+  record.progress = result.progress;
+  record.metrics = metrics::Evaluate(result, *truth, tr_violated);
+  return record;
 }
 
-std::string AggTypeLabel(const QuerySpec& spec) {
-  std::string out;
-  for (size_t i = 0; i < spec.aggregates.size(); ++i) {
-    if (i > 0) out += " ";
-    out += query::AggregateTypeName(spec.aggregates[i].type);
-  }
-  return out;
-}
-
-}  // namespace
-
-Status BenchmarkDriver::RunWorkflow(const workflow::Workflow& wf,
+Status BenchmarkDriver::RunWorkflow(const Workflow& wf,
                                     std::vector<QueryRecord>* records) {
-  engine_->WorkflowStart();
+  // One exploration session per workflow on a single-session manager in
+  // seed-parity mode: quantum 0 (run-to-entitlement turns) keeps results
+  // and records bit-identical to the pre-session driver (see the
+  // seed-parity note in session.h).
+  session::SessionManagerOptions mopts;
+  mopts.time_requirement = settings_.time_requirement;
+  mopts.contention_penalty = settings_.concurrency_penalty;
+  mopts.quantum = 0;
+  mopts.push_partials = false;  // the driver consumes final updates only
+  mopts.confidence_level = settings_.confidence_level;
+  // The sink must outlive the manager: an error-path unwind destroys the
+  // manager, whose implicit close touches the registered sinks.
+  FinalsSink sink;
+  session::SessionManager manager(mopts, engine_, catalog_);
+  IDB_ASSIGN_OR_RETURN(session::ExplorationSession * sess,
+                       manager.CreateSession(&sink));
+
   // Default deterministic time source; SetClock can substitute a
   // WallClock to pace the workflow in real time.
   VirtualClock internal_clock;
@@ -149,117 +164,207 @@ Status BenchmarkDriver::RunWorkflow(const workflow::Workflow& wf,
                      : static_cast<Clock*>(&internal_clock);
   const Micros workflow_epoch = clock->Now();
 
-  IDB_RETURN_NOT_OK(ForEachInteraction(
-      *catalog_, wf,
-      [&](const Interaction& interaction, int64_t interaction_id,
-          std::vector<QuerySpec>& specs) -> Status {
-    // Forward dashboard hints.
-    if (interaction.type == InteractionType::kLink) {
-      engine_->LinkVizs(interaction.link_from, interaction.link_to);
-    } else if (interaction.type == InteractionType::kDiscard) {
-      engine_->DiscardViz(interaction.viz_name);
-    }
+  for (size_t i = 0; i < wf.interactions.size(); ++i) {
+    IDB_ASSIGN_OR_RETURN(std::vector<session::SubmittedQuery> submitted,
+                         sess->SubmitInteraction(wf.interactions[i]));
+    // All queries of one interaction run concurrently under the
+    // scheduler; each completes or is cancelled at its deadline.
+    IDB_RETURN_NOT_OK(manager.RunUntilIdle());
 
-    // Submit one query per affected viz.  All queries of one interaction
-    // run concurrently.
-    struct InFlight {
-      QuerySpec spec;
-      engines::QueryHandle handle = -1;
-      Micros consumed = 0;
-      bool done = false;
-      bool unsupported = false;
-    };
-    std::vector<InFlight> inflight;
-    for (QuerySpec& spec : specs) {
-      InFlight q;
-      q.spec = std::move(spec);
-      auto submit = engine_->Submit(q.spec);
-      if (!submit.ok()) {
-        if (submit.status().code() == StatusCode::kNotImplemented) {
-          // The engine cannot run this query at all; report it as a
-          // time-requirement violation with nothing delivered.
-          q.unsupported = true;
-          inflight.push_back(std::move(q));
-          continue;
-        }
-        return submit.status();
+    const int concurrency = static_cast<int>(submitted.size());
+    const Micros now = clock->Now() - workflow_epoch;
+    for (const session::SubmittedQuery& sq : submitted) {
+      const session::ProgressiveUpdate* fin = sink.Final(sq.query_id);
+      if (fin == nullptr) {
+        return Status::Unknown("no final update for submitted query");
       }
-      q.handle = submit.ValueOrDie();
-      inflight.push_back(std::move(q));
-    }
-
-    // Grant each concurrent query its TR budget (optionally shrunk by the
-    // contention ablation knob).
-    const int concurrency = static_cast<int>(inflight.size());
-    Micros budget = settings_.time_requirement;
-    if (concurrency > 1 && settings_.concurrency_penalty > 0.0) {
-      budget = static_cast<Micros>(
-          static_cast<double>(budget) /
-          (1.0 + settings_.concurrency_penalty *
-                     static_cast<double>(concurrency - 1)));
-    }
-    for (InFlight& q : inflight) {
-      if (q.unsupported) continue;
-      while (q.consumed < budget && !engine_->IsDone(q.handle)) {
-        const Micros step = engine_->RunFor(q.handle, budget - q.consumed);
-        if (step <= 0) break;
-        q.consumed += step;
-      }
-      q.done = engine_->IsDone(q.handle);
-    }
-
-    // Fetch, evaluate and cancel.
-    for (InFlight& q : inflight) {
-      query::QueryResult result;  // unavailable by default
-      if (!q.unsupported) {
-        IDB_ASSIGN_OR_RETURN(result, engine_->PollResult(q.handle));
-      }
-      const bool tr_violated = !result.available;
-
-      IDB_ASSIGN_OR_RETURN(const query::QueryResult* truth,
-                           oracle_->Get(q.spec));
-
-      QueryRecord record;
-      record.id = next_query_id_++;
-      record.interaction_id = static_cast<int64_t>(interaction_id);
-      record.viz_name = q.spec.viz_name;
-      record.driver_name = engine_->name();
-      record.data_size = settings_.data_size_label;
-      record.think_time = settings_.think_time;
-      record.time_requirement = settings_.time_requirement;
-      record.workflow = wf.name;
-      record.workflow_type = workflow::WorkflowTypeName(wf.type);
-      const Micros now = clock->Now() - workflow_epoch;
-      record.start_time = now;
-      record.end_time =
-          now + (q.done ? std::min(q.consumed, budget) : budget);
-      record.bin_dims = static_cast<int>(q.spec.bins.size());
-      record.binning_type = BinningTypeLabel(q.spec);
-      record.agg_type = AggTypeLabel(q.spec);
-      record.num_concurrent = concurrency;
-      record.sql = query::GenerateSql(q.spec, *catalog_);
-      record.progress = result.progress;
-      record.metrics = metrics::Evaluate(result, *truth, tr_violated);
+      // Legacy timing: completed queries end after their consumed
+      // compute; overdue (and unsupported) ones occupy the full budget.
+      const Micros end =
+          now + (fin->completed ? std::min(fin->consumed, fin->budget)
+                                : fin->budget);
+      IDB_ASSIGN_OR_RETURN(
+          QueryRecord record,
+          MakeRecord(sq, *fin, wf, static_cast<int64_t>(i), concurrency, now,
+                     end, /*session_id=*/0));
       records->push_back(std::move(record));
-
-      // Queries that exceed TR are cancelled (paper §4.7); completed ones
-      // are released as the frontend has consumed their result.
-      if (!q.unsupported) engine_->Cancel(q.handle);
     }
 
     // Think time separates consecutive interactions; speculative engines
     // may spend it.  A wall clock actually sleeps here.
-    engine_->OnThink(settings_.think_time);
+    sess->Think(settings_.think_time);
     clock->Advance(settings_.think_time);
-    return Status::OK();
-  }));
+  }
 
-  engine_->WorkflowEnd();
-  return Status::OK();
+  return manager.CloseSession(sess);
+}
+
+Result<std::vector<QueryRecord>> BenchmarkDriver::RunWorkflowsConcurrent(
+    const std::vector<Workflow>& workflows) {
+  const int sessions = std::max(
+      1, std::min<int>(settings_.sessions,
+                       static_cast<int>(workflows.size())));
+
+  session::SessionManagerOptions mopts;
+  mopts.time_requirement = settings_.time_requirement;
+  mopts.contention_penalty = settings_.concurrency_penalty;
+  mopts.quantum = kMultiSessionQuantum;
+  mopts.push_partials = false;  // the driver consumes final updates only
+  mopts.confidence_level = settings_.confidence_level;
+
+  /// One concurrent user: a session replaying its share of the workflow
+  /// suite, one interaction at a time, with think time between them.
+  struct SessionRun {
+    session::ExplorationSession* sess = nullptr;
+    FinalsSink sink;
+    std::vector<const Workflow*> queue;  // round-robin share of the suite
+    size_t wf = 0;                       // current workflow in `queue`
+    size_t inter = 0;                    // next interaction in it
+    Micros ready_at = 0;                 // next submission time (idle only)
+    bool busy = false;                   // a batch awaits final updates
+    std::vector<session::SubmittedQuery> batch;
+    const Workflow* batch_wf = nullptr;
+    int64_t batch_interaction = 0;
+    Micros batch_start = 0;
+    std::vector<QueryRecord> records;
+  };
+
+  // The runs (and their sinks) must outlive the manager: an error-path
+  // unwind destroys the manager, whose implicit close touches the
+  // registered sinks.
+  std::vector<SessionRun> runs(static_cast<size_t>(sessions));
+  session::SessionManager manager(mopts, engine_, catalog_);
+  for (size_t i = 0; i < workflows.size(); ++i) {
+    runs[i % runs.size()].queue.push_back(&workflows[i]);
+  }
+  for (SessionRun& r : runs) {
+    IDB_ASSIGN_OR_RETURN(r.sess, manager.CreateSession(&r.sink));
+  }
+
+  const Micros kNever = std::numeric_limits<Micros>::max();
+  auto has_more = [](const SessionRun& r) { return r.wf < r.queue.size(); };
+
+  // Resolves every busy session whose batch has all its final updates:
+  // builds records, grants think time, and computes the next ready time.
+  auto resolve_batches = [&]() -> Status {
+    for (SessionRun& r : runs) {
+      if (!r.busy) continue;
+      Micros last_final = r.batch_start;
+      bool complete = true;
+      for (const session::SubmittedQuery& sq : r.batch) {
+        const session::ProgressiveUpdate* fin = r.sink.Final(sq.query_id);
+        if (fin == nullptr) {
+          complete = false;
+          break;
+        }
+        last_final = std::max(last_final, fin->virtual_time);
+      }
+      if (!complete) continue;
+      const int concurrency = static_cast<int>(r.batch.size());
+      const int session_id = static_cast<int>(r.sess->id());
+      for (const session::SubmittedQuery& sq : r.batch) {
+        const session::ProgressiveUpdate* fin = r.sink.Final(sq.query_id);
+        // Scheduler-timeline timing: interactions occupy real virtual
+        // time here (unlike the instant single-session clock), so start
+        // is the admission time and end the finalization time — exactly
+        // submit + TR for deadline cancellations.
+        IDB_ASSIGN_OR_RETURN(
+            QueryRecord record,
+            MakeRecord(sq, *fin, *r.batch_wf, r.batch_interaction,
+                       concurrency, r.batch_start, fin->virtual_time,
+                       session_id));
+        r.records.push_back(std::move(record));
+      }
+      r.batch.clear();
+      r.busy = false;
+      r.sess->Think(settings_.think_time);
+      r.ready_at =
+          std::max(last_final, manager.VirtualNow()) + settings_.think_time;
+    }
+    return Status::OK();
+  };
+
+  while (true) {
+    // Submit for every idle session whose ready time has arrived; loop
+    // until quiescent (instantly-resolved batches may re-ready sessions).
+    bool progressed = true;
+    while (progressed) {
+      progressed = false;
+      for (SessionRun& r : runs) {
+        if (r.busy || !has_more(r) || r.ready_at > manager.VirtualNow()) {
+          continue;
+        }
+        const Workflow& wf = *r.queue[r.wf];
+        if (r.inter >= wf.interactions.size()) {
+          // Workflow boundary: the user starts a fresh exploration on an
+          // empty dashboard (the per-workflow graph reset of the
+          // sequential driver, scoped to this session).
+          r.sess->ResetDashboard();
+          r.inter = 0;
+          ++r.wf;
+          progressed = true;
+          continue;
+        }
+        const int64_t interaction_id = static_cast<int64_t>(r.inter);
+        IDB_ASSIGN_OR_RETURN(
+            std::vector<session::SubmittedQuery> submitted,
+            r.sess->SubmitInteraction(wf.interactions[r.inter]));
+        ++r.inter;  // the boundary branch above handles workflow wrap
+        if (submitted.empty()) {
+          // No queries triggered (e.g. a discard): think and move on.
+          r.sess->Think(settings_.think_time);
+          r.ready_at = manager.VirtualNow() + settings_.think_time;
+          progressed = true;
+          continue;
+        }
+        r.batch = std::move(submitted);
+        r.batch_wf = &wf;
+        r.batch_interaction = interaction_id;
+        r.batch_start = manager.VirtualNow();
+        r.busy = true;
+        progressed = true;
+      }
+      IDB_RETURN_NOT_OK(resolve_batches());
+    }
+
+    bool any_work = false;
+    Micros next_ready = kNever;
+    for (const SessionRun& r : runs) {
+      if (r.busy) {
+        any_work = true;
+      } else if (has_more(r)) {
+        any_work = true;
+        next_ready = std::min(next_ready, r.ready_at);
+      }
+    }
+    if (!any_work) break;
+
+    if (manager.HasLive()) {
+      // Run until the next finalization (a session may become ready) or
+      // the next submission time, whichever comes first.
+      IDB_ASSIGN_OR_RETURN(int finalized, manager.StepUntilEvent(next_ready));
+      (void)finalized;
+      IDB_RETURN_NOT_OK(resolve_batches());
+    } else {
+      // Nothing executing: skip the idle gap to the next submission.
+      IDB_CHECK(next_ready != kNever);
+      IDB_RETURN_NOT_OK(manager.AdvanceTo(next_ready));
+    }
+  }
+
+  std::vector<QueryRecord> records;
+  for (SessionRun& r : runs) {
+    for (QueryRecord& record : r.records) records.push_back(std::move(record));
+  }
+  for (SessionRun& r : runs) {
+    IDB_RETURN_NOT_OK(manager.CloseSession(r.sess));
+  }
+  scheduler_stats_ = manager.stats();
+  return records;
 }
 
 Result<std::vector<QueryRecord>> BenchmarkDriver::RunWorkflows(
-    const std::vector<workflow::Workflow>& workflows) {
+    const std::vector<Workflow>& workflows) {
   // Cold-start bottleneck: the oracle's per-query full scans.  With
   // physical parallelism configured, compute them across queries up
   // front (ROADMAP: "parallelize ground-truth warm-up across queries");
@@ -267,8 +372,11 @@ Result<std::vector<QueryRecord>> BenchmarkDriver::RunWorkflows(
   if (settings_.threads != 1) {
     IDB_RETURN_NOT_OK(WarmGroundTruth(workflows));
   }
+  if (settings_.sessions > 1) {
+    return RunWorkflowsConcurrent(workflows);
+  }
   std::vector<QueryRecord> records;
-  for (const workflow::Workflow& wf : workflows) {
+  for (const Workflow& wf : workflows) {
     IDB_RETURN_NOT_OK(RunWorkflow(wf, &records));
   }
   return records;

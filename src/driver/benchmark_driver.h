@@ -3,10 +3,21 @@
 
 /// \file benchmark_driver.h
 /// The IDEBench benchmark driver (paper §4.4): simulates workflows on a
-/// virtual clock, delegates interactions to the engine under test,
-/// enforces the time requirement (cancelling overdue queries), grants
-/// think time, computes ground truth, and evaluates every query into a
+/// virtual clock, enforces the time requirement, grants think time,
+/// computes ground truth, and evaluates every query into a
 /// detailed-report row.
+///
+/// Since the session-based serving redesign the driver is ONE CLIENT of
+/// the `session::SessionManager` API (session/session.h): it opens an
+/// `ExplorationSession` per workflow, submits interactions, and consumes
+/// pushed `ProgressiveUpdate`s instead of pulling the engine directly.
+/// Single-session scheduling (`quantum == 0`) keeps records bit-identical
+/// to the pre-session driver (see the seed-parity note in session.h for
+/// the one — result-invisible — call-order difference).  With
+/// `Settings::sessions > 1`, RunWorkflows
+/// multiplexes the workflows over that many concurrent sessions on the
+/// shared engine — the paper's Exp. 4 concurrent-user scenario — and the
+/// scheduler's fairness telemetry is exposed via `scheduler_stats()`.
 
 #include <functional>
 #include <memory>
@@ -19,32 +30,32 @@
 #include "driver/settings.h"
 #include "engines/engine.h"
 #include "metrics/metrics.h"
+#include "session/session.h"
 #include "storage/catalog.h"
+#include "workflow/resolve.h"
 #include "workflow/viz_graph.h"
 #include "workflow/workflow.h"
 
 namespace idebench::driver {
 
-/// Resolves an executable query against `catalog`: resolves bin
-/// boundaries and rewrites nominal predicates expressed as string labels
-/// into the owning column's dictionary codes (workflow files are portable
-/// across catalog layouts; codes are not).  The free-function form of
-/// `BenchmarkDriver::ResolveQuery`, shared with test harnesses.
-Status ResolveQueryAgainst(const storage::Catalog& catalog,
-                           query::QuerySpec* spec);
+/// DEPRECATED forwarding wrapper — the definition moved to
+/// `workflow::ResolveQueryAgainst` (workflow/resolve.h) so the session
+/// layer shares it; prefer calling that directly.
+inline Status ResolveQueryAgainst(const storage::Catalog& catalog,
+                                  query::QuerySpec* spec) {
+  return workflow::ResolveQueryAgainst(catalog, spec);
+}
 
-/// Replays `wf`'s interactions on a fresh dashboard graph and invokes
-/// `fn(interaction, interaction_id, specs)` once per interaction in
-/// driver order, where `specs` holds the resolved executable query of
-/// every affected viz (each spec carries its viz name).  The single
-/// definition of "which queries does this workflow trigger" — shared by
-/// the benchmark run, the ground-truth warm pass, and the test
-/// harnesses, so they can never drift apart.
-Status ForEachInteraction(
+/// DEPRECATED forwarding wrapper — the definition moved to
+/// `workflow::ForEachInteraction` (workflow/resolve.h); prefer calling
+/// that directly.
+inline Status ForEachInteraction(
     const storage::Catalog& catalog, const workflow::Workflow& wf,
     const std::function<Status(const workflow::Interaction& interaction,
                                int64_t interaction_id,
-                               std::vector<query::QuerySpec>& specs)>& fn);
+                               std::vector<query::QuerySpec>& specs)>& fn) {
+  return workflow::ForEachInteraction(catalog, wf, fn);
+}
 
 /// One row of the detailed report (paper Table 1).
 struct QueryRecord {
@@ -63,6 +74,7 @@ struct QueryRecord {
   std::string binning_type;     // "nominal", "quantitative", ...
   std::string agg_type;         // "count", "avg", ...
   int num_concurrent = 1;       // queries triggered by the same interaction
+  int session = 0;              // serving session (0 in single-session runs)
   std::string sql;              // the query as SQL text
   double progress = 0.0;        // engine-reported progress at fetch time
   metrics::QueryMetrics metrics;
@@ -95,15 +107,26 @@ class BenchmarkDriver {
   /// Data-preparation time reported by Prepare (0 before).
   Micros data_preparation_time() const { return prep_time_; }
 
-  /// Simulates one workflow; appends one record per executed query.
+  /// Simulates one workflow through a dedicated exploration session;
+  /// appends one record per executed query.
   Status RunWorkflow(const workflow::Workflow& workflow,
                      std::vector<QueryRecord>* records);
 
-  /// Runs a list of workflows.
+  /// Runs a list of workflows.  With `Settings::sessions <= 1` the
+  /// workflows run sequentially (seed behavior); otherwise they are
+  /// distributed round-robin over that many concurrent sessions of one
+  /// `session::SessionManager` and executed under the fair time-slice
+  /// scheduler.
   Result<std::vector<QueryRecord>> RunWorkflows(
       const std::vector<workflow::Workflow>& workflows);
 
   const Settings& settings() const { return settings_; }
+
+  /// Scheduler telemetry of the most recent multi-session RunWorkflows
+  /// call (zeros for single-session runs).
+  const session::SchedulerStats& scheduler_stats() const {
+    return scheduler_stats_;
+  }
 
   /// Resolves an executable query against the catalog: resolves bin
   /// boundaries and rewrites nominal predicates expressed as string
@@ -119,6 +142,18 @@ class BenchmarkDriver {
   Status WarmGroundTruth(const std::vector<workflow::Workflow>& workflows);
 
  private:
+  /// The multi-session concurrent run (Settings::sessions > 1).
+  Result<std::vector<QueryRecord>> RunWorkflowsConcurrent(
+      const std::vector<workflow::Workflow>& workflows);
+
+  /// Builds one detailed-report row from a query's final pushed update.
+  Result<QueryRecord> MakeRecord(const session::SubmittedQuery& sq,
+                                 const session::ProgressiveUpdate& fin,
+                                 const workflow::Workflow& wf,
+                                 int64_t interaction_id, int concurrency,
+                                 Micros start_time, Micros end_time,
+                                 int session_id);
+
   Settings settings_;
   engines::Engine* engine_;
   std::shared_ptr<const storage::Catalog> catalog_;
@@ -126,6 +161,7 @@ class BenchmarkDriver {
   Clock* external_clock_ = nullptr;
   Micros prep_time_ = 0;
   int64_t next_query_id_ = 0;
+  session::SchedulerStats scheduler_stats_;
 };
 
 }  // namespace idebench::driver

@@ -12,6 +12,7 @@ JsonValue Settings::ToJson() const {
   j.Set("concurrency_penalty", concurrency_penalty);
   j.Set("threads", static_cast<double>(threads));
   j.Set("reuse_cache", reuse_cache);
+  j.Set("sessions", static_cast<double>(sessions));
   return j;
 }
 
@@ -26,6 +27,7 @@ Result<Settings> Settings::FromJson(const JsonValue& j) {
   s.concurrency_penalty = j.GetDouble("concurrency_penalty", 0.0);
   s.threads = static_cast<int>(j.GetDouble("threads", 1.0));
   s.reuse_cache = j.GetBool("reuse_cache", false);
+  s.sessions = static_cast<int>(j.GetDouble("sessions", 1.0));
   IDB_RETURN_NOT_OK(s.Validate());
   return s;
 }
@@ -43,6 +45,9 @@ Status Settings::Validate() const {
   }
   if (threads < 0) {
     return Status::Invalid("threads must be >= 0 (0 = hardware concurrency)");
+  }
+  if (sessions < 1) {
+    return Status::Invalid("sessions must be >= 1");
   }
   return Status::OK();
 }

@@ -53,6 +53,15 @@ struct Settings {
   /// defaults off so baseline/oracle runs carry no cache state.
   bool reuse_cache = false;
 
+  /// Concurrent exploration sessions (simulated users/dashboards) served
+  /// by one shared engine (session/session.h).  1 (default) = the exact
+  /// seed single-client behavior; n > 1 distributes the workflow suite
+  /// round-robin over n sessions of one `session::SessionManager`, whose
+  /// deadline-aware time-slice scheduler divides compute fairly across
+  /// all live queries (shrunk by `concurrency_penalty`) — the paper's
+  /// Exp. 4 concurrent-user scenario.
+  int sessions = 1;
+
   /// JSON round-trip for configuration files.
   JsonValue ToJson() const;
   static Result<Settings> FromJson(const JsonValue& j);

@@ -14,7 +14,9 @@ BlockingEngine::BlockingEngine(BlockingEngineConfig config)
 Result<Micros> BlockingEngine::Prepare(
     std::shared_ptr<const storage::Catalog> catalog) {
   IDB_RETURN_NOT_OK(Attach(std::move(catalog)));
-  if (config_.reuse_cache) EnableReuseCache();
+  if (config_.reuse_cache) {
+    EnableReuseCacheForSessions(config_.expected_sessions);
+  }
   // CSV ingest of every table; dimensions are negligible next to the fact
   // table but are charged for completeness.
   double rows = 0.0;

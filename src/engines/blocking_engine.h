@@ -51,6 +51,10 @@ struct BlockingEngineConfig {
   /// refined scans resume from cached snapshots.  Physical work only;
   /// virtual costs and results are unchanged.
   bool reuse_cache = false;
+  /// Concurrent exploration sessions this engine is expected to serve
+  /// (session/session.h); sizes the reuse cache's entry cap so one
+  /// dashboard's working set cannot evict every other session's.
+  int expected_sessions = 1;
 };
 
 /// Blocking exact engine.

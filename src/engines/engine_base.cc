@@ -109,6 +109,14 @@ void EngineBase::EnableReuseCache(const exec::ReuseCacheOptions& options) {
   }
 }
 
+void EngineBase::EnableReuseCacheForSessions(int expected_sessions) {
+  exec::ReuseCacheOptions options;
+  if (expected_sessions > 1) {
+    options.max_entries_total *= expected_sessions;
+  }
+  EnableReuseCache(options);
+}
+
 void EngineBase::WorkflowStart() {
   if (reuse_cache_ != nullptr) reuse_cache_->Clear();
 }

@@ -111,6 +111,14 @@ class EngineBase : public Engine {
   /// Turns the cache on (Settings::reuse_cache).
   void EnableReuseCache(const exec::ReuseCacheOptions& options = {});
 
+  /// Turns the cache on sized for `expected_sessions` concurrent
+  /// dashboards (session/session.h): the global entry cap scales with
+  /// the session count so one session's working set cannot evict every
+  /// other session's snapshots; the byte budget stays the fixed
+  /// process-level bound.  `expected_sessions <= 1` equals
+  /// `EnableReuseCache()`.
+  void EnableReuseCacheForSessions(int expected_sessions);
+
   bool reuse_cache_enabled() const { return reuse_cache_ != nullptr; }
 
   /// Aggregator options for live queries: default execution knobs, with

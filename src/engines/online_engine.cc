@@ -21,7 +21,9 @@ bool OnlineEngine::SupportsOnline(const query::QuerySpec& spec) {
 Result<Micros> OnlineEngine::Prepare(
     std::shared_ptr<const storage::Catalog> catalog) {
   IDB_RETURN_NOT_OK(Attach(std::move(catalog)));
-  if (config_.reuse_cache) EnableReuseCache();
+  if (config_.reuse_cache) {
+    EnableReuseCacheForSessions(config_.expected_sessions);
+  }
   double rows = 0.0;
   for (const auto& table : this->catalog().tables()) {
     rows += table.get() == this->catalog().fact_table()

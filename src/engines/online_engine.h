@@ -49,6 +49,9 @@ struct OnlineEngineConfig {
   /// Cross-interaction reuse cache (exec/reuse_cache.h); physical work
   /// only, results unchanged.
   bool reuse_cache = false;
+  /// Concurrent exploration sessions this engine is expected to serve
+  /// (session/session.h); sizes the reuse cache's entry cap.
+  int expected_sessions = 1;
 };
 
 /// Online-aggregation engine with blocking fallback.

@@ -14,7 +14,9 @@ ProgressiveEngine::ProgressiveEngine(ProgressiveEngineConfig config)
 Result<Micros> ProgressiveEngine::Prepare(
     std::shared_ptr<const storage::Catalog> catalog) {
   IDB_RETURN_NOT_OK(Attach(std::move(catalog)));
-  if (config_.reuse_cache) EnableReuseCache();
+  if (config_.reuse_cache) {
+    EnableReuseCacheForSessions(config_.expected_sessions);
+  }
   first_query_after_prepare_ = true;
   // IDEA "expects data in a single CSV file and does not need any
   // pre-processing"; start-up loads a fixed amount into memory (§5.2).

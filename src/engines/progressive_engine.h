@@ -58,6 +58,9 @@ struct ProgressiveEngineConfig {
   /// design; this cache displaces physical recomputation only and never
   /// changes an answer.
   bool reuse_cache = false;
+  /// Concurrent exploration sessions this engine is expected to serve
+  /// (session/session.h); sizes the reuse cache's entry cap.
+  int expected_sessions = 1;
 };
 
 /// Progressive AQP engine with reuse and optional speculation.

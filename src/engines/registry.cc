@@ -16,15 +16,19 @@ const std::vector<std::string>& BuiltinEngineNames() {
 
 Result<std::unique_ptr<Engine>> CreateEngine(const std::string& name,
                                              uint64_t seed, int threads,
-                                             bool reuse_cache) {
+                                             bool reuse_cache, int sessions) {
   if (threads < 0) {
     return Status::Invalid("threads must be >= 0 (0 = hardware concurrency)");
+  }
+  if (sessions < 1) {
+    return Status::Invalid("sessions must be >= 1");
   }
   if (name == "blocking") {
     BlockingEngineConfig config;
     config.seed += seed;
     config.execution_threads = threads;
     config.reuse_cache = reuse_cache;
+    config.expected_sessions = sessions;
     return std::unique_ptr<Engine>(new BlockingEngine(config));
   }
   if (name == "online") {
@@ -32,6 +36,7 @@ Result<std::unique_ptr<Engine>> CreateEngine(const std::string& name,
     config.seed += seed;
     config.execution_threads = threads;
     config.reuse_cache = reuse_cache;
+    config.expected_sessions = sessions;
     return std::unique_ptr<Engine>(new OnlineEngine(config));
   }
   if (name == "progressive") {
@@ -39,6 +44,7 @@ Result<std::unique_ptr<Engine>> CreateEngine(const std::string& name,
     config.seed += seed;
     config.execution_threads = threads;
     config.reuse_cache = reuse_cache;
+    config.expected_sessions = sessions;
     return std::unique_ptr<Engine>(new ProgressiveEngine(config));
   }
   if (name == "stratified") {
@@ -46,6 +52,7 @@ Result<std::unique_ptr<Engine>> CreateEngine(const std::string& name,
     config.seed += seed;
     config.execution_threads = threads;
     config.reuse_cache = reuse_cache;
+    config.expected_sessions = sessions;
     return std::unique_ptr<Engine>(new StratifiedEngine(config));
   }
   if (name == "frontend") {
@@ -53,6 +60,7 @@ Result<std::unique_ptr<Engine>> CreateEngine(const std::string& name,
     backend_config.seed += seed;
     backend_config.execution_threads = threads;
     backend_config.reuse_cache = reuse_cache;
+    backend_config.expected_sessions = sessions;
     FrontendEngineConfig config;
     config.seed += seed;
     return std::unique_ptr<Engine>(new FrontendEngine(

@@ -24,11 +24,15 @@ const std::vector<std::string>& BuiltinEngineNames();
 /// engine's physical execution parallelism (Settings::threads semantics:
 /// 1 = single-threaded path, 0 = hardware concurrency).  `reuse_cache`
 /// enables the cross-interaction result-reuse cache (Settings::reuse_cache
-/// semantics: physical work only, results unchanged).
+/// semantics: physical work only, results unchanged).  `sessions` is the
+/// number of concurrent exploration sessions the engine is expected to
+/// serve (Settings::sessions semantics; sizes per-engine caches, never
+/// changes results).
 Result<std::unique_ptr<Engine>> CreateEngine(const std::string& name,
                                              uint64_t seed = 0,
                                              int threads = 1,
-                                             bool reuse_cache = false);
+                                             bool reuse_cache = false,
+                                             int sessions = 1);
 
 }  // namespace idebench::engines
 

@@ -13,11 +13,15 @@ StratifiedEngine::StratifiedEngine(StratifiedEngineConfig config)
 
 Result<Micros> StratifiedEngine::Prepare(
     std::shared_ptr<const storage::Catalog> catalog) {
-  IDB_RETURN_NOT_OK(Attach(std::move(catalog)));
-  if (this->catalog().is_normalized()) {
+  // Reject unsupported layouts *before* attaching: a failed Prepare must
+  // leave the engine unprepared (Submit keeps failing cleanly) instead of
+  // half-attached with an empty sample.
+  if (catalog != nullptr && catalog->fact_table() != nullptr &&
+      catalog->is_normalized()) {
     return Status::NotImplemented(
         "the stratified engine only supports de-normalized data");
   }
+  IDB_RETURN_NOT_OK(Attach(std::move(catalog)));
   const storage::Table& fact = *this->catalog().fact_table();
   const std::string strat_column =
       fact.ColumnByName(config_.stratify_by) != nullptr ? config_.stratify_by
@@ -26,7 +30,9 @@ Result<Micros> StratifiedEngine::Prepare(
       sample_, aqp::BuildStratifiedSample(fact, strat_column,
                                           config_.sampling_rate,
                                           config_.min_rows_per_stratum, rng()));
-  if (config_.reuse_cache) EnableReuseCache();
+  if (config_.reuse_cache) {
+    EnableReuseCacheForSessions(config_.expected_sessions);
+  }
   // Preparation = CSV ingest + offline sample construction + warm-up
   // query over the sample (paper §5.2: 27 min at 500 M).
   const double nominal = static_cast<double>(nominal_rows());

@@ -49,6 +49,9 @@ struct StratifiedEngineConfig {
   /// Cross-interaction reuse cache (exec/reuse_cache.h); positions are
   /// sample indices, replayed with their recorded stratum weights.
   bool reuse_cache = false;
+  /// Concurrent exploration sessions this engine is expected to serve
+  /// (session/session.h); sizes the reuse cache's entry cap.
+  int expected_sessions = 1;
 };
 
 /// Offline stratified-sampling AQP engine.

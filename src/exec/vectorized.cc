@@ -104,6 +104,80 @@ int64_t RangeFilterDense(const FilterKernel& k, const int64_t* rows,
   return out;
 }
 
+/// SIMD-friendly two-phase *fact-column* equality filter, mirroring
+/// `RangeFilterDense`: gather into contiguous scratch, then a pure
+/// vertical compare + branchless compaction loop the compiler can turn
+/// into SIMD compares.  Semantics are identical to FilterImpl<kEq, L>:
+/// NaN never matches ((NaN == v) is false), so the explicit NaN guard of
+/// the generic kernel is redundant here.
+template <Ld L>
+int64_t EqFilterDense(const FilterKernel& k, const int64_t* rows,
+                      int32_t* sel, int64_t n_sel) {
+  static_assert(L == Ld::kI64 || L == Ld::kF64,
+                "join loads keep the generic kernel");
+  const double value = k.value;
+  alignas(64) double vals[kVectorBatchSize];
+  if constexpr (L == Ld::kI64) {
+    const int64_t* data = k.col.i64;
+    for (int64_t i = 0; i < n_sel; ++i) {
+      vals[i] = static_cast<double>(data[rows[sel[i]]]);
+    }
+  } else {
+    const double* data = k.col.f64;
+    for (int64_t i = 0; i < n_sel; ++i) {
+      vals[i] = data[rows[sel[i]]];
+    }
+  }
+  int64_t out = 0;
+  for (int64_t i = 0; i < n_sel; ++i) {
+    const int32_t s = sel[i];
+    sel[out] = s;
+    out += vals[i] == value;
+  }
+  return out;
+}
+
+/// SIMD-friendly two-phase *fact-column* IN-set filter: gather into
+/// contiguous scratch, then one vertical equality sweep per set element
+/// OR-ing into a pass mask, then branchless compaction.  Turning the
+/// per-row set loop of the generic kernel inside-out makes every inner
+/// loop a vertical operation over contiguous arrays.  Semantics are
+/// identical to FilterImpl<kIn, L>: NaN matches nothing, an empty set
+/// selects nothing, duplicates in the set are harmless.
+template <Ld L>
+int64_t InFilterDense(const FilterKernel& k, const int64_t* rows,
+                      int32_t* sel, int64_t n_sel) {
+  static_assert(L == Ld::kI64 || L == Ld::kF64,
+                "join loads keep the generic kernel");
+  alignas(64) double vals[kVectorBatchSize];
+  alignas(64) uint8_t pass[kVectorBatchSize];
+  if constexpr (L == Ld::kI64) {
+    const int64_t* data = k.col.i64;
+    for (int64_t i = 0; i < n_sel; ++i) {
+      vals[i] = static_cast<double>(data[rows[sel[i]]]);
+    }
+  } else {
+    const double* data = k.col.f64;
+    for (int64_t i = 0; i < n_sel; ++i) {
+      vals[i] = data[rows[sel[i]]];
+    }
+  }
+  for (int64_t i = 0; i < n_sel; ++i) pass[i] = 0;
+  for (const double* s = k.set_begin; s != k.set_end; ++s) {
+    const double v = *s;
+    for (int64_t i = 0; i < n_sel; ++i) {
+      pass[i] |= static_cast<uint8_t>(vals[i] == v);
+    }
+  }
+  int64_t out = 0;
+  for (int64_t i = 0; i < n_sel; ++i) {
+    const int32_t s = sel[i];
+    sel[out] = s;
+    out += pass[i];
+  }
+  return out;
+}
+
 template <CompareOp Op>
 FilterKernel::Fn PickFilterForOp(Ld load) {
   switch (load) {
@@ -122,6 +196,9 @@ FilterKernel::Fn PickFilterForOp(Ld load) {
 FilterKernel::Fn PickFilter(CompareOp op, Ld load) {
   switch (op) {
     case CompareOp::kEq:
+      // Fact-column equality takes the SIMD-friendly two-phase kernel.
+      if (load == Ld::kI64) return &EqFilterDense<Ld::kI64>;
+      if (load == Ld::kF64) return &EqFilterDense<Ld::kF64>;
       return PickFilterForOp<CompareOp::kEq>(load);
     case CompareOp::kNeq:
       return PickFilterForOp<CompareOp::kNeq>(load);
@@ -139,6 +216,9 @@ FilterKernel::Fn PickFilter(CompareOp op, Ld load) {
       if (load == Ld::kF64) return &RangeFilterDense<Ld::kF64>;
       return PickFilterForOp<CompareOp::kRange>(load);
     case CompareOp::kIn:
+      // Fact-column IN-sets take the SIMD-friendly two-phase kernel.
+      if (load == Ld::kI64) return &InFilterDense<Ld::kI64>;
+      if (load == Ld::kF64) return &InFilterDense<Ld::kF64>;
       return PickFilterForOp<CompareOp::kIn>(load);
   }
   return nullptr;

@@ -11,16 +11,16 @@ namespace idebench::report {
 std::string DetailedReportHeader() {
   return "id,interaction,viz_name,driver,data_size,think_time,time_req,"
          "workflow,workflow_type,start_time,end_time,tr_violated,bin_dims,"
-         "binning_type,agg_type,num_concurrent,bins_delivered,bins_in_gt,"
-         "bins_ofm,rel_error_avg,rel_error_stdev,smape,missing_bins,"
-         "cosine_distance,margin_avg,margin_stdev,bias,progress";
+         "binning_type,agg_type,num_concurrent,session,bins_delivered,"
+         "bins_in_gt,bins_ofm,rel_error_avg,rel_error_stdev,smape,"
+         "missing_bins,cosine_distance,margin_avg,margin_stdev,bias,progress";
 }
 
 std::string DetailedReportRow(const driver::QueryRecord& r) {
   const metrics::QueryMetrics& m = r.metrics;
   return StringPrintf(
-      "%lld,%lld,%s,%s,%s,%lld,%lld,%s,%s,%lld,%lld,%s,%d,%s,%s,%d,%lld,%lld,"
-      "%lld,%.4f,%.4f,%.4f,%.4f,%.4f,%.4f,%.4f,%.4f,%.4f",
+      "%lld,%lld,%s,%s,%s,%lld,%lld,%s,%s,%lld,%lld,%s,%d,%s,%s,%d,%d,%lld,"
+      "%lld,%lld,%.4f,%.4f,%.4f,%.4f,%.4f,%.4f,%.4f,%.4f,%.4f",
       static_cast<long long>(r.id), static_cast<long long>(r.interaction_id),
       r.viz_name.c_str(), r.driver_name.c_str(), r.data_size.c_str(),
       static_cast<long long>(r.think_time / 1000),
@@ -28,7 +28,7 @@ std::string DetailedReportRow(const driver::QueryRecord& r) {
       r.workflow_type.c_str(), static_cast<long long>(r.start_time / 1000),
       static_cast<long long>(r.end_time / 1000),
       m.tr_violated ? "TRUE" : "FALSE", r.bin_dims, r.binning_type.c_str(),
-      r.agg_type.c_str(), r.num_concurrent,
+      r.agg_type.c_str(), r.num_concurrent, r.session,
       static_cast<long long>(m.bins_delivered),
       static_cast<long long>(m.bins_in_gt),
       static_cast<long long>(m.bins_out_of_margin), m.mean_rel_error,
@@ -163,6 +163,24 @@ std::string RenderSummaryTable(const std::vector<SummaryRow>& rows) {
         r.mean_cosine_distance, FormatPercent(r.out_of_margin_rate).c_str());
   }
   return out;
+}
+
+std::string RenderSessionStats(const session::SchedulerStats& stats) {
+  return StringPrintf(
+      "scheduler: %lld sessions, %lld queries (%lld completed, %lld "
+      "cancelled at TR, %lld client-cancelled, %lld unsupported), %lld "
+      "updates (%lld partial), max deadline overshoot %lld us, virtual "
+      "time %.1f s",
+      static_cast<long long>(stats.sessions_opened),
+      static_cast<long long>(stats.queries_submitted),
+      static_cast<long long>(stats.completed),
+      static_cast<long long>(stats.deadline_cancelled),
+      static_cast<long long>(stats.client_cancelled),
+      static_cast<long long>(stats.unsupported),
+      static_cast<long long>(stats.updates_pushed),
+      static_cast<long long>(stats.partial_updates),
+      static_cast<long long>(stats.max_deadline_overshoot),
+      MicrosToSeconds(stats.virtual_now));
 }
 
 std::string RenderReuseStats(const metrics::ReuseCacheStats& stats) {

@@ -11,6 +11,7 @@
 
 #include "common/result.h"
 #include "driver/benchmark_driver.h"
+#include "session/session.h"
 
 namespace idebench::report {
 
@@ -85,6 +86,12 @@ std::string RenderSummaryTable(const std::vector<SummaryRow>& rows);
 /// "reuse cache: 12 equal + 7 refinement hits, 31 misses, 19 stores,
 /// 2 evictions, 48123 rows served, 11 entries".
 std::string RenderReuseStats(const metrics::ReuseCacheStats& stats);
+
+/// Renders multi-session scheduler telemetry (session/session.h) as one
+/// compact line, e.g. "scheduler: 16 sessions, 640 queries (598 completed,
+/// 40 cancelled at TR, 0 client-cancelled, 2 unsupported), 640 updates,
+/// max deadline overshoot 0 us, virtual time 312.4 s".
+std::string RenderSessionStats(const session::SchedulerStats& stats);
 
 /// Empirical CDF of the (non-violating) queries' MREs evaluated at
 /// `points` equally spaced thresholds in [0, 1].

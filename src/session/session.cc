@@ -1,0 +1,410 @@
+#include "session/session.h"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+#include "workflow/resolve.h"
+
+namespace idebench::session {
+
+using workflow::Interaction;
+using workflow::InteractionType;
+
+// --- ExplorationSession ----------------------------------------------------
+
+Result<std::vector<SubmittedQuery>> ExplorationSession::SubmitInteraction(
+    const Interaction& interaction) {
+  if (closed_) return Status::Invalid("session is closed");
+  // Forward dashboard hints before any submission (seed driver order).
+  if (interaction.type == InteractionType::kLink) {
+    manager_->engine()->LinkVizs(interaction.link_from, interaction.link_to);
+  } else if (interaction.type == InteractionType::kDiscard) {
+    manager_->engine()->DiscardViz(interaction.viz_name);
+  }
+  std::vector<query::QuerySpec> specs;
+  IDB_RETURN_NOT_OK(workflow::ApplyInteraction(manager_->catalog(),
+                                               interaction, &graph_, &specs));
+  return manager_->SubmitBatch(this, next_interaction_id_++,
+                               std::move(specs));
+}
+
+Status ExplorationSession::Cancel(int64_t query_id) {
+  auto it = manager_->queries_.find(query_id);
+  // Idempotent: unknown ids and queries that already finished (or belong
+  // to another session) are simply not ours to cancel anymore.
+  if (it == manager_->queries_.end() || it->second.session != this) {
+    return Status::OK();
+  }
+  return manager_->Finalize(&it->second,
+                            SessionManager::FinalizeReason::kClientCancel);
+}
+
+Result<std::vector<SubmittedQuery>> ExplorationSession::LinkVizs(
+    const std::string& from, const std::string& to) {
+  return SubmitInteraction(Interaction::Link(from, to));
+}
+
+Result<std::vector<SubmittedQuery>> ExplorationSession::DiscardViz(
+    const std::string& viz) {
+  return SubmitInteraction(Interaction::Discard(viz));
+}
+
+void ExplorationSession::Think(Micros duration) {
+  manager_->engine()->OnThink(duration);
+}
+
+void ExplorationSession::ResetDashboard() { graph_.Clear(); }
+
+// --- SessionManager --------------------------------------------------------
+
+SessionManager::SessionManager(SessionManagerOptions options,
+                               engines::Engine* engine,
+                               std::shared_ptr<const storage::Catalog> catalog)
+    : options_(options), engine_(engine), catalog_(std::move(catalog)) {}
+
+SessionManager::~SessionManager() {
+  in_destructor_ = true;
+  // Detach every sink first: on an error-path unwind the client's sinks
+  // may be destroyed before the manager, so the implicit close must not
+  // push updates into them.
+  for (auto& [id, q] : queries_) q.sink = nullptr;
+  for (const auto& s : sessions_) s->sink_ = nullptr;
+  std::vector<ExplorationSession*> open;
+  open.reserve(sessions_.size());
+  for (const auto& s : sessions_) open.push_back(s.get());
+  for (ExplorationSession* s : open) {
+    const Status st = CloseSession(s);
+    (void)st;
+  }
+}
+
+Result<ExplorationSession*> SessionManager::CreateSession(ResultSink* sink) {
+  auto session = std::unique_ptr<ExplorationSession>(
+      new ExplorationSession(this, next_session_id_++, sink));
+  ExplorationSession* handle = session.get();
+  const bool first_session = sessions_.empty();
+  sessions_.push_back(std::move(session));
+  ++stats_.sessions_opened;
+  // Notify the engine only when serving starts (no session was open):
+  // WorkflowStart resets engine-wide state (reuse snapshots, link hints),
+  // which must not be wiped from under other live sessions just because a
+  // new user arrived.  With sequential single-session clients (the
+  // benchmark driver) this fires for every session — seed behavior.
+  if (first_session) engine_->WorkflowStart();
+  return handle;
+}
+
+Status SessionManager::CloseSession(ExplorationSession* session) {
+  auto it = std::find_if(
+      sessions_.begin(), sessions_.end(),
+      [session](const auto& owned) { return owned.get() == session; });
+  if (it == sessions_.end()) {
+    return Status::Invalid("unknown or already-closed session");
+  }
+  // Cancel whatever the session still has in flight.  During manager
+  // destruction poll faults are moot — everything is being torn down.
+  const std::vector<int64_t> order = run_queue_;
+  for (int64_t id : order) {
+    auto qit = queries_.find(id);
+    if (qit == queries_.end() || qit->second.session != session) continue;
+    IDB_RETURN_NOT_OK(Finalize(&qit->second, FinalizeReason::kClientCancel,
+                               /*swallow_poll_error=*/in_destructor_));
+  }
+  session->closed_ = true;
+  sessions_.erase(it);
+  // Mirror of CreateSession: the engine learns serving ended only when
+  // the last session closes.
+  if (sessions_.empty()) engine_->WorkflowEnd();
+  return Status::OK();
+}
+
+Result<std::vector<SubmittedQuery>> SessionManager::SubmitBatch(
+    ExplorationSession* session, int64_t interaction_id,
+    std::vector<query::QuerySpec> specs) {
+  // Contention factor at admission: the batch runs alongside everything
+  // already live.  With a single session this degenerates to the seed
+  // driver's per-interaction concurrency (nothing else is live when an
+  // interaction is submitted), including unsupported queries in the count.
+  const int n = static_cast<int>(run_queue_.size() + specs.size());
+  Micros budget = options_.time_requirement;
+  if (n > 1 && options_.contention_penalty > 0.0) {
+    budget = static_cast<Micros>(
+        static_cast<double>(budget) /
+        (1.0 + options_.contention_penalty * static_cast<double>(n - 1)));
+  }
+
+  std::vector<SubmittedQuery> out;
+  out.reserve(specs.size());
+  for (query::QuerySpec& spec : specs) {
+    SubmittedQuery sq;
+    sq.query_id = next_query_id_++;
+    sq.spec = std::move(spec);
+    ++stats_.queries_submitted;
+    auto submit = engine_->Submit(sq.spec);
+    if (!submit.ok()) {
+      if (submit.status().code() != StatusCode::kNotImplemented) {
+        return submit.status();
+      }
+      // The engine cannot run this query at all: report it as a final
+      // unsupported update with nothing delivered.
+      sq.unsupported = true;
+      ++stats_.unsupported;
+      if (session->sink_ != nullptr) {
+        ProgressiveUpdate u;
+        u.session_id = session->id_;
+        u.query_id = sq.query_id;
+        u.interaction_id = interaction_id;
+        u.viz_name = sq.spec.viz_name;
+        u.confidence = options_.confidence_level;
+        u.virtual_time = virtual_now_;
+        u.budget = budget;
+        u.final_update = true;
+        u.unsupported = true;
+        session->sink_->OnUpdate(u);
+        ++stats_.updates_pushed;
+      }
+      out.push_back(std::move(sq));
+      continue;
+    }
+
+    LiveQuery q;
+    q.query_id = sq.query_id;
+    q.session_id = session->id_;
+    q.interaction_id = interaction_id;
+    q.viz_name = sq.spec.viz_name;
+    q.handle = *submit;
+    q.sink = session->sink_;
+    q.session = session;
+    q.submit_time = virtual_now_;
+    q.deadline = virtual_now_ + options_.time_requirement;
+    q.budget = budget;
+    queries_.emplace(q.query_id, q);
+    run_queue_.push_back(q.query_id);
+    ++session->live_;
+    out.push_back(std::move(sq));
+  }
+  return out;
+}
+
+Micros SessionManager::EntitledAt(const LiveQuery& q, Micros t) const {
+  const Micros t_eff = std::min(t, q.deadline);
+  const Micros elapsed = t_eff - q.submit_time;
+  if (elapsed <= 0) return 0;
+  const Micros tr = options_.time_requirement;
+  if (elapsed >= tr) return q.budget;
+  return static_cast<Micros>(static_cast<__int128>(elapsed) * q.budget / tr);
+}
+
+Micros SessionManager::MinDeadline() const {
+  Micros min_deadline = std::numeric_limits<Micros>::max();
+  for (const auto& [id, q] : queries_) {
+    min_deadline = std::min(min_deadline, q.deadline);
+  }
+  return min_deadline;
+}
+
+ProgressiveUpdate SessionManager::MakeUpdate(const LiveQuery& q) const {
+  ProgressiveUpdate u;
+  u.session_id = q.session_id;
+  u.query_id = q.query_id;
+  u.interaction_id = q.interaction_id;
+  u.viz_name = q.viz_name;
+  u.confidence = options_.confidence_level;
+  u.virtual_time = virtual_now_;
+  u.consumed = q.consumed;
+  u.budget = q.budget;
+  return u;
+}
+
+void SessionManager::PushPartial(LiveQuery* q) {
+  auto result = engine_->PollResult(q->handle);
+  if (!result.ok() || !result->available) return;
+  // Stream only when new bins materialized since the last push.
+  if (result->rows_processed == q->last_pushed_rows) return;
+  q->last_pushed_rows = result->rows_processed;
+  ProgressiveUpdate u = MakeUpdate(*q);
+  u.result = std::move(result).MoveValueUnsafe();
+  u.progress = u.result.progress;
+  q->sink->OnUpdate(u);
+  ++stats_.updates_pushed;
+  ++stats_.partial_updates;
+}
+
+Status SessionManager::Finalize(LiveQuery* q, FinalizeReason reason,
+                                bool swallow_poll_error) {
+  ProgressiveUpdate u = MakeUpdate(*q);
+  u.final_update = true;
+  u.completed =
+      reason == FinalizeReason::kCompleted && engine_->IsDone(q->handle);
+  u.cancelled = reason != FinalizeReason::kCompleted;
+  auto result = engine_->PollResult(q->handle);
+  const bool poll_failed = !result.ok();
+  const Status poll_status = poll_failed ? result.status() : Status::OK();
+  if (result.ok()) u.result = std::move(result).MoveValueUnsafe();
+  u.progress = u.result.progress;
+  engine_->Cancel(q->handle);
+
+  switch (reason) {
+    case FinalizeReason::kCompleted:
+      ++stats_.completed;
+      break;
+    case FinalizeReason::kDeadline:
+      ++stats_.deadline_cancelled;
+      stats_.max_deadline_overshoot = std::max(stats_.max_deadline_overshoot,
+                                               virtual_now_ - q->deadline);
+      break;
+    case FinalizeReason::kClientCancel:
+      ++stats_.client_cancelled;
+      break;
+  }
+
+  ResultSink* sink = q->sink;
+  ExplorationSession* session = q->session;
+  const int64_t id = q->query_id;
+  --session->live_;
+  run_queue_.erase(std::remove(run_queue_.begin(), run_queue_.end(), id),
+                   run_queue_.end());
+  queries_.erase(id);  // `q` is dangling from here on
+  ++finalized_events_;
+  if (poll_failed && !swallow_poll_error) {
+    // A poll *error* is an engine fault, not an unavailable answer; the
+    // query is retired, but the run aborts the way the seed driver's
+    // pull loop did (no update is pushed for a faulted query).
+    return poll_status;
+  }
+  if (sink != nullptr) {
+    sink->OnUpdate(u);
+    ++stats_.updates_pushed;
+  }
+  return Status::OK();
+}
+
+Status SessionManager::RunSliceTo(Micros slice_end) {
+  // One round-robin pass in admission order; every live query receives
+  // the compute entitlement it accrued up to `slice_end`.  The RunFor
+  // loop of each turn replicates the seed driver's; completed queries
+  // finalize at the end of their own turn (see the seed-parity note in
+  // session.h).
+  const std::vector<int64_t> order = run_queue_;
+  for (int64_t id : order) {
+    auto it = queries_.find(id);
+    if (it == queries_.end()) continue;  // finalized earlier in this pass
+    LiveQuery& q = it->second;
+    const Micros entitled = EntitledAt(q, slice_end);
+    Micros remaining = entitled - q.offered;
+    q.offered = entitled;
+    while (remaining > 0 && !engine_->IsDone(q.handle)) {
+      const Micros step = engine_->RunFor(q.handle, remaining);
+      if (step <= 0) break;
+      q.consumed += step;
+      remaining -= step;
+    }
+    if (engine_->IsDone(q.handle)) {
+      IDB_RETURN_NOT_OK(Finalize(&q, FinalizeReason::kCompleted));
+    } else if (options_.push_partials && q.sink != nullptr) {
+      PushPartial(&q);
+    }
+  }
+  return Status::OK();
+}
+
+Status SessionManager::FinalizeOverdue() {
+  const std::vector<int64_t> order = run_queue_;
+  for (int64_t id : order) {
+    auto it = queries_.find(id);
+    if (it == queries_.end()) continue;
+    if (it->second.deadline <= virtual_now_) {
+      IDB_RETURN_NOT_OK(Finalize(&it->second, FinalizeReason::kDeadline));
+    }
+  }
+  return Status::OK();
+}
+
+Status SessionManager::AdvanceTo(Micros t) {
+  while (true) {
+    IDB_RETURN_NOT_OK(FinalizeOverdue());
+    if (virtual_now_ >= t) return Status::OK();
+    if (run_queue_.empty()) {
+      virtual_now_ = t;  // idle gap: virtual time is free
+      return Status::OK();
+    }
+    const Micros horizon = std::min(t, MinDeadline());
+    Micros slice_end = horizon;
+    if (options_.quantum > 0) {
+      slice_end = std::min(horizon, virtual_now_ + options_.quantum);
+    }
+    virtual_now_ = slice_end;
+    IDB_RETURN_NOT_OK(RunSliceTo(slice_end));
+  }
+}
+
+Result<int> SessionManager::StepUntilEvent(Micros cap) {
+  const int64_t before = finalized_events_;
+  while (true) {
+    IDB_RETURN_NOT_OK(FinalizeOverdue());
+    if (finalized_events_ > before) {
+      return static_cast<int>(finalized_events_ - before);
+    }
+    if (virtual_now_ >= cap) return 0;
+    if (run_queue_.empty()) {
+      virtual_now_ = cap;
+      return 0;
+    }
+    const Micros horizon = std::min(cap, MinDeadline());
+    Micros slice_end = horizon;
+    if (options_.quantum > 0) {
+      slice_end = std::min(horizon, virtual_now_ + options_.quantum);
+    }
+    virtual_now_ = slice_end;
+    IDB_RETURN_NOT_OK(RunSliceTo(slice_end));
+  }
+}
+
+Status SessionManager::RunUntilIdle() {
+  while (HasLive()) {
+    IDB_ASSIGN_OR_RETURN(int finalized, StepUntilEvent(MinDeadline()));
+    (void)finalized;
+  }
+  return Status::OK();
+}
+
+SchedulerStats SessionManager::stats() const {
+  SchedulerStats s = stats_;
+  s.virtual_now = virtual_now_;
+  return s;
+}
+
+Status ReplaySessionsToCompletion(SessionManager* manager,
+                                  const std::vector<SessionReplay>& runs,
+                                  Micros think_time, Micros step_cap) {
+  std::vector<size_t> next(runs.size(), 0);
+  while (true) {
+    bool pending = false;
+    for (size_t i = 0; i < runs.size(); ++i) {
+      const workflow::Workflow& wf = *runs[i].workflow;
+      if (next[i] < wf.interactions.size()) pending = true;
+      // A session submits its next interaction once its previous batch
+      // fully finalized (every update pushed).
+      if (runs[i].session->live_queries() > 0 ||
+          next[i] >= wf.interactions.size()) {
+        continue;
+      }
+      runs[i].session->Think(think_time);
+      IDB_ASSIGN_OR_RETURN(std::vector<SubmittedQuery> submitted,
+                           runs[i].session->SubmitInteraction(
+                               wf.interactions[next[i]]));
+      (void)submitted;
+      ++next[i];
+    }
+    if (!pending && !manager->HasLive()) return Status::OK();
+    if (manager->HasLive()) {
+      IDB_ASSIGN_OR_RETURN(
+          int finalized,
+          manager->StepUntilEvent(manager->VirtualNow() + step_cap));
+      (void)finalized;
+    }
+  }
+}
+
+}  // namespace idebench::session

@@ -1,0 +1,74 @@
+#include "workflow/resolve.h"
+
+#include <string>
+#include <utility>
+
+#include "expr/predicate.h"
+#include "storage/table.h"
+
+namespace idebench::workflow {
+
+Status ResolveQueryAgainst(const storage::Catalog& catalog,
+                           query::QuerySpec* spec) {
+  IDB_RETURN_NOT_OK(spec->ResolveBins(catalog));
+  // Rewrite label-based nominal predicates to the owning column's
+  // dictionary codes (workflow files are portable across catalog layouts;
+  // codes are not).
+  std::vector<expr::Predicate> rewritten;
+  for (expr::Predicate p : spec->filter.predicates()) {
+    if (!p.string_values.empty()) {
+      IDB_ASSIGN_OR_RETURN(const storage::Table* owner,
+                           catalog.TableForColumn(p.column));
+      const storage::Column* col = owner->ColumnByName(p.column);
+      if (col != nullptr && col->type() == storage::DataType::kString) {
+        if (p.op == expr::CompareOp::kIn) {
+          p.set_values.clear();
+          for (const std::string& label : p.string_values) {
+            const int64_t code = col->dictionary().Lookup(label);
+            // Labels unknown in this catalog select nothing; encode as an
+            // impossible code rather than dropping the predicate.
+            p.set_values.push_back(code >= 0 ? static_cast<double>(code)
+                                             : -1.0);
+          }
+        } else {
+          const int64_t code = col->dictionary().Lookup(p.string_values[0]);
+          p.value = code >= 0 ? static_cast<double>(code) : -1.0;
+        }
+      }
+    }
+    rewritten.push_back(std::move(p));
+  }
+  spec->filter = expr::FilterExpr(std::move(rewritten));
+  return Status::OK();
+}
+
+Status ApplyInteraction(const storage::Catalog& catalog,
+                        const Interaction& interaction, VizGraph* graph,
+                        std::vector<query::QuerySpec>* specs) {
+  std::vector<std::string> affected;
+  IDB_RETURN_NOT_OK(graph->Apply(interaction, &affected));
+  specs->reserve(specs->size() + affected.size());
+  for (const std::string& viz_name : affected) {
+    IDB_ASSIGN_OR_RETURN(query::QuerySpec spec, graph->BuildQuery(viz_name));
+    IDB_RETURN_NOT_OK(ResolveQueryAgainst(catalog, &spec));
+    specs->push_back(std::move(spec));
+  }
+  return Status::OK();
+}
+
+Status ForEachInteraction(
+    const storage::Catalog& catalog, const Workflow& wf,
+    const std::function<Status(const Interaction& interaction,
+                               int64_t interaction_id,
+                               std::vector<query::QuerySpec>& specs)>& fn) {
+  VizGraph graph;
+  for (size_t i = 0; i < wf.interactions.size(); ++i) {
+    const Interaction& interaction = wf.interactions[i];
+    std::vector<query::QuerySpec> specs;
+    IDB_RETURN_NOT_OK(ApplyInteraction(catalog, interaction, &graph, &specs));
+    IDB_RETURN_NOT_OK(fn(interaction, static_cast<int64_t>(i), specs));
+  }
+  return Status::OK();
+}
+
+}  // namespace idebench::workflow

@@ -305,6 +305,45 @@ TEST_F(DriverTest, RunWorkflowsAccumulatesRecords) {
   EXPECT_EQ((*records)[7].id, 7);
 }
 
+/// Multi-session serving mode: more workflows than sessions, so every
+/// session replays several workflows back-to-back (the dashboard must
+/// reset between them), concurrently with the others on one shared
+/// engine, under the fair deadline scheduler.
+TEST_F(DriverTest, MultiSessionRunDistributesWorkflowsFairly) {
+  BlockingEngineConfig config;
+  config.scan_ns_per_row = 10.0;
+  config.query_overhead_us = 0;
+  BlockingEngine engine(config);
+  Settings settings = FastSettings();
+  settings.sessions = 2;
+  BenchmarkDriver driver(settings, &engine, catalog_);
+  ASSERT_TRUE(driver.PrepareEngine().ok());
+
+  // 2 sessions x 2 workflows each: workflow boundaries inside a session.
+  const std::vector<workflow::Workflow> workflows = {
+      TwoVizWorkflow(), TwoVizWorkflow(), TwoVizWorkflow(), TwoVizWorkflow()};
+  auto records = driver.RunWorkflows(workflows);
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 16u);  // 4 queries per workflow
+
+  // Both sessions produced half the records; everything completed.
+  int per_session[2] = {0, 0};
+  for (const QueryRecord& r : *records) {
+    ASSERT_GE(r.session, 0);
+    ASSERT_LT(r.session, 2);
+    ++per_session[r.session];
+    EXPECT_FALSE(r.metrics.tr_violated);
+  }
+  EXPECT_EQ(per_session[0], 8);
+  EXPECT_EQ(per_session[1], 8);
+
+  const session::SchedulerStats& stats = driver.scheduler_stats();
+  EXPECT_EQ(stats.sessions_opened, 2);
+  EXPECT_EQ(stats.queries_submitted, 16);
+  EXPECT_EQ(stats.completed, 16);
+  EXPECT_EQ(stats.max_deadline_overshoot, 0);
+}
+
 TEST_F(DriverTest, UnsupportedQueriesReportedAsViolations) {
   // The stratified engine rejects nothing on denormalized data, so use a
   // progressive engine with a doctored spec?  Simpler: the online engine

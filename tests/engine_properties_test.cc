@@ -5,7 +5,9 @@
 
 #include <gtest/gtest.h>
 
+#include "core/dataset.h"
 #include "engines/registry.h"
+#include "engines/stratified_engine.h"
 #include "tests/test_util.h"
 
 namespace idebench::engines {
@@ -80,6 +82,92 @@ TEST_P(EngineTrSweep, UnknownHandleIsHarmless) {
   (*engine)->Cancel(12345);  // no crash
 }
 
+/// Handle-safety contract surfaced by session multiplexing: Cancel is
+/// idempotent in every lifecycle phase, and a cancelled handle keeps
+/// answering with clean errors, never UB.
+TEST_P(EngineTrSweep, CancelIsIdempotentInEveryPhase) {
+  const auto& [name, tr] = GetParam();
+  auto engine = CreateEngine(name);
+  ASSERT_TRUE(engine.ok());
+  auto catalog = PropCatalog(1'000'000);
+  ASSERT_TRUE((*engine)->Prepare(catalog).ok());
+  QuerySpec spec = testutil::MakeCountByGroupSpec(*catalog);
+
+  // Cancel before any RunFor.
+  auto fresh = (*engine)->Submit(spec);
+  ASSERT_TRUE(fresh.ok());
+  (*engine)->Cancel(*fresh);
+  (*engine)->Cancel(*fresh);  // double cancel: no-op
+  EXPECT_EQ((*engine)->RunFor(*fresh, tr), 0);
+  EXPECT_FALSE((*engine)->PollResult(*fresh).ok());
+
+  // Cancel mid-flight, twice.
+  auto running = (*engine)->Submit(spec);
+  ASSERT_TRUE(running.ok());
+  (*engine)->RunFor(*running, tr / 2);
+  (*engine)->Cancel(*running);
+  (*engine)->Cancel(*running);
+  EXPECT_FALSE((*engine)->IsDone(*running));
+  EXPECT_FALSE((*engine)->PollResult(*running).ok());
+
+  // Cancel after completion, twice; the engine must stay usable.
+  auto done = (*engine)->Submit(spec);
+  ASSERT_TRUE(done.ok());
+  for (int i = 0; i < 64 && !(*engine)->IsDone(*done); ++i) {
+    (*engine)->RunFor(*done, 10'000'000'000LL);
+  }
+  (*engine)->Cancel(*done);
+  (*engine)->Cancel(*done);
+  EXPECT_EQ((*engine)->RunFor(*done, tr), 0);
+  auto next = (*engine)->Submit(spec);
+  EXPECT_TRUE(next.ok());  // fresh submissions unaffected
+}
+
+/// Multiplexing safety: cancelling one live handle must not disturb
+/// another in flight on the same engine.
+TEST_P(EngineTrSweep, CancelOneOfTwoLeavesOtherUsable) {
+  const auto& [name, tr] = GetParam();
+  auto engine = CreateEngine(name);
+  ASSERT_TRUE(engine.ok());
+  auto catalog = PropCatalog(100'000);  // small: queries can finish
+  ASSERT_TRUE((*engine)->Prepare(catalog).ok());
+  QuerySpec spec = testutil::MakeCountByGroupSpec(*catalog);
+
+  auto victim = (*engine)->Submit(spec);
+  auto survivor = (*engine)->Submit(spec);
+  ASSERT_TRUE(victim.ok() && survivor.ok());
+  (*engine)->RunFor(*victim, tr / 4);
+  (*engine)->RunFor(*survivor, tr / 4);
+  (*engine)->Cancel(*victim);
+
+  for (int i = 0; i < 64 && !(*engine)->IsDone(*survivor); ++i) {
+    (*engine)->RunFor(*survivor, 10'000'000'000LL);
+  }
+  ASSERT_TRUE((*engine)->IsDone(*survivor));
+  auto result = (*engine)->PollResult(*survivor);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->available);
+  EXPECT_NEAR(result->TotalEstimate(), 8.0, 1e-6);  // all 8 tiny rows
+  (*engine)->Cancel(*survivor);
+}
+
+/// Zero and negative budgets are no-ops on any handle state.
+TEST_P(EngineTrSweep, NonPositiveBudgetIsNoOp) {
+  const auto& [name, tr] = GetParam();
+  auto engine = CreateEngine(name);
+  ASSERT_TRUE(engine.ok());
+  auto catalog = PropCatalog(1'000'000);
+  ASSERT_TRUE((*engine)->Prepare(catalog).ok());
+  QuerySpec spec = testutil::MakeCountByGroupSpec(*catalog);
+  auto handle = (*engine)->Submit(spec);
+  ASSERT_TRUE(handle.ok());
+  EXPECT_EQ((*engine)->RunFor(*handle, 0), 0);
+  EXPECT_EQ((*engine)->RunFor(*handle, -tr), 0);
+  auto result = (*engine)->PollResult(*handle);
+  EXPECT_TRUE(result.ok());  // still pollable, nothing consumed
+  (*engine)->Cancel(*handle);
+}
+
 INSTANTIATE_TEST_SUITE_P(
     AllEnginesAllTrs, EngineTrSweep,
     ::testing::Combine(
@@ -146,6 +234,42 @@ INSTANTIATE_TEST_SUITE_P(AllEngines, EngineLifecycle,
                          ::testing::Values("blocking", "online", "progressive",
                                            "stratified", "frontend"),
                          [](const auto& info) { return info.param; });
+
+/// A failed Prepare must leave the engine cleanly unprepared: the
+/// stratified engine rejects star schemas *before* attaching, so a
+/// later Submit fails with a clean error instead of executing against a
+/// half-initialized (empty) sample.
+TEST(StratifiedLifecycle, NormalizedCatalogRejectedBeforeAttach) {
+  core::DatasetConfig dataset;
+  dataset.nominal_rows = 100'000;
+  dataset.actual_rows = 2'000;
+  dataset.normalized = true;
+  auto catalog = core::BuildFlightsCatalog(dataset);
+  ASSERT_TRUE(catalog.ok());
+
+  StratifiedEngine engine;
+  auto prepared = engine.Prepare(*catalog);
+  ASSERT_FALSE(prepared.ok());
+  EXPECT_EQ(prepared.status().code(), StatusCode::kNotImplemented);
+
+  // The engine is NOT attached: submissions keep failing cleanly...
+  query::QuerySpec spec;
+  spec.viz_name = "v";
+  query::BinDimension d;
+  d.column = "carrier";
+  d.mode = query::BinningMode::kNominal;
+  spec.bins = {d};
+  query::AggregateSpec agg;
+  agg.type = query::AggregateType::kCount;
+  spec.aggregates = {agg};
+  EXPECT_FALSE(engine.Submit(spec).ok());
+
+  // ...and a de-normalized catalog can still be prepared afterwards.
+  dataset.normalized = false;
+  auto denorm = core::BuildFlightsCatalog(dataset);
+  ASSERT_TRUE(denorm.ok());
+  EXPECT_TRUE(engine.Prepare(*denorm).ok());
+}
 
 /// Completed answers must agree with the exact ground truth for exact
 /// engines and reconstruct totals in expectation for sampling ones.

@@ -1,0 +1,409 @@
+/// \file session_test.cc
+/// Unit tests of the session serving API (session/session.h): push
+/// delivery, deadline-exact cancellation, round-robin fairness under a
+/// contention penalty, idempotent client cancellation, multi-session
+/// bookkeeping and scheduler telemetry.
+
+#include "session/session.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "engines/blocking_engine.h"
+#include "engines/online_engine.h"
+#include "engines/progressive_engine.h"
+#include "engines/registry.h"
+#include "tests/test_util.h"
+#include "workflow/interaction.h"
+
+namespace idebench::session {
+namespace {
+
+using engines::BlockingEngine;
+using engines::BlockingEngineConfig;
+using engines::ProgressiveEngine;
+using engines::ProgressiveEngineConfig;
+using workflow::Interaction;
+
+query::VizSpec MakeGroupViz(const std::string& name) {
+  query::VizSpec v;
+  v.name = name;
+  v.source = "tiny";
+  query::BinDimension d;
+  d.column = "group";
+  d.mode = query::BinningMode::kNominal;
+  v.bins.push_back(d);
+  query::AggregateSpec a;
+  a.type = query::AggregateType::kCount;
+  v.aggregates.push_back(a);
+  return v;
+}
+
+/// Sink recording every update in arrival order.
+class RecordingSink : public ResultSink {
+ public:
+  void OnUpdate(const ProgressiveUpdate& update) override {
+    updates.push_back(update);
+  }
+
+  std::vector<ProgressiveUpdate> finals() const {
+    std::vector<ProgressiveUpdate> out;
+    for (const ProgressiveUpdate& u : updates) {
+      if (u.final_update) out.push_back(u);
+    }
+    return out;
+  }
+
+  std::vector<ProgressiveUpdate> updates;
+};
+
+std::shared_ptr<storage::Catalog> Catalog(int64_t nominal) {
+  auto catalog = testutil::MakeTinyCatalog();
+  catalog->set_nominal_rows(nominal);
+  return catalog;
+}
+
+TEST(SessionTest, PartialUpdatesStreamThenFinalCompletes) {
+  // Progressive engine on a workload sized so several quanta pass before
+  // the walk completes: partial updates must stream with monotonically
+  // growing row counts, then exactly one final, completed update.
+  ProgressiveEngineConfig config;
+  config.query_overhead_us = 0;
+  config.restart_overhead_us = 0;
+  config.sample_us_per_row = 100'000.0;  // 0.1 s per row; 8 rows = 0.8 s
+  ProgressiveEngine engine(config);
+  auto catalog = Catalog(1'000'000);
+  ASSERT_TRUE(engine.Prepare(catalog).ok());
+
+  SessionManagerOptions options;
+  options.time_requirement = 2'000'000;
+  options.quantum = 200'000;  // 2 rows per slice
+  SessionManager manager(options, &engine, catalog);
+  RecordingSink sink;
+  auto sess = manager.CreateSession(&sink);
+  ASSERT_TRUE(sess.ok());
+
+  auto submitted =
+      (*sess)->SubmitInteraction(Interaction::CreateViz(MakeGroupViz("v0")));
+  ASSERT_TRUE(submitted.ok());
+  ASSERT_EQ(submitted->size(), 1u);
+  ASSERT_TRUE(manager.RunUntilIdle().ok());
+
+  const auto finals = sink.finals();
+  ASSERT_EQ(finals.size(), 1u);
+  EXPECT_TRUE(finals[0].completed);
+  EXPECT_FALSE(finals[0].cancelled);
+  EXPECT_TRUE(finals[0].result.available);
+  EXPECT_EQ(finals[0].result.rows_processed, 8);
+  EXPECT_EQ(finals[0].query_id, (*submitted)[0].query_id);
+
+  // Partials streamed before the final, rows monotonically increasing.
+  int64_t last_rows = 0;
+  int partials = 0;
+  for (const ProgressiveUpdate& u : sink.updates) {
+    if (u.final_update) break;
+    EXPECT_TRUE(u.result.available);
+    EXPECT_GT(u.result.rows_processed, last_rows);
+    last_rows = u.result.rows_processed;
+    ++partials;
+  }
+  EXPECT_GE(partials, 2);
+  EXPECT_EQ(manager.stats().partial_updates, partials);
+}
+
+TEST(SessionTest, OverdueQueryCancelledExactlyAtDeadline) {
+  BlockingEngineConfig config;
+  config.scan_ns_per_row = 10'000.0;  // 1 B nominal: never finishes
+  config.query_overhead_us = 0;
+  BlockingEngine engine(config);
+  auto catalog = Catalog(1'000'000'000);
+  ASSERT_TRUE(engine.Prepare(catalog).ok());
+
+  SessionManagerOptions options;
+  options.time_requirement = 1'000'000;
+  options.quantum = 64'000;  // deliberately not a divisor of the TR
+  SessionManager manager(options, &engine, catalog);
+  RecordingSink sink;
+  auto sess = manager.CreateSession(&sink);
+  ASSERT_TRUE(sess.ok());
+
+  auto submitted =
+      (*sess)->SubmitInteraction(Interaction::CreateViz(MakeGroupViz("v0")));
+  ASSERT_TRUE(submitted.ok());
+  ASSERT_TRUE(manager.RunUntilIdle().ok());
+
+  const auto finals = sink.finals();
+  ASSERT_EQ(finals.size(), 1u);
+  EXPECT_TRUE(finals[0].cancelled);
+  EXPECT_FALSE(finals[0].completed);
+  EXPECT_FALSE(finals[0].result.available);  // blocking: nothing mid-scan
+  // Cancelled exactly at the time requirement, never past it.
+  EXPECT_EQ(finals[0].virtual_time, 1'000'000);
+  const SchedulerStats stats = manager.stats();
+  EXPECT_EQ(stats.deadline_cancelled, 1);
+  EXPECT_EQ(stats.max_deadline_overshoot, 0);
+}
+
+TEST(SessionTest, ContentionPenaltyShrinksAdmittedBudgets) {
+  BlockingEngineConfig config;
+  config.query_overhead_us = 0;
+  BlockingEngine engine(config);
+  auto catalog = Catalog(1'000'000);
+  ASSERT_TRUE(engine.Prepare(catalog).ok());
+
+  SessionManagerOptions options;
+  options.time_requirement = 1'000'000;
+  options.contention_penalty = 1.0;
+  SessionManager manager(options, &engine, catalog);
+  RecordingSink sink_a;
+  RecordingSink sink_b;
+  auto a = manager.CreateSession(&sink_a);
+  auto b = manager.CreateSession(&sink_b);
+  ASSERT_TRUE(a.ok() && b.ok());
+
+  // Session A admits one query alone: full budget.
+  auto qa = (*a)->SubmitInteraction(Interaction::CreateViz(MakeGroupViz("v")));
+  ASSERT_TRUE(qa.ok());
+  // Session B admits while A is live: n = 2 -> budget halves.
+  auto qb = (*b)->SubmitInteraction(Interaction::CreateViz(MakeGroupViz("w")));
+  ASSERT_TRUE(qb.ok());
+  ASSERT_TRUE(manager.RunUntilIdle().ok());
+
+  ASSERT_EQ(sink_a.finals().size(), 1u);
+  ASSERT_EQ(sink_b.finals().size(), 1u);
+  EXPECT_EQ(sink_a.finals()[0].budget, 1'000'000);
+  EXPECT_EQ(sink_b.finals()[0].budget, 500'000);
+}
+
+TEST(SessionTest, ClientCancelIsIdempotentAndPushesFinal) {
+  BlockingEngineConfig config;
+  config.scan_ns_per_row = 10'000.0;
+  config.query_overhead_us = 0;
+  BlockingEngine engine(config);
+  auto catalog = Catalog(1'000'000'000);
+  ASSERT_TRUE(engine.Prepare(catalog).ok());
+
+  SessionManagerOptions options;
+  options.time_requirement = 10'000'000;
+  SessionManager manager(options, &engine, catalog);
+  RecordingSink sink;
+  auto sess = manager.CreateSession(&sink);
+  ASSERT_TRUE(sess.ok());
+
+  auto submitted =
+      (*sess)->SubmitInteraction(Interaction::CreateViz(MakeGroupViz("v0")));
+  ASSERT_TRUE(submitted.ok());
+  const int64_t qid = (*submitted)[0].query_id;
+
+  ASSERT_TRUE((*sess)->Cancel(qid).ok());
+  EXPECT_TRUE((*sess)->Cancel(qid).ok());      // second cancel: no-op
+  EXPECT_TRUE((*sess)->Cancel(99'999).ok());   // unknown id: no-op
+  EXPECT_EQ((*sess)->live_queries(), 0);
+
+  const auto finals = sink.finals();
+  ASSERT_EQ(finals.size(), 1u);
+  EXPECT_TRUE(finals[0].cancelled);
+  EXPECT_EQ(manager.stats().client_cancelled, 1);
+  EXPECT_FALSE(manager.HasLive());
+}
+
+TEST(SessionTest, CloseSessionCancelsItsLiveQueriesOnly) {
+  BlockingEngineConfig config;
+  config.scan_ns_per_row = 10'000.0;
+  config.query_overhead_us = 0;
+  BlockingEngine engine(config);
+  auto catalog = Catalog(1'000'000'000);
+  ASSERT_TRUE(engine.Prepare(catalog).ok());
+
+  SessionManagerOptions options;
+  options.time_requirement = 10'000'000;
+  SessionManager manager(options, &engine, catalog);
+  RecordingSink sink_a;
+  RecordingSink sink_b;
+  auto a = manager.CreateSession(&sink_a);
+  auto b = manager.CreateSession(&sink_b);
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_TRUE(
+      (*a)->SubmitInteraction(Interaction::CreateViz(MakeGroupViz("va")))
+          .ok());
+  ASSERT_TRUE(
+      (*b)->SubmitInteraction(Interaction::CreateViz(MakeGroupViz("vb")))
+          .ok());
+
+  ASSERT_TRUE(manager.CloseSession(*a).ok());
+  ASSERT_EQ(sink_a.finals().size(), 1u);
+  EXPECT_TRUE(sink_a.finals()[0].cancelled);
+  EXPECT_TRUE(sink_b.finals().empty());  // B untouched
+  EXPECT_TRUE(manager.HasLive());
+  EXPECT_EQ((*b)->live_queries(), 1);
+}
+
+TEST(SessionTest, LinkAndSelectionPropagateThroughSessionGraph) {
+  BlockingEngineConfig config;
+  config.scan_ns_per_row = 10.0;
+  config.query_overhead_us = 0;
+  BlockingEngine engine(config);
+  auto catalog = Catalog(1'000'000);
+  ASSERT_TRUE(engine.Prepare(catalog).ok());
+
+  SessionManagerOptions options;
+  options.time_requirement = 1'000'000;
+  SessionManager manager(options, &engine, catalog);
+  RecordingSink sink;
+  auto sess = manager.CreateSession(&sink);
+  ASSERT_TRUE(sess.ok());
+
+  ASSERT_TRUE(
+      (*sess)->SubmitInteraction(Interaction::CreateViz(MakeGroupViz("v0")))
+          .ok());
+  ASSERT_TRUE(
+      (*sess)->SubmitInteraction(Interaction::CreateViz(MakeGroupViz("v1")))
+          .ok());
+  // The LinkVizs convenience wraps a link interaction: the target
+  // re-queries.
+  auto linked = (*sess)->LinkVizs("v0", "v1");
+  ASSERT_TRUE(linked.ok());
+  ASSERT_EQ(linked->size(), 1u);
+  EXPECT_EQ((*linked)[0].spec.viz_name, "v1");
+
+  // A selection on v0 propagates its filter to v1's query.
+  expr::FilterExpr selection;
+  expr::Predicate p;
+  p.column = "flag";
+  p.op = expr::CompareOp::kEq;
+  p.value = 1.0;
+  selection.And(p);
+  auto brushed =
+      (*sess)->SubmitInteraction(Interaction::SetSelection("v0", selection));
+  ASSERT_TRUE(brushed.ok());
+  ASSERT_EQ(brushed->size(), 1u);
+  EXPECT_EQ((*brushed)[0].spec.viz_name, "v1");
+  EXPECT_EQ((*brushed)[0].spec.filter.predicates().size(), 1u);
+  ASSERT_TRUE(manager.RunUntilIdle().ok());
+
+  // All four queries completed on the tiny catalog; the brushed count
+  // totals the 4 flag==1 rows.
+  const auto finals = sink.finals();
+  ASSERT_EQ(finals.size(), 4u);
+  EXPECT_TRUE(finals[3].completed);
+  EXPECT_NEAR(finals[3].result.TotalEstimate(), 4.0, 1e-9);
+
+  // DiscardViz drops the dashboard node: selections stop propagating.
+  ASSERT_TRUE((*sess)->DiscardViz("v1").ok());
+  auto after =
+      (*sess)->SubmitInteraction(Interaction::SetSelection("v0", selection));
+  ASSERT_TRUE(after.ok());
+  EXPECT_TRUE(after->empty());
+}
+
+TEST(SessionTest, UnsupportedQueriesReportedAsFinalUpdates) {
+  // The online engine without fallback rejects AVG queries.
+  engines::OnlineEngineConfig config;
+  config.enable_fallback = false;
+  engines::OnlineEngine online(config);
+  auto catalog = Catalog(1'000'000);
+  ASSERT_TRUE(online.Prepare(catalog).ok());
+
+  SessionManagerOptions options;
+  SessionManager manager(options, &online, catalog);
+  RecordingSink sink;
+  auto sess = manager.CreateSession(&sink);
+  ASSERT_TRUE(sess.ok());
+
+  query::VizSpec avg_viz = MakeGroupViz("v0");
+  avg_viz.aggregates[0].type = query::AggregateType::kAvg;
+  avg_viz.aggregates[0].column = "value";
+  auto submitted =
+      (*sess)->SubmitInteraction(Interaction::CreateViz(avg_viz));
+  ASSERT_TRUE(submitted.ok());
+  ASSERT_EQ(submitted->size(), 1u);
+  EXPECT_TRUE((*submitted)[0].unsupported);
+  EXPECT_FALSE(manager.HasLive());
+
+  const auto finals = sink.finals();
+  ASSERT_EQ(finals.size(), 1u);
+  EXPECT_TRUE(finals[0].unsupported);
+  EXPECT_TRUE(finals[0].final_update);
+  EXPECT_FALSE(finals[0].result.available);
+  EXPECT_EQ(manager.stats().unsupported, 1);
+}
+
+TEST(SessionTest, RoundRobinInterleavesSessionsWithinASlice) {
+  // Two sessions, each a never-finishing scan; with a finite quantum the
+  // scheduler must advance both queries in lockstep (fair division), not
+  // run one to its deadline first.
+  BlockingEngineConfig config;
+  config.scan_ns_per_row = 1'000.0;  // 1 us per actual row
+  config.query_overhead_us = 0;
+  BlockingEngine engine(config);
+  auto catalog = Catalog(8'000'000);  // scan cost 8 s >> TR
+  ASSERT_TRUE(engine.Prepare(catalog).ok());
+
+  SessionManagerOptions options;
+  options.time_requirement = 1'000'000;
+  options.quantum = 100'000;
+  options.push_partials = false;
+  SessionManager manager(options, &engine, catalog);
+  RecordingSink sink_a;
+  RecordingSink sink_b;
+  auto a = manager.CreateSession(&sink_a);
+  auto b = manager.CreateSession(&sink_b);
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_TRUE(
+      (*a)->SubmitInteraction(Interaction::CreateViz(MakeGroupViz("va")))
+          .ok());
+  ASSERT_TRUE(
+      (*b)->SubmitInteraction(Interaction::CreateViz(MakeGroupViz("vb")))
+          .ok());
+
+  // After half the TR, both queries must have consumed equal compute.
+  ASSERT_TRUE(manager.AdvanceTo(500'000).ok());
+  ASSERT_TRUE(manager.HasLive());
+  ASSERT_TRUE(manager.RunUntilIdle().ok());
+  ASSERT_EQ(sink_a.finals().size(), 1u);
+  ASSERT_EQ(sink_b.finals().size(), 1u);
+  // Both ran their full (equal) entitlement and were cancelled together.
+  EXPECT_EQ(sink_a.finals()[0].consumed, sink_b.finals()[0].consumed);
+  EXPECT_EQ(sink_a.finals()[0].virtual_time, 1'000'000);
+  EXPECT_EQ(sink_b.finals()[0].virtual_time, 1'000'000);
+  EXPECT_EQ(manager.stats().max_deadline_overshoot, 0);
+}
+
+TEST(SessionTest, StatsCountersAddUp) {
+  BlockingEngineConfig config;
+  config.scan_ns_per_row = 10.0;
+  config.query_overhead_us = 0;
+  BlockingEngine engine(config);
+  auto catalog = Catalog(1'000'000);
+  ASSERT_TRUE(engine.Prepare(catalog).ok());
+
+  SessionManagerOptions options;
+  options.time_requirement = 1'000'000;
+  SessionManager manager(options, &engine, catalog);
+  RecordingSink sink;
+  auto sess = manager.CreateSession(&sink);
+  ASSERT_TRUE(sess.ok());
+  ASSERT_TRUE(
+      (*sess)->SubmitInteraction(Interaction::CreateViz(MakeGroupViz("v0")))
+          .ok());
+  ASSERT_TRUE(
+      (*sess)->SubmitInteraction(Interaction::CreateViz(MakeGroupViz("v1")))
+          .ok());
+  ASSERT_TRUE(manager.RunUntilIdle().ok());
+
+  const SchedulerStats stats = manager.stats();
+  EXPECT_EQ(stats.sessions_opened, 1);
+  EXPECT_EQ(stats.queries_submitted, 2);
+  EXPECT_EQ(stats.completed, 2);
+  EXPECT_EQ(stats.deadline_cancelled, 0);
+  EXPECT_EQ(stats.client_cancelled, 0);
+  EXPECT_EQ(stats.unsupported, 0);
+  EXPECT_EQ(stats.max_deadline_overshoot, 0);
+  EXPECT_EQ(stats.virtual_now, manager.VirtualNow());
+}
+
+}  // namespace
+}  // namespace idebench::session

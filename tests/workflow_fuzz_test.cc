@@ -121,6 +121,204 @@ TEST(WorkflowFuzzTest, StratifiedReuseOnOffBitIdentical) {
   RunFuzz("stratified");
 }
 
+// --- Session serving API vs the legacy single-client pull path ------------
+
+/// Budgets cycled across seeds so the sweep exercises full completions,
+/// partial walks and overhead-starved queries alike (one budget per seed:
+/// the session manager's time requirement is fixed per run).
+constexpr Micros kSessionBudgets[] = {3'000'000, 50'000, 400'000};
+
+/// Replays workflow `seed` through the seed driver's batched pull loop
+/// (submit-all, run-each-to-budget, poll-all, cancel-all per interaction).
+std::vector<testharness::QueryOutcome> ReplayBatched(
+    const std::string& engine_name, int seed, int threads, bool reuse) {
+  auto engine = engines::CreateEngine(engine_name, /*seed=*/0, threads, reuse);
+  IDB_CHECK(engine.ok());
+  IDB_CHECK((*engine)->Prepare(FuzzCatalog()).ok());
+  testharness::BatchedHarnessOptions options;
+  options.budget = kSessionBudgets[seed % 3];
+  auto outcomes = testharness::RunWorkflowOnEngineBatched(
+      engine->get(), *FuzzCatalog(), FuzzWorkflow(seed), options);
+  IDB_CHECK(outcomes.ok());
+  return std::move(outcomes).MoveValueUnsafe();
+}
+
+/// Replays workflow `seed` through the push-based session API.
+std::vector<testharness::QueryOutcome> ReplaySession(
+    const std::string& engine_name, int seed, int threads, bool reuse,
+    Micros quantum = 0) {
+  auto engine = engines::CreateEngine(engine_name, /*seed=*/0, threads, reuse);
+  IDB_CHECK(engine.ok());
+  IDB_CHECK((*engine)->Prepare(FuzzCatalog()).ok());
+  testharness::SessionHarnessOptions options;
+  options.budget = kSessionBudgets[seed % 3];
+  options.quantum = quantum;
+  auto outcomes = testharness::RunWorkflowThroughSession(
+      engine->get(), FuzzCatalog(), FuzzWorkflow(seed), options);
+  IDB_CHECK(outcomes.ok());
+  return std::move(outcomes).MoveValueUnsafe();
+}
+
+/// The seed-parity sweep for one engine: the session scheduler in
+/// single-session mode must deliver bit-identical QueryResults to the
+/// legacy pull loop for every seed, thread count and reuse setting —
+/// the transparency proof of the serving-API redesign.
+void RunSessionFuzz(const std::string& engine_name) {
+  for (int seed = 0; seed < kSeeds; ++seed) {
+    for (int threads : kThreadCounts) {
+      for (bool reuse : {false, true}) {
+        const std::string label =
+            engine_name + " via session, seed " + std::to_string(seed) +
+            ", threads " + std::to_string(threads) +
+            (reuse ? ", reuse on" : ", reuse off");
+        auto legacy = ReplayBatched(engine_name, seed, threads, reuse);
+        auto pushed = ReplaySession(engine_name, seed, threads, reuse);
+        testharness::ExpectOutcomesBitIdentical(legacy, pushed, label);
+        if (::testing::Test::HasFatalFailure()) return;
+      }
+    }
+  }
+}
+
+TEST(SessionFuzzTest, BlockingMatchesLegacyClient) {
+  RunSessionFuzz("blocking");
+}
+
+TEST(SessionFuzzTest, OnlineMatchesLegacyClient) { RunSessionFuzz("online"); }
+
+TEST(SessionFuzzTest, ProgressiveMatchesLegacyClient) {
+  RunSessionFuzz("progressive");
+}
+
+TEST(SessionFuzzTest, StratifiedMatchesLegacyClient) {
+  RunSessionFuzz("stratified");
+}
+
+/// The time-sliced scheduler path (quantum > 0): slicing may legitimately
+/// regroup the engines' sub-row credit arithmetic relative to one-shot
+/// grants, so no bit-parity with the batched reference is claimed —
+/// instead every run must be deterministic (two identical sliced runs
+/// agree bit for bit), structurally complete (exactly one final update
+/// per query the batched reference submits, same order/viz/support), and
+/// partial polling must never corrupt an answer.
+TEST(SessionFuzzTest, QuantumSlicedSchedulingDeterministicAndComplete) {
+  constexpr Micros kQuantum = 64'000;  // deliberately no divisor of budgets
+  for (const char* engine :
+       {"blocking", "online", "progressive", "stratified"}) {
+    for (int seed : {0, 1, 2, 3, 4, 5}) {
+      const std::string label = std::string(engine) + ", sliced, seed " +
+                                std::to_string(seed);
+      auto batched = ReplayBatched(engine, seed, /*threads=*/1,
+                                   /*reuse=*/false);
+      auto sliced = ReplaySession(engine, seed, /*threads=*/1,
+                                  /*reuse=*/false, kQuantum);
+      auto again = ReplaySession(engine, seed, /*threads=*/1,
+                                 /*reuse=*/false, kQuantum);
+      testharness::ExpectOutcomesBitIdentical(sliced, again,
+                                              label + " (determinism)");
+      ASSERT_EQ(sliced.size(), batched.size()) << label;
+      for (size_t i = 0; i < sliced.size(); ++i) {
+        EXPECT_EQ(sliced[i].interaction_id, batched[i].interaction_id)
+            << label << " query " << i;
+        EXPECT_EQ(sliced[i].viz, batched[i].viz) << label << " query " << i;
+        EXPECT_EQ(sliced[i].unsupported, batched[i].unsupported)
+            << label << " query " << i;
+      }
+      if (::testing::Test::HasFatalFailure()) return;
+    }
+  }
+}
+
+/// A multi-session interleaved run is a pure function of (workflows,
+/// options): the pushed update stream is bit-identical run-to-run and at
+/// every physical thread count.
+struct UpdateTrace {
+  int64_t session_id;
+  int64_t query_id;
+  std::string viz;
+  bool final_update;
+  bool cancelled;
+  bool unsupported;
+  Micros virtual_time;
+  bool available;
+  int64_t rows_processed;
+  double total_estimate;
+};
+
+std::vector<UpdateTrace> ReplayMultiSession(const std::string& engine_name,
+                                            int threads, int sessions) {
+  class TraceSink : public session::ResultSink {
+   public:
+    explicit TraceSink(std::vector<UpdateTrace>* out) : out_(out) {}
+    void OnUpdate(const session::ProgressiveUpdate& u) override {
+      out_->push_back({u.session_id, u.query_id, u.viz_name, u.final_update,
+                       u.cancelled, u.unsupported, u.virtual_time,
+                       u.result.available, u.result.rows_processed,
+                       u.result.TotalEstimate()});
+    }
+    std::vector<UpdateTrace>* out_;
+  };
+
+  auto engine =
+      engines::CreateEngine(engine_name, /*seed=*/0, threads, /*reuse=*/true);
+  IDB_CHECK(engine.ok());
+  IDB_CHECK((*engine)->Prepare(FuzzCatalog()).ok());
+
+  session::SessionManagerOptions mopts;
+  mopts.time_requirement = 400'000;
+  mopts.quantum = 50'000;
+  mopts.contention_penalty = 0.25;
+  session::SessionManager manager(mopts, engine->get(), FuzzCatalog());
+
+  std::vector<UpdateTrace> trace;
+  TraceSink sink(&trace);
+  std::vector<session::SessionReplay> runs;
+  for (int s = 0; s < sessions; ++s) {
+    auto created = manager.CreateSession(&sink);
+    IDB_CHECK(created.ok());
+    runs.push_back({*created, &FuzzWorkflow(s)});
+  }
+  IDB_CHECK(session::ReplaySessionsToCompletion(&manager, runs,
+                                                /*think_time=*/100'000)
+                .ok());
+  const session::SchedulerStats stats = manager.stats();
+  // Fairness guarantee: nothing ever ran past its time requirement.
+  IDB_CHECK(stats.max_deadline_overshoot == 0);
+  return trace;
+}
+
+TEST(SessionFuzzTest, MultiSessionDeterministicAcrossRunsAndThreads) {
+  for (const char* engine : {"blocking", "progressive"}) {
+    const std::vector<UpdateTrace> reference =
+        ReplayMultiSession(engine, /*threads=*/1, /*sessions=*/3);
+    EXPECT_GT(reference.size(), 0u) << engine;
+    for (int threads : {1, 4}) {
+      const std::vector<UpdateTrace> repeat =
+          ReplayMultiSession(engine, threads, /*sessions=*/3);
+      ASSERT_EQ(reference.size(), repeat.size())
+          << engine << " threads " << threads;
+      for (size_t i = 0; i < reference.size(); ++i) {
+        const UpdateTrace& a = reference[i];
+        const UpdateTrace& b = repeat[i];
+        const std::string label = std::string(engine) + " threads " +
+                                  std::to_string(threads) + " update " +
+                                  std::to_string(i);
+        EXPECT_EQ(a.session_id, b.session_id) << label;
+        EXPECT_EQ(a.query_id, b.query_id) << label;
+        EXPECT_EQ(a.viz, b.viz) << label;
+        EXPECT_EQ(a.final_update, b.final_update) << label;
+        EXPECT_EQ(a.cancelled, b.cancelled) << label;
+        EXPECT_EQ(a.unsupported, b.unsupported) << label;
+        EXPECT_EQ(a.virtual_time, b.virtual_time) << label;
+        EXPECT_EQ(a.available, b.available) << label;
+        EXPECT_EQ(a.rows_processed, b.rows_processed) << label;
+        EXPECT_EQ(a.total_estimate, b.total_estimate) << label;
+      }
+      if (::testing::Test::HasFatalFailure()) return;
+    }
+  }
+}
+
 /// Reuse must also compose with thread-count invariance: the same
 /// workflow with the cache on yields bit-identical results at 1 and 4
 /// threads (each feed chunk of the fixture spans a single morsel, so the

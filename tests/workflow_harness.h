@@ -12,6 +12,7 @@
 /// `workflow_fuzz_test.cc` and available to future differential suites.
 
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -19,6 +20,7 @@
 #include "driver/benchmark_driver.h"
 #include "engines/engine.h"
 #include "query/result.h"
+#include "session/session.h"
 #include "storage/catalog.h"
 #include "workflow/viz_graph.h"
 #include "workflow/workflow.h"
@@ -95,6 +97,132 @@ inline Result<std::vector<QueryOutcome>> RunWorkflowOnEngine(
         return Status::OK();
       }));
   engine->WorkflowEnd();
+  return outcomes;
+}
+
+/// Replays `wf` the way the *seed* benchmark driver pulled the engine:
+/// per interaction, submit every affected query, grant each its full
+/// `budget` sequentially, poll all, cancel all, think.  The legacy
+/// single-client reference the session serving path is held to.
+struct BatchedHarnessOptions {
+  Micros budget = 3'000'000;
+  Micros think_time = 1'000'000;
+};
+
+inline Result<std::vector<QueryOutcome>> RunWorkflowOnEngineBatched(
+    engines::Engine* engine, const storage::Catalog& catalog,
+    const workflow::Workflow& wf, const BatchedHarnessOptions& options = {}) {
+  std::vector<QueryOutcome> outcomes;
+  engine->WorkflowStart();
+  IDB_RETURN_NOT_OK(driver::ForEachInteraction(
+      catalog, wf,
+      [&](const workflow::Interaction& interaction, int64_t interaction_id,
+          std::vector<query::QuerySpec>& specs) -> Status {
+        if (interaction.type == workflow::InteractionType::kLink) {
+          engine->LinkVizs(interaction.link_from, interaction.link_to);
+        } else if (interaction.type == workflow::InteractionType::kDiscard) {
+          engine->DiscardViz(interaction.viz_name);
+        }
+
+        struct InFlight {
+          QueryOutcome outcome;
+          engines::QueryHandle handle = -1;
+        };
+        std::vector<InFlight> inflight;
+        for (query::QuerySpec& spec : specs) {
+          InFlight q;
+          q.outcome.interaction_id = interaction_id;
+          q.outcome.viz = spec.viz_name;
+          auto submit = engine->Submit(spec);
+          if (!submit.ok()) {
+            if (submit.status().code() != StatusCode::kNotImplemented) {
+              return submit.status();
+            }
+            q.outcome.unsupported = true;
+            inflight.push_back(std::move(q));
+            continue;
+          }
+          q.handle = *submit;
+          inflight.push_back(std::move(q));
+        }
+        for (InFlight& q : inflight) {
+          if (q.outcome.unsupported) continue;
+          Micros consumed = 0;
+          while (consumed < options.budget && !engine->IsDone(q.handle)) {
+            const Micros step =
+                engine->RunFor(q.handle, options.budget - consumed);
+            if (step <= 0) break;
+            consumed += step;
+          }
+        }
+        for (InFlight& q : inflight) {
+          if (!q.outcome.unsupported) {
+            IDB_ASSIGN_OR_RETURN(q.outcome.result,
+                                 engine->PollResult(q.handle));
+            engine->Cancel(q.handle);
+          }
+          outcomes.push_back(std::move(q.outcome));
+        }
+        engine->OnThink(options.think_time);
+        return Status::OK();
+      }));
+  engine->WorkflowEnd();
+  return outcomes;
+}
+
+/// Replays `wf` through the session serving API (session/session.h): one
+/// `ExplorationSession`, one `SubmitInteraction` + `RunUntilIdle` per
+/// interaction, outcomes taken from the pushed final updates in
+/// submission order.  With `quantum == 0` (default) the scheduler's
+/// engine call sequence must match `RunWorkflowOnEngineBatched` exactly;
+/// any `quantum` must still deliver exactly one final update per query.
+struct SessionHarnessOptions {
+  Micros budget = 3'000'000;  // the manager's time requirement
+  Micros think_time = 1'000'000;
+  Micros quantum = 0;
+  bool push_partials = true;  // prove mid-run polling never perturbs
+};
+
+inline Result<std::vector<QueryOutcome>> RunWorkflowThroughSession(
+    engines::Engine* engine, std::shared_ptr<const storage::Catalog> catalog,
+    const workflow::Workflow& wf, const SessionHarnessOptions& options = {}) {
+  class Collector : public session::ResultSink {
+   public:
+    void OnUpdate(const session::ProgressiveUpdate& update) override {
+      if (update.final_update) finals_[update.query_id] = update;
+    }
+    std::unordered_map<int64_t, session::ProgressiveUpdate> finals_;
+  };
+
+  session::SessionManagerOptions mopts;
+  mopts.time_requirement = options.budget;
+  mopts.quantum = options.quantum;
+  mopts.push_partials = options.push_partials;
+  Collector sink;  // must outlive the manager
+  session::SessionManager manager(mopts, engine, std::move(catalog));
+  IDB_ASSIGN_OR_RETURN(session::ExplorationSession * sess,
+                       manager.CreateSession(&sink));
+
+  std::vector<QueryOutcome> outcomes;
+  for (size_t i = 0; i < wf.interactions.size(); ++i) {
+    IDB_ASSIGN_OR_RETURN(std::vector<session::SubmittedQuery> submitted,
+                         sess->SubmitInteraction(wf.interactions[i]));
+    IDB_RETURN_NOT_OK(manager.RunUntilIdle());
+    for (const session::SubmittedQuery& sq : submitted) {
+      auto it = sink.finals_.find(sq.query_id);
+      if (it == sink.finals_.end()) {
+        return Status::Unknown("no final update for submitted query");
+      }
+      QueryOutcome outcome;
+      outcome.interaction_id = static_cast<int64_t>(i);
+      outcome.viz = sq.spec.viz_name;
+      outcome.unsupported = it->second.unsupported;
+      outcome.result = it->second.result;
+      outcomes.push_back(std::move(outcome));
+    }
+    sess->Think(options.think_time);
+  }
+  IDB_RETURN_NOT_OK(manager.CloseSession(sess));
   return outcomes;
 }
 
