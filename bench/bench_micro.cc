@@ -136,6 +136,28 @@ void BM_HotLoopVectorizedHashBins(benchmark::State& state) {
 }
 BENCHMARK(BM_HotLoopVectorizedHashBins);
 
+/// Two-phase reference (fused plan disabled): the PR-1/PR-2 pipeline with
+/// per-row bin kernels — what `BM_HotLoopVectorized` measured before the
+/// fused kernels landed.
+void BM_HotLoopTwoPhase(benchmark::State& state) {
+  auto catalog = SharedCatalog();
+  query::QuerySpec spec = HotLoopSpec();
+  auto bound = exec::BoundQuery::Bind(spec, *catalog);
+  IDB_CHECK(bound.ok());
+  const std::vector<int64_t>& walk = SharedWalk();
+  exec::BinnedAggregatorOptions options;
+  options.enable_fused = false;
+  for (auto _ : state) {
+    exec::BinnedAggregator agg(&*bound, options);
+    IDB_CHECK(!agg.uses_fused());
+    agg.ProcessBatch(walk.data(), static_cast<int64_t>(walk.size()));
+    benchmark::DoNotOptimize(agg.rows_matched());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(walk.size()));
+}
+BENCHMARK(BM_HotLoopTwoPhase);
+
 void BM_HotLoopVectorized(benchmark::State& state) {
   auto catalog = SharedCatalog();
   query::QuerySpec spec = HotLoopSpec();
@@ -182,6 +204,85 @@ void BM_HotLoopParallel(benchmark::State& state) {
 // Wall-clock measurement: the work happens on pool threads, so the
 // default main-thread CPU-time metric would wildly overstate throughput.
 BENCHMARK(BM_HotLoopParallel)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
+
+/// Zone-map block pruning on the full-scan path: a time-ordered fact
+/// table (monotone `day` column, the append-ordered case zone maps are
+/// built for) scanned end to end under a selective day-range filter.
+/// Arg 0 = pruning off, arg 1 = on; the on-variant reports how many rows
+/// and 64K blocks the fact-column zone maps excluded.  Run
+///   bench_micro --benchmark_filter=ZoneMap --benchmark_format=json
+/// to emit the JSON recorded in BENCH_fused_kernels.json.
+std::shared_ptr<storage::Catalog> ClusteredCatalog() {
+  static std::shared_ptr<storage::Catalog> catalog = [] {
+    constexpr int64_t kScanRows = 2'000'000;
+    constexpr int64_t kDays = 64;
+    storage::Schema schema({
+        {"day", storage::DataType::kInt64,
+         storage::AttributeKind::kQuantitative},
+        {"metric", storage::DataType::kDouble,
+         storage::AttributeKind::kQuantitative},
+    });
+    auto table = std::make_shared<storage::Table>("events", schema);
+    table->mutable_column(0).Reserve(kScanRows);
+    table->mutable_column(1).Reserve(kScanRows);
+    Rng rng(41);
+    for (int64_t i = 0; i < kScanRows; ++i) {
+      table->mutable_column(0).AppendInt(i / (kScanRows / kDays));
+      table->mutable_column(1).AppendDouble(rng.Uniform(0.0, 100.0));
+    }
+    auto c = std::make_shared<storage::Catalog>();
+    IDB_CHECK(c->AddTable(table).ok());
+    return c;
+  }();
+  return catalog;
+}
+
+void BM_ZoneMapFullScan(benchmark::State& state) {
+  const bool prune = state.range(0) != 0;
+  auto catalog = ClusteredCatalog();
+  const int64_t rows = catalog->fact_table()->num_rows();
+
+  query::QuerySpec spec;
+  spec.viz_name = "zone_scan";
+  query::BinDimension d;
+  d.column = "metric";
+  d.mode = query::BinningMode::kFixedCount;
+  d.requested_bins = 20;
+  spec.bins = {d};
+  query::AggregateSpec count;
+  count.type = query::AggregateType::kCount;
+  query::AggregateSpec avg;
+  avg.type = query::AggregateType::kAvg;
+  avg.column = "metric";
+  spec.aggregates = {count, avg};
+  expr::Predicate p;
+  p.column = "day";
+  p.op = expr::CompareOp::kRange;
+  p.lo = 20;
+  p.hi = 24;  // ~4/64 days ≈ 2 of 31 zone blocks survive
+  spec.filter.And(p);
+  IDB_CHECK(spec.ResolveBins(*catalog).ok());
+  auto bound = exec::BoundQuery::Bind(spec, *catalog);
+  IDB_CHECK(bound.ok());
+
+  exec::BinnedAggregatorOptions options;
+  options.enable_zone_pruning = prune;
+  int64_t rows_skipped = 0;
+  int64_t blocks_skipped = 0;
+  for (auto _ : state) {
+    exec::BinnedAggregator agg(&*bound, options);
+    agg.ProcessRange(0, rows);
+    rows_skipped = agg.zone_rows_skipped();
+    blocks_skipped = agg.zone_blocks_skipped();
+    benchmark::DoNotOptimize(agg.rows_matched());
+  }
+  state.SetItemsProcessed(state.iterations() * rows);
+  state.counters["zone_rows_skipped"] =
+      static_cast<double>(rows_skipped);
+  state.counters["zone_blocks_skipped"] =
+      static_cast<double>(blocks_skipped);
+}
+BENCHMARK(BM_ZoneMapFullScan)->Arg(0)->Arg(1);
 
 /// Repeated-refinement workflow through the blocking engine: a base
 /// filtered aggregation followed by five drill-down steps that each AND

@@ -43,7 +43,12 @@ Result<query::QueryResult> GroundTruthOracle::Compute(
                        exec::BoundQuery::Bind(spec, *catalog_, joins));
   exec::BinnedAggregator aggregator(&bound);
   // Morsel-parallel full scan; results do not depend on the thread count
-  // (exec/parallel.h), so cached answers are machine-independent.
+  // (exec/parallel.h), so cached answers are machine-independent.  The
+  // dispatcher consults the fact columns' zone maps and skips whole
+  // morsels the query's filter/bin ranges provably exclude — on the
+  // selective ground-truth queries of a warm-up pass most blocks never
+  // get scanned, and skipped rows are still accounted so the exact
+  // answers are bit-identical to an unpruned scan.
   exec::MorselProcessRange(&aggregator, 0, catalog_->fact_table()->num_rows(),
                            exec::ResolveThreadCount(threads_));
   query::QueryResult result = aggregator.ExactResult();

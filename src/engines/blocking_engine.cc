@@ -86,7 +86,10 @@ Micros BlockingEngine::RunFor(QueryHandle handle, Micros budget) {
   const int64_t todo = std::min(affordable, remaining);
   if (todo > 0) {
     // Scan positions covered by a cached snapshot are served from it; the
-    // remainder runs through the physical pipeline as usual.
+    // remainder runs through the physical pipeline as usual (fused
+    // kernels + zone-map block skipping — this is the full-scan path the
+    // zone maps exist for; the *virtual* cost model still charges every
+    // row, only wall-clock work shrinks).
     const int64_t end = rq.cursor + todo;
     const int64_t served_to =
         ServeReuse(rq.reuse, rq.aggregator.get(), rq.cursor, end);

@@ -38,11 +38,32 @@ void BinnedAggregator::DecideDense() {
                keys <= options_.dense_key_limit &&
                keys * naggs <= options_.dense_accum_limit;
   dense_keys_ = use_dense_ ? keys : 0;
+  use_fused_ = options_.enable_fused && vec_->fused_ok();
 }
 
 std::unique_ptr<BinnedAggregator> BinnedAggregator::NewPartial() const {
   return std::unique_ptr<BinnedAggregator>(
       new BinnedAggregator(query_, options_, vec_));
+}
+
+std::unique_ptr<BinnedAggregator> BinnedAggregator::AcquirePartial() {
+  if (!partial_pool_.empty()) {
+    std::unique_ptr<BinnedAggregator> p = std::move(partial_pool_.back());
+    partial_pool_.pop_back();
+    return p;
+  }
+  return NewPartial();
+}
+
+void BinnedAggregator::ReleasePartial(
+    std::unique_ptr<BinnedAggregator> partial) {
+  if (partial == nullptr) return;
+  // Bounded by the widest wave the dispatcher can run (pool thread cap);
+  // Reset() keeps the dense-table capacity, which is the point.
+  constexpr size_t kMaxPooledPartials = 64;
+  if (partial_pool_.size() >= kMaxPooledPartials) return;
+  partial->Reset();
+  partial_pool_.push_back(std::move(partial));
 }
 
 namespace {
@@ -105,6 +126,8 @@ void BinnedAggregator::MergeFrom(const BinnedAggregator& other) {
   }
   rows_seen_ += other.rows_seen_;
   rows_matched_ += other.rows_matched_;
+  zone_rows_skipped_ += other.zone_rows_skipped_;
+  zone_blocks_skipped_ += other.zone_blocks_skipped_;
   const size_t naggs = query_->spec().aggregates.size();
 
   // Fast path: both sides use the same dense layout — a flat index-wise
@@ -195,7 +218,11 @@ void BinnedAggregator::ProcessBatch(const int64_t* rows, int64_t n,
     const int64_t pos_base = rows_seen_;  // feed position of batch.rows[0]
     rows_seen_ += batch.n;
 
-    const int64_t m = vec_->FilterAndBin(&batch);
+    // Fused and two-phase front ends share the postcondition (compact
+    // sel + dense keys in feed order), so everything below — recorder,
+    // base resolution, accumulation — is common code.
+    const int64_t m = use_fused_ ? vec_->FusedFilterBin(&batch)
+                                 : vec_->FilterAndBin(&batch);
     rows_matched_ += m;
     if (m == 0) continue;
 
@@ -216,6 +243,29 @@ void BinnedAggregator::ProcessBatch(const int64_t* rows, int64_t n,
           out[i] = {pos_base + idx, batch.rows[idx], weight};
         }
       }
+    }
+
+    // Fused agg-set kernel for the canonical dashboard shape — COUNT
+    // plus one value aggregate, unit weight, dense table: one pass over
+    // the selection, accumulator row resolved once per row, no bases
+    // scratch.  Per-cell accumulation order (agg 0 then agg 1 within a
+    // row, rows in feed order) matches the agg-major loops below
+    // bit-exactly because the two aggregates never share a cell.  Gated
+    // on the fused plan so enable_fused=false really is the unmodified
+    // two-phase reference, accumulation tail included.
+    if (use_fused_ && use_dense_ && weight == 1.0 && naggs == 2 &&
+        vec_->agg_is_count(0) && !vec_->agg_is_count(1)) {
+      EnsureDenseAllocated();
+      const double* values = vec_->GatherAggValues(1, &batch);
+      for (int64_t i = 0; i < m; ++i) {
+        const size_t d = static_cast<size_t>(batch.keys[i]);
+        dense_touched_[d] = 1;
+        AggAccum* base = dense_.data() + d * 2;
+        AccumulateUnit(&base[0], 1.0);
+        const double v = values[i];
+        if (v == v) AccumulateUnit(&base[1], v);
+      }
+      continue;
     }
 
     // Resolve each selected row's accumulator base once.
@@ -247,9 +297,9 @@ void BinnedAggregator::ProcessBatch(const int64_t* rows, int64_t n,
         }
         continue;
       }
-      vec_->GatherAggValues(a, &batch);
+      const double* values = vec_->GatherAggValues(a, &batch);
       for (int64_t i = 0; i < m; ++i) {
-        const double v = batch.values[i];
+        const double v = values[i];
         if (!(v == v)) continue;  // NaN input: scalar parity
         if (unit_weight) {
           AccumulateUnit(&bases[i][a], v);
@@ -266,11 +316,28 @@ void BinnedAggregator::ProcessRange(int64_t begin, int64_t end) {
     for (int64_t row = begin; row < end; ++row) ProcessRow(row);
     return;
   }
+  // Physical scans consult the fact columns' zone maps block by block:
+  // a 64K block whose bounds prove no row can pass the filter (or land
+  // in any bin) is skipped wholesale — rows still accounted, so results
+  // are bit-identical to the unpruned scan.
+  const VectorizedQuery* prune = zone_prune_query();
   std::array<int64_t, kVectorBatchSize> rows;
-  for (int64_t b = begin; b < end; b += kVectorBatchSize) {
-    const int64_t c = std::min(end - b, kVectorBatchSize);
-    for (int64_t i = 0; i < c; ++i) rows[static_cast<size_t>(i)] = b + i;
-    ProcessBatch(rows.data(), c);
+  for (int64_t seg = begin; seg < end;) {
+    // Zone-block-aligned segment [seg, seg_end).
+    const int64_t block_end =
+        (seg / storage::kZoneMapBlockRows + 1) * storage::kZoneMapBlockRows;
+    const int64_t seg_end = std::min(end, block_end);
+    if (prune != nullptr && !prune->RangeCanMatch(seg, seg_end)) {
+      AccountZoneSkip(seg_end - seg);
+      seg = seg_end;
+      continue;
+    }
+    for (int64_t b = seg; b < seg_end; b += kVectorBatchSize) {
+      const int64_t c = std::min(seg_end - b, kVectorBatchSize);
+      for (int64_t i = 0; i < c; ++i) rows[static_cast<size_t>(i)] = b + i;
+      ProcessBatch(rows.data(), c);
+    }
+    seg = seg_end;
   }
 }
 
@@ -325,12 +392,15 @@ void BinnedAggregator::ReplayMatches(const std::vector<MatchedRow>& matches,
 
 void BinnedAggregator::Reset() {
   bins_.clear();
-  dense_.clear();
+  dense_.clear();  // keeps capacity: pooled partials reuse the buffer
   dense_touched_.clear();
   matches_.clear();
   matches_overflowed_ = false;
   rows_seen_ = 0;
   rows_matched_ = 0;
+  zone_rows_skipped_ = 0;
+  zone_blocks_skipped_ = 0;
+  partial_pool_.clear();
 }
 
 namespace {

@@ -17,20 +17,32 @@
 ///    where each row carries its stratum weight N_s/n_s; variances use a
 ///    Poisson-sampling approximation (see DESIGN.md).
 ///
-/// Rows arrive through two equivalent paths:
+/// Rows arrive through three equivalent paths:
 ///
 ///  * the scalar reference path (`ProcessRow` / `ProcessRowWeighted`),
 ///    one `MatchesFilter`+`BinKey`+`AggValueAt` chain per row;
-///  * the vectorized path (`ProcessBatch` / `ProcessRange`), which runs
-///    the type-specialized kernels in exec/vectorized.h over batches of
-///    ~1024 rows and accumulates into a *dense flat bin table* whenever
-///    the resolved bin-key space is small (the common IDEBench case),
+///  * the two-phase vectorized path (filter kernels → selection vector →
+///    bin kernels → aggregate gathers), kept as the vectorized
+///    differential reference (`enable_fused = false`);
+///  * the fused single-pass path (the default for `ProcessBatch` /
+///    `ProcessRange` / `ProcessShuffled`): one compiled plan per query
+///    walks each ~1024-row batch once — every distinct column gathered
+///    exactly once, vertical mask predicates, branchless SIMD bin keys
+///    (dictionary dimensions through a compile-time code→bin LUT) — and
+///    accumulates straight into a *dense flat bin table* whenever the
+///    resolved bin-key space is small (the common IDEBench case),
 ///    falling back to the hash map transparently otherwise.
 ///
-/// Both paths write the same accumulator streams in the same per-bin
-/// order, so results are bit-identical; the scalar path is kept as the
-/// reference implementation for differential testing
+/// All paths write the same accumulator streams in the same per-bin
+/// order, so results are bit-identical; the scalar path is the reference
+/// implementation for differential testing
 /// (`BinnedAggregatorOptions::enable_vectorized = false`).
+///
+/// `ProcessRange` feeds additionally consult the fact columns' zone maps
+/// (storage/column.h) through the compiled prune checks: 64K blocks that
+/// provably cannot contain a match are skipped wholesale (rows still
+/// accounted via `SkipRows`, so results stay bit-identical).  Shuffled
+/// walks cannot prune — their batches mix rows from every block.
 ///
 /// For multi-core execution (exec/parallel.h) an aggregator is
 /// *mergeable*: morsel workers accumulate into partial aggregators
@@ -74,6 +86,19 @@ struct BinnedAggregatorOptions {
   /// Compile and use the vectorized kernels for batch entry points.
   /// Disable to force the scalar reference path everywhere.
   bool enable_vectorized = true;
+
+  /// Run the batch entry points through the fused single-pass plan
+  /// (filter + bin + accumulate in one walk, each column gathered once).
+  /// Disable to force the two-phase pipeline (filter kernels → selection
+  /// vector → bin kernels → aggregate gathers), kept as the vectorized
+  /// differential reference.  Ignored when `enable_vectorized` is off.
+  bool enable_fused = true;
+
+  /// Skip zone-map-excluded 64K blocks on `ProcessRange` feeds (skipped
+  /// rows still advance `rows_seen()` via SkipRows, so results — rows
+  /// seen, matches, every accumulator — are bit-identical with pruning
+  /// on or off).  Shuffled and explicit-row feeds never prune.
+  bool enable_zone_pruning = true;
 
   /// Use the dense flat-array bin table when the key space is small.
   bool enable_dense_bins = true;
@@ -123,6 +148,21 @@ class BinnedAggregator {
   /// partials; the dispatcher folds them back with `MergeFrom`.
   std::unique_ptr<BinnedAggregator> NewPartial() const;
 
+  /// Pops a pooled (reset) partial or creates one via `NewPartial` — the
+  /// morsel dispatcher's allocation-churn guard: dense bin tables and
+  /// batch scratch survive across waves and across successive
+  /// `MorselProcess*` calls on the same aggregator instead of being
+  /// reallocated every morsel.  Caller-thread only (not for workers).
+  std::unique_ptr<BinnedAggregator> AcquirePartial();
+
+  /// Resets `partial` and returns it to this aggregator's pool (bounded;
+  /// overflow is simply destroyed).  `partial` must have been created by
+  /// this aggregator's `AcquirePartial`/`NewPartial`.
+  void ReleasePartial(std::unique_ptr<BinnedAggregator> partial);
+
+  /// Pooled partials currently held (diagnostics/tests).
+  size_t partial_pool_size() const { return partial_pool_.size(); }
+
   /// Folds `other`'s accumulated state into this aggregator: counters
   /// add, per-bin accumulators merge field-wise (sums add, min/max fold),
   /// and bins only one side touched are reconciled across the dense/hash
@@ -160,6 +200,23 @@ class BinnedAggregator {
   /// for feed positions whose rows are known (from a recorded match list)
   /// not to pass the filter.
   void SkipRows(int64_t n) { rows_seen_ += n; }
+
+  /// Accounts a zone-map-pruned range spanning `blocks` zone blocks:
+  /// the rows are skipped (they provably cannot match) and the skip
+  /// telemetry advances.  Called by the morsel dispatcher for whole
+  /// pruned morsels (which may straddle two blocks when the scan cursor
+  /// is unaligned); `ProcessRange` uses it internally for block-aligned
+  /// sub-ranges.
+  void AccountZoneSkip(int64_t rows, int64_t blocks = 1) {
+    rows_seen_ += rows;
+    zone_rows_skipped_ += rows;
+    zone_blocks_skipped_ += blocks;
+  }
+
+  /// Rows / block-sized ranges skipped by zone-map pruning so far
+  /// (telemetry; folded by MergeFrom like the row counters).
+  int64_t zone_rows_skipped() const { return zone_rows_skipped_; }
+  int64_t zone_blocks_skipped() const { return zone_blocks_skipped_; }
 
   /// Replays the slice of `matches` with positions in [pos_begin,
   /// pos_end) through the normal processing pipeline (each row re-runs
@@ -205,6 +262,20 @@ class BinnedAggregator {
 
   /// True when the batch entry points run the vectorized kernels.
   bool uses_vectorized() const { return vec_ != nullptr && vec_->ok(); }
+
+  /// True when the batch entry points run the fused single-pass plan.
+  bool uses_fused() const { return use_fused_; }
+
+  /// The compiled kernel table when zone-map pruning is active for this
+  /// aggregator (options + at least one fact-column check); nullptr
+  /// otherwise.  The morsel dispatcher consults it to skip whole morsels
+  /// before they are ever dispatched to a worker.
+  const VectorizedQuery* zone_prune_query() const {
+    return options_.enable_zone_pruning && vec_ != nullptr &&
+                   vec_->can_prune_blocks()
+               ? vec_.get()
+               : nullptr;
+  }
 
   /// The bound query this aggregator executes.
   const BoundQuery& query() const { return *query_; }
@@ -308,6 +379,7 @@ class BinnedAggregator {
   // Compiled kernel table; immutable after construction and shared with
   // partial aggregators, so morsel workers can run it concurrently.
   std::shared_ptr<const VectorizedQuery> vec_;
+  bool use_fused_ = false;
 
   // Hash-map bin store (always correct; the fallback).
   std::unordered_map<int64_t, std::vector<AggAccum>> bins_;
@@ -324,6 +396,11 @@ class BinnedAggregator {
 
   int64_t rows_seen_ = 0;
   int64_t rows_matched_ = 0;
+  int64_t zone_rows_skipped_ = 0;
+  int64_t zone_blocks_skipped_ = 0;
+
+  // Reset partials awaiting reuse (AcquirePartial/ReleasePartial).
+  std::vector<std::unique_ptr<BinnedAggregator>> partial_pool_;
 
   // Matched-row recorder (options_.record_matches).
   std::vector<MatchedRow> matches_;

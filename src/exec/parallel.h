@@ -14,9 +14,18 @@
 ///                     morsel 2 ─> worker A ─> partial aggregator ─┘  (morsel order)
 ///
 /// Each morsel is aggregated into its own partial `BinnedAggregator`
-/// (`NewPartial()`: private dense/hash bin table and `RowBatch` scratch,
-/// shared immutable compiled kernels), and partials are folded back with
+/// (private dense/hash bin table and `RowBatch` scratch, shared
+/// immutable compiled kernels), and partials are folded back with
 /// `MergeFrom()` **in morsel index order** on the calling thread.
+/// Partials are pooled on the target aggregator
+/// (`AcquirePartial`/`ReleasePartial`), so dense tables survive across
+/// waves and across the many small budget slices engines advance in.
+///
+/// Range scans additionally consult the fact columns' zone maps
+/// (storage/column.h) through the target's compiled prune checks:
+/// morsels that provably cannot contain a match are skipped before
+/// dispatch (rows accounted via `AccountZoneSkip`, results unchanged);
+/// shuffled walks mix rows from every block and never prune.
 ///
 /// Determinism contract: the morsel decomposition and the merge order
 /// depend only on the input range and the morsel size — never on the

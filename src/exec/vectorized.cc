@@ -8,6 +8,9 @@ namespace {
 
 using expr::CompareOp;
 
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+
 /// Physical load path a kernel is specialized on.
 enum class Ld { kI64, kF64, kI64Join, kF64Join };
 
@@ -33,9 +36,10 @@ inline bool Load(const ColumnAccess& c, int64_t row, double* v) {
   }
 }
 
-/// Predicate test, mirroring expr::Predicate::Matches exactly.
-template <CompareOp Op>
-inline bool Test(const FilterKernel& k, double v) {
+/// Predicate test, mirroring expr::Predicate::Matches exactly.  `K` is
+/// any kernel struct carrying value/lo/hi/set_begin/set_end.
+template <CompareOp Op, typename K>
+inline bool Test(const K& k, double v) {
   if constexpr (Op == CompareOp::kEq) return v == k.value;
   if constexpr (Op == CompareOp::kNeq) return v != k.value;
   if constexpr (Op == CompareOp::kLt) return v < k.value;
@@ -51,12 +55,15 @@ inline bool Test(const FilterKernel& k, double v) {
   }
 }
 
-template <CompareOp Op, Ld L>
+/// `First` marks the first filter of the chain: the incoming selection
+/// is the identity, so the kernel synthesizes it instead of reading it —
+/// the caller skips the selection-vector init pass entirely.
+template <CompareOp Op, Ld L, bool First = false>
 int64_t FilterImpl(const FilterKernel& k, const int64_t* rows, int32_t* sel,
                    int64_t n_sel) {
   int64_t out = 0;
   for (int64_t i = 0; i < n_sel; ++i) {
-    const int32_t s = sel[i];
+    const int32_t s = First ? static_cast<int32_t>(i) : sel[i];
     double v = std::numeric_limits<double>::quiet_NaN();
     const bool loaded = Load<L>(k.col, rows[s], &v);
     // Branchless compaction; NaN fails every predicate (scalar parity).
@@ -76,7 +83,7 @@ int64_t FilterImpl(const FilterKernel& k, const int64_t* rows, int32_t* sel,
 /// (and, with -march=native, the gather loop into hardware gathers).
 /// Semantics are identical to FilterImpl<kRange, L>: NaN never matches
 /// ((NaN >= lo) is false), bounds are [lo, hi).
-template <Ld L>
+template <Ld L, bool First = false>
 int64_t RangeFilterDense(const FilterKernel& k, const int64_t* rows,
                          int32_t* sel, int64_t n_sel) {
   static_assert(L == Ld::kI64 || L == Ld::kF64,
@@ -87,18 +94,17 @@ int64_t RangeFilterDense(const FilterKernel& k, const int64_t* rows,
   if constexpr (L == Ld::kI64) {
     const int64_t* data = k.col.i64;
     for (int64_t i = 0; i < n_sel; ++i) {
-      vals[i] = static_cast<double>(data[rows[sel[i]]]);
+      vals[i] = static_cast<double>(data[rows[First ? i : sel[i]]]);
     }
   } else {
     const double* data = k.col.f64;
     for (int64_t i = 0; i < n_sel; ++i) {
-      vals[i] = data[rows[sel[i]]];
+      vals[i] = data[rows[First ? i : sel[i]]];
     }
   }
   int64_t out = 0;
   for (int64_t i = 0; i < n_sel; ++i) {
-    const int32_t s = sel[i];
-    sel[out] = s;
+    sel[out] = First ? static_cast<int32_t>(i) : sel[i];
     out += (vals[i] >= lo) & (vals[i] < hi);
   }
   return out;
@@ -110,7 +116,7 @@ int64_t RangeFilterDense(const FilterKernel& k, const int64_t* rows,
 /// into SIMD compares.  Semantics are identical to FilterImpl<kEq, L>:
 /// NaN never matches ((NaN == v) is false), so the explicit NaN guard of
 /// the generic kernel is redundant here.
-template <Ld L>
+template <Ld L, bool First = false>
 int64_t EqFilterDense(const FilterKernel& k, const int64_t* rows,
                       int32_t* sel, int64_t n_sel) {
   static_assert(L == Ld::kI64 || L == Ld::kF64,
@@ -120,18 +126,17 @@ int64_t EqFilterDense(const FilterKernel& k, const int64_t* rows,
   if constexpr (L == Ld::kI64) {
     const int64_t* data = k.col.i64;
     for (int64_t i = 0; i < n_sel; ++i) {
-      vals[i] = static_cast<double>(data[rows[sel[i]]]);
+      vals[i] = static_cast<double>(data[rows[First ? i : sel[i]]]);
     }
   } else {
     const double* data = k.col.f64;
     for (int64_t i = 0; i < n_sel; ++i) {
-      vals[i] = data[rows[sel[i]]];
+      vals[i] = data[rows[First ? i : sel[i]]];
     }
   }
   int64_t out = 0;
   for (int64_t i = 0; i < n_sel; ++i) {
-    const int32_t s = sel[i];
-    sel[out] = s;
+    sel[out] = First ? static_cast<int32_t>(i) : sel[i];
     out += vals[i] == value;
   }
   return out;
@@ -144,7 +149,7 @@ int64_t EqFilterDense(const FilterKernel& k, const int64_t* rows,
 /// loop a vertical operation over contiguous arrays.  Semantics are
 /// identical to FilterImpl<kIn, L>: NaN matches nothing, an empty set
 /// selects nothing, duplicates in the set are harmless.
-template <Ld L>
+template <Ld L, bool First = false>
 int64_t InFilterDense(const FilterKernel& k, const int64_t* rows,
                       int32_t* sel, int64_t n_sel) {
   static_assert(L == Ld::kI64 || L == Ld::kF64,
@@ -154,12 +159,12 @@ int64_t InFilterDense(const FilterKernel& k, const int64_t* rows,
   if constexpr (L == Ld::kI64) {
     const int64_t* data = k.col.i64;
     for (int64_t i = 0; i < n_sel; ++i) {
-      vals[i] = static_cast<double>(data[rows[sel[i]]]);
+      vals[i] = static_cast<double>(data[rows[First ? i : sel[i]]]);
     }
   } else {
     const double* data = k.col.f64;
     for (int64_t i = 0; i < n_sel; ++i) {
-      vals[i] = data[rows[sel[i]]];
+      vals[i] = data[rows[First ? i : sel[i]]];
     }
   }
   for (int64_t i = 0; i < n_sel; ++i) pass[i] = 0;
@@ -171,68 +176,75 @@ int64_t InFilterDense(const FilterKernel& k, const int64_t* rows,
   }
   int64_t out = 0;
   for (int64_t i = 0; i < n_sel; ++i) {
-    const int32_t s = sel[i];
-    sel[out] = s;
+    sel[out] = First ? static_cast<int32_t>(i) : sel[i];
     out += pass[i];
   }
   return out;
 }
 
-template <CompareOp Op>
+template <CompareOp Op, bool First>
 FilterKernel::Fn PickFilterForOp(Ld load) {
   switch (load) {
     case Ld::kI64:
-      return &FilterImpl<Op, Ld::kI64>;
+      return &FilterImpl<Op, Ld::kI64, First>;
     case Ld::kF64:
-      return &FilterImpl<Op, Ld::kF64>;
+      return &FilterImpl<Op, Ld::kF64, First>;
     case Ld::kI64Join:
-      return &FilterImpl<Op, Ld::kI64Join>;
+      return &FilterImpl<Op, Ld::kI64Join, First>;
     case Ld::kF64Join:
-      return &FilterImpl<Op, Ld::kF64Join>;
+      return &FilterImpl<Op, Ld::kF64Join, First>;
   }
   return nullptr;
 }
 
-FilterKernel::Fn PickFilter(CompareOp op, Ld load) {
+template <bool First>
+FilterKernel::Fn PickFilterImpl(CompareOp op, Ld load) {
   switch (op) {
     case CompareOp::kEq:
       // Fact-column equality takes the SIMD-friendly two-phase kernel.
-      if (load == Ld::kI64) return &EqFilterDense<Ld::kI64>;
-      if (load == Ld::kF64) return &EqFilterDense<Ld::kF64>;
-      return PickFilterForOp<CompareOp::kEq>(load);
+      if (load == Ld::kI64) return &EqFilterDense<Ld::kI64, First>;
+      if (load == Ld::kF64) return &EqFilterDense<Ld::kF64, First>;
+      return PickFilterForOp<CompareOp::kEq, First>(load);
     case CompareOp::kNeq:
-      return PickFilterForOp<CompareOp::kNeq>(load);
+      return PickFilterForOp<CompareOp::kNeq, First>(load);
     case CompareOp::kLt:
-      return PickFilterForOp<CompareOp::kLt>(load);
+      return PickFilterForOp<CompareOp::kLt, First>(load);
     case CompareOp::kLe:
-      return PickFilterForOp<CompareOp::kLe>(load);
+      return PickFilterForOp<CompareOp::kLe, First>(load);
     case CompareOp::kGt:
-      return PickFilterForOp<CompareOp::kGt>(load);
+      return PickFilterForOp<CompareOp::kGt, First>(load);
     case CompareOp::kGe:
-      return PickFilterForOp<CompareOp::kGe>(load);
+      return PickFilterForOp<CompareOp::kGe, First>(load);
     case CompareOp::kRange:
       // Fact-column range filters take the SIMD-friendly two-phase kernel.
-      if (load == Ld::kI64) return &RangeFilterDense<Ld::kI64>;
-      if (load == Ld::kF64) return &RangeFilterDense<Ld::kF64>;
-      return PickFilterForOp<CompareOp::kRange>(load);
+      if (load == Ld::kI64) return &RangeFilterDense<Ld::kI64, First>;
+      if (load == Ld::kF64) return &RangeFilterDense<Ld::kF64, First>;
+      return PickFilterForOp<CompareOp::kRange, First>(load);
     case CompareOp::kIn:
       // Fact-column IN-sets take the SIMD-friendly two-phase kernel.
-      if (load == Ld::kI64) return &InFilterDense<Ld::kI64>;
-      if (load == Ld::kF64) return &InFilterDense<Ld::kF64>;
-      return PickFilterForOp<CompareOp::kIn>(load);
+      if (load == Ld::kI64) return &InFilterDense<Ld::kI64, First>;
+      if (load == Ld::kF64) return &InFilterDense<Ld::kF64, First>;
+      return PickFilterForOp<CompareOp::kIn, First>(load);
   }
   return nullptr;
+}
+
+FilterKernel::Fn PickFilter(CompareOp op, Ld load, bool first) {
+  return first ? PickFilterImpl<true>(op, load)
+               : PickFilterImpl<false>(op, load);
 }
 
 template <Ld L, bool Nominal>
 void BinImpl(const BinKernel& k, const int64_t* rows, const int32_t* sel,
-             int64_t n_sel, int64_t* out) {
+             int64_t n_sel, int64_t* out, double* out_vals) {
   for (int64_t i = 0; i < n_sel; ++i) {
     double v;
     if (!Load<L>(k.col, rows[sel[i]], &v) || !(v == v)) {
       out[i] = -1;
+      out_vals[i] = kNaN;
       continue;
     }
+    out_vals[i] = v;
     // Same expressions as BinDimension::BinIndex: truncation for nominal
     // (integer-coded) dimensions, floor division for quantitative ones.
     int64_t idx;
@@ -307,7 +319,355 @@ bool CompileAccess(const ColumnBinding& binding, ColumnAccess* access,
   return true;
 }
 
+bool SameAccess(const ColumnAccess& a, const ColumnAccess& b) {
+  return a.i64 == b.i64 && a.f64 == b.f64 && a.join == b.join;
+}
+
+// --- Fused bin kernels -----------------------------------------------------
+
+/// Fused quantitative bin keys: a gather phase loads each selected row's
+/// value once into the contiguous lane `out_vals` (NaN sentinel on join
+/// miss), then a *vertical* key phase evaluates the scalar path's
+/// floor-division.  The range check moves onto the quotient itself —
+/// `t >= 0` iff `floor(t) >= 0`, and (bin_count being an exactly
+/// representable integer) `t < bin_count` iff `floor(t) < bin_count` —
+/// after which truncation *is* floor (t is non-negative), so the key
+/// phase is two compares, one select in the double domain (the cast is
+/// always of a value in [-1, bin_count) — never UB) and one truncating
+/// cast: no libm floor call, no per-row branch, fully vectorizable.
+/// `UseInv` replaces the division with an exact reciprocal multiply,
+/// chosen at compile time only when width is a power of two, where
+/// `v * (1/width)` rounds identically to `v / width` for every v.
+template <Ld L, bool UseInv>
+void FusedBinQuantImpl(const BinKernel& k, const int64_t* rows,
+                       const int32_t* sel, int64_t n_sel, int64_t* out,
+                       double* out_vals) {
+  if constexpr (L == Ld::kI64) {
+    const int64_t* data = k.col.i64;
+    for (int64_t i = 0; i < n_sel; ++i) {
+      out_vals[i] = static_cast<double>(data[rows[sel[i]]]);
+    }
+  } else if constexpr (L == Ld::kF64) {
+    const double* data = k.col.f64;
+    for (int64_t i = 0; i < n_sel; ++i) out_vals[i] = data[rows[sel[i]]];
+  } else {
+    for (int64_t i = 0; i < n_sel; ++i) {
+      double v;
+      out_vals[i] = Load<L>(k.col, rows[sel[i]], &v) ? v : kNaN;
+    }
+  }
+  const double lo = k.lo;
+  const double width = k.width;
+  const double inv = k.inv_width;
+  const double dbc = static_cast<double>(k.bin_count);
+#if defined(__AVX512DQ__)
+  // vcvttpd2qq converts packed double -> int64 directly; no staging.
+  for (int64_t i = 0; i < n_sel; ++i) {
+    const double t =
+        UseInv ? (out_vals[i] - lo) * inv : (out_vals[i] - lo) / width;
+    // NaN fails both compares -> -1, matching the scalar NaN/miss path.
+    const double ts = (t >= 0.0) & (t < dbc) ? t : -1.0;
+    out[i] = static_cast<int64_t>(ts);
+  }
+#else
+  // Staging through int32 lets the cast vectorize (cvttpd2dq exists from
+  // SSE2 on; packed double->int64 needs AVX-512).  Bin indices are far
+  // below 2^21 (`query::kBinKeyStride`), so the narrow cast is lossless.
+  alignas(64) int32_t stage[kVectorBatchSize];
+  for (int64_t i = 0; i < n_sel; ++i) {
+    const double t =
+        UseInv ? (out_vals[i] - lo) * inv : (out_vals[i] - lo) / width;
+    // NaN fails both compares -> -1, matching the scalar NaN/miss path.
+    const double ts = (t >= 0.0) & (t < dbc) ? t : -1.0;
+    stage[i] = static_cast<int32_t>(ts);
+  }
+  for (int64_t i = 0; i < n_sel; ++i) out[i] = stage[i];
+#endif
+}
+
+/// Fused nominal (truncation) bin keys: same gather phase, then a
+/// vertical key phase whose truncating cast *is* the scalar path's
+/// `(int64_t)(v - lo)`.  Guarding with `d > -1` (not `d >= 0`)
+/// reproduces its boundary behavior exactly — v - lo in (-1, 0)
+/// truncates to bin 0.
+template <Ld L>
+void FusedBinNominalImpl(const BinKernel& k, const int64_t* rows,
+                         const int32_t* sel, int64_t n_sel, int64_t* out,
+                         double* out_vals) {
+  if constexpr (L == Ld::kI64) {
+    const int64_t* data = k.col.i64;
+    for (int64_t i = 0; i < n_sel; ++i) {
+      out_vals[i] = static_cast<double>(data[rows[sel[i]]]);
+    }
+  } else if constexpr (L == Ld::kF64) {
+    const double* data = k.col.f64;
+    for (int64_t i = 0; i < n_sel; ++i) out_vals[i] = data[rows[sel[i]]];
+  } else {
+    for (int64_t i = 0; i < n_sel; ++i) {
+      double v;
+      out_vals[i] = Load<L>(k.col, rows[sel[i]], &v) ? v : kNaN;
+    }
+  }
+  const double lo = k.lo;
+  const double dbc = static_cast<double>(k.bin_count);
+#if defined(__AVX512DQ__)
+  for (int64_t i = 0; i < n_sel; ++i) {
+    const double d = out_vals[i] - lo;
+    const double ds = (d > -1.0) & (d < dbc) ? d : -1.0;
+    out[i] = static_cast<int64_t>(ds);
+  }
+#else
+  alignas(64) int32_t stage[kVectorBatchSize];
+  for (int64_t i = 0; i < n_sel; ++i) {
+    const double d = out_vals[i] - lo;
+    const double ds = (d > -1.0) & (d < dbc) ? d : -1.0;
+    stage[i] = static_cast<int32_t>(ds);
+  }
+  for (int64_t i = 0; i < n_sel; ++i) out[i] = stage[i];
+#endif
+}
+
+/// Pre-binned dictionary dimension, *direct* form (no aggregate shares
+/// the column, so the double value lane is not needed): per-row string
+/// binning is one int gather through the compile-time code -> bin LUT.
+/// Codes are dense in [0, dict size), so the LUT load can never go out
+/// of bounds.
+void FusedBinLutDirect(const BinKernel& k, const int64_t* rows,
+                       const int32_t* sel, int64_t n_sel, int64_t* out,
+                       double* /*out_vals*/) {
+  const int64_t* codes = k.col.i64;
+  const int32_t* lut = k.lut;
+  for (int64_t i = 0; i < n_sel; ++i) out[i] = lut[codes[rows[sel[i]]]];
+}
+
+void FusedBinLutDirectJoin(const BinKernel& k, const int64_t* rows,
+                           const int32_t* sel, int64_t n_sel, int64_t* out,
+                           double* /*out_vals*/) {
+  const int64_t* codes = k.col.i64;
+  const int32_t* join = k.col.join;
+  const int32_t* lut = k.lut;
+  for (int64_t i = 0; i < n_sel; ++i) {
+    const int32_t dim = join[rows[sel[i]]];
+    out[i] = dim < 0 ? -1 : lut[codes[dim]];
+  }
+}
+
+/// Pre-binned dictionary dimension, value-lane form (an aggregate reads
+/// the same column): gathers the code lane like the numeric kernels,
+/// then LUT-binned through an exact double -> int64 round trip (every
+/// representable dictionary code survives it bit-exactly).
+template <Ld L>
+void FusedBinLutValsImpl(const BinKernel& k, const int64_t* rows,
+                         const int32_t* sel, int64_t n_sel, int64_t* out,
+                         double* out_vals) {
+  if constexpr (L == Ld::kI64) {
+    const int64_t* data = k.col.i64;
+    for (int64_t i = 0; i < n_sel; ++i) {
+      out_vals[i] = static_cast<double>(data[rows[sel[i]]]);
+    }
+  } else {
+    for (int64_t i = 0; i < n_sel; ++i) {
+      double v;
+      out_vals[i] = Load<L>(k.col, rows[sel[i]], &v) ? v : kNaN;
+    }
+  }
+  const int32_t* lut = k.lut;
+  for (int64_t i = 0; i < n_sel; ++i) {
+    const double v = out_vals[i];
+    out[i] = (v == v) ? lut[static_cast<int64_t>(v)] : -1;
+  }
+}
+
+template <Ld L>
+BinKernel::Fn PickFusedQuant(bool use_inv) {
+  return use_inv ? &FusedBinQuantImpl<L, true> : &FusedBinQuantImpl<L, false>;
+}
+
+/// True when 1/width is exactly representable, i.e. multiplying by the
+/// reciprocal rounds identically to dividing (width a power of two).
+bool ExactReciprocal(double width) {
+  if (!(width > 0.0) || !std::isfinite(width)) return false;
+  int exp = 0;
+  const double mant = std::frexp(width, &exp);
+  const double inv = 1.0 / width;
+  return mant == 0.5 && std::isfinite(inv);
+}
+
 }  // namespace
+
+void VectorizedQuery::CompileFused(const BoundQuery& query) {
+  const query::QuerySpec& spec = query.spec();
+  fused_bins_.reserve(bin_kernels_.size());
+  for (size_t d = 0; d < spec.bins.size(); ++d) {
+    const query::BinDimension& dim = spec.bins[d];
+    const ColumnBinding& binding = query.bin_bindings()[d];
+    const bool is_string =
+        binding.column->type() == storage::DataType::kString;
+    const bool is_double =
+        binding.column->type() == storage::DataType::kDouble;
+    const bool joined = binding.join != nullptr;
+    BinKernel b = bin_kernels_[d];  // copy access path + params
+
+    if (is_string && dim.mode == query::BinningMode::kNominal) {
+      // Pre-bin every dictionary code once at compile time.  Codes
+      // outside the resolved bin range (values that joined the
+      // dictionary after the bin config froze, or a refined lo) map to
+      // -1 like any out-of-range value.
+      const storage::Dictionary& dict = binding.column->dictionary();
+      auto lut = std::make_shared<std::vector<int32_t>>(
+          static_cast<size_t>(dict.size()), -1);
+      for (int64_t c = 0; c < dict.size(); ++c) {
+        const int64_t idx =
+            static_cast<int64_t>(static_cast<double>(c) - b.lo);
+        (*lut)[static_cast<size_t>(c)] =
+            (idx >= 0 && idx < b.bin_count) ? static_cast<int32_t>(idx) : -1;
+      }
+      b.lut = lut->data();
+      b.lut_owner = std::move(lut);
+      bool shared = false;
+      for (size_t a = 0; a < agg_shared_dim_.size(); ++a) {
+        if (agg_shared_dim_[a] == static_cast<int8_t>(d)) shared = true;
+      }
+      if (shared) {
+        b.fn = joined ? &FusedBinLutValsImpl<Ld::kI64Join>
+                      : &FusedBinLutValsImpl<Ld::kI64>;
+      } else {
+        b.fn = joined ? &FusedBinLutDirectJoin : &FusedBinLutDirect;
+      }
+    } else if (dim.mode == query::BinningMode::kNominal) {
+      if (joined) {
+        b.fn = is_double ? &FusedBinNominalImpl<Ld::kF64Join>
+                         : &FusedBinNominalImpl<Ld::kI64Join>;
+      } else {
+        b.fn = is_double ? &FusedBinNominalImpl<Ld::kF64>
+                         : &FusedBinNominalImpl<Ld::kI64>;
+      }
+    } else {
+      const bool use_inv = ExactReciprocal(b.width);
+      if (use_inv) b.inv_width = 1.0 / b.width;
+      if (joined) {
+        b.fn = is_double ? PickFusedQuant<Ld::kF64Join>(use_inv)
+                         : PickFusedQuant<Ld::kI64Join>(use_inv);
+      } else {
+        b.fn = is_double ? PickFusedQuant<Ld::kF64>(use_inv)
+                         : PickFusedQuant<Ld::kI64>(use_inv);
+      }
+    }
+    fused_bins_.push_back(std::move(b));
+  }
+  fused_ok_ = true;
+}
+
+void VectorizedQuery::CompilePrune(const BoundQuery& query) {
+  const query::QuerySpec& spec = query.spec();
+  // Only fact columns prune: a block of fact rows says nothing about the
+  // dimension-table values reached through its join column.
+  const auto& predicates = spec.filter.predicates();
+  for (size_t p = 0; p < predicates.size(); ++p) {
+    const ColumnBinding& binding = query.filter_bindings()[p];
+    if (binding.join != nullptr) continue;
+    PruneCheck c;
+    c.kind = PruneCheck::Kind::kCompare;
+    c.op = predicates[p].op;
+    c.col = binding.column;
+    c.value = filters_[p].value;
+    c.lo = filters_[p].lo;
+    c.hi = filters_[p].hi;
+    c.set_begin = filters_[p].set_begin;
+    c.set_end = filters_[p].set_end;
+    prune_checks_.push_back(c);
+  }
+  for (size_t d = 0; d < spec.bins.size(); ++d) {
+    const ColumnBinding& binding = query.bin_bindings()[d];
+    if (binding.join != nullptr) continue;
+    const query::BinDimension& dim = spec.bins[d];
+    PruneCheck c;
+    c.col = binding.column;
+    c.lo = bin_kernels_[d].lo;
+    c.bin_count = bin_kernels_[d].bin_count;
+    if (dim.mode == query::BinningMode::kNominal) {
+      c.kind = PruneCheck::Kind::kBinNominal;
+    } else {
+      if (!(bin_kernels_[d].width > 0.0)) continue;
+      c.kind = PruneCheck::Kind::kBinQuant;
+      c.width = bin_kernels_[d].width;
+    }
+    prune_checks_.push_back(c);
+  }
+}
+
+bool VectorizedQuery::PruneCheck::BlockCanMatch(
+    const storage::ZoneEntry& z) const {
+  // All tests are written so that a block with no finite values
+  // (min = +inf > max = -inf) is excluded — its rows are all NaN and NaN
+  // rows can never match — and so that NaN operands make the test return
+  // "can match" (never prune on garbage).
+  switch (kind) {
+    case Kind::kCompare:
+      switch (op) {
+        case expr::CompareOp::kEq:
+          return value >= z.min && value <= z.max;
+        case expr::CompareOp::kNeq:
+          // Excluded only when every finite value in the block equals
+          // `value` exactly.
+          return z.min < z.max || (z.min == z.max && z.min != value);
+        case expr::CompareOp::kLt:
+          return z.min < value;
+        case expr::CompareOp::kLe:
+          return z.min <= value;
+        case expr::CompareOp::kGt:
+          return z.max > value;
+        case expr::CompareOp::kGe:
+          return z.max >= value;
+        case expr::CompareOp::kRange:
+          return z.max >= lo && z.min < hi;
+        case expr::CompareOp::kIn:
+          for (const double* s = set_begin; s != set_end; ++s) {
+            if (*s >= z.min && *s <= z.max) return true;
+          }
+          return false;  // empty sets match nothing (kernel parity)
+      }
+      return true;
+    case Kind::kBinQuant: {
+      // floor((v - lo) / width) is monotone non-decreasing in v (IEEE
+      // subtraction and division by a positive constant are monotone, as
+      // is floor), so evaluating the *kernel's own expression* at the
+      // block bounds brackets every row's bin index — boundary rounding
+      // included.
+      const double bin_of_max = std::floor((z.max - lo) / width);
+      const double bin_of_min = std::floor((z.min - lo) / width);
+      return bin_of_max >= 0.0 &&
+             bin_of_min < static_cast<double>(bin_count);
+    }
+    case Kind::kBinNominal: {
+      // trunc(v - lo) is likewise monotone; `> -1` mirrors the kernel's
+      // post-truncation `idx >= 0` (v - lo in (-1, 0) truncates to 0).
+      const double t_max = std::trunc(z.max - lo);
+      const double t_min = std::trunc(z.min - lo);
+      return t_max > -1.0 && t_min < static_cast<double>(bin_count);
+    }
+  }
+  return true;
+}
+
+bool VectorizedQuery::RangeCanMatch(int64_t begin, int64_t end) const {
+  if (begin >= end) return true;
+  for (const PruneCheck& c : prune_checks_) {
+    const std::vector<storage::ZoneEntry>& zones = c.col->zone_map();
+    const int64_t b0 = begin / storage::kZoneMapBlockRows;
+    const int64_t b1 = (end - 1) / storage::kZoneMapBlockRows;
+    bool any_block_matches = false;
+    for (int64_t b = b0; b <= b1; ++b) {
+      if (b >= static_cast<int64_t>(zones.size()) ||
+          c.BlockCanMatch(zones[static_cast<size_t>(b)])) {
+        any_block_matches = true;
+        break;
+      }
+    }
+    if (!any_block_matches) return false;
+  }
+  return true;
+}
 
 VectorizedQuery VectorizedQuery::Compile(const BoundQuery& query) {
   VectorizedQuery vq;
@@ -339,7 +699,7 @@ VectorizedQuery VectorizedQuery::Compile(const BoundQuery& query) {
     FilterKernel k;
     Ld load;
     if (!CompileAccess(query.filter_bindings()[p], &k.col, &load)) return vq;
-    k.fn = PickFilter(pred.op, load);
+    k.fn = PickFilter(pred.op, load, /*first=*/p == 0);
     if (k.fn == nullptr) return vq;
     k.value = pred.value;
     k.lo = pred.lo;
@@ -363,14 +723,36 @@ VectorizedQuery VectorizedQuery::Compile(const BoundQuery& query) {
     vq.agg_kernels_.push_back(k);
   }
 
+  // Gather dedup: aggregates whose input column *is* a binned dimension
+  // read the values the bin kernels already loaded.
+  vq.agg_shared_dim_.assign(vq.agg_kernels_.size(), -1);
+  for (size_t a = 0; a < vq.agg_kernels_.size(); ++a) {
+    if (vq.agg_kernels_[a].is_count) continue;
+    for (size_t d = 0; d < vq.bin_kernels_.size(); ++d) {
+      if (SameAccess(vq.agg_kernels_[a].col, vq.bin_kernels_[d].col)) {
+        vq.agg_shared_dim_[a] = static_cast<int8_t>(d);
+        if (d == 0) vq.stash_vals0_ = true;
+        if (d == 1) vq.stash_vals1_ = true;
+        break;
+      }
+    }
+  }
+
   vq.ok_ = true;
+  vq.CompileFused(query);
+  vq.CompilePrune(query);
   return vq;
 }
 
-int64_t VectorizedQuery::FilterAndBin(RowBatch* batch) const {
+int64_t VectorizedQuery::FilterAndBinImpl(
+    RowBatch* batch, const std::vector<BinKernel>& bins) const {
   const int64_t n = batch->n;
   int64_t n_sel = n;
-  for (int64_t i = 0; i < n; ++i) batch->sel[i] = static_cast<int32_t>(i);
+  // The first filter kernel synthesizes the identity selection itself;
+  // only filter-less queries need the explicit init for the bin kernels.
+  if (filters_.empty()) {
+    for (int64_t i = 0; i < n; ++i) batch->sel[i] = static_cast<int32_t>(i);
+  }
   for (const FilterKernel& k : filters_) {
     if (n_sel == 0) break;
     n_sel = k.fn(k, batch->rows, batch->sel.data(), n_sel);
@@ -380,21 +762,26 @@ int64_t VectorizedQuery::FilterAndBin(RowBatch* batch) const {
     return 0;
   }
 
-  const BinKernel& b0 = bin_kernels_[0];
-  b0.fn(b0, batch->rows, batch->sel.data(), n_sel, batch->keys.data());
+  const BinKernel& b0 = bins[0];
+  b0.fn(b0, batch->rows, batch->sel.data(), n_sel, batch->keys.data(),
+        batch->bin_vals.data());
   if (two_d_) {
-    const BinKernel& b1 = bin_kernels_[1];
-    b1.fn(b1, batch->rows, batch->sel.data(), n_sel, batch->keys2.data());
+    const BinKernel& b1 = bins[1];
+    b1.fn(b1, batch->rows, batch->sel.data(), n_sel, batch->keys2.data(),
+          batch->bin_vals2.data());
   }
 
   // Drop rows with any out-of-range dimension and pack dense keys
-  // (branchless compaction: out <= i, so in-place writes are safe).
+  // (branchless compaction: out <= i, so in-place writes are safe).  The
+  // stashed dimension value lanes compact alongside when an aggregate
+  // reuses them.
   int64_t out = 0;
   if (!two_d_) {
     for (int64_t i = 0; i < n_sel; ++i) {
       const int64_t i0 = batch->keys[i];
       batch->sel[out] = batch->sel[i];
       batch->keys[out] = i0;
+      if (stash_vals0_) batch->bin_vals[out] = batch->bin_vals[i];
       out += i0 >= 0;
     }
   } else {
@@ -403,6 +790,8 @@ int64_t VectorizedQuery::FilterAndBin(RowBatch* batch) const {
       const int64_t i1 = batch->keys2[i];
       batch->sel[out] = batch->sel[i];
       batch->keys[out] = i0 * bins1_ + i1;
+      if (stash_vals0_) batch->bin_vals[out] = batch->bin_vals[i];
+      if (stash_vals1_) batch->bin_vals2[out] = batch->bin_vals2[i];
       out += (i0 >= 0) & (i1 >= 0);
     }
   }
@@ -410,9 +799,14 @@ int64_t VectorizedQuery::FilterAndBin(RowBatch* batch) const {
   return out;
 }
 
-void VectorizedQuery::GatherAggValues(size_t a, RowBatch* batch) const {
+const double* VectorizedQuery::GatherAggValues(size_t a,
+                                               RowBatch* batch) const {
+  const int8_t shared = agg_shared_dim_[a];
+  if (shared == 0) return batch->bin_vals.data();
+  if (shared == 1) return batch->bin_vals2.data();
   const AggKernel& k = agg_kernels_[a];
   k.fn(k, batch->rows, batch->sel.data(), batch->n_sel, batch->values.data());
+  return batch->values.data();
 }
 
 }  // namespace idebench::exec

@@ -7,28 +7,63 @@
 /// The scalar path runs one `MatchesFilter` + `BinKey` + `AggValueAt` call
 /// chain per row, each doing a per-call type switch inside
 /// `Column::ValueAsDouble`.  This subsystem replaces that hot loop with
-/// type-specialized kernels compiled once per bound query:
+/// type-specialized kernels compiled once per bound query, in two tiers:
+///
+/// **Two-phase pipeline** (the PR-1 design, kept compiled alongside as
+/// the vectorized differential reference):
 ///
 ///  * a `RowBatch` carries up to `kVectorBatchSize` gathered fact-row ids
 ///    plus a *selection vector* that filter kernels compact in place;
 ///  * filter kernels (range / IN-set / equality / ordering) are selected
 ///    from a per-(op, column-type, join) kernel table at compile time and
 ///    read raw contiguous arrays (`Column::Int64Data` / `DoubleData`);
-///  * bin-key kernels map selected rows to dense bin indices;
+///  * bin-key kernels map selected rows to dense bin indices one row at a
+///    time (per-row `std::floor` + integer range check);
 ///  * aggregate gather kernels materialize the aggregate inputs for the
 ///    surviving selection.
 ///
-/// Semantics are bit-compatible with the scalar reference: every kernel
-/// evaluates the same double-typed expression the scalar path evaluates
-/// (including int64→double casts, NaN-never-matches, truncation for
-/// nominal bins and `std::floor` for quantitative bins), so per-bin
-/// accumulator streams are identical in value *and order*.
+/// **Fused pipeline** (the default): the bin/aggregate tail of the batch
+/// is one fused, branch-free sweep —
+///
+///  * bin kernels split into a gather phase (each dimension column
+///    loaded exactly once per batch into a contiguous value lane, join
+///    misses and NaNs becoming one NaN sentinel) and a *vertical* key
+///    phase: quantitative bins evaluate `(v - lo) / width` (an exact
+///    `* inv_width` multiply when width is a power of two) and replace
+///    the scalar path's `std::floor` call + integer range check with
+///    compare-guarded truncating casts — identical results for every
+///    value, no libm call, no per-row branch, fully vectorizable;
+///  * string/dictionary dimensions are *pre-binned*: a code → bin-id
+///    lookup table built once at query compile from the column
+///    `Dictionary` turns per-row string binning into an int gather;
+///  * selection, keys, and the stashed dimension values compact in one
+///    fused branchless pass, and aggregate inputs that share a binned
+///    dimension column are read from the stash instead of re-gathered.
+///
+/// Semantics of both tiers are bit-compatible with the scalar reference:
+/// every kernel evaluates the same double-typed expression the scalar
+/// path evaluates (including int64→double casts, NaN-never-matches,
+/// truncation for nominal bins and floor-division for quantitative
+/// bins), and surviving rows hit each per-bin accumulator in the same
+/// order, so accumulator streams are identical in value *and order*.
+///
+/// The compiled form also carries **zone-map prune checks**: for every
+/// filter predicate and bin dimension that reads a fact column directly,
+/// a per-64K-block test against the column's zone map
+/// (`storage::Column::zone_map()`) that proves "no row in this block can
+/// match".  Full-scan drivers use `RangeCanMatch` to skip whole blocks;
+/// the tests evaluate the *same* monotone floating-point expressions as
+/// the kernels at the block bounds, so a skipped block can never contain
+/// a matching row.  Shuffled-walk feeds cannot use them (their batches
+/// mix rows from every block).
 
 #include <array>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "exec/bound_query.h"
+#include "storage/column.h"
 
 namespace idebench::exec {
 
@@ -39,7 +74,10 @@ inline constexpr int64_t kVectorBatchSize = 1024;
 /// One batch of fact rows threaded through the kernels.  `rows` is the
 /// caller-owned gather list (e.g. a slice of a shuffled walk); `sel`
 /// holds the indices into `rows` that survived filtering; `keys` holds
-/// the dense bin key per selected row after `FilterAndBin`.
+/// the dense bin key per selected row after `FilterAndBin` /
+/// `FusedFilterBin`; `bin_vals`/`bin_vals2` stash the binned dimension
+/// values (compacted with the selection) so aggregates sharing a binned
+/// column skip their gather.
 struct RowBatch {
   const int64_t* rows = nullptr;
   int64_t n = 0;
@@ -48,6 +86,8 @@ struct RowBatch {
   std::array<int64_t, kVectorBatchSize> keys;
   std::array<int64_t, kVectorBatchSize> keys2;   // scratch: 2nd-dim indices
   std::array<double, kVectorBatchSize> values;   // gathered agg inputs
+  std::array<double, kVectorBatchSize> bin_vals;   // dim-0 value lane
+  std::array<double, kVectorBatchSize> bin_vals2;  // dim-1 value lane
 };
 
 /// A compiled column access path: exactly one of `i64`/`f64` is set
@@ -74,15 +114,23 @@ struct FilterKernel {
 };
 
 /// A compiled bin dimension: maps selected rows to per-dimension bin
-/// indices (-1 = out of range / join miss / NaN).
+/// indices (-1 = out of range / join miss / NaN), writing the loaded
+/// value per row into `out_vals` (NaN on join miss) so aggregates over
+/// the same column can reuse it.  The same struct backs both the
+/// reference kernels and the fused vertical/LUT kernels (which ignore
+/// the fields they do not need).
 struct BinKernel {
   using Fn = void (*)(const BinKernel&, const int64_t* rows,
-                      const int32_t* sel, int64_t n_sel, int64_t* out);
+                      const int32_t* sel, int64_t n_sel, int64_t* out,
+                      double* out_vals);
   Fn fn = nullptr;
   ColumnAccess col;
   double lo = 0.0;
   double width = 1.0;
+  double inv_width = 1.0;  // fused: exact reciprocal (power-of-two width)
   int64_t bin_count = 0;
+  const int32_t* lut = nullptr;  // fused: dictionary code -> bin id / -1
+  std::shared_ptr<const std::vector<int32_t>> lut_owner;
 };
 
 /// A compiled aggregate input: gathers the aggregate's value per selected
@@ -107,6 +155,9 @@ class VectorizedQuery {
   /// False when the query shape could not be vectorized.
   bool ok() const { return ok_; }
 
+  /// True when the fused bin kernels compiled (implies `ok()`).
+  bool fused_ok() const { return fused_ok_; }
+
   /// Size of the dense bin-key space (product of per-dimension counts).
   int64_t key_space() const { return key_space_; }
 
@@ -116,12 +167,34 @@ class VectorizedQuery {
   /// Runs all filter kernels then the bin-key kernels over
   /// `batch->rows[0..n)`.  On return `batch->sel[0..n_sel)` are the
   /// surviving row indices and `batch->keys[0..n_sel)` their *dense* bin
-  /// keys.  Returns `n_sel`.
-  int64_t FilterAndBin(RowBatch* batch) const;
+  /// keys.  Returns `n_sel`.  `FilterAndBin` runs the per-row reference
+  /// bin kernels; `FusedFilterBin` runs the fused vertical/LUT bin
+  /// kernels — same postcondition, bit-identical selection and keys.
+  int64_t FilterAndBin(RowBatch* batch) const {
+    return FilterAndBinImpl(batch, bin_kernels_);
+  }
+  int64_t FusedFilterBin(RowBatch* batch) const {
+    return FilterAndBinImpl(batch, fused_bins_);
+  }
 
-  /// Gathers aggregate `a`'s inputs for the current selection into
-  /// `batch->values` (requires `!agg_is_count(a)`).
-  void GatherAggValues(size_t a, RowBatch* batch) const;
+  /// Returns aggregate `a`'s inputs for the current selection (requires
+  /// `!agg_is_count(a)`): a pointer into `batch->bin_vals`/`bin_vals2`
+  /// when the aggregate reads a binned dimension column (no re-gather),
+  /// otherwise gathers into `batch->values` and returns that.
+  const double* GatherAggValues(size_t a, RowBatch* batch) const;
+
+  // --- Zone-map block pruning -------------------------------------------
+
+  /// True when at least one filter predicate or bin dimension reads a
+  /// fact column directly, i.e. `RangeCanMatch` can ever prune.
+  bool can_prune_blocks() const { return !prune_checks_.empty(); }
+
+  /// True unless the fact-column zone maps *prove* that no row in
+  /// [begin, end) can survive filtering and binning.  Sound, not
+  /// complete: `false` guarantees zero matches in the range; `true`
+  /// promises nothing.  The range may span several zone blocks; each
+  /// check prunes only when every overlapped block is excluded.
+  bool RangeCanMatch(int64_t begin, int64_t end) const;
 
   /// Converts a dense key to the public packed key used in results.
   int64_t DenseKeyToPublic(int64_t dense) const {
@@ -136,13 +209,53 @@ class VectorizedQuery {
   }
 
  private:
+  /// One zone-map exclusion test over a fact column.
+  struct PruneCheck {
+    enum class Kind : uint8_t { kCompare, kBinQuant, kBinNominal };
+    Kind kind = Kind::kCompare;
+    expr::CompareOp op = expr::CompareOp::kEq;
+    const storage::Column* col = nullptr;
+    double value = 0.0;
+    double lo = 0.0;
+    double hi = 0.0;     // kCompare/kRange
+    double width = 1.0;  // kBinQuant
+    int64_t bin_count = 0;
+    const double* set_begin = nullptr;  // kIn
+    const double* set_end = nullptr;
+
+    /// True unless the block bounds prove no row can match this check.
+    bool BlockCanMatch(const storage::ZoneEntry& z) const;
+  };
+
+  /// Shared filter → bin → compact body parameterized on the bin kernel
+  /// table (reference or fused).
+  int64_t FilterAndBinImpl(RowBatch* batch,
+                           const std::vector<BinKernel>& bins) const;
+
+  /// Compiles the fused bin kernels / prune checks (called after the
+  /// reference kernels compiled).
+  void CompileFused(const BoundQuery& query);
+  void CompilePrune(const BoundQuery& query);
+
   std::vector<FilterKernel> filters_;
-  std::vector<BinKernel> bin_kernels_;  // 1 or 2
+  std::vector<BinKernel> bin_kernels_;  // 1 or 2 (per-row reference)
+  std::vector<BinKernel> fused_bins_;   // 1 or 2 (vertical / LUT)
   std::vector<AggKernel> agg_kernels_;
   bool two_d_ = false;
   int64_t bins1_ = 1;        // 2nd-dimension bin count (1 for 1-D)
   int64_t key_space_ = 0;
   bool ok_ = false;
+  bool fused_ok_ = false;
+
+  // Gather dedup: per aggregate, the bin dimension whose stashed values
+  // it can reuse (-1 = gather normally); the per-dimension flags turn on
+  // value-lane compaction in the shared body.
+  std::vector<int8_t> agg_shared_dim_;
+  bool stash_vals0_ = false;
+  bool stash_vals1_ = false;
+
+  // Zone-map prune checks.
+  std::vector<PruneCheck> prune_checks_;
 };
 
 }  // namespace idebench::exec

@@ -42,27 +42,27 @@ int64_t Column::size() const {
 void Column::AppendInt(int64_t v) {
   IDB_CHECK(field_.type == DataType::kInt64);
   ints_.push_back(v);
-  UpdateMinMax(static_cast<double>(v));
+  UpdateStats(static_cast<double>(v));
 }
 
 void Column::AppendDouble(double v) {
   IDB_CHECK(field_.type == DataType::kDouble);
   doubles_.push_back(v);
-  UpdateMinMax(v);
+  UpdateStats(v);
 }
 
 void Column::AppendString(const std::string& v) {
   IDB_CHECK(field_.type == DataType::kString);
   const int64_t code = dict_.GetOrInsert(v);
   ints_.push_back(code);
-  UpdateMinMax(static_cast<double>(code));
+  UpdateStats(static_cast<double>(code));
 }
 
 void Column::AppendCode(int64_t code) {
   IDB_CHECK(field_.type == DataType::kString);
   IDB_CHECK(code >= 0 && code < dict_.size());
   ints_.push_back(code);
-  UpdateMinMax(static_cast<double>(code));
+  UpdateStats(static_cast<double>(code));
 }
 
 Status Column::AppendParsed(const std::string& text) {
@@ -74,7 +74,7 @@ Status Column::AppendParsed(const std::string& text) {
         return Status::Invalid("cannot parse int64 from '" + text + "'");
       }
       ints_.push_back(v);
-      UpdateMinMax(static_cast<double>(v));
+      UpdateStats(static_cast<double>(v));
       return Status::OK();
     }
     case DataType::kDouble: {
@@ -84,13 +84,13 @@ Status Column::AppendParsed(const std::string& text) {
         return Status::Invalid("cannot parse double from '" + text + "'");
       }
       doubles_.push_back(v);
-      UpdateMinMax(v);
+      UpdateStats(v);
       return Status::OK();
     }
     case DataType::kString: {
       const int64_t code = dict_.GetOrInsert(text);
       ints_.push_back(code);
-      UpdateMinMax(static_cast<double>(code));
+      UpdateStats(static_cast<double>(code));
       return Status::OK();
     }
   }
@@ -103,20 +103,20 @@ void Column::AppendFrom(const Column& other, int64_t row) {
     case DataType::kInt64: {
       const int64_t v = other.ints_[static_cast<size_t>(row)];
       ints_.push_back(v);
-      UpdateMinMax(static_cast<double>(v));
+      UpdateStats(static_cast<double>(v));
       return;
     }
     case DataType::kDouble: {
       const double v = other.doubles_[static_cast<size_t>(row)];
       doubles_.push_back(v);
-      UpdateMinMax(v);
+      UpdateStats(v);
       return;
     }
     case DataType::kString: {
       const int64_t code = dict_.GetOrInsert(
           other.dict_.At(other.ints_[static_cast<size_t>(row)]));
       ints_.push_back(code);
-      UpdateMinMax(static_cast<double>(code));
+      UpdateStats(static_cast<double>(code));
       return;
     }
   }

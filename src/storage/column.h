@@ -8,6 +8,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <limits>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -17,6 +18,31 @@
 #include "storage/types.h"
 
 namespace idebench::storage {
+
+/// Rows covered by one zone-map entry.  Matches the morsel size of the
+/// parallel execution layer (exec/parallel.h), so a full-scan morsel is
+/// covered by exactly one zone entry and can be skipped wholesale when
+/// the entry's range provably cannot satisfy a query's predicates.
+inline constexpr int64_t kZoneMapBlockRows = 64 * 1024;
+
+/// Min/max (numeric view) plus NaN count over one block of
+/// `kZoneMapBlockRows` consecutive rows.  Bounds cover the block's
+/// *finite* values only — NaN appends bump `nan_count` and never touch
+/// them (a NaN-first block must not poison the bounds for later finite
+/// rows, or pruning would drop their matches).  A block with no finite
+/// values keeps the `min > max` sentinels; every range test on it fails,
+/// which pruning soundly reads as "no possible match" (NaN rows match no
+/// predicate and bin to no key).
+struct ZoneEntry {
+  double min = std::numeric_limits<double>::infinity();
+  double max = -std::numeric_limits<double>::infinity();
+  // The storage layer's "null" analog.  No prune check consults it yet
+  // (NaN rows can never match, so min/max alone are sound); it is
+  // maintained now so future NaN-aware consumers (e.g. COUNT(col)
+  // block-level answers, data-quality reports) get full maps without a
+  // rescan, and so tests can pin the NaN-vs-bounds invariant directly.
+  int64_t nan_count = 0;
+};
 
 /// Dictionary for string columns: code <-> string, insertion-ordered.
 class Dictionary {
@@ -105,17 +131,37 @@ class Column {
   double Min() const { return size() == 0 ? 0.0 : cached_min_; }
   double Max() const { return size() == 0 ? 0.0 : cached_max_; }
 
+  /// Per-block zone map over the numeric view: entry `b` covers rows
+  /// [b * kZoneMapBlockRows, (b+1) * kZoneMapBlockRows).  Maintained on
+  /// *every* append path — including the pre-encoded-dictionary
+  /// `AppendCode` path — through the single `UpdateStats` funnel, so the
+  /// map can never go stale relative to the data.  Like Min/Max, const
+  /// reads never mutate state and are safe to share across threads once
+  /// appends have stopped.
+  const std::vector<ZoneEntry>& zone_map() const { return zones_; }
+
  private:
-  /// Folds one appended numeric-view value into the min/max cache (same
-  /// std::min/std::max fold the old full scans performed, so cached
-  /// values are identical — including NaN-ignoring semantics).
-  void UpdateMinMax(double v) {
+  /// Folds one appended numeric-view value into the whole-column min/max
+  /// cache *and* the current zone-map block (same std::min/std::max fold
+  /// the old full scans performed, so cached values are identical —
+  /// including NaN-ignoring semantics).  Every Append* entry point must
+  /// route through here, exactly once per appended row.
+  void UpdateStats(double v) {
     if (size() == 1) {
       cached_min_ = v;
       cached_max_ = v;
     } else {
       cached_min_ = std::min(cached_min_, v);
       cached_max_ = std::max(cached_max_, v);
+    }
+    const int64_t row = size() - 1;  // the row just appended
+    if (row % kZoneMapBlockRows == 0) zones_.emplace_back();
+    ZoneEntry& z = zones_.back();
+    if (v == v) {
+      z.min = std::min(z.min, v);
+      z.max = std::max(z.max, v);
+    } else {
+      ++z.nan_count;
     }
   }
 
@@ -125,6 +171,7 @@ class Column {
   Dictionary dict_;               // string columns only
   double cached_min_ = 0.0;
   double cached_max_ = 0.0;
+  std::vector<ZoneEntry> zones_;  // one entry per kZoneMapBlockRows rows
 };
 
 }  // namespace idebench::storage

@@ -1,3 +1,6 @@
+#include <cmath>
+#include <limits>
+
 #include <gtest/gtest.h>
 
 #include "storage/catalog.h"
@@ -178,6 +181,80 @@ TEST(CatalogTest, ForeignKeyValidation) {
   EXPECT_FALSE(c.AddForeignKey({"missing", "flags", "flag"}).ok());
   EXPECT_FALSE(c.AddForeignKey({"flag", "missing", "flag"}).ok());
   EXPECT_FALSE(c.AddForeignKey({"flag", "flags", "missing"}).ok());
+}
+
+TEST(ZoneMapTest, MaintainedPerBlockAcrossAppendPaths) {
+  Column c({"v", DataType::kInt64, AttributeKind::kQuantitative});
+  // Two full blocks plus a partial third, values descending so per-block
+  // bounds differ from the whole-column cache.
+  const int64_t rows = 2 * kZoneMapBlockRows + 100;
+  for (int64_t i = 0; i < rows; ++i) c.AppendInt(rows - i);
+  const auto& zones = c.zone_map();
+  ASSERT_EQ(zones.size(), 3u);
+  EXPECT_DOUBLE_EQ(zones[0].max, static_cast<double>(rows));
+  EXPECT_DOUBLE_EQ(zones[0].min,
+                   static_cast<double>(rows - kZoneMapBlockRows + 1));
+  EXPECT_DOUBLE_EQ(zones[1].max,
+                   static_cast<double>(rows - kZoneMapBlockRows));
+  EXPECT_DOUBLE_EQ(zones[2].min, 1.0);
+  EXPECT_DOUBLE_EQ(zones[2].max, 100.0);
+  EXPECT_DOUBLE_EQ(c.Min(), 1.0);
+  EXPECT_DOUBLE_EQ(c.Max(), static_cast<double>(rows));
+}
+
+TEST(ZoneMapTest, NaNValuesCountedAndNeverWidenBounds) {
+  Column c({"v", DataType::kDouble, AttributeKind::kQuantitative});
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  // NaN first: the zone bounds must still pick up the later finite
+  // values (a NaN-first block must not become unprunable-forever, nor
+  // hide real values).
+  c.AppendDouble(nan);
+  c.AppendDouble(3.0);
+  c.AppendDouble(nan);
+  c.AppendDouble(7.0);
+  const auto& zones = c.zone_map();
+  ASSERT_EQ(zones.size(), 1u);
+  EXPECT_DOUBLE_EQ(zones[0].min, 3.0);
+  EXPECT_DOUBLE_EQ(zones[0].max, 7.0);
+  EXPECT_EQ(zones[0].nan_count, 2);
+}
+
+TEST(ZoneMapTest, AllNaNBlockKeepsEmptySentinels) {
+  Column c({"v", DataType::kDouble, AttributeKind::kQuantitative});
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  c.AppendDouble(nan);
+  c.AppendDouble(nan);
+  const auto& zones = c.zone_map();
+  ASSERT_EQ(zones.size(), 1u);
+  // min > max marks "no finite values": every range test on the block
+  // fails, which pruning reads as provably-no-match (NaN rows match
+  // nothing).
+  EXPECT_GT(zones[0].min, zones[0].max);
+  EXPECT_EQ(zones[0].nan_count, 2);
+}
+
+TEST(ZoneMapTest, AppendCodePathMaintainsZoneMapAndMinMax) {
+  // Regression: the pre-encoded-dictionary AppendCode path must update
+  // the zone map and min/max cache exactly like AppendString — a stale
+  // map here would let pruning drop matching rows.
+  Column c({"s", DataType::kString, AttributeKind::kNominal});
+  c.mutable_dictionary().GetOrInsert("a");  // code 0
+  c.mutable_dictionary().GetOrInsert("b");  // code 1
+  c.mutable_dictionary().GetOrInsert("c");  // code 2
+  const int64_t rows = kZoneMapBlockRows + 50;
+  for (int64_t i = 0; i < rows; ++i) c.AppendCode(i < kZoneMapBlockRows ? 1 : 2);
+  const auto& zones = c.zone_map();
+  ASSERT_EQ(zones.size(), 2u);
+  EXPECT_DOUBLE_EQ(zones[0].min, 1.0);
+  EXPECT_DOUBLE_EQ(zones[0].max, 1.0);
+  EXPECT_DOUBLE_EQ(zones[1].min, 2.0);
+  EXPECT_DOUBLE_EQ(zones[1].max, 2.0);
+  EXPECT_DOUBLE_EQ(c.Min(), 1.0);
+  EXPECT_DOUBLE_EQ(c.Max(), 2.0);
+  // Mixed-path parity: AppendString continues the same map.
+  c.AppendString("a");
+  EXPECT_DOUBLE_EQ(c.zone_map()[1].min, 0.0);
+  EXPECT_DOUBLE_EQ(c.Min(), 0.0);
 }
 
 TEST(CatalogTest, TableForColumnSearchesFactFirst) {
