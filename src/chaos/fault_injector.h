@@ -1,0 +1,147 @@
+#ifndef IDEBENCH_CHAOS_FAULT_INJECTOR_H_
+#define IDEBENCH_CHAOS_FAULT_INJECTOR_H_
+
+/// \file fault_injector.h
+/// Seeded, deterministic fault injection for the chaos harness.
+///
+/// A `FaultInjector` owns one independent xoshiro stream per *injection
+/// site* (forked from a single master seed), so whether a given draw at a
+/// given site fires is a pure function of `(seed, site, draw index)` —
+/// never of wall time, thread scheduling, or what other sites drew in
+/// between.  Two runs with the same seed therefore inject the exact same
+/// faults at the exact same points, which is what makes every chaotic
+/// schedule replayable (FDB-simulation style).
+///
+/// Sites are threaded through the layers that matter:
+///
+///  * `kEnginePrepare` — `EngineBase::Attach` fails with an I/O-style
+///    error before binding the catalog (engines recover on re-Prepare);
+///  * `kEngineRun` — an engine's `RunFor` wedges the query: the handle
+///    stops making progress and `PollResult` reports the fault, which the
+///    session scheduler turns into a cancel + resubmit with virtual-time
+///    backoff;
+///  * `kMorselSlowdown` — `exec::MorselProcess*` degrades to one-batch
+///    morsels (maximum merge overhead; results bit-identical by the
+///    morsel determinism contract);
+///  * `kWorkerPoolStall` — `WorkerPool::ParallelFor` refuses to dispatch
+///    and drains the job inline on the calling thread (a stalled pool
+///    must degrade, never hang);
+///  * `kReusePoison` — a reuse-cache lookup that found a snapshot treats
+///    it as corrupt: the entry is dropped and the query pays the physical
+///    work (results unchanged by the cache transparency contract);
+///  * `kReuseEvictStorm` — a store first evicts every resident snapshot;
+///  * `kCsvOpen` / `kCsvAlloc` — `storage::ReadCsv`/`WriteCsv` fail with
+///    I/O-style and allocation-style `Status` errors.
+///
+/// Installation is process-global (`Install`/`ScopedFaultInjector`) so
+/// deep layers need no plumbing; when nothing is installed every site
+/// check is a single relaxed atomic load.  `ShouldFire` serializes draws
+/// with a mutex: replayability additionally requires that the *order* of
+/// draws per site be deterministic, which holds in chaos runs because all
+/// sites are driven from the single scheduling thread.
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "common/random.h"
+
+namespace idebench::chaos {
+
+/// Named injection sites (stable ordinals: per-site rng streams fork on
+/// them, so reordering would change every seeded schedule).
+enum class FaultSite : int {
+  kEnginePrepare = 0,
+  kEngineRun = 1,
+  kMorselSlowdown = 2,
+  kWorkerPoolStall = 3,
+  kReusePoison = 4,
+  kReuseEvictStorm = 5,
+  kCsvOpen = 6,
+  kCsvAlloc = 7,
+};
+
+inline constexpr int kFaultSiteCount = 8;
+
+/// Stable human-readable site name ("engine.prepare", ...).
+const char* FaultSiteName(FaultSite site);
+
+/// Per-site arming: fire with `probability` per draw, at most `budget`
+/// times (-1 = unlimited).  A zero probability site never draws from its
+/// stream, so arming extra sites never perturbs another site's schedule.
+struct FaultSiteConfig {
+  double probability = 0.0;
+  int64_t budget = -1;
+};
+
+/// Per-site telemetry.
+struct FaultSiteStats {
+  int64_t draws = 0;  // times the site was evaluated while armed
+  int64_t fires = 0;  // times it injected
+};
+
+class FaultInjector {
+ public:
+  /// All sites disarmed; arm with `Arm`.
+  explicit FaultInjector(uint64_t seed);
+
+  /// Arms one site.
+  void Arm(FaultSite site, FaultSiteConfig config);
+
+  /// Arms every site with the same probability and per-site budget.
+  void ArmAll(double probability, int64_t budget_per_site = -1);
+
+  /// Deterministic draw: true when the site fires this time.  Disarmed
+  /// sites return false without consuming randomness.
+  bool ShouldFire(FaultSite site);
+
+  FaultSiteStats site_stats(FaultSite site) const;
+
+  /// Total fires across all sites.
+  int64_t total_fires() const;
+
+  /// One line per armed site: "engine.run: 3/17" (fires/draws).
+  std::string Summary() const;
+
+  /// Process-global installation; pass nullptr to uninstall.  Returns the
+  /// previously installed injector.
+  static FaultInjector* Install(FaultInjector* injector);
+
+  /// The installed injector, or nullptr (the common, fault-free case).
+  static FaultInjector* Current();
+
+  /// Convenience for call sites: draws on the installed injector, false
+  /// when none is installed.
+  static bool Fire(FaultSite site);
+
+ private:
+  struct Site {
+    FaultSiteConfig config;
+    Rng rng{0};
+    FaultSiteStats stats;
+  };
+
+  mutable std::mutex mu_;
+  std::array<Site, kFaultSiteCount> sites_;
+};
+
+/// RAII installer: installs `injector` for the enclosing scope and
+/// restores the previous one on destruction.
+class ScopedFaultInjector {
+ public:
+  explicit ScopedFaultInjector(FaultInjector* injector)
+      : previous_(FaultInjector::Install(injector)) {}
+  ~ScopedFaultInjector() { FaultInjector::Install(previous_); }
+
+  ScopedFaultInjector(const ScopedFaultInjector&) = delete;
+  ScopedFaultInjector& operator=(const ScopedFaultInjector&) = delete;
+
+ private:
+  FaultInjector* previous_;
+};
+
+}  // namespace idebench::chaos
+
+#endif  // IDEBENCH_CHAOS_FAULT_INJECTOR_H_

@@ -16,7 +16,7 @@ namespace idebench {
 /// production failed.  Constructing from an OK status is a programming
 /// error and is converted to `StatusCode::kUnknown`.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Constructs from a value (implicit, to allow `return value;`).
   Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)

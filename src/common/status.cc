@@ -22,6 +22,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "Cancelled";
     case StatusCode::kUnknown:
       return "Unknown";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
   }
   return "UnknownCode";
 }

@@ -27,6 +27,7 @@ enum class StatusCode : int {
   kAlreadyExists = 6,
   kCancelled = 7,
   kUnknown = 8,
+  kResourceExhausted = 9,
 };
 
 /// Returns a stable human-readable name for a status code.
@@ -36,7 +37,11 @@ const char* StatusCodeToString(StatusCode code);
 ///
 /// `Status` is cheap to copy in the OK case (a single null pointer); error
 /// states allocate a small shared payload.
-class Status {
+///
+/// `[[nodiscard]]`: a silently dropped `Status` is a swallowed failure —
+/// callers must consume it (`IDB_RETURN_NOT_OK`, a branch, or an explicit
+/// `(void)` cast at the few sites where ignoring is the contract).
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() = default;
@@ -74,6 +79,9 @@ class Status {
   }
   static Status Unknown(std::string msg) {
     return Status(StatusCode::kUnknown, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   /// True when the operation succeeded.

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "chaos/fault_injector.h"
 #include "exec/parallel.h"
 
 namespace idebench::engines {
@@ -68,7 +69,15 @@ Micros BlockingEngine::RunFor(QueryHandle handle, Micros budget) {
   auto it = queries_.find(handle);
   if (it == queries_.end() || budget <= 0) return 0;
   RunningQuery& rq = *it->second;
-  if (rq.done) return 0;
+  if (rq.done || rq.faulted) return 0;
+  // Chaos site: the physical pipeline hits a transient I/O-style failure
+  // mid-run.  The handle wedges (no further progress) and the error
+  // surfaces on the next PollResult, mirroring a real engine whose fetch
+  // fails after submission.
+  if (chaos::FaultInjector::Fire(chaos::FaultSite::kEngineRun)) {
+    rq.faulted = true;
+    return 0;
+  }
 
   Micros consumed = 0;
   // Pay fixed costs first.
@@ -123,6 +132,9 @@ Result<query::QueryResult> BlockingEngine::PollResult(QueryHandle handle) {
     return Status::KeyError("unknown query handle");
   }
   const RunningQuery& rq = *it->second;
+  if (rq.faulted) {
+    return Status::IOError("injected run fault (engine '" + name() + "')");
+  }
   if (!rq.done) {
     // Blocking execution: nothing is fetchable until completion.
     query::QueryResult pending;

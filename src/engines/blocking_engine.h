@@ -83,6 +83,7 @@ class BlockingEngine : public EngineBase {
     double row_cost_us = 0.0;      // virtual cost per actual row
     double credit_us = 0.0;        // sub-row budget carry
     bool done = false;
+    bool faulted = false;          // injected run fault; surfaced via Poll
   };
 
   BlockingEngineConfig config_;

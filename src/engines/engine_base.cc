@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "aqp/confidence.h"
+#include "chaos/fault_injector.h"
 
 namespace idebench::engines {
 
@@ -15,6 +16,11 @@ EngineBase::EngineBase(std::string name, double confidence_level,
       rng_(seed) {}
 
 Status EngineBase::Attach(std::shared_ptr<const storage::Catalog> catalog) {
+  // Chaos site: data preparation fails I/O-style before any state is
+  // bound, so a later Prepare retry starts clean and can succeed.
+  if (chaos::FaultInjector::Fire(chaos::FaultSite::kEnginePrepare)) {
+    return Status::IOError("injected prepare fault (engine '" + name_ + "')");
+  }
   if (catalog == nullptr || catalog->fact_table() == nullptr) {
     return Status::Invalid("engine '" + name_ + "': empty catalog");
   }

@@ -88,6 +88,7 @@ class OnlineEngine : public EngineBase {
     Micros last_report_us = 0;      // work mark of the published snapshot
     query::QueryResult snapshot;    // last published intermediate result
     bool done = false;
+    bool faulted = false;           // injected run fault; surfaced via Poll
   };
 
   void PublishSnapshot(RunningQuery* rq);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "chaos/fault_injector.h"
 #include "exec/parallel.h"
 
 namespace idebench::engines {
@@ -127,7 +128,13 @@ Micros ProgressiveEngine::RunFor(QueryHandle handle, Micros budget) {
   auto it = queries_.find(handle);
   if (it == queries_.end() || budget <= 0) return 0;
   RunningQuery& rq = *it->second;
-  if (rq.done) return 0;
+  if (rq.done || rq.faulted) return 0;
+  // Chaos site: transient mid-run failure; the handle wedges and the
+  // error surfaces on the next PollResult.
+  if (chaos::FaultInjector::Fire(chaos::FaultSite::kEngineRun)) {
+    rq.faulted = true;
+    return 0;
+  }
 
   Micros consumed = 0;
   const Micros overhead = std::min(budget, rq.overhead_remaining);
@@ -152,6 +159,9 @@ Result<query::QueryResult> ProgressiveEngine::PollResult(QueryHandle handle) {
   auto it = queries_.find(handle);
   if (it == queries_.end()) return Status::KeyError("unknown query handle");
   RunningQuery& rq = *it->second;
+  if (rq.faulted) {
+    return Status::IOError("injected run fault (engine '" + name() + "')");
+  }
   query::QueryResult result = rq.state->aggregator->EstimateFromUniformSample(
       actual_rows(), z_score());
   // Fully progressive: anything sampled so far is fetchable immediately.

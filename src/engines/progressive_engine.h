@@ -106,6 +106,7 @@ class ProgressiveEngine : public EngineBase {
     std::shared_ptr<SampleState> state;
     Micros overhead_remaining = 0;
     bool done = false;
+    bool faulted = false;  // injected run fault; surfaced via Poll
   };
 
   Result<std::shared_ptr<SampleState>> MakeState(const query::QuerySpec& spec);

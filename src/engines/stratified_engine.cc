@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "chaos/fault_injector.h"
 #include "exec/parallel.h"
 
 namespace idebench::engines {
@@ -82,7 +83,13 @@ Micros StratifiedEngine::RunFor(QueryHandle handle, Micros budget) {
   auto it = queries_.find(handle);
   if (it == queries_.end() || budget <= 0) return 0;
   RunningQuery& rq = *it->second;
-  if (rq.done) return 0;
+  if (rq.done || rq.faulted) return 0;
+  // Chaos site: transient mid-run failure; the handle wedges and the
+  // error surfaces on the next PollResult.
+  if (chaos::FaultInjector::Fire(chaos::FaultSite::kEngineRun)) {
+    rq.faulted = true;
+    return 0;
+  }
 
   Micros consumed = 0;
   const Micros overhead = std::min(budget, rq.overhead_remaining);
@@ -141,6 +148,9 @@ Result<query::QueryResult> StratifiedEngine::PollResult(QueryHandle handle) {
   auto it = queries_.find(handle);
   if (it == queries_.end()) return Status::KeyError("unknown query handle");
   const RunningQuery& rq = *it->second;
+  if (rq.faulted) {
+    return Status::IOError("injected run fault (engine '" + name() + "')");
+  }
   if (!rq.done) {
     // The sample scan is blocking: no intermediate results.
     query::QueryResult pending;

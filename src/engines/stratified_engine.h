@@ -83,6 +83,7 @@ class StratifiedEngine : public EngineBase {
     double row_cost_us = 0.0;  // per sample row
     double credit_us = 0.0;
     bool done = false;
+    bool faulted = false;  // injected run fault; surfaced via Poll
   };
 
   StratifiedEngineConfig config_;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <atomic>
 
+#include "chaos/fault_injector.h"
+
 namespace idebench::exec {
 namespace {
 
@@ -111,9 +113,17 @@ void WorkerPool::ThreadMain() {
 void WorkerPool::ParallelFor(int64_t tasks, int parallelism,
                              const std::function<void(int64_t)>& fn) {
   if (tasks <= 0) return;
+  // Chaos site: the pool stalls — no helper picks up the job, so the
+  // caller drains every task inline (graceful degradation: slower, never
+  // stuck, bit-identical results).  Drawn only on the dispatching thread,
+  // never from a pool-worker re-entry, so the draw sequence stays
+  // deterministic under the virtual-clock scheduler.
+  const bool stalled =
+      !t_in_pool_worker &&
+      chaos::FaultInjector::Fire(chaos::FaultSite::kWorkerPoolStall);
   const int64_t helpers =
       std::min<int64_t>(static_cast<int64_t>(parallelism) - 1, tasks - 1);
-  if (helpers <= 0 || t_in_pool_worker) {
+  if (stalled || helpers <= 0 || t_in_pool_worker) {
     for (int64_t i = 0; i < tasks; ++i) fn(i);
     return;
   }
@@ -195,13 +205,27 @@ int64_t ClampMorselRows(int64_t morsel_rows) {
   return morsel_rows - morsel_rows % kVectorBatchSize;
 }
 
+/// Chaos site: a slowdown shrinks morsels to a single vector batch —
+/// maximal dispatch/merge overhead for the same work.  Drawn once per
+/// MorselProcess* call on the dispatching thread.  The merge tree changes
+/// with the morsel size, so this site is only *bit*-transparent for
+/// aggregates whose partial sums are exact (integer-valued columns below
+/// 2^53, which the bundled generators produce); the chaos suite's
+/// bit-identity invariant runs on such data.
+int64_t MaybeSlowMorsels(int64_t morsel_rows) {
+  if (chaos::FaultInjector::Fire(chaos::FaultSite::kMorselSlowdown)) {
+    return kVectorBatchSize;
+  }
+  return morsel_rows;
+}
+
 }  // namespace
 
 void MorselProcessRange(BinnedAggregator* agg, int64_t begin, int64_t end,
                         int parallelism, int64_t morsel_rows) {
   const int64_t total = end - begin;
   if (total <= 0) return;
-  morsel_rows = ClampMorselRows(morsel_rows);
+  morsel_rows = MaybeSlowMorsels(ClampMorselRows(morsel_rows));
   const int64_t morsels = (total + morsel_rows - 1) / morsel_rows;
 
   // Zone-map consult: morsels whose fact-column zone maps prove "no row
@@ -248,7 +272,7 @@ void MorselProcessShuffled(BinnedAggregator* agg,
                            int64_t count, int parallelism,
                            int64_t morsel_rows) {
   if (count <= 0) return;
-  morsel_rows = ClampMorselRows(morsel_rows);
+  morsel_rows = MaybeSlowMorsels(ClampMorselRows(morsel_rows));
   const int64_t morsels = (count + morsel_rows - 1) / morsel_rows;
   RunMorsels(agg, morsels, parallelism,
              [&](BinnedAggregator* partial, int64_t m) {
@@ -261,7 +285,7 @@ void MorselProcessShuffled(BinnedAggregator* agg,
 void MorselProcessBatch(BinnedAggregator* agg, const int64_t* rows, int64_t n,
                         double weight, int parallelism, int64_t morsel_rows) {
   if (n <= 0) return;
-  morsel_rows = ClampMorselRows(morsel_rows);
+  morsel_rows = MaybeSlowMorsels(ClampMorselRows(morsel_rows));
   const int64_t morsels = (n + morsel_rows - 1) / morsel_rows;
   RunMorsels(agg, morsels, parallelism,
              [&](BinnedAggregator* partial, int64_t m) {

@@ -3,7 +3,21 @@
 #include <algorithm>
 #include <vector>
 
+#include "chaos/fault_injector.h"
+
 namespace idebench::exec {
+
+namespace {
+
+/// Chaos site: a would-be hit turns out corrupt.  The contract that keeps
+/// this result-transparent: the cache only ever displaces *physical work*,
+/// never changes results, so dropping the entry and reporting a miss just
+/// forces the caller back onto the full pipeline.
+bool PoisonHit() {
+  return chaos::FaultInjector::Fire(chaos::FaultSite::kReusePoison);
+}
+
+}  // namespace
 
 ReuseCache::ReuseCache(ReuseCacheOptions options) : options_(options) {}
 
@@ -12,6 +26,12 @@ ReuseCache::Match ReuseCache::Lookup(const query::QuerySpec& spec) {
   const std::string full_key = spec.Signature();
   auto it = entries_.find(full_key);
   if (it != entries_.end() && it->second->watermark > 0) {
+    if (PoisonHit()) {
+      Erase(it);
+      ++stats_.poisoned;
+      ++stats_.misses;
+      return match;
+    }
     it->second->last_used = ++use_tick_;
     ++stats_.equal_hits;
     match.entry = it->second;
@@ -37,6 +57,12 @@ ReuseCache::Match ReuseCache::Lookup(const query::QuerySpec& spec) {
     ++stats_.misses;
     return match;
   }
+  if (PoisonHit()) {
+    Erase(entries_.find(best->full_key));
+    ++stats_.poisoned;
+    ++stats_.misses;
+    return match;
+  }
   best->last_used = ++use_tick_;
   ++stats_.refinement_hits;
   match.entry = entries_.find(best->full_key)->second;
@@ -52,6 +78,15 @@ void ReuseCache::Store(const query::QuerySpec& spec,
   if (agg.rows_seen() <= 0 || !agg.options().record_matches ||
       agg.matches_overflowed()) {
     return;
+  }
+
+  // Chaos site: an eviction storm (memory-pressure spike) wipes the whole
+  // cache just before the store.  Only physical work is displaced, so the
+  // storm costs future lookups their hits and nothing else.
+  if (chaos::FaultInjector::Fire(chaos::FaultSite::kReuseEvictStorm)) {
+    stats_.evictions += static_cast<int64_t>(entries_.size());
+    entries_.clear();
+    total_bytes_ = 0;
   }
 
   const std::string full_key = spec.Signature();

@@ -54,6 +54,7 @@ struct ReuseCacheStats {
   int64_t misses = 0;           // submissions with no usable entry
   int64_t stores = 0;           // snapshots stored or extended
   int64_t evictions = 0;        // entries dropped by the per-viz LRU
+  int64_t poisoned = 0;         // entries dropped as corrupt (fault injection)
   int64_t rows_served = 0;      // feed positions served from snapshots
   int64_t entries = 0;          // live entries at sampling time
 
@@ -63,6 +64,7 @@ struct ReuseCacheStats {
     misses += o.misses;
     stores += o.stores;
     evictions += o.evictions;
+    poisoned += o.poisoned;
     rows_served += o.rows_served;
     // `entries` is a gauge, not a counter: across engines/configurations
     // report the peak, not a meaningless sum.

@@ -83,8 +83,9 @@ Result<ExplorationSession*> SessionManager::CreateSession(ResultSink* sink) {
   auto session = std::unique_ptr<ExplorationSession>(
       new ExplorationSession(this, next_session_id_++, sink));
   ExplorationSession* handle = session.get();
-  const bool first_session = sessions_.empty();
+  const bool first_session = open_sessions_ == 0;
   sessions_.push_back(std::move(session));
+  ++open_sessions_;
   ++stats_.sessions_opened;
   // Notify the engine only when serving starts (no session was open):
   // WorkflowStart resets engine-wide state (reuse snapshots, link hints),
@@ -100,8 +101,9 @@ Status SessionManager::CloseSession(ExplorationSession* session) {
       sessions_.begin(), sessions_.end(),
       [session](const auto& owned) { return owned.get() == session; });
   if (it == sessions_.end()) {
-    return Status::Invalid("unknown or already-closed session");
+    return Status::Invalid("session does not belong to this manager");
   }
+  if (session->closed_) return Status::OK();  // idempotent double close
   // Cancel whatever the session still has in flight.  During manager
   // destruction poll faults are moot — everything is being torn down.
   const std::vector<int64_t> order = run_queue_;
@@ -112,10 +114,11 @@ Status SessionManager::CloseSession(ExplorationSession* session) {
                                /*swallow_poll_error=*/in_destructor_));
   }
   session->closed_ = true;
-  sessions_.erase(it);
-  // Mirror of CreateSession: the engine learns serving ended only when
-  // the last session closes.
-  if (sessions_.empty()) engine_->WorkflowEnd();
+  --open_sessions_;
+  // The closed handle is retained in sessions_ so later calls through a
+  // stale pointer fail cleanly.  Mirror of CreateSession: the engine
+  // learns serving ended only when the last open session closes.
+  if (open_sessions_ == 0) engine_->WorkflowEnd();
   return Status::OK();
 }
 
@@ -142,30 +145,37 @@ Result<std::vector<SubmittedQuery>> SessionManager::SubmitBatch(
     sq.spec = std::move(spec);
     ++stats_.queries_submitted;
     auto submit = engine_->Submit(sq.spec);
+    bool pending = false;
     if (!submit.ok()) {
-      if (submit.status().code() != StatusCode::kNotImplemented) {
-        return submit.status();
+      const StatusCode code = submit.status().code();
+      if (code == StatusCode::kNotImplemented) {
+        // The engine cannot run this query at all: report it as a final
+        // unsupported update with nothing delivered.
+        sq.unsupported = true;
+        ++stats_.unsupported;
+        if (session->sink_ != nullptr) {
+          ProgressiveUpdate u;
+          u.session_id = session->id_;
+          u.query_id = sq.query_id;
+          u.interaction_id = interaction_id;
+          u.viz_name = sq.spec.viz_name;
+          u.confidence = options_.confidence_level;
+          u.virtual_time = virtual_now_;
+          u.budget = budget;
+          u.final_update = true;
+          u.unsupported = true;
+          session->sink_->OnUpdate(u);
+          ++stats_.updates_pushed;
+        }
+        out.push_back(std::move(sq));
+        continue;
       }
-      // The engine cannot run this query at all: report it as a final
-      // unsupported update with nothing delivered.
-      sq.unsupported = true;
-      ++stats_.unsupported;
-      if (session->sink_ != nullptr) {
-        ProgressiveUpdate u;
-        u.session_id = session->id_;
-        u.query_id = sq.query_id;
-        u.interaction_id = interaction_id;
-        u.viz_name = sq.spec.viz_name;
-        u.confidence = options_.confidence_level;
-        u.virtual_time = virtual_now_;
-        u.budget = budget;
-        u.final_update = true;
-        u.unsupported = true;
-        session->sink_->OnUpdate(u);
-        ++stats_.updates_pushed;
-      }
-      out.push_back(std::move(sq));
-      continue;
+      if (!IsTransientEngineError(code)) return submit.status();
+      // Transient submission failure: admit the query as *pending* — it
+      // enters the scheduler with no engine handle and a backed-off
+      // retry time; its deadline and entitlement run from now like any
+      // other admission.
+      pending = true;
     }
 
     LiveQuery q;
@@ -173,7 +183,8 @@ Result<std::vector<SubmittedQuery>> SessionManager::SubmitBatch(
     q.session_id = session->id_;
     q.interaction_id = interaction_id;
     q.viz_name = sq.spec.viz_name;
-    q.handle = *submit;
+    q.spec = sq.spec;
+    q.handle = pending ? -1 : *submit;
     q.sink = session->sink_;
     q.session = session;
     q.submit_time = virtual_now_;
@@ -182,6 +193,10 @@ Result<std::vector<SubmittedQuery>> SessionManager::SubmitBatch(
     queries_.emplace(q.query_id, q);
     run_queue_.push_back(q.query_id);
     ++session->live_;
+    if (pending) {
+      auto qit = queries_.find(q.query_id);
+      IDB_RETURN_NOT_OK(HandleEngineFault(&qit->second, submit.status()));
+    }
     out.push_back(std::move(sq));
   }
   return out;
@@ -202,6 +217,49 @@ Micros SessionManager::MinDeadline() const {
     min_deadline = std::min(min_deadline, q.deadline);
   }
   return min_deadline;
+}
+
+Micros SessionManager::NextWakeup() const {
+  Micros t = MinDeadline();
+  for (const auto& [id, q] : queries_) {
+    if (q.handle < 0) t = std::min(t, std::max(q.retry_at, virtual_now_));
+  }
+  return t;
+}
+
+bool SessionManager::IsTransientEngineError(StatusCode code) {
+  switch (code) {
+    case StatusCode::kIoError:
+    case StatusCode::kResourceExhausted:
+    case StatusCode::kCancelled:
+    case StatusCode::kUnknown:
+      return true;
+    default:
+      return false;
+  }
+}
+
+Status SessionManager::HandleEngineFault(LiveQuery* q, const Status& error) {
+  if (!IsTransientEngineError(error.code())) return error;
+  ++stats_.transient_faults;
+  if (q->handle >= 0) {
+    // Drop the wedged handle.  Engine Cancel may snapshot the partial
+    // aggregate into the reuse cache — fine, the cache only displaces
+    // physical work — and the retry resubmits from a clean handle.
+    engine_->Cancel(q->handle);
+    q->handle = -1;
+    q->last_pushed_rows = -1;
+  }
+  ++q->faults;
+  if (q->faults > options_.max_engine_retries) {
+    return Finalize(q, FinalizeReason::kFailed);
+  }
+  // Exponential backoff in virtual time: 1x, 2x, 4x, ... of the base.
+  // The deadline keeps running, so backoff spends the query's own TR
+  // window; FinalizeOverdue still fires exactly at the deadline.
+  q->retry_at =
+      virtual_now_ + (options_.retry_backoff << std::min(q->faults - 1, 20));
+  return Status::OK();
 }
 
 ProgressiveUpdate SessionManager::MakeUpdate(const LiveQuery& q) const {
@@ -235,15 +293,24 @@ Status SessionManager::Finalize(LiveQuery* q, FinalizeReason reason,
                                 bool swallow_poll_error) {
   ProgressiveUpdate u = MakeUpdate(*q);
   u.final_update = true;
-  u.completed =
-      reason == FinalizeReason::kCompleted && engine_->IsDone(q->handle);
-  u.cancelled = reason != FinalizeReason::kCompleted;
-  auto result = engine_->PollResult(q->handle);
-  const bool poll_failed = !result.ok();
-  const Status poll_status = poll_failed ? result.status() : Status::OK();
-  if (result.ok()) u.result = std::move(result).MoveValueUnsafe();
+  bool poll_failed = false;
+  Status poll_status = Status::OK();
+  if (q->handle >= 0) {
+    u.completed =
+        reason == FinalizeReason::kCompleted && engine_->IsDone(q->handle);
+    auto result = engine_->PollResult(q->handle);
+    poll_failed = !result.ok();
+    if (poll_failed) {
+      poll_status = result.status();
+    } else {
+      u.result = std::move(result).MoveValueUnsafe();
+    }
+    engine_->Cancel(q->handle);
+  }
+  u.cancelled = reason == FinalizeReason::kDeadline ||
+                reason == FinalizeReason::kClientCancel;
+  u.failed = reason == FinalizeReason::kFailed;
   u.progress = u.result.progress;
-  engine_->Cancel(q->handle);
 
   switch (reason) {
     case FinalizeReason::kCompleted:
@@ -257,6 +324,9 @@ Status SessionManager::Finalize(LiveQuery* q, FinalizeReason reason,
     case FinalizeReason::kClientCancel:
       ++stats_.client_cancelled;
       break;
+    case FinalizeReason::kFailed:
+      ++stats_.failed;
+      break;
   }
 
   ResultSink* sink = q->sink;
@@ -267,12 +337,15 @@ Status SessionManager::Finalize(LiveQuery* q, FinalizeReason reason,
                    run_queue_.end());
   queries_.erase(id);  // `q` is dangling from here on
   ++finalized_events_;
-  if (poll_failed && !swallow_poll_error) {
-    // A poll *error* is an engine fault, not an unavailable answer; the
-    // query is retired, but the run aborts the way the seed driver's
-    // pull loop did (no update is pushed for a faulted query).
+  if (poll_failed && !swallow_poll_error &&
+      !IsTransientEngineError(poll_status.code())) {
+    // A programming-error poll status (unknown handle etc.) is a bug,
+    // not weather: the query is retired, but the run aborts the way the
+    // seed driver's pull loop did (no update is pushed).
     return poll_status;
   }
+  // A transient poll failure degrades to an unavailable result — the
+  // query still receives exactly one terminal update.
   if (sink != nullptr) {
     sink->OnUpdate(u);
     ++stats_.updates_pushed;
@@ -291,6 +364,19 @@ Status SessionManager::RunSliceTo(Micros slice_end) {
     auto it = queries_.find(id);
     if (it == queries_.end()) continue;  // finalized earlier in this pass
     LiveQuery& q = it->second;
+    if (q.handle < 0) {
+      // Pending after a transient fault: resubmit once its backoff
+      // elapsed.  A successful resubmission rejoins the round-robin in
+      // this very pass with the full entitlement accrued while waiting.
+      if (virtual_now_ < q.retry_at) continue;
+      auto submit = engine_->Submit(q.spec);
+      if (!submit.ok()) {
+        IDB_RETURN_NOT_OK(HandleEngineFault(&q, submit.status()));
+        continue;  // retired or rescheduled; `q` may be dangling
+      }
+      q.handle = *submit;
+      ++stats_.retries;
+    }
     const Micros entitled = EntitledAt(q, slice_end);
     Micros remaining = entitled - q.offered;
     q.offered = entitled;
@@ -302,6 +388,18 @@ Status SessionManager::RunSliceTo(Micros slice_end) {
     }
     if (engine_->IsDone(q.handle)) {
       IDB_RETURN_NOT_OK(Finalize(&q, FinalizeReason::kCompleted));
+    } else if (remaining > 0) {
+      // The engine refused budget it was entitled to: every engine here
+      // consumes its whole slice while running, so a zero step with
+      // entitlement left means the handle wedged.  Probe to distinguish
+      // an injected run fault (retry) from a genuine programming error
+      // (abort, seed semantics).
+      auto probe = engine_->PollResult(q.handle);
+      if (!probe.ok()) {
+        IDB_RETURN_NOT_OK(HandleEngineFault(&q, probe.status()));
+        continue;  // retired or rescheduled; `q` may be dangling
+      }
+      if (options_.push_partials && q.sink != nullptr) PushPartial(&q);
     } else if (options_.push_partials && q.sink != nullptr) {
       PushPartial(&q);
     }
@@ -329,7 +427,7 @@ Status SessionManager::AdvanceTo(Micros t) {
       virtual_now_ = t;  // idle gap: virtual time is free
       return Status::OK();
     }
-    const Micros horizon = std::min(t, MinDeadline());
+    const Micros horizon = std::min(t, NextWakeup());
     Micros slice_end = horizon;
     if (options_.quantum > 0) {
       slice_end = std::min(horizon, virtual_now_ + options_.quantum);
@@ -351,7 +449,7 @@ Result<int> SessionManager::StepUntilEvent(Micros cap) {
       virtual_now_ = cap;
       return 0;
     }
-    const Micros horizon = std::min(cap, MinDeadline());
+    const Micros horizon = std::min(cap, NextWakeup());
     Micros slice_end = horizon;
     if (options_.quantum > 0) {
       slice_end = std::min(horizon, virtual_now_ + options_.quantum);

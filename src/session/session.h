@@ -67,7 +67,8 @@ namespace idebench::session {
 /// (when the manager's `push_partials` is on and the engine has a
 /// fetchable intermediate answer); exactly one final update is pushed per
 /// submitted query — on completion, deadline cancellation, client
-/// cancellation, or immediately for queries the engine cannot run.
+/// cancellation, engine failure after exhausted retries, or immediately
+/// for queries the engine cannot run.
 struct ProgressiveUpdate {
   int64_t session_id = 0;
   int64_t query_id = 0;        // manager-global query identifier
@@ -86,6 +87,7 @@ struct ProgressiveUpdate {
   bool completed = false;      // engine finished before the deadline
   bool cancelled = false;      // cancelled (deadline or client)
   bool unsupported = false;    // engine refused the query at submission
+  bool failed = false;         // engine fault persisted past every retry
 };
 
 /// Push-delivery interface a client installs per session.  Callbacks run
@@ -124,6 +126,18 @@ struct SessionManagerOptions {
 
   /// Confidence level stamped on updates (matches the engine's).
   double confidence_level = 0.95;
+
+  /// Transient engine faults (I/O errors, resource exhaustion, spurious
+  /// cancellations — the classes chaos injection exercises) are retried
+  /// up to this many times per query before the query is finalized with a
+  /// terminal `failed` update.  Programming errors (invalid argument,
+  /// unknown handle) are never retried and abort like the seed driver.
+  int max_engine_retries = 3;
+
+  /// Virtual-time backoff before the first retry; doubles per attempt.
+  /// A query under backoff keeps accruing its compute entitlement and its
+  /// deadline keeps running — retries spend the query's own TR window.
+  Micros retry_backoff = 50'000;  // 50ms
 };
 
 /// Scheduler telemetry: fairness and liveness counters for one manager.
@@ -134,6 +148,9 @@ struct SchedulerStats {
   int64_t deadline_cancelled = 0;  // cancelled exactly at their TR
   int64_t client_cancelled = 0;    // ExplorationSession::Cancel / close
   int64_t unsupported = 0;
+  int64_t failed = 0;              // engine fault persisted past retries
+  int64_t transient_faults = 0;    // transient engine faults observed
+  int64_t retries = 0;             // successful resubmissions after a fault
   int64_t updates_pushed = 0;      // final + partial
   int64_t partial_updates = 0;
   /// Max (finalize time - deadline) over all queries; the scheduler
@@ -189,6 +206,11 @@ class ExplorationSession {
   /// Queries of this session still live in the scheduler.
   int64_t live_queries() const { return live_; }
 
+  /// True once the session has been closed.  The handle itself stays
+  /// valid until the manager dies; operations on a closed session fail
+  /// with a clean Status instead of touching freed memory.
+  bool closed() const { return closed_; }
+
  private:
   friend class SessionManager;
   ExplorationSession(SessionManager* manager, int64_t id, ResultSink* sink)
@@ -228,10 +250,12 @@ class SessionManager {
   Result<ExplorationSession*> CreateSession(ResultSink* sink);
 
   /// Cancels the session's live queries (pushing final cancelled
-  /// updates) and destroys the handle; closing the last open session
-  /// notifies the engine (Engine::WorkflowEnd).  Idempotent on an
-  /// already-closed handle pointer is NOT supported — the handle dies
-  /// here.
+  /// updates) and marks the session closed; closing the last open
+  /// session notifies the engine (Engine::WorkflowEnd).  Idempotent:
+  /// closing an already-closed session is a no-op returning OK.  The
+  /// handle stays valid (owned by the manager until destruction), so a
+  /// double close — or a submit after close — fails cleanly instead of
+  /// dereferencing freed memory.
   Status CloseSession(ExplorationSession* session);
 
   /// Scheduler virtual time (microseconds since manager creation).
@@ -267,12 +291,16 @@ class SessionManager {
  private:
   friend class ExplorationSession;
 
-  /// One live query in the scheduler.
+  /// One live query in the scheduler.  `handle < 0` means the query is
+  /// *pending*: its engine submission faulted transiently and it waits
+  /// (in virtual time) for `retry_at` to resubmit — still live, still
+  /// accruing entitlement, still bounded by its deadline.
   struct LiveQuery {
     int64_t query_id = 0;
     int64_t session_id = 0;
     int64_t interaction_id = 0;
     std::string viz_name;
+    query::QuerySpec spec;          // kept for retry resubmission
     engines::QueryHandle handle = -1;
     ResultSink* sink = nullptr;     // owning session's sink (may be null)
     ExplorationSession* session = nullptr;
@@ -282,6 +310,8 @@ class SessionManager {
     Micros offered = 0;             // entitlement granted to the engine
     Micros consumed = 0;            // compute the engine reported consumed
     int64_t last_pushed_rows = -1;  // rows_processed at the last push
+    int faults = 0;                 // transient engine faults so far
+    Micros retry_at = 0;            // earliest resubmission time if pending
   };
 
   /// Admission: registers a batch of queries submitted together (the
@@ -304,13 +334,33 @@ class SessionManager {
   /// Earliest deadline over live queries.
   Micros MinDeadline() const;
 
-  enum class FinalizeReason { kCompleted, kDeadline, kClientCancel };
+  /// Earliest scheduling event: the min over live-query deadlines and
+  /// pending-query retry times (clamped to now) — the horizon a slice may
+  /// run to without skipping a deadline or a scheduled retry.
+  Micros NextWakeup() const;
+
+  enum class FinalizeReason { kCompleted, kDeadline, kClientCancel, kFailed };
+
+  /// Classifies an engine error as retryable.  I/O errors, resource
+  /// exhaustion, spurious cancellations and unclassified failures are the
+  /// transient classes (the ones chaos injection produces); anything else
+  /// is a programming error and aborts.
+  static bool IsTransientEngineError(StatusCode code);
+
+  /// Reacts to a transient-or-worse engine fault on `q`: cancels the
+  /// handle if any, schedules a backed-off retry, or — retries exhausted —
+  /// finalizes the query with a terminal `failed` update.  Returns a
+  /// non-OK status only for non-transient (programming) errors, which
+  /// abort like the seed driver.  `q` may be retired on return.
+  Status HandleEngineFault(LiveQuery* q, const Status& error);
 
   /// Polls the final answer, pushes the final update, cancels the engine
-  /// query and retires it.  A PollResult *error* (as opposed to a merely
-  /// unavailable result) aborts like the seed driver did — unless
+  /// query and retires it.  A *transient* PollResult error degrades to an
+  /// unavailable result (the query still gets its one terminal update); a
+  /// programming-error status aborts like the seed driver did — unless
   /// `swallow_poll_error` (destructor teardown), which retires the query
-  /// with a default unavailable result.
+  /// with a default unavailable result regardless.  Pending queries
+  /// (handle < 0) skip the engine entirely.
   Status Finalize(LiveQuery* q, FinalizeReason reason,
                   bool swallow_poll_error = false);
 
@@ -323,7 +373,11 @@ class SessionManager {
   Micros virtual_now_ = 0;
   int64_t next_session_id_ = 0;
   int64_t next_query_id_ = 0;
+  /// All sessions ever created, open and closed alike: closed handles are
+  /// retained (cheap — a few pointers each) so stale client pointers stay
+  /// dereferenceable and double-close is idempotent.
   std::vector<std::unique_ptr<ExplorationSession>> sessions_;
+  int64_t open_sessions_ = 0;
   std::unordered_map<int64_t, LiveQuery> queries_;
   /// Admission-ordered ids of live queries — the round-robin order.
   std::vector<int64_t> run_queue_;

@@ -2,6 +2,7 @@
 
 #include <fstream>
 
+#include "chaos/fault_injector.h"
 #include "common/string_util.h"
 
 namespace idebench::storage {
@@ -38,6 +39,11 @@ std::vector<std::string> ParseCsvLine(const std::string& line) {
 
 Result<Table> ReadCsv(const std::string& path, const std::string& table_name,
                       const Schema& schema) {
+  // Chaos site: the open itself fails (transient filesystem error) before
+  // any bytes are read, so a retry starts from scratch.
+  if (chaos::FaultInjector::Fire(chaos::FaultSite::kCsvOpen)) {
+    return Status::IOError("injected open fault for '" + path + "'");
+  }
   std::ifstream in(path);
   if (!in) return Status::IOError("cannot open '" + path + "' for reading");
 
@@ -64,6 +70,13 @@ Result<Table> ReadCsv(const std::string& path, const std::string& table_name,
   while (std::getline(in, line)) {
     ++line_no;
     if (line.empty()) continue;
+    // Chaos site: column-buffer growth fails mid-load; the partial table
+    // is dropped with the returned error, never handed out half-built.
+    if (chaos::FaultInjector::Fire(chaos::FaultSite::kCsvAlloc)) {
+      return Status::ResourceExhausted("injected allocation fault at line " +
+                                       std::to_string(line_no) + " of '" +
+                                       path + "'");
+    }
     const std::vector<std::string> values = ParseCsvLine(line);
     if (static_cast<int>(values.size()) != schema.num_fields()) {
       return Status::Invalid("line " + std::to_string(line_no) + " has " +
@@ -103,6 +116,11 @@ void WriteField(std::ofstream& out, const std::string& s) {
 }  // namespace
 
 Status WriteCsv(const Table& table, const std::string& path) {
+  // Chaos site: symmetric with ReadCsv — the open fails before any bytes
+  // are written.
+  if (chaos::FaultInjector::Fire(chaos::FaultSite::kCsvOpen)) {
+    return Status::IOError("injected open fault for '" + path + "'");
+  }
   std::ofstream out(path);
   if (!out) return Status::IOError("cannot open '" + path + "' for writing");
   for (int c = 0; c < table.num_columns(); ++c) {

@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include "chaos/fault_injector.h"
 #include "core/dataset.h"
 #include "engines/registry.h"
 #include "engines/stratified_engine.h"
@@ -197,6 +198,39 @@ TEST_P(EngineLifecycle, DoublePrepareFails) {
   auto catalog = PropCatalog(1'000'000);
   ASSERT_TRUE((*engine)->Prepare(catalog).ok());
   EXPECT_FALSE((*engine)->Prepare(catalog).ok());
+}
+
+TEST_P(EngineLifecycle, InjectedPrepareFailureRecoversOnRetry) {
+  // An injected Prepare fault must leave the engine cleanly unprepared:
+  // Submit keeps failing, and a later Prepare of the *same* engine
+  // instance succeeds and serves queries normally (the recovery loop the
+  // chaos harness' PrepareWithRetry relies on).
+  auto engine = CreateEngine(GetParam());
+  ASSERT_TRUE(engine.ok());
+  auto catalog = PropCatalog(1'000'000);
+  QuerySpec spec = testutil::MakeCountByGroupSpec(*catalog);
+
+  chaos::FaultInjector injector(17);
+  injector.Arm(chaos::FaultSite::kEnginePrepare, {1.0, 2});
+  chaos::ScopedFaultInjector scope(&injector);
+
+  int attempts = 0;
+  while (true) {
+    ++attempts;
+    ASSERT_LE(attempts, 8) << "prepare never recovered";
+    auto prepared = (*engine)->Prepare(catalog);
+    if (prepared.ok()) break;
+    // While unprepared, submissions must keep failing cleanly.
+    EXPECT_FALSE((*engine)->Submit(spec).ok());
+  }
+  EXPECT_GT(attempts, 1);  // the armed site actually failed a Prepare
+
+  auto handle = (*engine)->Submit(spec);
+  ASSERT_TRUE(handle.ok());
+  (*engine)->RunFor(*handle, 10'000'000);
+  auto result = (*engine)->PollResult(*handle);
+  ASSERT_TRUE(result.ok());
+  (*engine)->Cancel(*handle);
 }
 
 TEST_P(EngineLifecycle, UnresolvedBinsRejected) {

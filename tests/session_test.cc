@@ -405,5 +405,69 @@ TEST(SessionTest, StatsCountersAddUp) {
   EXPECT_EQ(stats.virtual_now, manager.VirtualNow());
 }
 
+TEST(SessionTest, CloseIsIdempotentAndSubmitAfterCloseFailsCleanly) {
+  BlockingEngineConfig config;
+  config.scan_ns_per_row = 10.0;
+  config.query_overhead_us = 0;
+  BlockingEngine engine(config);
+  auto catalog = Catalog(1'000'000);
+  ASSERT_TRUE(engine.Prepare(catalog).ok());
+
+  SessionManager manager({}, &engine, catalog);
+  RecordingSink sink;
+  auto sess = manager.CreateSession(&sink);
+  ASSERT_TRUE(sess.ok());
+  ExplorationSession* session = *sess;
+  EXPECT_FALSE(session->closed());
+
+  ASSERT_TRUE(manager.CloseSession(session).ok());
+  EXPECT_TRUE(session->closed());
+  // Double close is a no-op, and the handle stays dereferenceable.
+  EXPECT_TRUE(manager.CloseSession(session).ok());
+
+  // Submitting on a closed session fails with a clean status instead of
+  // touching freed memory.
+  auto submitted =
+      session->SubmitInteraction(Interaction::CreateViz(MakeGroupViz("v0")));
+  ASSERT_FALSE(submitted.ok());
+  EXPECT_EQ(submitted.status().code(), StatusCode::kInvalidArgument);
+  // Cancelling through a closed session is still the usual no-op.
+  EXPECT_TRUE(session->Cancel(0).ok());
+  EXPECT_EQ(manager.stats().queries_submitted, 0);
+}
+
+TEST(SessionTest, ClosingOneSessionLeavesOthersServing) {
+  BlockingEngineConfig config;
+  config.scan_ns_per_row = 10.0;
+  config.query_overhead_us = 0;
+  BlockingEngine engine(config);
+  auto catalog = Catalog(1'000'000);
+  ASSERT_TRUE(engine.Prepare(catalog).ok());
+
+  SessionManager manager({}, &engine, catalog);
+  RecordingSink sink_a, sink_b;
+  auto a = manager.CreateSession(&sink_a);
+  auto b = manager.CreateSession(&sink_b);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+
+  // Close A with a live query: its query cancels, B keeps serving
+  // (the engine-wide WorkflowEnd only fires at the *last* close).
+  ASSERT_TRUE(
+      (*a)->SubmitInteraction(Interaction::CreateViz(MakeGroupViz("va"))).ok());
+  ASSERT_TRUE(manager.CloseSession(*a).ok());
+  ASSERT_EQ(sink_a.finals().size(), 1u);
+  EXPECT_TRUE(sink_a.finals()[0].cancelled);
+
+  ASSERT_TRUE(
+      (*b)->SubmitInteraction(Interaction::CreateViz(MakeGroupViz("vb"))).ok());
+  ASSERT_TRUE(manager.RunUntilIdle().ok());
+  ASSERT_EQ(sink_b.finals().size(), 1u);
+  EXPECT_TRUE(sink_b.finals()[0].completed);
+  ASSERT_TRUE(manager.CloseSession(*b).ok());
+  EXPECT_EQ(manager.stats().completed, 1);
+  EXPECT_EQ(manager.stats().client_cancelled, 1);
+}
+
 }  // namespace
 }  // namespace idebench::session

@@ -1,0 +1,203 @@
+/// \file chaos_runner.cc
+/// Chaos sweep driver: runs seed x scenario x engine combinations of the
+/// deterministic fault-injection harness and reports every invariant
+/// violation found.
+///
+/// Usage:
+///   chaos_runner [--seeds N] [--seed-base B] [--scenario NAME]
+///                [--engine NAME] [--list] [--replay SEED] [--verbose]
+///
+///   --seeds N        seeds per (scenario, engine) cell (default 20)
+///   --seed-base B    first seed of the sweep (default 1)
+///   --scenario NAME  restrict to one catalog scenario (default: all)
+///   --engine NAME    restrict to one engine (default: all built-ins)
+///   --list           print the scenario catalog and exit
+///   --replay SEED    run one (scenario, engine, seed) cell and dump its
+///                    full deterministic event log + fault summary
+///                    (requires --scenario and --engine)
+///   --verbose        per-cell stats lines even when everything passes
+///
+/// Every cell runs the injected schedule and, when the scenario arms
+/// faults, an uninjected reference run for the result-identity check.
+/// Exit status is the number of failing cells (capped at 99).
+
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "chaos/scenario.h"
+#include "engines/registry.h"
+
+namespace {
+
+using idebench::chaos::ChaosReport;
+using idebench::chaos::FindScenario;
+using idebench::chaos::InvariantViolation;
+using idebench::chaos::RunScenarioWithReference;
+using idebench::chaos::ScenarioCatalog;
+using idebench::chaos::ScenarioSpec;
+
+struct Args {
+  int seeds = 20;
+  uint64_t seed_base = 1;
+  std::string scenario;
+  std::string engine;
+  bool list = false;
+  bool verbose = false;
+  bool replay = false;
+  uint64_t replay_seed = 0;
+};
+
+bool ParseArgs(int argc, char** argv, Args* args) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--seeds") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->seeds = std::atoi(v);
+    } else if (arg == "--seed-base") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->seed_base = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--scenario") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->scenario = v;
+    } else if (arg == "--engine") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->engine = v;
+    } else if (arg == "--replay") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->replay = true;
+      args->replay_seed = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--list") {
+      args->list = true;
+    } else if (arg == "--verbose") {
+      args->verbose = true;
+    } else {
+      std::cerr << "unknown argument: " << arg << "\n";
+      return false;
+    }
+  }
+  return true;
+}
+
+void PrintCatalog() {
+  std::cout << "scenario catalog:\n";
+  for (const ScenarioSpec& spec : ScenarioCatalog()) {
+    std::cout << "  " << spec.name << (spec.has_faults() ? "  [faults]" : "")
+              << "\n      " << spec.description << "\n";
+  }
+}
+
+std::string CellName(const ChaosReport& r) {
+  return r.scenario + " / " + r.engine + " / seed " + std::to_string(r.seed);
+}
+
+void PrintReport(const ChaosReport& r, bool full_log) {
+  std::cout << CellName(r) << (r.ok() ? ": ok" : ": FAILED") << "\n";
+  const auto& s = r.stats;
+  std::cout << "  submitted=" << s.queries_submitted
+            << " completed=" << s.completed
+            << " deadline=" << s.deadline_cancelled
+            << " client=" << s.client_cancelled
+            << " unsupported=" << s.unsupported << " failed=" << s.failed
+            << " transient_faults=" << s.transient_faults
+            << " retries=" << s.retries << " fires=" << r.total_fires
+            << " prepare_attempts=" << r.prepare_attempts << "\n";
+  if (!r.run_error.ok()) {
+    std::cout << "  run error: " << r.run_error.ToString() << "\n";
+  }
+  for (const InvariantViolation& v : r.violations) {
+    std::cout << "  violation [" << v.invariant << "] " << v.detail << "\n";
+  }
+  if (full_log) {
+    if (!r.fault_summary.empty()) {
+      std::cout << "fault summary:\n" << r.fault_summary;
+    }
+    std::cout << "event log (" << r.event_log.size() << " lines):\n";
+    for (const std::string& line : r.event_log) {
+      std::cout << "  " << line << "\n";
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!ParseArgs(argc, argv, &args)) {
+    std::cerr << "usage: chaos_runner [--seeds N] [--seed-base B] "
+                 "[--scenario NAME] [--engine NAME] [--list] "
+                 "[--replay SEED] [--verbose]\n";
+    return 100;
+  }
+  if (args.list) {
+    PrintCatalog();
+    return 0;
+  }
+
+  std::vector<const ScenarioSpec*> scenarios;
+  if (!args.scenario.empty()) {
+    const ScenarioSpec* spec = FindScenario(args.scenario);
+    if (spec == nullptr) {
+      std::cerr << "unknown scenario '" << args.scenario << "' (--list)\n";
+      return 100;
+    }
+    scenarios.push_back(spec);
+  } else {
+    for (const ScenarioSpec& spec : ScenarioCatalog()) {
+      scenarios.push_back(&spec);
+    }
+  }
+
+  std::vector<std::string> engines;
+  if (!args.engine.empty()) {
+    engines.push_back(args.engine);
+  } else {
+    engines = idebench::engines::BuiltinEngineNames();
+  }
+
+  if (args.replay) {
+    if (scenarios.size() != 1 || engines.size() != 1) {
+      std::cerr << "--replay needs --scenario and --engine\n";
+      return 100;
+    }
+    const ChaosReport report = RunScenarioWithReference(
+        *scenarios[0], engines[0], args.replay_seed);
+    PrintReport(report, /*full_log=*/true);
+    return report.ok() ? 0 : 1;
+  }
+
+  int failures = 0;
+  int cells = 0;
+  for (const ScenarioSpec* spec : scenarios) {
+    for (const std::string& engine : engines) {
+      for (int s = 0; s < args.seeds; ++s) {
+        const uint64_t seed = args.seed_base + static_cast<uint64_t>(s);
+        const ChaosReport report =
+            RunScenarioWithReference(*spec, engine, seed);
+        ++cells;
+        if (!report.ok()) {
+          ++failures;
+          PrintReport(report, /*full_log=*/false);
+          std::cout << "  replay: chaos_runner --scenario " << spec->name
+                    << " --engine " << engine << " --replay " << seed << "\n";
+        } else if (args.verbose) {
+          PrintReport(report, /*full_log=*/false);
+        }
+      }
+    }
+  }
+  std::cout << "chaos sweep: " << cells - failures << "/" << cells
+            << " cells passed\n";
+  return failures > 99 ? 99 : failures;
+}
