@@ -28,6 +28,14 @@ const char* FaultSiteName(FaultSite site) {
       return "csv.open";
     case FaultSite::kCsvAlloc:
       return "csv.alloc";
+    case FaultSite::kNetAccept:
+      return "net.accept";
+    case FaultSite::kNetRead:
+      return "net.read";
+    case FaultSite::kNetWrite:
+      return "net.write";
+    case FaultSite::kNetPartialFrame:
+      return "net.partial_frame";
   }
   return "unknown";
 }

@@ -31,7 +31,16 @@
 ///    work (results unchanged by the cache transparency contract);
 ///  * `kReuseEvictStorm` — a store first evicts every resident snapshot;
 ///  * `kCsvOpen` / `kCsvAlloc` — `storage::ReadCsv`/`WriteCsv` fail with
-///    I/O-style and allocation-style `Status` errors.
+///    I/O-style and allocation-style `Status` errors;
+///  * `kNetAccept` — the serving loop refuses an incoming connection
+///    (accept fails transiently; the listener must keep serving);
+///  * `kNetRead` — a connection read fails mid-stream: the server drops
+///    the connection and must drain its sessions cleanly;
+///  * `kNetWrite` — a connection write fails / the client stops reading:
+///    backpressure coalesces partials, finals still reach the queue or
+///    the disconnect is counted explicitly;
+///  * `kNetPartialFrame` — an outbound frame is split at an arbitrary
+///    byte boundary (the decoder must reassemble, never misparse).
 ///
 /// Installation is process-global (`Install`/`ScopedFaultInjector`) so
 /// deep layers need no plumbing; when nothing is installed every site
@@ -61,9 +70,13 @@ enum class FaultSite : int {
   kReuseEvictStorm = 5,
   kCsvOpen = 6,
   kCsvAlloc = 7,
+  kNetAccept = 8,
+  kNetRead = 9,
+  kNetWrite = 10,
+  kNetPartialFrame = 11,
 };
 
-inline constexpr int kFaultSiteCount = 8;
+inline constexpr int kFaultSiteCount = 12;
 
 /// Stable human-readable site name ("engine.prepare", ...).
 const char* FaultSiteName(FaultSite site);

@@ -1,0 +1,159 @@
+#include "net/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include "net/protocol.h"
+
+namespace idebench::net {
+
+namespace {
+
+Status Errno(const std::string& what) {
+  return Status::IOError(what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+Result<std::unique_ptr<Client>> Client::Connect(const std::string& host,
+                                                int port,
+                                                const std::string& tenant,
+                                                Micros timeout) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::Invalid("bad server address: " + host);
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const Status st = Errno("connect " + host + ":" + std::to_string(port));
+    ::close(fd);
+    return st;
+  }
+  int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+  auto client = std::unique_ptr<Client>(new Client(fd));
+  IDB_RETURN_NOT_OK(client->Send(MakeHello(tenant)));
+  IDB_ASSIGN_OR_RETURN(JsonValue reply, client->WaitFor("hello_ok", timeout));
+  (void)reply;
+  return client;
+}
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status Client::Send(const JsonValue& message) {
+  const std::string frame = EncodeFrame(message);
+  size_t written = 0;
+  while (written < frame.size()) {
+    const ssize_t n = ::send(fd_, frame.data() + written,
+                             frame.size() - written, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("send");
+    }
+    written += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Result<bool> Client::FillUntil(Micros deadline_wall) {
+  while (true) {
+    const Micros now = wall_.Now();
+    if (now >= deadline_wall) return false;
+    pollfd pfd{fd_, POLLIN, 0};
+    const int timeout_ms = std::max<int>(
+        1, static_cast<int>((deadline_wall - now) / 1000));
+    const int ready = ::poll(&pfd, 1, timeout_ms);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return Errno("poll");
+    }
+    if (ready == 0) return false;
+    char buf[64 * 1024];
+    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n == 0) return Status::IOError("server closed the connection");
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+      return Errno("recv");
+    }
+    decoder_.Feed(buf, static_cast<size_t>(n));
+    return true;
+  }
+}
+
+Result<bool> Client::Next(JsonValue* out, Micros timeout) {
+  if (!buffered_.empty()) {
+    *out = std::move(buffered_.front());
+    buffered_.pop_front();
+    return true;
+  }
+  const Micros deadline = wall_.Now() + timeout;
+  while (true) {
+    IDB_ASSIGN_OR_RETURN(bool decoded, decoder_.Next(out));
+    if (decoded) return true;
+    IDB_ASSIGN_OR_RETURN(bool got_bytes, FillUntil(deadline));
+    if (!got_bytes) return false;
+  }
+}
+
+Result<JsonValue> Client::WaitFor(const std::string& type, Micros timeout) {
+  const Micros deadline = wall_.Now() + timeout;
+  // Check already-buffered messages first (arrival order preserved for
+  // the rest).
+  for (auto it = buffered_.begin(); it != buffered_.end(); ++it) {
+    if (MessageType(*it) == type) {
+      JsonValue msg = std::move(*it);
+      buffered_.erase(it);
+      return msg;
+    }
+  }
+  while (true) {
+    JsonValue msg;
+    IDB_ASSIGN_OR_RETURN(bool decoded, decoder_.Next(&msg));
+    if (decoded) {
+      if (MessageType(msg) == type) return msg;
+      buffered_.push_back(std::move(msg));  // kept in arrival order
+      continue;
+    }
+    if (wall_.Now() >= deadline) {
+      return Status::IOError("timed out waiting for '" + type + "'");
+    }
+    IDB_ASSIGN_OR_RETURN(bool got_bytes, FillUntil(deadline));
+    if (!got_bytes) {
+      return Status::IOError("timed out waiting for '" + type + "'");
+    }
+  }
+}
+
+Result<int64_t> Client::OpenSession(Micros timeout) {
+  JsonValue msg = JsonValue::Object();
+  msg.Set("type", "open_session");
+  IDB_RETURN_NOT_OK(Send(msg));
+  IDB_ASSIGN_OR_RETURN(JsonValue reply, WaitFor("session_opened", timeout));
+  return reply.GetInt("session", -1);
+}
+
+Status Client::CloseSession(int64_t session, Micros timeout) {
+  JsonValue msg = JsonValue::Object();
+  msg.Set("type", "close_session");
+  msg.Set("session", session);
+  IDB_RETURN_NOT_OK(Send(msg));
+  return WaitFor("session_closed", timeout).status();
+}
+
+}  // namespace idebench::net

@@ -14,19 +14,28 @@ using workflow::InteractionType;
 // --- ExplorationSession ----------------------------------------------------
 
 Result<std::vector<SubmittedQuery>> ExplorationSession::SubmitInteraction(
-    const Interaction& interaction) {
+    const Interaction& interaction, double budget_scale) {
   if (closed_) return Status::Invalid("session is closed");
+  if (!(budget_scale > 0.0) || budget_scale > 1.0) {
+    return Status::Invalid("budget_scale must be in (0, 1]");
+  }
   // Forward dashboard hints before any submission (seed driver order).
+  // Engine-facing names are session-qualified: per-viz engine state
+  // (speculation specs, link edges, per-viz reuse snapshots) must never
+  // collide across sessions sharing the engine.
   if (interaction.type == InteractionType::kLink) {
-    manager_->engine()->LinkVizs(interaction.link_from, interaction.link_to);
+    manager_->engine()->LinkVizs(
+        SessionManager::QualifiedViz(id_, interaction.link_from),
+        SessionManager::QualifiedViz(id_, interaction.link_to));
   } else if (interaction.type == InteractionType::kDiscard) {
-    manager_->engine()->DiscardViz(interaction.viz_name);
+    manager_->engine()->DiscardViz(
+        SessionManager::QualifiedViz(id_, interaction.viz_name));
   }
   std::vector<query::QuerySpec> specs;
   IDB_RETURN_NOT_OK(workflow::ApplyInteraction(manager_->catalog(),
                                                interaction, &graph_, &specs));
-  return manager_->SubmitBatch(this, next_interaction_id_++,
-                               std::move(specs));
+  return manager_->SubmitBatch(this, next_interaction_id_++, std::move(specs),
+                               budget_scale);
 }
 
 Status ExplorationSession::Cancel(int64_t query_id) {
@@ -57,6 +66,12 @@ void ExplorationSession::Think(Micros duration) {
 void ExplorationSession::ResetDashboard() { graph_.Clear(); }
 
 // --- SessionManager --------------------------------------------------------
+
+std::string SessionManager::QualifiedViz(int64_t session_id,
+                                         const std::string& viz) {
+  if (viz.empty()) return viz;
+  return "s" + std::to_string(session_id) + "/" + viz;
+}
 
 SessionManager::SessionManager(SessionManagerOptions options,
                                engines::Engine* engine,
@@ -124,7 +139,7 @@ Status SessionManager::CloseSession(ExplorationSession* session) {
 
 Result<std::vector<SubmittedQuery>> SessionManager::SubmitBatch(
     ExplorationSession* session, int64_t interaction_id,
-    std::vector<query::QuerySpec> specs) {
+    std::vector<query::QuerySpec> specs, double budget_scale) {
   // Contention factor at admission: the batch runs alongside everything
   // already live.  With a single session this degenerates to the seed
   // driver's per-interaction concurrency (nothing else is live when an
@@ -136,6 +151,13 @@ Result<std::vector<SubmittedQuery>> SessionManager::SubmitBatch(
         static_cast<double>(budget) /
         (1.0 + options_.contention_penalty * static_cast<double>(n - 1)));
   }
+  if (budget_scale < 1.0) {
+    // Graceful degradation: the ratekeeper shrinks the compute
+    // entitlement, not the deadline — degraded queries answer on time
+    // from a smaller sample instead of answering late.
+    budget = std::max<Micros>(
+        1, static_cast<Micros>(static_cast<double>(budget) * budget_scale));
+  }
 
   std::vector<SubmittedQuery> out;
   out.reserve(specs.size());
@@ -144,7 +166,13 @@ Result<std::vector<SubmittedQuery>> SessionManager::SubmitBatch(
     sq.query_id = next_query_id_++;
     sq.spec = std::move(spec);
     ++stats_.queries_submitted;
-    auto submit = engine_->Submit(sq.spec);
+    // The engine sees the session-qualified name; the client-facing
+    // SubmittedQuery/updates keep the raw one.  Names are excluded from
+    // query signatures, so qualification never perturbs walk offsets or
+    // reuse keys — single-session results stay bit-identical.
+    query::QuerySpec engine_spec = sq.spec;
+    engine_spec.viz_name = QualifiedViz(session->id_, engine_spec.viz_name);
+    auto submit = engine_->Submit(engine_spec);
     bool pending = false;
     if (!submit.ok()) {
       const StatusCode code = submit.status().code();
@@ -183,7 +211,7 @@ Result<std::vector<SubmittedQuery>> SessionManager::SubmitBatch(
     q.session_id = session->id_;
     q.interaction_id = interaction_id;
     q.viz_name = sq.spec.viz_name;
-    q.spec = sq.spec;
+    q.spec = std::move(engine_spec);  // qualified: retries resubmit as-is
     q.handle = pending ? -1 : *submit;
     q.sink = session->sink_;
     q.session = session;

@@ -33,6 +33,18 @@
 /// multi-session run is exactly reproducible, and the morsel-parallel
 /// execution underneath keeps results bit-identical at any `threads`.
 ///
+/// Viz namespacing: engine-side per-viz state (speculation specs, link
+/// edges, per-viz reuse snapshots) is keyed by viz *name*, and every
+/// dashboard names its vizs "viz_0", "viz_1", ... — so two sessions on
+/// one shared engine would collide.  The manager therefore qualifies
+/// every engine-facing viz name as "s<session_id>/<name>" (query specs
+/// at submission, Link/Discard hints) and keeps the raw name on
+/// everything client-facing (`SubmittedQuery::spec`,
+/// `ProgressiveUpdate::viz_name`).  Names are excluded from query
+/// signatures (see query::QuerySpec::CoreSignature), so qualification
+/// never perturbs walk offsets or reuse-cache matching — single-session
+/// results stay bit-identical to the legacy pull path.
+///
 /// Seed-parity contract: with a single session and `quantum == 0` (run-
 /// to-entitlement turns), the manager issues the seed `BenchmarkDriver`
 /// loop's engine call sequence with one deliberate difference — a query
@@ -182,8 +194,15 @@ class ExplorationSession {
   /// (NotImplemented) are reported through the sink as final unsupported
   /// updates; any other engine error aborts.  Returns the submitted
   /// queries in driver order.
+  ///
+  /// `budget_scale` in (0, 1] shrinks the batch's compute entitlement —
+  /// the graceful-degradation hook the net ratekeeper pulls under
+  /// overload: a degraded query keeps its deadline but receives
+  /// `budget_scale` of the budget it would otherwise accrue, so it
+  /// answers from a smaller sample instead of being refused.  1.0 (the
+  /// default) is bit-identical to the undegraded path.
   Result<std::vector<SubmittedQuery>> SubmitInteraction(
-      const workflow::Interaction& interaction);
+      const workflow::Interaction& interaction, double budget_scale = 1.0);
 
   /// Client-initiated cancellation.  Idempotent: cancelling an unknown,
   /// already-finished or already-cancelled query is a no-op.
@@ -316,10 +335,15 @@ class SessionManager {
 
   /// Admission: registers a batch of queries submitted together (the
   /// contention factor is computed from live + batch size, the seed
-  /// driver's per-interaction concurrency semantics).
+  /// driver's per-interaction concurrency semantics).  `budget_scale`
+  /// further shrinks the batch's entitlement (degradation; 1.0 = none).
   Result<std::vector<SubmittedQuery>> SubmitBatch(
       ExplorationSession* session, int64_t interaction_id,
-      std::vector<query::QuerySpec> specs);
+      std::vector<query::QuerySpec> specs, double budget_scale);
+
+  /// Engine-facing viz name of `viz` in `session` ("s<id>/<viz>"); empty
+  /// names stay empty (no per-viz engine state to namespace).
+  static std::string QualifiedViz(int64_t session_id, const std::string& viz);
 
   /// Compute entitlement accrued by `q` at virtual time `t`.
   Micros EntitledAt(const LiveQuery& q, Micros t) const;

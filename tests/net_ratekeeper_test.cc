@@ -1,0 +1,167 @@
+/// \file net_ratekeeper_test.cc
+/// Admission-control contract (net/ratekeeper.h): the throttle ->
+/// degrade -> reject ladder, per-tenant isolation, budget shrinkage
+/// monotonicity, backlog-driven degradation, and explicit reasons on
+/// every refusal.
+
+#include "net/ratekeeper.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace idebench::net {
+namespace {
+
+RatekeeperOptions SmallOptions() {
+  RatekeeperOptions o;
+  o.soft_live_limit = 4;
+  o.hard_live_limit = 8;
+  o.degrade_levels = 4;
+  o.min_budget_scale = 0.25;
+  o.degraded_update_interval = 50'000;
+  o.tenant_rate = 0.0;  // tenant throttling off unless a test arms it
+  o.backlog_degrade = 0;
+  o.backlog_reject = 0;
+  return o;
+}
+
+TEST(RatekeeperTest, AdmitsAtFullBudgetBelowSoftLimit) {
+  Ratekeeper keeper(SmallOptions());
+  for (int i = 0; i < 4; ++i) {
+    const AdmitDecision d = keeper.Admit("t", /*now=*/0);
+    ASSERT_TRUE(d.admitted());
+    EXPECT_EQ(d.degrade_level, 0);
+    EXPECT_DOUBLE_EQ(d.budget_scale, 1.0);
+    EXPECT_EQ(d.update_interval, 0);
+    keeper.OnAdmitted(1);
+  }
+  EXPECT_EQ(keeper.stats().degraded, 0);
+}
+
+TEST(RatekeeperTest, DegradesBetweenSoftAndHardThenRejects) {
+  Ratekeeper keeper(SmallOptions());
+  // Fill to the hard limit, recording the ladder.
+  double last_scale = 1.0;
+  int last_level = 0;
+  for (int i = 0; i < 8; ++i) {
+    const AdmitDecision d = keeper.Admit("t", 0);
+    ASSERT_TRUE(d.admitted()) << "i=" << i;
+    EXPECT_GE(d.degrade_level, last_level);   // monotone down the ladder
+    EXPECT_LE(d.budget_scale, last_scale);    // budgets only shrink
+    if (d.degrade_level > 0) {
+      EXPECT_GT(d.update_interval, 0);        // cadence stretches
+      EXPECT_LT(d.budget_scale, 1.0);
+    }
+    last_level = d.degrade_level;
+    last_scale = d.budget_scale;
+    keeper.OnAdmitted(1);
+  }
+  // Degradation demonstrably happened before any refusal.
+  EXPECT_GT(keeper.stats().degraded, 0);
+  EXPECT_LT(keeper.stats().min_budget_scale_granted, 1.0);
+  EXPECT_EQ(keeper.stats().rejected, 0);
+
+  // At the hard limit: explicit rejection with reason + retry hint.
+  const AdmitDecision d = keeper.Admit("t", 0);
+  EXPECT_EQ(d.action, AdmitAction::kReject);
+  EXPECT_STREQ(d.reason, "over_capacity");
+  EXPECT_GT(d.retry_after, 0);
+  EXPECT_EQ(keeper.stats().rejected, 1);
+
+  // Finalizations reopen admission.
+  keeper.OnFinalized(8);
+  const AdmitDecision d2 = keeper.Admit("t", 0);
+  EXPECT_TRUE(d2.admitted());
+  EXPECT_EQ(d2.degrade_level, 0);
+}
+
+TEST(RatekeeperTest, BudgetScaleReachesConfiguredFloor) {
+  RatekeeperOptions o = SmallOptions();
+  Ratekeeper keeper(o);
+  keeper.OnAdmitted(7);  // just below hard: deepest admitted level
+  const AdmitDecision d = keeper.Admit("t", 0);
+  ASSERT_TRUE(d.admitted());
+  EXPECT_EQ(d.degrade_level, o.degrade_levels);
+  EXPECT_DOUBLE_EQ(d.budget_scale, o.min_budget_scale);
+}
+
+TEST(RatekeeperTest, TenantThrottleIsolatesNoisyTenant) {
+  RatekeeperOptions o = SmallOptions();
+  o.soft_live_limit = 1000;  // keep global admission out of the picture
+  o.hard_live_limit = 2000;
+  o.tenant_rate = 10.0;   // 10/s sustained
+  o.tenant_burst = 3.0;   // 3 of burst
+  Ratekeeper keeper(o);
+
+  // The noisy tenant burns its burst instantly...
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(keeper.Admit("noisy", 0).admitted()) << i;
+  }
+  const AdmitDecision throttled = keeper.Admit("noisy", 0);
+  EXPECT_EQ(throttled.action, AdmitAction::kThrottle);
+  EXPECT_STREQ(throttled.reason, "tenant_throttled");
+  EXPECT_GT(throttled.retry_after, 0);
+
+  // ...while a quiet tenant sails through at the same instant.
+  EXPECT_TRUE(keeper.Admit("quiet", 0).admitted());
+
+  // After the hinted wait, the noisy tenant's bucket refilled.
+  const AdmitDecision later =
+      keeper.Admit("noisy", throttled.retry_after + 1);
+  EXPECT_TRUE(later.admitted());
+  EXPECT_EQ(keeper.stats().throttled, 1);
+}
+
+TEST(RatekeeperTest, GlobalRejectRefundsTenantToken) {
+  RatekeeperOptions o = SmallOptions();
+  o.tenant_rate = 10.0;
+  o.tenant_burst = 1.0;  // exactly one token
+  Ratekeeper keeper(o);
+  keeper.OnAdmitted(8);  // at the hard limit: everything rejects
+
+  const AdmitDecision d = keeper.Admit("t", 0);
+  EXPECT_EQ(d.action, AdmitAction::kReject);
+  // The refusal was global; the tenant's only token must survive so a
+  // post-backoff retry is not double-punished.
+  keeper.OnFinalized(8);
+  EXPECT_TRUE(keeper.Admit("t", 0).admitted());
+}
+
+TEST(RatekeeperTest, BacklogDegradesThenRejects) {
+  RatekeeperOptions o = SmallOptions();
+  o.backlog_degrade = 100'000;   // one level per 100ms of lag
+  o.backlog_reject = 1'000'000;  // reject at 1s of lag
+  Ratekeeper keeper(o);
+
+  // Idle scheduler, no lag: full budget.
+  EXPECT_EQ(keeper.Admit("t", 0, /*backlog=*/0).degrade_level, 0);
+  // Moderate lag degrades even with zero live queries.
+  const AdmitDecision degraded = keeper.Admit("t", 0, /*backlog=*/250'000);
+  ASSERT_TRUE(degraded.admitted());
+  EXPECT_GT(degraded.degrade_level, 0);
+  EXPECT_LT(degraded.budget_scale, 1.0);
+  // Deep lag: no admission can meet a deadline; reject with reason.
+  const AdmitDecision rejected = keeper.Admit("t", 0, /*backlog=*/2'000'000);
+  EXPECT_EQ(rejected.action, AdmitAction::kReject);
+  EXPECT_STREQ(rejected.reason, "backlogged");
+}
+
+TEST(RatekeeperTest, StatsAccountEveryDecision) {
+  Ratekeeper keeper(SmallOptions());
+  keeper.OnAdmitted(6);  // between soft and hard: degraded admissions
+  ASSERT_TRUE(keeper.Admit("t", 0).admitted());
+  keeper.OnAdmitted(2);  // at hard
+  EXPECT_EQ(keeper.Admit("t", 0).action, AdmitAction::kReject);
+
+  const RatekeeperStats stats = keeper.stats();
+  EXPECT_EQ(stats.admitted, 1);
+  EXPECT_EQ(stats.degraded, 1);
+  EXPECT_EQ(stats.rejected, 1);
+  EXPECT_EQ(stats.live, 8);
+  EXPECT_EQ(stats.peak_live, 8);
+  EXPECT_GT(stats.max_level_seen, 0);
+}
+
+}  // namespace
+}  // namespace idebench::net

@@ -1,0 +1,482 @@
+/// \file net_server_test.cc
+/// Loopback tests of the serving front-end (net/server.h): frame
+/// protocol end-to-end, explicit overload rejection with degradation
+/// before refusal, backpressure under injected write stalls, clean
+/// drain on abrupt client disconnect, and survival of the chaos net
+/// fault sites.  Every test pins the serving contract: the server never
+/// crashes, every admitted query yields exactly one terminal update,
+/// and every refusal is an explicit frame.
+
+#include "net/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "chaos/fault_injector.h"
+#include "engines/blocking_engine.h"
+#include "engines/progressive_engine.h"
+#include "net/client.h"
+#include "net/protocol.h"
+#include "tests/test_util.h"
+#include "workflow/interaction.h"
+
+namespace idebench::net {
+namespace {
+
+constexpr Micros kWait = 10 * kMicrosPerSecond;
+
+query::VizSpec GroupViz(const std::string& name) {
+  query::VizSpec v;
+  v.name = name;
+  v.source = "tiny";
+  query::BinDimension d;
+  d.column = "group";
+  d.mode = query::BinningMode::kNominal;
+  v.bins.push_back(d);
+  query::AggregateSpec a;
+  a.type = query::AggregateType::kCount;
+  v.aggregates.push_back(a);
+  return v;
+}
+
+JsonValue InteractionRequest(int64_t session, int64_t request,
+                             const std::string& viz_name) {
+  JsonValue msg = JsonValue::Object();
+  msg.Set("type", "interaction");
+  msg.Set("session", session);
+  msg.Set("request", request);
+  msg.Set("interaction",
+          workflow::Interaction::CreateViz(GroupViz(viz_name)).ToJson());
+  return msg;
+}
+
+/// One running server on an ephemeral loopback port (virtual-clock mode
+/// unless the options say otherwise), stopped + joined on destruction.
+class ServerFixture {
+ public:
+  ServerFixture(ServerOptions options, engines::Engine* engine,
+                std::shared_ptr<const storage::Catalog> catalog) {
+    auto created = Server::Create(std::move(options), engine, catalog);
+    IDB_CHECK(created.ok());
+    server_ = std::move(created).MoveValueUnsafe();
+    thread_ = std::thread([this] { serve_status_ = server_->Serve(); });
+  }
+
+  ~ServerFixture() { Stop(); }
+
+  void Stop() {
+    if (thread_.joinable()) {
+      server_->RequestStop();
+      thread_.join();
+    }
+  }
+
+  Server& server() { return *server_; }
+  const Status& serve_status() const { return serve_status_; }
+
+ private:
+  std::unique_ptr<Server> server_;
+  std::thread thread_;
+  Status serve_status_ = Status::OK();
+};
+
+ServerOptions VirtualModeOptions() {
+  ServerOptions o;
+  o.wall_pacing = false;
+  o.virtual_step = 50'000;
+  o.poll_interval = 1'000;
+  o.scheduler.time_requirement = 2'000'000;
+  o.scheduler.quantum = 50'000;
+  return o;
+}
+
+/// Drains client messages until every query in `expect_final` has seen
+/// its terminal update; returns query_id -> final update message.
+std::map<int64_t, JsonValue> CollectFinals(Client* client,
+                                           std::vector<int64_t> expect_final) {
+  std::map<int64_t, JsonValue> finals;
+  while (finals.size() < expect_final.size()) {
+    JsonValue msg;
+    auto next = client->Next(&msg, kWait);
+    if (!next.ok() || !*next) break;  // timeout/error: return what we have
+    if (MessageType(msg) != "update" || !msg.GetBool("final", false)) continue;
+    const int64_t query = msg.GetInt("query", -1);
+    EXPECT_EQ(finals.count(query), 0u) << "duplicate terminal for " << query;
+    finals[query] = std::move(msg);
+  }
+  return finals;
+}
+
+TEST(NetServerTest, LoopbackSubmitStreamsUpdatesToFinal) {
+  engines::ProgressiveEngineConfig config;
+  config.query_overhead_us = 0;
+  config.restart_overhead_us = 0;
+  config.sample_us_per_row = 50'000.0;  // 8 rows = 400ms of virtual work
+  engines::ProgressiveEngine engine(config);
+  auto catalog = testutil::MakeTinyCatalog();
+  catalog->set_nominal_rows(1'000'000);
+  ASSERT_TRUE(engine.Prepare(catalog).ok());
+
+  ServerFixture fixture(VirtualModeOptions(), &engine, catalog);
+  auto client = Client::Connect("127.0.0.1", fixture.server().port(), "test");
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+
+  auto session = (*client)->OpenSession();
+  ASSERT_TRUE(session.ok());
+  ASSERT_GE(*session, 0);
+
+  ASSERT_TRUE((*client)->Send(InteractionRequest(*session, 1, "viz_0")).ok());
+  auto submitted = (*client)->WaitFor("submitted", kWait);
+  ASSERT_TRUE(submitted.ok()) << submitted.status().ToString();
+  EXPECT_EQ(submitted->GetInt("request", -1), 1);
+  EXPECT_EQ(submitted->GetInt("degrade_level", -1), 0);
+  const JsonValue& queries = submitted->Get("queries");
+  ASSERT_TRUE(queries.is_array());
+  ASSERT_EQ(queries.size(), 1u);
+  const int64_t query_id = queries.at(0).GetInt("query", -1);
+  // The wire carries the client's raw viz name, not the namespaced one.
+  EXPECT_EQ(queries.at(0).GetString("viz", ""), "viz_0");
+
+  // Partials stream, then exactly one completed terminal.
+  int partials = 0;
+  bool saw_final = false;
+  while (!saw_final) {
+    JsonValue msg;
+    auto next = (*client)->Next(&msg, kWait);
+    ASSERT_TRUE(next.ok()) << next.status().ToString();
+    ASSERT_TRUE(*next) << "timed out before the terminal update";
+    if (MessageType(msg) != "update") continue;
+    EXPECT_EQ(msg.GetInt("query", -1), query_id);
+    EXPECT_EQ(msg.GetString("viz", ""), "viz_0");
+    if (msg.GetBool("final", false)) {
+      saw_final = true;
+      EXPECT_TRUE(msg.GetBool("completed", false));
+      const JsonValue& result = msg.Get("result");
+      ASSERT_TRUE(result.is_object());
+      EXPECT_EQ(result.GetInt("rows", 0), 8);
+    } else {
+      ++partials;
+    }
+  }
+  EXPECT_GE(partials, 1);
+
+  ASSERT_TRUE((*client)->CloseSession(*session).ok());
+  fixture.Stop();
+  EXPECT_TRUE(fixture.serve_status().ok());
+  EXPECT_EQ(fixture.server().ratekeeper().live(), 0);
+}
+
+TEST(NetServerTest, OverloadDegradesThenRejectsExplicitly) {
+  // Blocking engine on a huge nominal table: every query runs to its
+  // deadline, so live count builds up fast.
+  engines::BlockingEngineConfig config;
+  config.scan_ns_per_row = 10'000.0;
+  config.query_overhead_us = 0;
+  engines::BlockingEngine engine(config);
+  auto catalog = testutil::MakeTinyCatalog();
+  catalog->set_nominal_rows(1'000'000'000);
+  ASSERT_TRUE(engine.Prepare(catalog).ok());
+
+  ServerOptions options = VirtualModeOptions();
+  options.ratekeeper.soft_live_limit = 2;
+  options.ratekeeper.hard_live_limit = 6;
+  options.ratekeeper.degrade_levels = 3;
+  options.ratekeeper.min_budget_scale = 0.25;
+  options.ratekeeper.tenant_rate = 0.0;  // isolate the global ladder
+  ServerFixture fixture(options, &engine, catalog);
+
+  auto client = Client::Connect("127.0.0.1", fixture.server().port(), "flood");
+  ASSERT_TRUE(client.ok());
+  auto session = (*client)->OpenSession();
+  ASSERT_TRUE(session.ok());
+
+  // Flood 10 interactions back-to-back (faster than any can finalize).
+  const int kRequests = 10;
+  for (int i = 0; i < kRequests; ++i) {
+    ASSERT_TRUE(
+        (*client)
+            ->Send(InteractionRequest(*session, i, "viz_" + std::to_string(i)))
+            .ok());
+  }
+
+  // Every request answers: submitted or rejected, nothing silent.
+  int submitted = 0, rejected = 0, degraded = 0;
+  double last_scale = 1.0;
+  std::vector<int64_t> admitted_queries;
+  for (int seen = 0; seen < kRequests; ++seen) {
+    JsonValue msg;
+    while (true) {
+      auto next = (*client)->Next(&msg, kWait);
+      ASSERT_TRUE(next.ok()) << next.status().ToString();
+      ASSERT_TRUE(*next) << "request " << seen << " never answered";
+      const std::string type = MessageType(msg);
+      if (type == "submitted" || type == "rejected") break;
+    }
+    if (MessageType(msg) == "submitted") {
+      ++submitted;
+      const double scale = msg.GetDouble("budget_scale", 1.0);
+      EXPECT_LE(scale, last_scale);  // the ladder only tightens
+      last_scale = scale;
+      if (msg.GetInt("degrade_level", 0) > 0) {
+        ++degraded;
+        EXPECT_LT(scale, 1.0);
+      }
+      const JsonValue& queries = msg.Get("queries");
+      for (size_t q = 0; q < queries.size(); ++q) {
+        if (!queries.at(q).GetBool("unsupported", false)) {
+          admitted_queries.push_back(queries.at(q).GetInt("query", -1));
+        }
+      }
+    } else {
+      ++rejected;
+      EXPECT_EQ(msg.GetString("reason", ""), "over_capacity");
+      EXPECT_GE(msg.GetInt("retry_after_ms", -1), 0);
+    }
+  }
+  EXPECT_EQ(submitted + rejected, kRequests);
+  EXPECT_GT(rejected, 0) << "flood at 2x capacity must see rejections";
+  EXPECT_GT(degraded, 0) << "budgets must shrink before refusal";
+
+  // Every admitted query still delivers exactly one terminal update.
+  const auto finals = CollectFinals(client->get(), admitted_queries);
+  EXPECT_EQ(finals.size(), admitted_queries.size());
+
+  fixture.Stop();
+  EXPECT_TRUE(fixture.serve_status().ok());
+  EXPECT_EQ(fixture.server().ratekeeper().live(), 0);
+  EXPECT_GT(fixture.server().ratekeeper().stats().rejected, 0);
+}
+
+TEST(NetServerTest, WriteStallsCoalescePartialsNeverFinals) {
+  // kNetWrite stalls flushes; kNetPartialFrame tears frames at byte
+  // boundaries.  Partials coalesce under the stall, the terminal always
+  // lands, and the peer's decoder reassembles torn frames.
+  chaos::FaultInjector injector(7);
+  injector.Arm(chaos::FaultSite::kNetWrite, {0.6, -1});
+  injector.Arm(chaos::FaultSite::kNetPartialFrame, {0.5, -1});
+  chaos::ScopedFaultInjector scope(&injector);
+
+  engines::ProgressiveEngineConfig config;
+  config.query_overhead_us = 0;
+  config.restart_overhead_us = 0;
+  config.sample_us_per_row = 100'000.0;  // many partial pushes
+  engines::ProgressiveEngine engine(config);
+  auto catalog = testutil::MakeTinyCatalog();
+  catalog->set_nominal_rows(1'000'000);
+  ASSERT_TRUE(engine.Prepare(catalog).ok());
+
+  ServerOptions options = VirtualModeOptions();
+  options.write_queue_soft_limit = 2;  // tiny: force coalescing fast
+  ServerFixture fixture(options, &engine, catalog);
+
+  auto client = Client::Connect("127.0.0.1", fixture.server().port(), "slow");
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  auto session = (*client)->OpenSession();
+  ASSERT_TRUE(session.ok());
+
+  ASSERT_TRUE((*client)->Send(InteractionRequest(*session, 1, "viz_0")).ok());
+  auto submitted = (*client)->WaitFor("submitted", kWait);
+  ASSERT_TRUE(submitted.ok()) << submitted.status().ToString();
+  const int64_t query_id =
+      submitted->Get("queries").at(0).GetInt("query", -1);
+
+  const auto finals = CollectFinals(client->get(), {query_id});
+  ASSERT_EQ(finals.size(), 1u);
+  EXPECT_TRUE(finals.at(query_id).GetBool("completed", false));
+
+  fixture.Stop();
+  EXPECT_TRUE(fixture.serve_status().ok());
+  const ServerStats& stats = fixture.server().stats();
+  EXPECT_GT(stats.partials_coalesced + stats.partials_dropped, 0)
+      << "write stalls must trigger backpressure, not unbounded buffering";
+  EXPECT_EQ(stats.slow_client_disconnects, 0);
+}
+
+TEST(NetServerTest, AbruptDisconnectDrainsSessionsCleanly) {
+  engines::BlockingEngineConfig config;
+  config.scan_ns_per_row = 10'000.0;
+  config.query_overhead_us = 0;
+  engines::BlockingEngine engine(config);
+  auto catalog = testutil::MakeTinyCatalog();
+  catalog->set_nominal_rows(1'000'000'000);  // runs to the deadline
+  ASSERT_TRUE(engine.Prepare(catalog).ok());
+
+  ServerFixture fixture(VirtualModeOptions(), &engine, catalog);
+
+  {
+    auto doomed =
+        Client::Connect("127.0.0.1", fixture.server().port(), "doomed");
+    ASSERT_TRUE(doomed.ok());
+    auto session = (*doomed)->OpenSession();
+    ASSERT_TRUE(session.ok());
+    ASSERT_TRUE(
+        (*doomed)->Send(InteractionRequest(*session, 1, "viz_0")).ok());
+    auto submitted = (*doomed)->WaitFor("submitted", kWait);
+    ASSERT_TRUE(submitted.ok());
+    // Destructor closes the socket with the query still live.
+  }
+
+  // A second client still gets full service while the first drains.
+  auto survivor =
+      Client::Connect("127.0.0.1", fixture.server().port(), "survivor");
+  ASSERT_TRUE(survivor.ok());
+  auto session = (*survivor)->OpenSession();
+  ASSERT_TRUE(session.ok());
+  ASSERT_TRUE(
+      (*survivor)->Send(InteractionRequest(*session, 1, "viz_0")).ok());
+  auto submitted = (*survivor)->WaitFor("submitted", kWait);
+  ASSERT_TRUE(submitted.ok()) << submitted.status().ToString();
+  const int64_t query_id =
+      submitted->Get("queries").at(0).GetInt("query", -1);
+  const auto finals = CollectFinals(survivor->get(), {query_id});
+  EXPECT_EQ(finals.size(), 1u);
+
+  fixture.Stop();
+  EXPECT_TRUE(fixture.serve_status().ok());
+  // The torn client's admitted query finalized (explicitly counted),
+  // and the ratekeeper's live count returned to zero — no leak.
+  EXPECT_EQ(fixture.server().ratekeeper().live(), 0);
+  EXPECT_GT(fixture.server().stats().finals_after_disconnect, 0);
+  EXPECT_GE(fixture.server().stats().connections_closed, 1);
+}
+
+TEST(NetServerTest, SurvivesAcceptAndReadFaults) {
+  // Budgeted faults: 4 refused accepts, 2 torn reads, then clean air.
+  // Draw streams are seeded, so the schedule is fixed; server stats are
+  // only read after Stop() (the serve thread owns them while live).
+  chaos::FaultInjector injector(11);
+  injector.Arm(chaos::FaultSite::kNetAccept, {0.5, 4});
+  injector.Arm(chaos::FaultSite::kNetRead, {0.5, 2});
+  chaos::ScopedFaultInjector scope(&injector);
+
+  engines::ProgressiveEngineConfig config;
+  config.query_overhead_us = 0;
+  config.restart_overhead_us = 0;
+  config.sample_us_per_row = 10'000.0;
+  engines::ProgressiveEngine engine(config);
+  auto catalog = testutil::MakeTinyCatalog();
+  catalog->set_nominal_rows(1'000'000);
+  ASSERT_TRUE(engine.Prepare(catalog).ok());
+
+  ServerFixture fixture(VirtualModeOptions(), &engine, catalog);
+  const int port = fixture.server().port();
+
+  // Burn the accept budget: each attempt is exactly one accept draw.
+  // Refusals surface as clean connect/handshake errors, never hangs, and
+  // the listener survives every one of them.
+  int refused = 0;
+  {
+    std::vector<std::unique_ptr<Client>> live;
+    for (int attempt = 0; attempt < 24; ++attempt) {
+      auto connected =
+          Client::Connect("127.0.0.1", port, "burn", kMicrosPerSecond);
+      if (connected.ok()) {
+        live.push_back(std::move(connected).MoveValueUnsafe());
+      } else {
+        ++refused;
+      }
+    }
+    // 24 draws at p=0.5 against a budget of 4: the accept budget is
+    // spent (a read fault during a handshake can also refuse a connect,
+    // so `refused` may exceed it).
+    EXPECT_GE(refused, 4);
+  }
+
+  // Burn any remaining read budget with ping traffic; a fired read
+  // fault tears that connection, so reconnect and keep going.
+  for (int round = 0; round < 8; ++round) {
+    auto pinger = Client::Connect("127.0.0.1", port, "pinger",
+                                  kMicrosPerSecond);
+    if (!pinger.ok()) continue;
+    for (int i = 0; i < 4; ++i) {
+      JsonValue ping = JsonValue::Object();
+      ping.Set("type", "ping");
+      if (!(*pinger)->Send(ping).ok()) break;
+      if (!(*pinger)->WaitFor("pong", kMicrosPerSecond).ok()) break;
+    }
+  }
+
+  // Both budgets exhausted: a fresh client now gets clean service.
+  auto client = Client::Connect("127.0.0.1", port, "retry", kWait);
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  auto session = (*client)->OpenSession();
+  ASSERT_TRUE(session.ok());
+  ASSERT_TRUE((*client)->Send(InteractionRequest(*session, 1, "viz_0")).ok());
+  auto submitted = (*client)->WaitFor("submitted", kWait);
+  ASSERT_TRUE(submitted.ok()) << submitted.status().ToString();
+  const int64_t query_id =
+      submitted->Get("queries").at(0).GetInt("query", -1);
+  const auto finals = CollectFinals(client->get(), {query_id});
+  EXPECT_EQ(finals.size(), 1u);
+
+  fixture.Stop();
+  EXPECT_TRUE(fixture.serve_status().ok());
+  EXPECT_GE(fixture.server().stats().accept_faults, 4);
+  EXPECT_GE(fixture.server().stats().read_faults, 2);
+}
+
+TEST(NetServerTest, MalformedInputGetsExplicitErrorNeverCrash) {
+  engines::ProgressiveEngineConfig config;
+  engines::ProgressiveEngine engine(config);
+  auto catalog = testutil::MakeTinyCatalog();
+  ASSERT_TRUE(engine.Prepare(catalog).ok());
+
+  ServerFixture fixture(VirtualModeOptions(), &engine, catalog);
+
+  // An unknown message type: explicit "error" reply, connection stays.
+  auto client = Client::Connect("127.0.0.1", fixture.server().port(), "evil");
+  ASSERT_TRUE(client.ok());
+  JsonValue untyped = JsonValue::Object();
+  untyped.Set("hello", "there");
+  ASSERT_TRUE((*client)->Send(untyped).ok());
+  auto err = (*client)->WaitFor("error", kWait);
+  ASSERT_TRUE(err.ok()) << err.status().ToString();
+
+  // A framing violation over a raw socket: the server replies with an
+  // error frame (best effort) and drops the connection — no crash, no
+  // hang.  The client library rejects such bytes, so go below it.
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(fixture.server().port()));
+  ASSERT_EQ(inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  std::string garbage;
+  garbage.push_back(0);
+  garbage.push_back(0);
+  garbage.push_back(0);
+  garbage.push_back(4);
+  garbage += "\xde\xad\xbe\xef";
+  ASSERT_EQ(::send(fd, garbage.data(), garbage.size(), MSG_NOSIGNAL),
+            static_cast<ssize_t>(garbage.size()));
+  // The server must close on us (possibly after an error frame).
+  char buf[4096];
+  while (true) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+  }
+  ::close(fd);
+
+  // The server is still fully alive for well-behaved clients.
+  auto session = (*client)->OpenSession();
+  ASSERT_TRUE(session.ok());
+
+  fixture.Stop();
+  EXPECT_TRUE(fixture.serve_status().ok());
+  EXPECT_GT(fixture.server().stats().protocol_errors, 0);
+}
+
+}  // namespace
+}  // namespace idebench::net

@@ -469,5 +469,121 @@ TEST(SessionTest, ClosingOneSessionLeavesOthersServing) {
   EXPECT_EQ(manager.stats().client_cancelled, 1);
 }
 
+TEST(SessionTest, VizNamespacingShieldsReuseSnapshotsAcrossSessions) {
+  // Regression: two sessions sharing one engine both call their chart
+  // "viz_0".  Engine-facing names are session-qualified ("s0/viz_0" vs
+  // "s1/viz_0"), so when B discards *its* viz_0 the engine must not drop
+  // A's reuse snapshots.  Before namespacing, B's discard of the raw
+  // name wiped A's cache entries and A's identical resubmission missed.
+  ProgressiveEngineConfig config;
+  config.query_overhead_us = 0;
+  config.restart_overhead_us = 0;
+  config.sample_us_per_row = 100'000.0;  // completes within the TR
+  config.reuse_cache = true;
+  // Semantic reuse would serve A's resubmission from the engine's own
+  // sample state before the cross-interaction cache is consulted; turn
+  // it off so every submission cold-starts through the cache lookup.
+  config.enable_reuse = false;
+  config.expected_sessions = 2;
+  ProgressiveEngine engine(config);
+  auto catalog = Catalog(1'000'000);
+  ASSERT_TRUE(engine.Prepare(catalog).ok());
+
+  SessionManagerOptions options;
+  options.time_requirement = 2'000'000;
+  SessionManager manager(options, &engine, catalog);
+  RecordingSink sink_a, sink_b;
+  // Both sessions open before any query: WorkflowStart (which clears the
+  // cache) fires only when serving starts.
+  auto a = manager.CreateSession(&sink_a);
+  auto b = manager.CreateSession(&sink_b);
+  ASSERT_TRUE(a.ok() && b.ok());
+
+  // A completes viz_0: the engine snapshots it under owner "s0/viz_0".
+  ASSERT_TRUE(
+      (*a)->SubmitInteraction(Interaction::CreateViz(MakeGroupViz("viz_0")))
+          .ok());
+  ASSERT_TRUE(manager.RunUntilIdle().ok());
+  ASSERT_EQ(sink_a.finals().size(), 1u);
+  EXPECT_TRUE(sink_a.finals()[0].completed);
+  // Client-facing updates carry the raw name, not the qualified one.
+  EXPECT_EQ(sink_a.finals()[0].viz_name, "viz_0");
+  ASSERT_GT(engine.reuse_cache_stats().entries, 0);
+
+  // B runs the same chart under the same raw name, then discards it.
+  ASSERT_TRUE(
+      (*b)->SubmitInteraction(Interaction::CreateViz(MakeGroupViz("viz_0")))
+          .ok());
+  ASSERT_TRUE(manager.RunUntilIdle().ok());
+  ASSERT_EQ(sink_b.finals().size(), 1u);
+  EXPECT_EQ(sink_b.finals()[0].viz_name, "viz_0");
+  ASSERT_TRUE((*b)->DiscardViz("viz_0").ok());
+
+  // A resubmits the identical spec: its snapshot must have survived B's
+  // discard, so the lookup is an equal hit.
+  const auto mid = engine.reuse_cache_stats();
+  (*a)->ResetDashboard();
+  ASSERT_TRUE(
+      (*a)->SubmitInteraction(Interaction::CreateViz(MakeGroupViz("viz_0")))
+          .ok());
+  ASSERT_TRUE(manager.RunUntilIdle().ok());
+  const auto after = engine.reuse_cache_stats();
+  EXPECT_GT(after.equal_hits, mid.equal_hits);
+  EXPECT_EQ(after.misses, mid.misses);
+}
+
+TEST(SessionTest, BudgetScaleShrinksEntitlementDeadlineUnchanged) {
+  // Graceful degradation hook: a scaled submission answers from a
+  // smaller sample (less virtual work granted) but keeps the same
+  // deadline, so a degraded query still terminates on time.
+  ProgressiveEngineConfig config;
+  config.query_overhead_us = 0;
+  config.restart_overhead_us = 0;
+  config.sample_us_per_row = 1'000'000.0;  // never finishes 8 rows in TR
+  auto catalog = Catalog(1'000'000);
+
+  SessionManagerOptions options;
+  options.time_requirement = 2'000'000;
+
+  auto run = [&](double budget_scale) {
+    ProgressiveEngine engine(config);
+    EXPECT_TRUE(engine.Prepare(catalog).ok());
+    SessionManager manager(options, &engine, catalog);
+    RecordingSink sink;
+    auto sess = manager.CreateSession(&sink);
+    EXPECT_TRUE(sess.ok());
+    auto submitted = (*sess)->SubmitInteraction(
+        Interaction::CreateViz(MakeGroupViz("v0")), budget_scale);
+    EXPECT_TRUE(submitted.ok());
+    EXPECT_TRUE(manager.RunUntilIdle().ok());
+    EXPECT_EQ(sink.finals().size(), 1u);
+    return sink.finals()[0];
+  };
+
+  const ProgressiveUpdate full = run(1.0);
+  const ProgressiveUpdate degraded = run(0.5);
+  // Half the entitlement: half the rows sampled, same deadline.
+  EXPECT_EQ(degraded.budget, full.budget / 2);
+  EXPECT_LT(degraded.consumed, full.consumed);
+  EXPECT_LE(degraded.virtual_time, full.virtual_time);
+  EXPECT_GT(degraded.result.rows_processed, 0);
+  EXPECT_LT(degraded.result.rows_processed, full.result.rows_processed);
+  // budget_scale outside (0, 1] is a client error, reported eagerly.
+  ProgressiveEngine engine(config);
+  ASSERT_TRUE(engine.Prepare(catalog).ok());
+  SessionManager manager(options, &engine, catalog);
+  RecordingSink sink;
+  auto sess = manager.CreateSession(&sink);
+  ASSERT_TRUE(sess.ok());
+  EXPECT_FALSE(
+      (*sess)
+          ->SubmitInteraction(Interaction::CreateViz(MakeGroupViz("v0")), 0.0)
+          .ok());
+  EXPECT_FALSE(
+      (*sess)
+          ->SubmitInteraction(Interaction::CreateViz(MakeGroupViz("v0")), 1.5)
+          .ok());
+}
+
 }  // namespace
 }  // namespace idebench::session

@@ -1,0 +1,195 @@
+/// \file idebench_serve.cc
+/// Standalone serving front-end: binds the overload-hardened socket
+/// server (net/server.h) over one simulated engine and the synthetic
+/// flights dataset, and serves framed-JSON clients until SIGINT/SIGTERM.
+///
+/// Usage:
+///   idebench_serve [--port P] [--host H] [--engine NAME] [--rows N]
+///                  [--nominal N] [--seed S] [--threads N]
+///                  [--time-requirement US] [--quantum US]
+///                  [--soft N] [--hard N] [--virtual] [--reuse-cache]
+///
+///   --port P              listening port (default 8765; 0 = ephemeral)
+///   --host H              bind address (default 127.0.0.1)
+///   --engine NAME         engine to serve (default progressive)
+///   --rows N              synthetic seed rows (default 50000)
+///   --nominal N           nominal dataset size for estimates (default 10M)
+///   --seed S              datagen + engine seed (default 42)
+///   --threads N           engine execution threads (default 1)
+///   --time-requirement US per-interaction deadline (default 3s)
+///   --quantum US          scheduler slice (default 50ms)
+///   --soft N / --hard N   ratekeeper live-query limits (default 32/64)
+///   --virtual             virtual-clock pacing instead of wall pacing
+///   --reuse-cache         enable the cross-interaction reuse cache
+///
+/// The bound port is printed as the first stdout line ("listening HOST
+/// PORT"), so callers binding port 0 can discover it.  On shutdown the
+/// server drains every connection and prints a stats summary.
+
+#include <atomic>
+#include <csignal>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "datagen/flights_seed.h"
+#include "engines/registry.h"
+#include "net/server.h"
+#include "storage/catalog.h"
+
+namespace {
+
+using idebench::Micros;
+using idebench::net::Server;
+using idebench::net::ServerOptions;
+
+struct Args {
+  int port = 8765;
+  std::string host = "127.0.0.1";
+  std::string engine = "progressive";
+  int64_t rows = 50'000;
+  int64_t nominal = 10'000'000;
+  uint64_t seed = 42;
+  int threads = 1;
+  Micros time_requirement = 3'000'000;
+  Micros quantum = 50'000;
+  int soft = 32;
+  int hard = 64;
+  bool wall = true;
+  bool reuse_cache = false;
+};
+
+bool ParseArgs(int argc, char** argv, Args* args) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    const char* v = nullptr;
+    if (arg == "--port" && (v = next())) {
+      args->port = std::atoi(v);
+    } else if (arg == "--host" && (v = next())) {
+      args->host = v;
+    } else if (arg == "--engine" && (v = next())) {
+      args->engine = v;
+    } else if (arg == "--rows" && (v = next())) {
+      args->rows = std::strtoll(v, nullptr, 10);
+    } else if (arg == "--nominal" && (v = next())) {
+      args->nominal = std::strtoll(v, nullptr, 10);
+    } else if (arg == "--seed" && (v = next())) {
+      args->seed = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--threads" && (v = next())) {
+      args->threads = std::atoi(v);
+    } else if (arg == "--time-requirement" && (v = next())) {
+      args->time_requirement = std::strtoll(v, nullptr, 10);
+    } else if (arg == "--quantum" && (v = next())) {
+      args->quantum = std::strtoll(v, nullptr, 10);
+    } else if (arg == "--soft" && (v = next())) {
+      args->soft = std::atoi(v);
+    } else if (arg == "--hard" && (v = next())) {
+      args->hard = std::atoi(v);
+    } else if (arg == "--virtual") {
+      args->wall = false;
+    } else if (arg == "--reuse-cache") {
+      args->reuse_cache = true;
+    } else {
+      std::cerr << "unknown or incomplete argument: " << arg << "\n";
+      return false;
+    }
+  }
+  return true;
+}
+
+std::atomic<Server*> g_server{nullptr};
+
+void HandleSignal(int) {
+  Server* server = g_server.load(std::memory_order_acquire);
+  if (server != nullptr) server->RequestStop();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!ParseArgs(argc, argv, &args)) {
+    std::cerr << "usage: idebench_serve [--port P] [--host H] "
+                 "[--engine NAME] [--rows N] [--nominal N] [--seed S] "
+                 "[--threads N] [--time-requirement US] [--quantum US] "
+                 "[--soft N] [--hard N] [--virtual] [--reuse-cache]\n";
+    return 2;
+  }
+
+  idebench::datagen::FlightsSeedConfig datagen;
+  datagen.rows = args.rows;
+  datagen.seed = args.seed;
+  auto table = idebench::datagen::GenerateFlightsSeed(datagen);
+  if (!table.ok()) {
+    std::cerr << "datagen failed: " << table.status().ToString() << "\n";
+    return 1;
+  }
+  auto catalog = std::make_shared<idebench::storage::Catalog>();
+  if (const auto st = catalog->AddTable(std::make_shared<idebench::storage::Table>(
+          std::move(table).MoveValueUnsafe()));
+      !st.ok()) {
+    std::cerr << "catalog failed: " << st.ToString() << "\n";
+    return 1;
+  }
+  catalog->set_nominal_rows(args.nominal);
+
+  auto engine = idebench::engines::CreateEngine(
+      args.engine, args.seed, args.threads, args.reuse_cache,
+      /*sessions=*/args.hard);
+  if (!engine.ok()) {
+    std::cerr << "engine '" << args.engine
+              << "' failed: " << engine.status().ToString() << "\n";
+    return 1;
+  }
+  if (const auto prepared = (*engine)->Prepare(catalog); !prepared.ok()) {
+    std::cerr << "prepare failed: " << prepared.status().ToString() << "\n";
+    return 1;
+  }
+
+  ServerOptions options;
+  options.host = args.host;
+  options.port = args.port;
+  options.wall_pacing = args.wall;
+  options.engine_label = args.engine;
+  options.scheduler.time_requirement = args.time_requirement;
+  options.scheduler.quantum = args.quantum;
+  options.ratekeeper.soft_live_limit = args.soft;
+  options.ratekeeper.hard_live_limit = args.hard;
+
+  auto server = Server::Create(options, engine->get(), catalog);
+  if (!server.ok()) {
+    std::cerr << "bind failed: " << server.status().ToString() << "\n";
+    return 1;
+  }
+  g_server.store(server->get(), std::memory_order_release);
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+
+  std::cout << "listening " << args.host << " " << (*server)->port() << "\n"
+            << std::flush;
+  const auto status = (*server)->Serve();
+  g_server.store(nullptr, std::memory_order_release);
+  if (!status.ok()) {
+    std::cerr << "serve failed: " << status.ToString() << "\n";
+    return 1;
+  }
+
+  const auto& stats = (*server)->stats();
+  const auto rk = (*server)->ratekeeper().stats();
+  std::cout << "drained: connections=" << stats.connections_accepted
+            << " frames_in=" << stats.frames_received
+            << " updates_out=" << stats.updates_sent
+            << " coalesced=" << stats.partials_coalesced
+            << " dropped=" << stats.partials_dropped
+            << " slow_disconnects=" << stats.slow_client_disconnects
+            << " admitted=" << rk.admitted << " degraded=" << rk.degraded
+            << " throttled=" << rk.throttled << " rejected=" << rk.rejected
+            << " max_backlog=" << stats.max_backlog << "\n";
+  return 0;
+}
