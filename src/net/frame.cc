@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "common/logging.h"
+
 namespace idebench::net {
 
 namespace {
@@ -26,6 +28,9 @@ uint32_t ReadHeader(const char* data) {
 }  // namespace
 
 std::string EncodeFrame(const std::string& payload) {
+  // The length prefix is a u32; anything larger would silently truncate
+  // into a corrupt frame.
+  IDB_CHECK(payload.size() <= UINT32_MAX);
   std::string out;
   out.reserve(kFrameHeaderBytes + payload.size());
   AppendHeader(payload.size(), &out);

@@ -71,7 +71,12 @@ AdmitDecision Ratekeeper::Admit(const std::string& tenant, Micros now,
   if (level > options_.degrade_levels) {
     // Refund the tenant token: the refusal was global, not the tenant's
     // fault, and a retry after the hint should not double-charge them.
-    if (options_.tenant_rate > 0.0) buckets_[tenant].tokens += 1.0;
+    // Clamped — repeated same-timestamp rejections must not bank burst
+    // capacity beyond the cap.
+    if (options_.tenant_rate > 0.0) {
+      Bucket& bucket = buckets_[tenant];
+      bucket.tokens = std::min(bucket.tokens + 1.0, options_.tenant_burst);
+    }
     decision.action = AdmitAction::kReject;
     decision.reason =
         (options_.backlog_reject > 0 && backlog >= options_.backlog_reject)

@@ -114,8 +114,11 @@ Status Server::Serve(const std::function<bool()>& until) {
 
     wall_now_ = wall_.Now();
     if (ready > 0) {
+      // AcceptPending() grows connections_, but fds was built before the
+      // accept — connections beyond the polled count have no pollfd.
+      const size_t polled = fds.size() - 1;
       if (fds[0].revents & POLLIN) AcceptPending();
-      for (size_t i = 0; i < connections_.size(); ++i) {
+      for (size_t i = 0; i < polled; ++i) {
         Connection* conn = connections_[i].get();
         const short revents = fds[i + 1].revents;
         if (conn->dead) continue;
@@ -559,6 +562,9 @@ void Server::KillConnection(Connection* conn) {
 void Server::SweepDead() {
   for (auto& conn : connections_) {
     if (!conn->dead || conn->fd < 0) continue;
+    // One best-effort non-blocking flush so a queued error frame (the
+    // reason for the kill) can still reach the peer before the close.
+    FlushWrites(conn.get());
     // Draining the sessions pushes terminal cancelled updates through
     // the (dead) sink, which counts them explicitly.
     for (auto& [id, session] : conn->sessions) {

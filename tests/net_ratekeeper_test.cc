@@ -128,6 +128,25 @@ TEST(RatekeeperTest, GlobalRejectRefundsTenantToken) {
   EXPECT_TRUE(keeper.Admit("t", 0).admitted());
 }
 
+TEST(RatekeeperTest, RejectRefundNeverExceedsBurstCap) {
+  RatekeeperOptions o = SmallOptions();
+  o.tenant_rate = 10.0;
+  o.tenant_burst = 2.0;
+  Ratekeeper keeper(o);
+  keeper.OnAdmitted(8);  // at the hard limit: everything rejects
+
+  // A full bucket hammered with same-timestamp rejections must not bank
+  // refunds above the burst cap.
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(keeper.Admit("t", 0).action, AdmitAction::kReject);
+  }
+  keeper.OnFinalized(8);
+  // Exactly burst-many admissions remain before the throttle bites.
+  EXPECT_TRUE(keeper.Admit("t", 0).admitted());
+  EXPECT_TRUE(keeper.Admit("t", 0).admitted());
+  EXPECT_EQ(keeper.Admit("t", 0).action, AdmitAction::kThrottle);
+}
+
 TEST(RatekeeperTest, BacklogDegradesThenRejects) {
   RatekeeperOptions o = SmallOptions();
   o.backlog_degrade = 100'000;   // one level per 100ms of lag
