@@ -36,6 +36,12 @@ const char* FaultSiteName(FaultSite site) {
       return "net.write";
     case FaultSite::kNetPartialFrame:
       return "net.partial_frame";
+    case FaultSite::kSegmentOpen:
+      return "segment.open";
+    case FaultSite::kSegmentMmap:
+      return "segment.mmap";
+    case FaultSite::kSegmentChecksum:
+      return "segment.checksum";
   }
   return "unknown";
 }

@@ -40,7 +40,15 @@
 ///    backpressure coalesces partials, finals still reach the queue or
 ///    the disconnect is counted explicitly;
 ///  * `kNetPartialFrame` — an outbound frame is split at an arbitrary
-///    byte boundary (the decoder must reassemble, never misparse).
+///    byte boundary (the decoder must reassemble, never misparse);
+///  * `kSegmentOpen` — `storage::SegmentFile::Open` fails before the
+///    file descriptor is obtained (transient filesystem error; callers
+///    fall back to rebuilding from source data);
+///  * `kSegmentMmap` — the mmap of an opened segment file fails (address
+///    space exhaustion style; the fd must still be closed);
+///  * `kSegmentChecksum` — the footer checksum verification reports a
+///    mismatch even though the bytes are intact (torn write / bit rot:
+///    the file must be rejected wholesale, never half-loaded).
 ///
 /// Installation is process-global (`Install`/`ScopedFaultInjector`) so
 /// deep layers need no plumbing; when nothing is installed every site
@@ -74,9 +82,12 @@ enum class FaultSite : int {
   kNetRead = 9,
   kNetWrite = 10,
   kNetPartialFrame = 11,
+  kSegmentOpen = 12,
+  kSegmentMmap = 13,
+  kSegmentChecksum = 14,
 };
 
-inline constexpr int kFaultSiteCount = 12;
+inline constexpr int kFaultSiteCount = 15;
 
 /// Stable human-readable site name ("engine.prepare", ...).
 const char* FaultSiteName(FaultSite site);

@@ -1,9 +1,11 @@
 #include "common/json.h"
 
 #include <cctype>
+#include <charconv>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <system_error>
 
 namespace idebench {
 
@@ -323,10 +325,17 @@ class Parser {
       ++pos_;
     }
     if (pos_ == start) return Error("invalid number");
-    char* end = nullptr;
-    const std::string token = text_.substr(start, pos_ - start);
-    const double d = std::strtod(token.c_str(), &end);
-    if (end == nullptr || *end != '\0') return Error("invalid number");
+    // std::from_chars: locale-independent (strtod honors the C locale's
+    // decimal separator), and out-of-range input is an explicit error
+    // instead of a silent ±HUGE_VAL.  The full token must be consumed.
+    double d = 0.0;
+    const char* first = text_.data() + start;
+    const char* last = text_.data() + pos_;
+    const auto [ptr, ec] = std::from_chars(first, last, d);
+    if (ec == std::errc::result_out_of_range) {
+      return Error("number out of range");
+    }
+    if (ec != std::errc() || ptr != last) return Error("invalid number");
     *out = JsonValue(d);
     return Status::OK();
   }

@@ -1,8 +1,10 @@
 #include "common/string_util.h"
 
 #include <cctype>
+#include <charconv>
 #include <cstdarg>
 #include <cstdio>
+#include <system_error>
 
 namespace idebench {
 
@@ -101,6 +103,50 @@ std::string HumanCount(int64_t n) {
     return StringPrintf("%lld%s", static_cast<long long>(v), suffix);
   }
   return StringPrintf("%.1f%s", v, suffix);
+}
+
+namespace {
+
+/// std::from_chars does not accept a leading '+' (strtol/strtod do);
+/// tolerate exactly one so previously-valid inputs keep parsing.
+std::string_view StripLeadingPlus(std::string_view s) {
+  if (s.size() > 1 && s.front() == '+') s.remove_prefix(1);
+  return s;
+}
+
+}  // namespace
+
+StrictParseResult ParseInt64Strict(std::string_view s, int64_t* out) {
+  s = StripLeadingPlus(s);
+  if (s.empty()) return StrictParseResult::kInvalid;
+  int64_t v = 0;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  if (ec == std::errc::result_out_of_range) {
+    return StrictParseResult::kOutOfRange;
+  }
+  if (ec != std::errc() || ptr != s.data() + s.size()) {
+    return StrictParseResult::kInvalid;
+  }
+  *out = v;
+  return StrictParseResult::kOk;
+}
+
+StrictParseResult ParseDoubleStrict(std::string_view s, double* out) {
+  s = StripLeadingPlus(s);
+  if (s.empty()) return StrictParseResult::kInvalid;
+  double v = 0.0;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  if (ec == std::errc::result_out_of_range) {
+    // Overflow *and* underflow: a value strtod would clamp to ±HUGE_VAL
+    // or round to zero while setting ERANGE.  Subnormals that from_chars
+    // can represent parse fine and do not land here.
+    return StrictParseResult::kOutOfRange;
+  }
+  if (ec != std::errc() || ptr != s.data() + s.size()) {
+    return StrictParseResult::kInvalid;
+  }
+  *out = v;
+  return StrictParseResult::kOk;
 }
 
 }  // namespace idebench

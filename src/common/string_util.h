@@ -5,7 +5,9 @@
 /// Small string helpers used across modules (CSV parsing, SQL generation,
 /// report formatting).
 
+#include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace idebench {
@@ -41,6 +43,24 @@ std::string FormatPercent(double ratio, int decimals = 1);
 
 /// Renders row counts like 100000000 as "100M", 1500 as "1.5K".
 std::string HumanCount(int64_t n);
+
+/// Outcome of the strict scalar parsers below.  `kOutOfRange` flags text
+/// that *is* a well-formed number but does not fit the target type —
+/// exactly the case `strtod`/`strtoll` silently clamp to ±HUGE_VAL /
+/// LLONG_MAX (and zone maps would then ingest the clamped garbage).
+enum class StrictParseResult : uint8_t {
+  kOk = 0,
+  kInvalid = 1,      // empty, trailing garbage, or not a number at all
+  kOutOfRange = 2,   // well-formed but outside the representable range
+};
+
+/// Strict, locale-independent scalar parsing built on std::from_chars:
+/// the *entire* string must form one value (no leading/trailing junk; a
+/// single leading '+' is tolerated for compatibility with strtol-parsed
+/// inputs).  Unlike strtod, never consults the C locale and never clamps
+/// out-of-range input to ±HUGE_VAL.  `*out` is written only on `kOk`.
+StrictParseResult ParseInt64Strict(std::string_view s, int64_t* out);
+StrictParseResult ParseDoubleStrict(std::string_view s, double* out);
 
 }  // namespace idebench
 

@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 
 #include "common/result.h"
 #include "storage/catalog.h"
@@ -32,6 +33,14 @@ struct DatasetConfig {
   bool normalized = false;
 
   uint64_t seed = 42;
+
+  /// When non-empty, a directory of packed segment files (see
+  /// storage/segment.h): the build loads the catalog from there when the
+  /// directory holds a manifest, and otherwise generates the dataset as
+  /// usual and packs it into the directory for the next run.  A cache
+  /// that fails to load (corrupt/truncated/mismatched) is ignored and
+  /// rebuilt from the generated catalog.
+  std::string segment_cache_dir;
 
   /// Fills `actual_rows` when 0.
   int64_t EffectiveActualRows() const;

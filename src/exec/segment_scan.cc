@@ -1,0 +1,608 @@
+#include "exec/segment_scan.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "common/logging.h"
+#include "exec/parallel.h"
+#include "storage/schema.h"
+
+namespace idebench::exec {
+
+namespace {
+
+/// True when `v` is exactly an integral dictionary code candidate.
+bool IntegralCode(double v, int64_t* code) {
+  if (!(v == std::floor(v)) || std::abs(v) > 9.0e15) return false;
+  *code = static_cast<int64_t>(v);
+  return true;
+}
+
+/// Clears bits [pos, pos + len) of the match bitset.
+void ClearBitRange(uint64_t* words, int64_t pos, int64_t len) {
+  if (len <= 0) return;
+  const int64_t last = pos + len - 1;
+  int64_t w = pos >> 6;
+  const int64_t w_last = last >> 6;
+  const uint64_t lo = ~uint64_t{0} << (pos & 63);
+  const uint64_t hi = ~uint64_t{0} >> (63 - (last & 63));
+  if (w == w_last) {
+    words[w] &= ~(lo & hi);
+    return;
+  }
+  words[w] &= ~lo;
+  for (++w; w < w_last; ++w) words[w] = 0;
+  words[w_last] &= ~hi;
+}
+
+/// Number of set bits in [pos, pos + len) of the match bitset.
+int64_t PopcountRange(const uint64_t* words, int64_t pos, int64_t len) {
+  if (len <= 0) return 0;
+  const int64_t last = pos + len - 1;
+  int64_t w = pos >> 6;
+  const int64_t w_last = last >> 6;
+  const uint64_t lo = ~uint64_t{0} << (pos & 63);
+  const uint64_t hi = ~uint64_t{0} >> (63 - (last & 63));
+  if (w == w_last) return __builtin_popcountll(words[w] & lo & hi);
+  int64_t n = __builtin_popcountll(words[w] & lo);
+  for (++w; w < w_last; ++w) n += __builtin_popcountll(words[w]);
+  return n + __builtin_popcountll(words[w_last] & hi);
+}
+
+/// ANDs `pred`'s per-row matches over `view`'s *compressed* payload into
+/// the bitset: clears the bit of every row whose decoded value fails
+/// `Predicate::Matches` — the same double-typed test the compiled filter
+/// kernels evaluate, applied to exactly the values the decode tier would
+/// materialize (RLE decides once per run; bit-packed fields reconstruct
+/// through the same `base + field` arithmetic as `UnpackBitsFOR`; raw
+/// payloads are read in place from the mapping).
+void AndPredicateBits(const expr::Predicate& pred,
+                      const storage::SegmentView& view, int64_t rows,
+                      uint64_t* words) {
+  switch (view.encoding) {
+    case storage::SegmentEncoding::kRle: {
+      const int64_t* values = view.rle_values();
+      const int32_t* lengths = view.rle_lengths();
+      int64_t pos = 0;
+      for (int32_t r = 0; r < view.num_runs; ++r) {
+        if (!pred.Matches(static_cast<double>(values[r]))) {
+          ClearBitRange(words, pos, lengths[r]);
+        }
+        pos += lengths[r];
+      }
+      return;
+    }
+    case storage::SegmentEncoding::kRawInt64: {
+      const int64_t* v = view.raw_int64();
+      for (int64_t i = 0; i < rows; ++i) {
+        if (!pred.Matches(static_cast<double>(v[i]))) {
+          words[i >> 6] &= ~(uint64_t{1} << (i & 63));
+        }
+      }
+      return;
+    }
+    case storage::SegmentEncoding::kRawDouble: {
+      const double* v = view.raw_double();
+      for (int64_t i = 0; i < rows; ++i) {
+        if (!pred.Matches(v[i])) {
+          words[i >> 6] &= ~(uint64_t{1} << (i & 63));
+        }
+      }
+      return;
+    }
+    case storage::SegmentEncoding::kBitPacked: {
+      const uint64_t* packed = view.packed_words();
+      const uint8_t bits = view.bits;
+      const uint64_t mask = (uint64_t{1} << bits) - 1;
+      const uint64_t ubase = static_cast<uint64_t>(view.base);
+      if (bits > 12) {
+        // A match table over the field domain would cost more to build
+        // (2^bits evaluations) than the per-row sweep it replaces.
+        for (int64_t i = 0; i < rows; ++i) {
+          const uint64_t bitpos = static_cast<uint64_t>(i) * bits;
+          const uint64_t shift = bitpos & 63;
+          uint64_t u = packed[bitpos >> 6] >> shift;
+          if (shift + bits > 64) {
+            u |= packed[(bitpos >> 6) + 1] << (64 - shift);
+          }
+          const double v =
+              static_cast<double>(static_cast<int64_t>(ubase + (u & mask)));
+          if (!pred.Matches(v)) {
+            words[i >> 6] &= ~(uint64_t{1} << (i & 63));
+          }
+        }
+        return;
+      }
+      // Decide once per distinct packed field, then stream the fields
+      // through the table.
+      std::vector<uint8_t> match(size_t{1} << bits);
+      for (size_t f = 0; f < match.size(); ++f) {
+        match[f] = pred.Matches(
+            static_cast<double>(static_cast<int64_t>(ubase + f)));
+      }
+      int64_t i = 0;
+      if (bits == 1 || bits == 2 || bits == 4 || bits == 8) {
+        // Fields never straddle bytes, so fold the field table into a
+        // byte-indexed table of per-field match bits and emit 8/bits
+        // bitmap bits per payload *byte* — the packed stream's bytes in
+        // memory are its bits LSB-first (little-endian words, the
+        // format's native-endian mmap contract), so byte k holds rows
+        // [k*8/bits, (k+1)*8/bits).
+        const int fpb = 8 / bits;  // fields per payload byte
+        uint8_t btab[256];
+        for (int b = 0; b < 256; ++b) {
+          uint8_t out = 0;
+          for (int j = 0; j < fpb; ++j) {
+            const uint64_t f =
+                (static_cast<uint64_t>(b) >> (j * bits)) & mask;
+            if (match[f]) out |= static_cast<uint8_t>(1u << j);
+          }
+          btab[b] = out;
+        }
+        const uint8_t* bytes = reinterpret_cast<const uint8_t*>(packed);
+        const int64_t full_words = rows >> 6;  // 64-row bitmap words
+        const int bpw = 8 * bits;              // payload bytes per 64 rows
+        for (int64_t w = 0; w < full_words; ++w) {
+          const uint8_t* p = bytes + w * bpw;
+          uint64_t m = 0;
+          for (int k = 0; k < bpw; ++k) {
+            m |= static_cast<uint64_t>(btab[p[k]]) << (k * fpb);
+          }
+          words[w] &= m;
+        }
+        i = full_words << 6;
+      }
+      for (; i < rows; ++i) {
+        const uint64_t bitpos = static_cast<uint64_t>(i) * bits;
+        const uint64_t shift = bitpos & 63;
+        uint64_t u = packed[bitpos >> 6] >> shift;
+        if (shift + bits > 64) {
+          u |= packed[(bitpos >> 6) + 1] << (64 - shift);
+        }
+        if (!match[u & mask]) {
+          words[i >> 6] &= ~(uint64_t{1} << (i & 63));
+        }
+      }
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+Result<std::unique_ptr<SegmentTableScanner>> SegmentTableScanner::Create(
+    const storage::SegmentFile* file, const query::QuerySpec& spec,
+    SegmentScanOptions options) {
+  // The staging zone maps describe placeholder data; pruning from them
+  // would be unsound.  Recorded matches would hold staging row ids.
+  options.agg.enable_zone_pruning = false;
+  options.agg.record_matches = false;
+
+  std::unique_ptr<SegmentTableScanner> scanner(new SegmentTableScanner());
+  scanner->file_ = file;
+  scanner->spec_ = std::make_unique<query::QuerySpec>(spec);
+  scanner->options_ = options;
+
+  // Columns the scan must decode: bins, filter, aggregate inputs.
+  std::vector<std::string> names;
+  for (const query::BinDimension& dim : spec.bins) names.push_back(dim.column);
+  for (const expr::Predicate& pred : spec.filter.predicates()) {
+    names.push_back(pred.column);
+  }
+  for (const query::AggregateSpec& agg : spec.aggregates) {
+    if (!agg.column.empty()) names.push_back(agg.column);
+  }
+  for (const std::string& name : names) {
+    const int idx = file->ColumnIndex(name);
+    if (idx < 0) {
+      return Status::KeyError("segment file '" + file->table_name() +
+                              "' has no column '" + name + "'");
+    }
+    if (std::find(scanner->referenced_cols_.begin(),
+                  scanner->referenced_cols_.end(),
+                  idx) == scanner->referenced_cols_.end()) {
+      scanner->referenced_cols_.push_back(idx);
+    }
+  }
+
+  // COUNT fast-path shapes: all aggregates COUNT, one bin dimension.
+  // The RLE run tier additionally needs every predicate on the binned
+  // column; the compressed-domain filter tier takes predicates on any
+  // column.  Both require the compiled kernels (ProcessCountRun
+  // accumulates through their dense-key space), so the flags finalize
+  // only after the context below compiles.
+  bool all_count = true;
+  for (const query::AggregateSpec& agg : spec.aggregates) {
+    all_count = all_count && agg.type == query::AggregateType::kCount;
+  }
+  bool run_shape = false;       // RLE run fast path
+  bool filtered_shape = false;  // compressed-domain filtered COUNT
+  if (all_count && spec.bins.size() == 1) {
+    scanner->fastpath_col_ = file->ColumnIndex(spec.bins[0].column);
+    bool preds_on_bin = true;
+    for (const expr::Predicate& pred : spec.filter.predicates()) {
+      preds_on_bin = preds_on_bin && pred.column == spec.bins[0].column;
+    }
+    run_shape = options.enable_rle_count_fastpath && preds_on_bin;
+    filtered_shape = options.enable_compressed_filter_fastpath;
+    // When the bin column is RLE in *every* segment, a COUNT tier covers
+    // the whole file and contexts never decode — skip the staging
+    // placeholder fill, the dominant cost of preparing a scan.
+    if (filtered_shape || run_shape) {
+      bool all_rle = file->num_segments() > 0;
+      for (int64_t seg = 0; seg < file->num_segments(); ++seg) {
+        all_rle = all_rle &&
+                  file->view(scanner->fastpath_col_, seg).encoding ==
+                      storage::SegmentEncoding::kRle;
+      }
+      // The run tier alone only covers segments when the filter reads
+      // just the bin column.
+      scanner->staging_lean_ = all_rle && (filtered_shape || preds_on_bin);
+    }
+  }
+
+  IDB_ASSIGN_OR_RETURN(scanner->main_, scanner->NewContext());
+  if (scanner->main_->agg->uses_vectorized()) {
+    scanner->count_fastpath_shape_ = run_shape;
+    scanner->filtered_count_shape_ = filtered_shape;
+  } else if (scanner->staging_lean_) {
+    // No compiled kernels, so no COUNT fast paths: rebuild the context
+    // with the staging fill the decode tier needs.
+    scanner->staging_lean_ = false;
+    IDB_ASSIGN_OR_RETURN(scanner->main_, scanner->NewContext());
+  }
+  return scanner;
+}
+
+Result<std::unique_ptr<SegmentTableScanner::ScanContext>>
+SegmentTableScanner::NewContext() const {
+  auto ctx = std::make_unique<ScanContext>();
+
+  // Staging table: the segment file's schema, with the *referenced*
+  // columns pre-filled to kSegmentRows placeholder rows through the
+  // normal append paths so the typed vectors reach their final size once
+  // — the compiled kernels bake these buffers' addresses, so they must
+  // never reallocate.  Per segment the buffers are overwritten in place
+  // through the Mutable*Data escape hatches (storage/column.h).
+  // Unreferenced columns stay empty: no kernel binds them, the decode
+  // loop never writes them, and skipping their appends (each of which
+  // updates stats and zone maps) keeps context creation proportional to
+  // the query, not the schema.
+  std::vector<storage::Field> fields;
+  for (int c = 0; c < file_->num_columns(); ++c) {
+    fields.push_back(file_->column_meta(c).field);
+  }
+  auto staging = std::make_shared<storage::Table>(
+      file_->table_name(), storage::Schema(std::move(fields)));
+  if (file_->num_segments() > 0) {
+    for (const int c : referenced_cols_) {
+      const storage::SegmentColumnMeta& meta = file_->column_meta(c);
+      storage::Column& col = staging->mutable_column(c);
+      if (meta.field.type == storage::DataType::kString) {
+        // Restore the dictionary in code order: the compiled LUTs and
+        // IN-set code resolution must see the original code mapping.
+        for (const std::string& v : meta.dict_values) {
+          col.mutable_dictionary().GetOrInsert(v);
+        }
+        if (col.dictionary().size() == 0) {
+          return Status::Invalid("segment file '" + file_->table_name() +
+                                 "': string column '" + meta.field.name +
+                                 "' has rows but no dictionary");
+        }
+      }
+      // A lean context never decodes (every segment is answerable by a
+      // COUNT fast path), so the placeholder rows would be pure waste;
+      // the dictionary restore above still matters — the compiled LUTs
+      // and IN-set code resolution read it.
+      if (!staging_lean_) col.AppendPlaceholderZeros(storage::kSegmentRows);
+    }
+  }
+
+  ctx->staging = staging.get();
+  IDB_RETURN_NOT_OK(ctx->catalog.AddTable(std::move(staging)));
+  IDB_ASSIGN_OR_RETURN(BoundQuery bound,
+                       BoundQuery::Bind(*spec_, ctx->catalog));
+  ctx->bound = std::make_unique<BoundQuery>(std::move(bound));
+  // Compile once; the same kernel table runs the aggregator's batches
+  // and answers the footer-zone prune checks.
+  auto vec =
+      std::make_shared<VectorizedQuery>(VectorizedQuery::Compile(*ctx->bound));
+  if (options_.agg.enable_vectorized && vec->ok()) {
+    ctx->agg = std::make_unique<BinnedAggregator>(ctx->bound.get(),
+                                                  options_.agg, vec);
+  } else {
+    ctx->agg =
+        std::make_unique<BinnedAggregator>(ctx->bound.get(), options_.agg);
+  }
+  if (vec->ok()) ctx->prune = std::move(vec);
+
+  ctx->file_col_of_staging.resize(
+      static_cast<size_t>(file_->num_columns()));
+  for (int c = 0; c < file_->num_columns(); ++c) {
+    ctx->file_col_of_staging[static_cast<size_t>(c)] = c;
+  }
+  return ctx;
+}
+
+bool SegmentTableScanner::ZonePruned(const ScanContext& ctx,
+                                     int64_t seg) const {
+  if (!options_.enable_zone_pruning || ctx.prune == nullptr) return false;
+  const auto zone_of =
+      [&](const storage::Column* col) -> const storage::ZoneEntry* {
+    for (int c = 0; c < ctx.staging->num_columns(); ++c) {
+      if (&ctx.staging->column(c) == col) {
+        return &file_->view(ctx.file_col_of_staging[static_cast<size_t>(c)],
+                            seg)
+                    .zone;
+      }
+    }
+    return nullptr;
+  };
+  return !ctx.prune->SegmentCanMatch(zone_of);
+}
+
+bool SegmentTableScanner::DictPruned(int64_t seg) const {
+  if (!options_.enable_dict_pruning) return false;
+  for (const expr::Predicate& pred : spec_->filter.predicates()) {
+    const int idx = file_->ColumnIndex(pred.column);
+    if (idx < 0 ||
+        file_->column_meta(idx).field.type != storage::DataType::kString) {
+      continue;
+    }
+    const storage::SegmentView& view = file_->view(idx, seg);
+    if (pred.op == expr::CompareOp::kEq) {
+      int64_t code = 0;
+      // A non-integral equality value matches no dictionary code at all;
+      // an integral one must be present in this segment's bitset.
+      if (!IntegralCode(pred.value, &code) || !view.MightContainCode(code)) {
+        return true;
+      }
+    } else if (pred.op == expr::CompareOp::kIn) {
+      bool any = false;
+      for (const double v : pred.set_values) {
+        int64_t code = 0;
+        any = any || (IntegralCode(v, &code) && view.MightContainCode(code));
+      }
+      // Covers the empty set too: IN () matches nothing (kernel parity).
+      if (!any) return true;
+    }
+  }
+  return false;
+}
+
+bool SegmentTableScanner::CanCountRuns(int64_t seg) const {
+  return count_fastpath_shape_ &&
+         file_->view(fastpath_col_, seg).encoding ==
+             storage::SegmentEncoding::kRle;
+}
+
+bool SegmentTableScanner::CanCountFiltered(int64_t seg) const {
+  return filtered_count_shape_ &&
+         file_->view(fastpath_col_, seg).encoding ==
+             storage::SegmentEncoding::kRle;
+}
+
+void SegmentTableScanner::FilteredRunCount(ScanContext* ctx,
+                                           BinnedAggregator* agg,
+                                           int64_t seg,
+                                           SegmentOutcome* outcome) const {
+  const storage::SegmentView& bin_view = file_->view(fastpath_col_, seg);
+  const int64_t rows = bin_view.rows;
+  const int64_t nwords = (rows + 63) >> 6;
+  std::vector<uint64_t>& words = ctx->match_words;
+  words.assign(static_cast<size_t>(nwords), ~uint64_t{0});
+  if ((rows & 63) != 0) {
+    words[static_cast<size_t>(nwords) - 1] =
+        ~uint64_t{0} >> (64 - (rows & 63));
+  }
+  outcome->bytes += bin_view.bytes;
+  // Restrict the bitset by every predicate, straight off the compressed
+  // payloads; bill each touched column's payload once.
+  std::vector<int> billed = {fastpath_col_};
+  for (const expr::Predicate& pred : spec_->filter.predicates()) {
+    const int idx = file_->ColumnIndex(pred.column);
+    const storage::SegmentView& view = file_->view(idx, seg);
+    AndPredicateBits(pred, view, rows, words.data());
+    if (std::find(billed.begin(), billed.end(), idx) == billed.end()) {
+      billed.push_back(idx);
+      outcome->bytes += view.bytes;
+    }
+  }
+  // Fold per bin run: `BinIndex` on the run value is the kernels' scalar
+  // reference (the tier-3 contract), the bitset holds exactly the rows
+  // the decode tier's filter kernels would select, and COUNT
+  // accumulators take bulk adds bit-identically (ProcessCountRun), so
+  // `popcount` unit observations per run equal the batch path.
+  const int64_t* values = bin_view.rle_values();
+  const int32_t* lengths = bin_view.rle_lengths();
+  const query::BinDimension& dim = spec_->bins[0];
+  int64_t pos = 0;
+  for (int32_t r = 0; r < bin_view.num_runs; ++r) {
+    const int32_t len = lengths[r];
+    const int64_t bin =
+        dim.BinIndex(static_cast<double>(values[r]));
+    if (bin >= 0) {
+      const int64_t m = PopcountRange(words.data(), pos, len);
+      if (m > 0) agg->ProcessCountRun(bin, m);
+      if (m < len) agg->SkipRows(len - m);
+    } else {
+      agg->SkipRows(len);
+    }
+    pos += len;
+  }
+  outcome->filter_fastpath = true;
+}
+
+SegmentTableScanner::SegmentOutcome SegmentTableScanner::ProcessSegment(
+    ScanContext* ctx, BinnedAggregator* agg, int64_t seg) const {
+  SegmentOutcome outcome;
+  outcome.rows = file_->segment_rows(seg);
+
+  if (ZonePruned(*ctx, seg)) {
+    outcome.kind = SegmentOutcome::Kind::kPrunedZone;
+    return outcome;
+  }
+  if (DictPruned(seg)) {
+    outcome.kind = SegmentOutcome::Kind::kPrunedDict;
+    return outcome;
+  }
+
+  if (CanCountRuns(seg)) {
+    // Per-run evaluation: `Predicate::Matches` and `BinDimension::
+    // BinIndex` are bit-compatible with the compiled kernels (the
+    // vectorized layer's documented contract), so deciding once per run
+    // equals deciding per row, and a matching run of length L contributes
+    // exactly L unit COUNT observations (ProcessCountRun).
+    const storage::SegmentView& view = file_->view(fastpath_col_, seg);
+    const int64_t* values = view.rle_values();
+    const int32_t* lengths = view.rle_lengths();
+    const auto& predicates = spec_->filter.predicates();
+    const query::BinDimension& dim = spec_->bins[0];
+    for (int32_t r = 0; r < view.num_runs; ++r) {
+      const double v = static_cast<double>(values[r]);
+      bool matches = true;
+      for (const expr::Predicate& pred : predicates) {
+        matches = matches && pred.Matches(v);
+      }
+      const int64_t bin = matches ? dim.BinIndex(v) : -1;
+      if (bin >= 0) {
+        agg->ProcessCountRun(bin, lengths[r]);
+      } else {
+        agg->SkipRows(lengths[r]);
+      }
+    }
+    outcome.fastpath = true;
+    outcome.bytes = view.bytes;
+    return outcome;
+  }
+
+  if (CanCountFiltered(seg)) {
+    FilteredRunCount(ctx, agg, seg, &outcome);
+    return outcome;
+  }
+
+  // A lean context has no staging rows: Create proved every segment is
+  // answerable by a COUNT fast path above, so reaching the decode tier
+  // would scribble through the empty buffers the kernels baked.
+  IDB_CHECK(!staging_lean_);
+
+  // Decode the referenced columns into the staging buffers, then run the
+  // segment's rows through the normal batch pipeline.  1024-row batch
+  // boundaries fall where they fall in a flat ProcessRange over the
+  // decoded table, because segments are 64K-aligned.
+  for (const int idx : referenced_cols_) {
+    const storage::SegmentView& view = file_->view(idx, seg);
+    storage::Column& col = ctx->staging->mutable_column(idx);
+    switch (view.encoding) {
+      case storage::SegmentEncoding::kRawDouble:
+        std::memcpy(col.MutableDoubleData(), view.raw_double(),
+                    static_cast<size_t>(view.rows) * 8);
+        break;
+      case storage::SegmentEncoding::kRawInt64:
+        std::memcpy(col.MutableInt64Data(), view.raw_int64(),
+                    static_cast<size_t>(view.rows) * 8);
+        break;
+      case storage::SegmentEncoding::kRle:
+        ExpandRleRuns(view.rle_values(), view.rle_lengths(), view.num_runs,
+                      col.MutableInt64Data());
+        break;
+      case storage::SegmentEncoding::kBitPacked:
+        UnpackBitsFOR(view.packed_words(), view.bits, view.base, view.rows,
+                      col.MutableInt64Data());
+        break;
+    }
+    outcome.bytes += view.bytes;
+  }
+  // The decoded segment sits contiguously at staging rows [0, rows), so
+  // the dense in-order range path applies — same fused kernels, same
+  // batch boundaries, and so the same accumulation order as the flat
+  // scan (an index-gather ProcessBatch over an iota would visit the
+  // identical rows in the identical order, only slower).
+  agg->ProcessRange(0, outcome.rows);
+  return outcome;
+}
+
+SegmentTableScanner::ScanContext* SegmentTableScanner::AcquireContext() {
+  std::lock_guard<std::mutex> lock(pool_mu_);
+  IDB_CHECK(!free_contexts_.empty());
+  ScanContext* ctx = free_contexts_.back();
+  free_contexts_.pop_back();
+  return ctx;
+}
+
+void SegmentTableScanner::ReleaseContext(ScanContext* ctx) {
+  std::lock_guard<std::mutex> lock(pool_mu_);
+  free_contexts_.push_back(ctx);
+}
+
+Status SegmentTableScanner::Execute() {
+  if (stats_.segments_total != 0) {
+    return Status::Invalid("SegmentTableScanner::Execute ran already");
+  }
+  const int64_t nseg = file_->num_segments();
+  stats_.segments_total = nseg;
+  if (nseg == 0) return Status::OK();
+
+  const int threads = ResolveThreadCount(options_.threads);
+  std::vector<SegmentOutcome> outcomes(static_cast<size_t>(nseg));
+
+  if (threads <= 1 || nseg <= 1) {
+    // Exact sequential path: accumulate straight into the main
+    // aggregator, segment by segment — the same accumulation order as a
+    // flat ProcessRange over the decoded table.
+    for (int64_t seg = 0; seg < nseg; ++seg) {
+      outcomes[static_cast<size_t>(seg)] =
+          ProcessSegment(main_.get(), main_->agg.get(), seg);
+    }
+  } else {
+    const int n_ctx = static_cast<int>(
+        std::min<int64_t>(threads, nseg));
+    for (int i = 0; i < n_ctx; ++i) {
+      IDB_ASSIGN_OR_RETURN(std::unique_ptr<ScanContext> ctx, NewContext());
+      free_contexts_.push_back(ctx.get());
+      pool_.push_back(std::move(ctx));
+    }
+    // One partial per segment, folded below in segment order — the fixed
+    // reduction tree MorselProcessRange uses, so results are identical
+    // for every parallelism.
+    WorkerPool::Shared().ParallelFor(nseg, threads, [&](int64_t seg) {
+      ScanContext* ctx = AcquireContext();
+      std::unique_ptr<BinnedAggregator> partial = ctx->agg->NewPartial();
+      SegmentOutcome outcome = ProcessSegment(ctx, partial.get(), seg);
+      if (outcome.kind == SegmentOutcome::Kind::kScanned) {
+        outcome.partial = std::move(partial);
+      }
+      outcomes[static_cast<size_t>(seg)] = std::move(outcome);
+      ReleaseContext(ctx);
+    });
+  }
+
+  for (SegmentOutcome& outcome : outcomes) {
+    switch (outcome.kind) {
+      case SegmentOutcome::Kind::kScanned:
+        if (outcome.partial != nullptr) {
+          main_->agg->MergeFrom(*outcome.partial);
+        }
+        ++stats_.segments_scanned;
+        if (outcome.fastpath) ++stats_.segments_count_fastpath;
+        if (outcome.filter_fastpath) ++stats_.segments_filter_fastpath;
+        stats_.rows_scanned += outcome.rows;
+        break;
+      case SegmentOutcome::Kind::kPrunedZone:
+      case SegmentOutcome::Kind::kPrunedDict:
+        main_->agg->AccountZoneSkip(outcome.rows);
+        if (outcome.kind == SegmentOutcome::Kind::kPrunedZone) {
+          ++stats_.segments_pruned_zone;
+        } else {
+          ++stats_.segments_pruned_dict;
+        }
+        stats_.rows_skipped += outcome.rows;
+        break;
+    }
+    stats_.payload_bytes_touched += outcome.bytes;
+  }
+  return Status::OK();
+}
+
+}  // namespace idebench::exec

@@ -1,0 +1,216 @@
+#ifndef IDEBENCH_EXEC_SEGMENT_SCAN_H_
+#define IDEBENCH_EXEC_SEGMENT_SCAN_H_
+
+/// \file segment_scan.h
+/// Query execution directly over compressed on-disk segments.
+///
+/// `SegmentTableScanner` runs one resolved `QuerySpec` against a
+/// memory-mapped `storage::SegmentFile` (storage/segment.h) without
+/// decompressing the whole table, and produces results **bit-identical**
+/// to the in-memory path over the decoded table:
+///
+///  * `threads == 1` matches `BinnedAggregator::ProcessRange(0, rows)`
+///    exactly — segments are 64K-row aligned, so the scanner's per-segment
+///    1024-row batches fall on the very same boundaries;
+///  * `threads > 1` matches `MorselProcessRange` at 64K morsels: one
+///    partial aggregator per segment, folded in segment order, the same
+///    fixed reduction tree for every parallelism.
+///
+/// Per segment, in order, the scanner tries the cheapest sufficient tier:
+///
+///  1. **Zone pruning** — the persisted zone-map entries in the segment
+///     footer feed the compiled prune checks
+///     (`VectorizedQuery::SegmentCanMatch`); an excluded segment costs a
+///     few comparisons and zero payload bytes.
+///  2. **Dictionary-bitset pruning** — for Eq/In predicates on string
+///     columns, the per-segment code-presence bitset proves "this code
+///     never occurs here" even when the zone range is too wide to help.
+///  3. **RLE run fast path** — an all-COUNT query whose single bin
+///     dimension and every filter predicate read one column that is
+///     RLE-encoded in this segment is answered per *run*: the scalar
+///     reference `Predicate::Matches` + `BinDimension::BinIndex` (both
+///     bit-compatible with the compiled kernels by the vectorized-layer
+///     contract) evaluate once per run, and matching runs bulk-accumulate
+///     via `BinnedAggregator::ProcessCountRun` — payload work drops from
+///     O(rows) to O(runs).
+///  4. **Compressed-domain filtered COUNT** — an all-COUNT query whose
+///     single bin dimension is RLE-encoded in this segment but whose
+///     filter reads *other* columns is answered without any staging
+///     decode: each predicate is evaluated directly on its column's
+///     compressed payload (per run for RLE, per packed field through a
+///     match table for bit-packed, in place on the mmap for raw) and
+///     ANDed into a per-row match bitset, then each bin run contributes
+///     `popcount(bitset slice)` unit observations via `ProcessCountRun`.
+///     The decoded values these evaluations see are exactly what the
+///     decode tier would materialize, and `Predicate::Matches` is the
+///     kernels' scalar reference, so the counts are bit-identical.
+///  5. **Decode + vectorized scan** — only the columns the query actually
+///     references are decoded (memcpy / `ExpandRleRuns` /
+///     `UnpackBitsFOR`) into a fixed 64K-row *staging table* whose raw
+///     buffers the compiled kernels point at, then the segment's rows run
+///     through the normal fused batch pipeline.
+///
+/// The staging table's own statistics and zone maps describe placeholder
+/// data and are never consulted: the scanner forces the aggregator's
+/// zone pruning off and prunes exclusively from the footer zones.
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/result.h"
+#include "exec/aggregator.h"
+#include "exec/bound_query.h"
+#include "query/spec.h"
+#include "storage/segment.h"
+
+namespace idebench::exec {
+
+/// Scan knobs.  The defaults enable every tier.
+struct SegmentScanOptions {
+  /// Settings-style thread count: 1 = exact sequential path, 0 = hardware
+  /// concurrency, else morsel-style per-segment parallelism.
+  int threads = 1;
+
+  /// Prune segments via the footer zone entries.
+  bool enable_zone_pruning = true;
+
+  /// Prune segments via the per-segment dictionary presence bitsets.
+  bool enable_dict_pruning = true;
+
+  /// Answer all-COUNT single-column queries per RLE run where possible.
+  bool enable_rle_count_fastpath = true;
+
+  /// Answer all-COUNT queries whose bin column is RLE but whose filter
+  /// reads other columns by evaluating the predicates directly on the
+  /// compressed payloads (no staging decode) and counting matches per
+  /// bin run.
+  bool enable_compressed_filter_fastpath = true;
+
+  /// Aggregator options for the result state.  `enable_zone_pruning` and
+  /// `record_matches` are forced off internally (staging zone maps are
+  /// meaningless; recorded staging row ids would be too).
+  BinnedAggregatorOptions agg;
+};
+
+/// Per-scan telemetry.
+struct SegmentScanStats {
+  int64_t segments_total = 0;
+  int64_t segments_scanned = 0;        // decoded (or fast-pathed)
+  int64_t segments_pruned_zone = 0;
+  int64_t segments_pruned_dict = 0;
+  int64_t segments_count_fastpath = 0;  // subset of segments_scanned
+  int64_t segments_filter_fastpath = 0;  // compressed-domain filtered COUNT
+  int64_t rows_scanned = 0;
+  int64_t rows_skipped = 0;
+  uint64_t payload_bytes_touched = 0;   // compressed bytes read
+};
+
+/// Executes one query over one segment file; see the file comment.
+class SegmentTableScanner {
+ public:
+  /// Prepares a scan of `spec` (bins already resolved) over `file`, which
+  /// must outlive the scanner.  Fails when the spec references columns
+  /// the file does not hold.
+  static Result<std::unique_ptr<SegmentTableScanner>> Create(
+      const storage::SegmentFile* file, const query::QuerySpec& spec,
+      SegmentScanOptions options = {});
+
+  /// Runs the scan once.  After it returns, `aggregator()` holds the
+  /// accumulated state (take `ExactResult()` for the answer).
+  Status Execute();
+
+  /// The result aggregator (valid after `Execute`).
+  const BinnedAggregator& aggregator() const { return *main_->agg; }
+
+  const SegmentScanStats& stats() const { return stats_; }
+
+ private:
+  /// Everything one worker needs to process segments: a staging table the
+  /// compiled kernels point into, the binding/aggregator compiled over
+  /// it, and a prune-check kernel table.  A context is used by one thread
+  /// at a time; the pool below hands them out under a mutex.
+  struct ScanContext {
+    storage::Catalog catalog;             // owns the staging table
+    storage::Table* staging = nullptr;    // borrowed from catalog
+    std::unique_ptr<BoundQuery> bound;    // points into catalog + spec_
+    std::unique_ptr<BinnedAggregator> agg;
+    // One compile serves both the aggregator's batch kernels and the
+    // footer-zone prune checks (nullptr when compilation declines the
+    // query shape).
+    std::shared_ptr<const VectorizedQuery> prune;
+    // Staging column -> segment-file column index, for SegmentCanMatch.
+    std::vector<int> file_col_of_staging;
+    // Scratch match bitset (one bit per segment row) for the
+    // compressed-domain filtered COUNT tier.
+    std::vector<uint64_t> match_words;
+  };
+
+  /// What one segment contributed; folded into the main aggregator in
+  /// segment order after a parallel scan.
+  struct SegmentOutcome {
+    enum class Kind : uint8_t { kScanned, kPrunedZone, kPrunedDict };
+    Kind kind = Kind::kScanned;
+    bool fastpath = false;         // RLE run fast path (tier 3)
+    bool filter_fastpath = false;  // compressed-domain filtered COUNT (tier 4)
+    int64_t rows = 0;
+    uint64_t bytes = 0;
+    std::unique_ptr<BinnedAggregator> partial;  // parallel scans only
+  };
+
+  SegmentTableScanner() = default;
+
+  Result<std::unique_ptr<ScanContext>> NewContext() const;
+
+  /// Processes segment `seg` into `agg` (the main aggregator when
+  /// sequential, a partial when parallel) and reports the outcome.
+  SegmentOutcome ProcessSegment(ScanContext* ctx, BinnedAggregator* agg,
+                                int64_t seg) const;
+
+  /// True when the footer zones / dict bitsets prove segment `seg` holds
+  /// no matching row.
+  bool ZonePruned(const ScanContext& ctx, int64_t seg) const;
+  bool DictPruned(int64_t seg) const;
+
+  /// True when segment `seg` qualifies for the RLE COUNT run fast path.
+  bool CanCountRuns(int64_t seg) const;
+
+  /// True when segment `seg` qualifies for the compressed-domain
+  /// filtered COUNT tier (bin column RLE here; filter evaluated on the
+  /// compressed payloads).
+  bool CanCountFiltered(int64_t seg) const;
+
+  /// Runs the compressed-domain filtered COUNT tier over segment `seg`,
+  /// filling `outcome`'s fast-path flag and payload byte count.
+  void FilteredRunCount(ScanContext* ctx, BinnedAggregator* agg,
+                        int64_t seg, SegmentOutcome* outcome) const;
+
+  ScanContext* AcquireContext();
+  void ReleaseContext(ScanContext* ctx);
+
+  const storage::SegmentFile* file_ = nullptr;
+  std::unique_ptr<query::QuerySpec> spec_;  // stable address for binding
+  SegmentScanOptions options_;
+  SegmentScanStats stats_;
+
+  // Precomputed query shape.
+  std::vector<int> referenced_cols_;  // file column indices to decode
+  bool count_fastpath_shape_ = false; // all-COUNT, 1-D, preds on bin col
+  bool filtered_count_shape_ = false; // all-COUNT, 1-D, preds anywhere
+  int fastpath_col_ = -1;             // the single bin column's file index
+  // True when every segment is answerable by a COUNT fast path (tiers
+  // 3/4), so contexts skip the staging placeholder fill entirely — the
+  // compiled kernels then bake empty buffers, and the decode tier must
+  // never run (checked).
+  bool staging_lean_ = false;
+
+  std::unique_ptr<ScanContext> main_;          // sequential + merge target
+  std::vector<std::unique_ptr<ScanContext>> pool_;  // parallel workers
+  std::vector<ScanContext*> free_contexts_;
+  std::mutex pool_mu_;
+};
+
+}  // namespace idebench::exec
+
+#endif  // IDEBENCH_EXEC_SEGMENT_SCAN_H_

@@ -69,6 +69,15 @@ struct RatekeeperOptions {
   Micros reject_retry_after = 250'000;
 };
 
+/// Millisecond retry hint for the wire: rounds `retry_after` *up* so a
+/// positive sub-millisecond throttle never serializes as "retry now"
+/// (0ms) — a client honoring that literally would hammer the keeper in a
+/// busy loop.  0 stays 0 (no hint).
+inline int64_t RetryAfterMillis(Micros retry_after) {
+  if (retry_after <= 0) return 0;
+  return (retry_after + 999) / 1000;
+}
+
 enum class AdmitAction : uint8_t {
   kAdmit = 0,
   kThrottle = 1,  // per-tenant rate exceeded; retry after `retry_after`

@@ -363,7 +363,7 @@ void Server::HandleInteraction(Connection* conn, const JsonValue& msg) {
     reply.Set("session", session_id);
     reply.Set("request", request);
     reply.Set("reason", reason);
-    reply.Set("retry_after_ms", retry_after / 1000);
+    reply.Set("retry_after_ms", RetryAfterMillis(retry_after));
     reply.Set("degrade_level", level);
     SendMessage(conn, reply);
   };

@@ -1,7 +1,6 @@
 #include "storage/column.h"
 
 #include <algorithm>
-#include <cstdlib>
 
 #include "common/logging.h"
 #include "common/string_util.h"
@@ -65,23 +64,67 @@ void Column::AppendCode(int64_t code) {
   UpdateStats(static_cast<double>(code));
 }
 
+void Column::AppendPlaceholderZeros(int64_t n) {
+  if (n <= 0) return;
+  if (field_.type == DataType::kString) {
+    IDB_CHECK(dict_.size() > 0);  // the zeros are dictionary code 0
+  }
+  if (field_.type == DataType::kDouble) {
+    doubles_.resize(doubles_.size() + static_cast<size_t>(n), 0.0);
+  } else {
+    ints_.resize(ints_.size() + static_cast<size_t>(n), 0);
+  }
+  // Fold the n zeros into the stats in bulk — one min/max fold per zone
+  // block instead of one per row.  Identical result to n single appends:
+  // every appended numeric-view value is exactly 0.0.
+  const int64_t new_size = size();
+  const int64_t first_row = new_size - n;
+  if (first_row == 0) {
+    cached_min_ = 0.0;
+    cached_max_ = 0.0;
+  } else {
+    cached_min_ = std::min(cached_min_, 0.0);
+    cached_max_ = std::max(cached_max_, 0.0);
+  }
+  for (int64_t row = first_row; row < new_size;
+       row = (row / kZoneMapBlockRows + 1) * kZoneMapBlockRows) {
+    if (row % kZoneMapBlockRows == 0) zones_.emplace_back();
+    ZoneEntry& z = zones_.back();
+    z.min = std::min(z.min, 0.0);
+    z.max = std::max(z.max, 0.0);
+  }
+}
+
 Status Column::AppendParsed(const std::string& text) {
+  // Strict, locale-independent parsing (common/string_util.h): the whole
+  // trimmed token must form one value.  strtod/strtoll would accept
+  // trailing garbage ("12abc"), consult the C locale for the decimal
+  // separator, and silently clamp out-of-range input to ±HUGE_VAL /
+  // LLONG_MAX — clamped values would then poison min/max and zone maps.
   switch (field_.type) {
     case DataType::kInt64: {
-      char* end = nullptr;
-      const long long v = std::strtoll(text.c_str(), &end, 10);
-      if (end == text.c_str()) {
-        return Status::Invalid("cannot parse int64 from '" + text + "'");
+      int64_t v = 0;
+      switch (ParseInt64Strict(Trim(text), &v)) {
+        case StrictParseResult::kOk:
+          break;
+        case StrictParseResult::kOutOfRange:
+          return Status::Invalid("int64 out of range: '" + text + "'");
+        case StrictParseResult::kInvalid:
+          return Status::Invalid("cannot parse int64 from '" + text + "'");
       }
       ints_.push_back(v);
       UpdateStats(static_cast<double>(v));
       return Status::OK();
     }
     case DataType::kDouble: {
-      char* end = nullptr;
-      const double v = std::strtod(text.c_str(), &end);
-      if (end == text.c_str()) {
-        return Status::Invalid("cannot parse double from '" + text + "'");
+      double v = 0.0;
+      switch (ParseDoubleStrict(Trim(text), &v)) {
+        case StrictParseResult::kOk:
+          break;
+        case StrictParseResult::kOutOfRange:
+          return Status::Invalid("double out of range: '" + text + "'");
+        case StrictParseResult::kInvalid:
+          return Status::Invalid("cannot parse double from '" + text + "'");
       }
       doubles_.push_back(v);
       UpdateStats(v);

@@ -37,6 +37,78 @@ std::vector<std::string> ParseCsvLine(const std::string& line) {
   return fields;
 }
 
+namespace {
+
+/// Reads one RFC-4180 *record* from `in` — not one physical line: a
+/// quoted field may contain separators, escaped quotes ("") and line
+/// breaks, so a record can span several lines (the line-at-a-time
+/// reader this replaces split such records and corrupted row counts).
+/// CRLF and LF records both end at the unquoted line break; a bare '\r'
+/// outside quotes is dropped (tolerance the old parser had, kept so a
+/// CRLF file's blank lines and padded fields behave as before).
+///
+/// Returns true when a record was read into `fields`, false at EOF, and
+/// an error status for an unterminated quoted field.  `lines_consumed`
+/// advances by the physical line breaks consumed; `saw_quote` tells the
+/// caller whether any quoting appeared (so an explicitly quoted empty
+/// field `""` is distinguishable from a blank line).
+Result<bool> ReadCsvRecord(std::istream& in, std::vector<std::string>* fields,
+                           int64_t* lines_consumed, bool* saw_quote) {
+  fields->clear();
+  *saw_quote = false;
+  std::string current;
+  bool in_quotes = false;
+  bool any = false;
+  const int64_t start_line = *lines_consumed + 1;
+  for (;;) {
+    const int ch = in.get();
+    if (ch == std::char_traits<char>::eof()) {
+      if (in_quotes) {
+        return Status::Invalid("unterminated quoted field starting at line " +
+                               std::to_string(start_line));
+      }
+      if (!any) return false;
+      fields->push_back(std::move(current));
+      return true;
+    }
+    any = true;
+    const char c = static_cast<char>(ch);
+    if (in_quotes) {
+      if (c == '"') {
+        if (in.peek() == '"') {
+          in.get();
+          current.push_back('"');
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        if (c == '\n') ++*lines_consumed;
+        current.push_back(c);
+      }
+    } else if (c == '"') {
+      *saw_quote = true;
+      in_quotes = true;
+    } else if (c == ',') {
+      fields->push_back(std::move(current));
+      current.clear();
+    } else if (c == '\n') {
+      ++*lines_consumed;
+      fields->push_back(std::move(current));
+      return true;
+    } else if (c != '\r') {
+      current.push_back(c);
+    }
+  }
+}
+
+/// A record is a skippable blank line iff it is one empty unquoted field
+/// (covers "", "\r" and "\r\n" lines; an explicit `""` field is data).
+bool IsBlankRecord(const std::vector<std::string>& fields, bool saw_quote) {
+  return !saw_quote && fields.size() == 1 && fields[0].empty();
+}
+
+}  // namespace
+
 Result<Table> ReadCsv(const std::string& path, const std::string& table_name,
                       const Schema& schema) {
   // Chaos site: the open itself fails (transient filesystem error) before
@@ -44,50 +116,55 @@ Result<Table> ReadCsv(const std::string& path, const std::string& table_name,
   if (chaos::FaultInjector::Fire(chaos::FaultSite::kCsvOpen)) {
     return Status::IOError("injected open fault for '" + path + "'");
   }
-  std::ifstream in(path);
+  std::ifstream in(path, std::ios::binary);
   if (!in) return Status::IOError("cannot open '" + path + "' for reading");
 
-  std::string line;
-  if (!std::getline(in, line)) {
+  std::vector<std::string> fields;
+  int64_t lines_consumed = 0;
+  bool saw_quote = false;
+  IDB_ASSIGN_OR_RETURN(bool got,
+                       ReadCsvRecord(in, &fields, &lines_consumed, &saw_quote));
+  if (!got) {
     return Status::IOError("'" + path + "' is empty (missing header)");
   }
-  const std::vector<std::string> header = ParseCsvLine(line);
-  if (static_cast<int>(header.size()) != schema.num_fields()) {
-    return Status::Invalid("header has " + std::to_string(header.size()) +
+  if (static_cast<int>(fields.size()) != schema.num_fields()) {
+    return Status::Invalid("header has " + std::to_string(fields.size()) +
                            " fields, schema has " +
                            std::to_string(schema.num_fields()));
   }
   for (int i = 0; i < schema.num_fields(); ++i) {
-    if (Trim(header[static_cast<size_t>(i)]) != schema.field(i).name) {
-      return Status::Invalid("header field '" + header[static_cast<size_t>(i)] +
+    if (Trim(fields[static_cast<size_t>(i)]) != schema.field(i).name) {
+      return Status::Invalid("header field '" + fields[static_cast<size_t>(i)] +
                              "' does not match schema field '" +
                              schema.field(i).name + "'");
     }
   }
 
   Table table(table_name, schema);
-  int64_t line_no = 1;
-  while (std::getline(in, line)) {
-    ++line_no;
-    if (line.empty()) continue;
+  for (;;) {
+    const int64_t record_line = lines_consumed + 1;
+    IDB_ASSIGN_OR_RETURN(
+        got, ReadCsvRecord(in, &fields, &lines_consumed, &saw_quote));
+    if (!got) break;
+    if (IsBlankRecord(fields, saw_quote)) continue;
     // Chaos site: column-buffer growth fails mid-load; the partial table
     // is dropped with the returned error, never handed out half-built.
     if (chaos::FaultInjector::Fire(chaos::FaultSite::kCsvAlloc)) {
       return Status::ResourceExhausted("injected allocation fault at line " +
-                                       std::to_string(line_no) + " of '" +
+                                       std::to_string(record_line) + " of '" +
                                        path + "'");
     }
-    const std::vector<std::string> values = ParseCsvLine(line);
-    if (static_cast<int>(values.size()) != schema.num_fields()) {
-      return Status::Invalid("line " + std::to_string(line_no) + " has " +
-                             std::to_string(values.size()) + " fields");
+    if (static_cast<int>(fields.size()) != schema.num_fields()) {
+      return Status::Invalid("line " + std::to_string(record_line) + " has " +
+                             std::to_string(fields.size()) + " fields");
     }
     for (int c = 0; c < schema.num_fields(); ++c) {
       Status st = table.mutable_column(c).AppendParsed(
-          values[static_cast<size_t>(c)]);
+          fields[static_cast<size_t>(c)]);
       if (!st.ok()) {
-        return Status::Invalid("line " + std::to_string(line_no) + ", column " +
-                               schema.field(c).name + ": " + st.message());
+        return Status::Invalid("line " + std::to_string(record_line) +
+                               ", column " + schema.field(c).name + ": " +
+                               st.message());
       }
     }
   }

@@ -117,5 +117,139 @@ TEST(CsvIoTest, SkipsBlankLines) {
   EXPECT_EQ(result->num_rows(), 2);
 }
 
+// --- Malformed / tricky input matrix (record-aware reader) ------------------
+
+TEST(CsvIoTest, EmbeddedNewlineInsideQuotedField) {
+  TempFile file("embednl.csv");
+  file.Write("s,a\n\"line one\nline two\",7\nplain,8\n");
+  Schema schema({{"s", DataType::kString, AttributeKind::kNominal},
+                 {"a", DataType::kInt64, AttributeKind::kQuantitative}});
+  auto result = ReadCsv(file.path(), "t", schema);
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(result->num_rows(), 2);
+  EXPECT_EQ(result->column(0).ValueAsString(0), "line one\nline two");
+  EXPECT_EQ(result->column(1).ValueAsInt(0), 7);
+  EXPECT_EQ(result->column(0).ValueAsString(1), "plain");
+}
+
+TEST(CsvIoTest, EmbeddedNewlineRoundTripsThroughWriter) {
+  Schema schema({{"s", DataType::kString, AttributeKind::kNominal}});
+  Table t("nl", schema);
+  t.mutable_column(0).AppendString("a\nb");
+  t.mutable_column(0).AppendString("c\r\nd");
+  TempFile file("nl_roundtrip.csv");
+  ASSERT_TRUE(WriteCsv(t, file.path()).ok());
+  auto read_back = ReadCsv(file.path(), "nl", schema);
+  ASSERT_TRUE(read_back.ok()) << read_back.status();
+  ASSERT_EQ(read_back->num_rows(), 2);
+  EXPECT_EQ(read_back->column(0).ValueAsString(0), "a\nb");
+  EXPECT_EQ(read_back->column(0).ValueAsString(1), "c\r\nd");
+}
+
+TEST(CsvIoTest, CrlfLineEndingsEverywhere) {
+  TempFile file("crlf.csv");
+  file.Write("s,a\r\nx,1\r\n\"q,y\",2\r\n");
+  Schema schema({{"s", DataType::kString, AttributeKind::kNominal},
+                 {"a", DataType::kInt64, AttributeKind::kQuantitative}});
+  auto result = ReadCsv(file.path(), "t", schema);
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(result->num_rows(), 2);
+  EXPECT_EQ(result->column(0).ValueAsString(1), "q,y");
+  EXPECT_EQ(result->column(1).ValueAsInt(1), 2);
+}
+
+TEST(CsvIoTest, CarriageReturnInsideQuotesIsData) {
+  TempFile file("crdata.csv");
+  file.Write("s\n\"a\rb\"\n");
+  Schema schema({{"s", DataType::kString, AttributeKind::kNominal}});
+  auto result = ReadCsv(file.path(), "t", schema);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->column(0).ValueAsString(0), "a\rb");
+}
+
+TEST(CsvIoTest, EscapedQuotesAndEmptyQuotedFields) {
+  TempFile file("escq.csv");
+  file.Write("s,t\n\"he said \"\"hi\"\"\",\"\"\n");
+  Schema schema({{"s", DataType::kString, AttributeKind::kNominal},
+                 {"t", DataType::kString, AttributeKind::kNominal}});
+  auto result = ReadCsv(file.path(), "t", schema);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->column(0).ValueAsString(0), "he said \"hi\"");
+  EXPECT_EQ(result->column(1).ValueAsString(0), "");
+}
+
+TEST(CsvIoTest, QuotedEmptySingleFieldRowIsARowNotABlank) {
+  // `""` is a real (empty) quoted field — only truly empty lines skip.
+  TempFile file("quotedempty.csv");
+  file.Write("s\n\"\"\nx\n");
+  Schema schema({{"s", DataType::kString, AttributeKind::kNominal}});
+  auto result = ReadCsv(file.path(), "t", schema);
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(result->num_rows(), 2);
+  EXPECT_EQ(result->column(0).ValueAsString(0), "");
+  EXPECT_EQ(result->column(0).ValueAsString(1), "x");
+}
+
+TEST(CsvIoTest, UnterminatedQuoteReportsStartLine) {
+  TempFile file("unterm.csv");
+  file.Write("s,a\nok,1\n\"never closed,2\n3,4\n");
+  Schema schema({{"s", DataType::kString, AttributeKind::kNominal},
+                 {"a", DataType::kInt64, AttributeKind::kQuantitative}});
+  auto result = ReadCsv(file.path(), "t", schema);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("unterminated"),
+            std::string::npos);
+  EXPECT_NE(result.status().message().find("line 3"), std::string::npos);
+}
+
+TEST(CsvIoTest, ErrorLineNumbersAccountForEmbeddedNewlines) {
+  // The bad value sits on physical line 5; a naive per-line reader would
+  // report line 4 (record number) instead.
+  TempFile file("linenumbers.csv");
+  file.Write("s,a\n\"one\ntwo\nthree\",1\nx,notanumber\n");
+  Schema schema({{"s", DataType::kString, AttributeKind::kNominal},
+                 {"a", DataType::kInt64, AttributeKind::kQuantitative}});
+  auto result = ReadCsv(file.path(), "t", schema);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("line 5"), std::string::npos);
+}
+
+TEST(CsvIoTest, MissingTrailingNewlineStillReadsLastRecord) {
+  TempFile file("notrailing.csv");
+  file.Write("a\n1\n2");
+  Schema schema({{"a", DataType::kInt64, AttributeKind::kQuantitative}});
+  auto result = ReadCsv(file.path(), "t", schema);
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(result->num_rows(), 2);
+  EXPECT_EQ(result->column(0).ValueAsInt(1), 2);
+}
+
+TEST(CsvIoTest, TrailingEmptyFieldIsPreserved) {
+  TempFile file("trailempty.csv");
+  file.Write("a,s\n1,\n");
+  Schema schema({{"a", DataType::kInt64, AttributeKind::kQuantitative},
+                 {"s", DataType::kString, AttributeKind::kNominal}});
+  auto result = ReadCsv(file.path(), "t", schema);
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(result->num_rows(), 1);
+  EXPECT_EQ(result->column(1).ValueAsString(0), "");
+}
+
+TEST(CsvIoTest, OverflowingIntegerIsRejectedNotWrapped) {
+  TempFile file("overflow.csv");
+  file.Write("a\n99999999999999999999999999\n");
+  Schema schema({{"a", DataType::kInt64, AttributeKind::kQuantitative}});
+  auto result = ReadCsv(file.path(), "t", schema);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(CsvIoTest, TrailingGarbageAfterNumberIsRejected) {
+  TempFile file("garbage.csv");
+  file.Write("a\n1.5x\n");
+  Schema schema({{"a", DataType::kDouble, AttributeKind::kQuantitative}});
+  EXPECT_FALSE(ReadCsv(file.path(), "t", schema).ok());
+}
+
 }  // namespace
 }  // namespace idebench::storage

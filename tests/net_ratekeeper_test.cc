@@ -182,5 +182,39 @@ TEST(RatekeeperTest, StatsAccountEveryDecision) {
   EXPECT_GT(stats.max_level_seen, 0);
 }
 
+// --- Wire retry hint --------------------------------------------------------
+
+/// Regression: the server serialized `retry_after / 1000`, so a positive
+/// sub-millisecond throttle went out as `retry_after_ms: 0` — "retry
+/// immediately" — and a literal client busy-looped against the keeper.
+/// The hint must round *up*: positive always >= 1ms, zero stays zero.
+TEST(RatekeeperTest, RetryAfterMillisRoundsUpNeverToZero) {
+  EXPECT_EQ(RetryAfterMillis(0), 0);
+  EXPECT_EQ(RetryAfterMillis(-5), 0);
+  EXPECT_EQ(RetryAfterMillis(1), 1);
+  EXPECT_EQ(RetryAfterMillis(999), 1);
+  EXPECT_EQ(RetryAfterMillis(1000), 1);
+  EXPECT_EQ(RetryAfterMillis(1001), 2);
+  EXPECT_EQ(RetryAfterMillis(250'000), 250);
+  EXPECT_EQ(RetryAfterMillis(250'001), 251);
+}
+
+/// A real sub-millisecond throttle verdict from the keeper survives the
+/// millisecond conversion as a positive wait.
+TEST(RatekeeperTest, SubMillisecondThrottleHintSerializesPositive) {
+  RatekeeperOptions o = SmallOptions();
+  o.soft_live_limit = 1000;
+  o.hard_live_limit = 2000;
+  o.tenant_rate = 10'000.0;  // refill 10 tokens/ms: deficit < 1ms
+  o.tenant_burst = 1.0;
+  Ratekeeper keeper(o);
+  ASSERT_TRUE(keeper.Admit("t", 0).admitted());
+  const AdmitDecision throttled = keeper.Admit("t", 0);
+  ASSERT_EQ(throttled.action, AdmitAction::kThrottle);
+  ASSERT_GT(throttled.retry_after, 0);
+  ASSERT_LT(throttled.retry_after, 1000);  // the regression's window
+  EXPECT_GE(RetryAfterMillis(throttled.retry_after), 1);
+}
+
 }  // namespace
 }  // namespace idebench::net

@@ -23,6 +23,7 @@
 #include "common/logging.h"
 #include "datagen/flights_seed.h"
 #include "engines/registry.h"
+#include "storage/segment.h"
 #include "tests/workflow_harness.h"
 #include "workflow/generator.h"
 
@@ -70,20 +71,44 @@ const workflow::Workflow& FuzzWorkflow(int seed) {
   return (*workflows)[static_cast<size_t>(seed)];
 }
 
-/// Replays workflow `seed` on a fresh engine; returns the outcomes and
-/// (optionally) the engine's reuse telemetry.
-std::vector<testharness::QueryOutcome> Replay(
+/// FuzzCatalog packed into segment files and decoded back
+/// (storage/segment.h) — byte-for-byte interchangeable with the original
+/// by the decode contract, which the segment sweep below proves through
+/// all four engines.
+std::shared_ptr<storage::Catalog> SegmentCatalog() {
+  static const std::shared_ptr<storage::Catalog> catalog = [] {
+    const std::string dir =
+        std::string(::testing::TempDir()) + "/fuzz_segment_cache";
+    IDB_CHECK(storage::WriteCatalogSegments(*FuzzCatalog(), dir).ok());
+    auto loaded = storage::LoadCatalogSegments(dir);
+    IDB_CHECK(loaded.ok());
+    return std::make_shared<storage::Catalog>(
+        std::move(loaded).MoveValueUnsafe());
+  }();
+  return catalog;
+}
+
+/// Replays workflow `seed` on a fresh engine over `catalog`; returns the
+/// outcomes and (optionally) the engine's reuse telemetry.
+std::vector<testharness::QueryOutcome> ReplayOn(
+    const std::shared_ptr<storage::Catalog>& catalog,
     const std::string& engine_name, int seed, int threads, bool reuse,
     metrics::ReuseCacheStats* stats = nullptr) {
   auto engine = engines::CreateEngine(engine_name, /*seed=*/0, threads, reuse);
   IDB_CHECK(engine.ok());
-  auto prepared = (*engine)->Prepare(FuzzCatalog());
+  auto prepared = (*engine)->Prepare(catalog);
   IDB_CHECK(prepared.ok());
-  auto outcomes = testharness::RunWorkflowOnEngine(
-      engine->get(), *FuzzCatalog(), FuzzWorkflow(seed));
+  auto outcomes = testharness::RunWorkflowOnEngine(engine->get(), *catalog,
+                                                   FuzzWorkflow(seed));
   IDB_CHECK(outcomes.ok());
   if (stats != nullptr) *stats += (*engine)->reuse_cache_stats();
   return std::move(outcomes).MoveValueUnsafe();
+}
+
+std::vector<testharness::QueryOutcome> Replay(
+    const std::string& engine_name, int seed, int threads, bool reuse,
+    metrics::ReuseCacheStats* stats = nullptr) {
+  return ReplayOn(FuzzCatalog(), engine_name, seed, threads, reuse, stats);
 }
 
 /// The differential sweep for one engine: reuse on vs. off must be
@@ -107,6 +132,51 @@ void RunFuzz(const std::string& engine_name) {
       << engine_name << ": the sweep never hit the cache";
   EXPECT_GT(total.rows_served, 0)
       << engine_name << ": hits never displaced physical work";
+}
+
+/// The segment sweep: every engine, seed and thread count must produce
+/// bit-identical outcomes whether the catalog came straight from the
+/// generator or through a segment-file round trip — the load-path half
+/// of the tiered-storage bit-identity contract (plus a reuse-off
+/// sub-sweep so the cache can't mask a divergence).
+void RunSegmentFuzz(const std::string& engine_name) {
+  for (int seed = 0; seed < kSeeds; ++seed) {
+    for (int threads : kThreadCounts) {
+      const std::string label = engine_name + " on segments, seed " +
+                                std::to_string(seed) + ", threads " +
+                                std::to_string(threads);
+      auto flat = Replay(engine_name, seed, threads, /*reuse=*/true);
+      auto seg = ReplayOn(SegmentCatalog(), engine_name, seed, threads,
+                          /*reuse=*/true);
+      testharness::ExpectOutcomesBitIdentical(flat, seg, label);
+      if (::testing::Test::HasFatalFailure()) return;
+    }
+  }
+  for (int seed = 0; seed < 5; ++seed) {
+    const std::string label =
+        engine_name + " on segments, reuse off, seed " + std::to_string(seed);
+    auto flat = Replay(engine_name, seed, /*threads=*/1, /*reuse=*/false);
+    auto seg = ReplayOn(SegmentCatalog(), engine_name, seed, /*threads=*/1,
+                        /*reuse=*/false);
+    testharness::ExpectOutcomesBitIdentical(flat, seg, label);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+TEST(WorkflowFuzzTest, BlockingSegmentCatalogBitIdentical) {
+  RunSegmentFuzz("blocking");
+}
+
+TEST(WorkflowFuzzTest, OnlineSegmentCatalogBitIdentical) {
+  RunSegmentFuzz("online");
+}
+
+TEST(WorkflowFuzzTest, ProgressiveSegmentCatalogBitIdentical) {
+  RunSegmentFuzz("progressive");
+}
+
+TEST(WorkflowFuzzTest, StratifiedSegmentCatalogBitIdentical) {
+  RunSegmentFuzz("stratified");
 }
 
 TEST(WorkflowFuzzTest, BlockingReuseOnOffBitIdentical) { RunFuzz("blocking"); }
