@@ -4,12 +4,15 @@
 #include <cmath>
 #include <unordered_map>
 
+#include "common/logging.h"
+
 namespace idebench::aqp {
 
 ShuffledIndex::ShuffledIndex(int64_t n, Rng* rng) {
   permutation_.resize(static_cast<size_t>(std::max<int64_t>(n, 0)));
   for (int64_t i = 0; i < n; ++i) permutation_[static_cast<size_t>(i)] = i;
   rng->Shuffle(&permutation_);
+  bounds_ = {size()};
 }
 
 void ShuffledIndex::Gather(int64_t start_pos, int64_t count,
@@ -26,6 +29,51 @@ void ShuffledIndex::Gather(int64_t start_pos, int64_t count,
     remaining -= run;
     pos = 0;
   }
+}
+
+void ShuffledIndex::GatherWalk(int64_t key, int64_t start_pos, int64_t count,
+                               int64_t* out) const {
+  if (size() <= 0 || count <= 0) return;
+  IDB_CHECK(key >= 0 && start_pos >= 0);
+  // Locate the segment containing start_pos, then stream runs segment by
+  // segment; within a segment the walk is a ring rotated by key % len.
+  size_t seg = static_cast<size_t>(
+      std::upper_bound(bounds_.begin(), bounds_.end(), start_pos) -
+      bounds_.begin());
+  int64_t pos = start_pos;
+  int64_t remaining = count;
+  while (remaining > 0) {
+    IDB_CHECK(seg < bounds_.size());  // positions must stay below size()
+    const int64_t s0 = seg == 0 ? 0 : bounds_[seg - 1];
+    const int64_t s1 = bounds_[seg];
+    const int64_t len = s1 - s0;
+    const int64_t take = std::min(remaining, s1 - pos);
+    int64_t local = (key % len + (pos - s0)) % len;
+    int64_t left = take;
+    while (left > 0) {
+      const int64_t run = std::min(left, len - local);
+      std::copy_n(permutation_.begin() + static_cast<ptrdiff_t>(s0 + local),
+                  static_cast<size_t>(run), out);
+      out += run;
+      left -= run;
+      local = 0;
+    }
+    remaining -= take;
+    pos += take;
+    ++seg;
+  }
+}
+
+void ShuffledIndex::ExtendTo(int64_t new_n, Rng* rng) {
+  const int64_t old_n = size();
+  if (new_n <= old_n) return;
+  std::vector<int64_t> tail(static_cast<size_t>(new_n - old_n));
+  for (int64_t i = old_n; i < new_n; ++i) {
+    tail[static_cast<size_t>(i - old_n)] = i;
+  }
+  rng->Shuffle(&tail);
+  permutation_.insert(permutation_.end(), tail.begin(), tail.end());
+  bounds_.push_back(new_n);
 }
 
 ReservoirSampler::ReservoirSampler(int64_t capacity, Rng* rng)
@@ -47,24 +95,32 @@ Result<StratifiedSample> BuildStratifiedSample(const storage::Table& table,
                                                const std::string& strat_column,
                                                double rate,
                                                int64_t min_per_stratum,
-                                               Rng* rng) {
+                                               Rng* rng,
+                                               int64_t row_begin,
+                                               int64_t row_end) {
   if (rate <= 0.0 || rate > 1.0) {
     return Status::Invalid("sampling rate must be in (0, 1]");
   }
-  const int64_t n = table.num_rows();
+  if (row_end < 0) row_end = table.num_rows();
+  if (row_begin < 0 || row_end > table.num_rows() || row_begin > row_end) {
+    return Status::OutOfBounds("stratified sample row range out of bounds");
+  }
+  const int64_t n = row_end - row_begin;
 
   // Partition row ids into strata.
   std::unordered_map<double, std::vector<int64_t>> strata;
   if (strat_column.empty()) {
     strata[0.0].reserve(static_cast<size_t>(n));
-    for (int64_t r = 0; r < n; ++r) strata[0.0].push_back(r);
+    for (int64_t r = row_begin; r < row_end; ++r) strata[0.0].push_back(r);
   } else {
     const storage::Column* col = table.ColumnByName(strat_column);
     if (col == nullptr) {
       return Status::KeyError("stratification column '" + strat_column +
                               "' not found");
     }
-    for (int64_t r = 0; r < n; ++r) strata[col->ValueAsDouble(r)].push_back(r);
+    for (int64_t r = row_begin; r < row_end; ++r) {
+      strata[col->ValueAsDouble(r)].push_back(r);
+    }
   }
 
   StratifiedSample out;

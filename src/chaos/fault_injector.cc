@@ -42,6 +42,10 @@ const char* FaultSiteName(FaultSite site) {
       return "segment.mmap";
     case FaultSite::kSegmentChecksum:
       return "segment.checksum";
+    case FaultSite::kIngestAppend:
+      return "ingest.append";
+    case FaultSite::kIngestPublish:
+      return "ingest.publish";
   }
   return "unknown";
 }

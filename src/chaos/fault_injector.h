@@ -48,7 +48,13 @@
 ///    space exhaustion style; the fd must still be closed);
 ///  * `kSegmentChecksum` — the footer checksum verification reports a
 ///    mismatch even though the bytes are intact (torn write / bit rot:
-///    the file must be rejected wholesale, never half-loaded).
+///    the file must be rejected wholesale, never half-loaded);
+///  * `kIngestAppend` — `ingest::Ingestor::Append` fails I/O-style
+///    before staging any row of the batch (all-or-nothing: a failed
+///    append must leave the open epoch exactly as it was);
+///  * `kIngestPublish` — `ingest::Ingestor::Publish` fails before moving
+///    the watermark: staged rows stay invisible and a later publish
+///    picks them up (visibility is atomic or not at all).
 ///
 /// Installation is process-global (`Install`/`ScopedFaultInjector`) so
 /// deep layers need no plumbing; when nothing is installed every site
@@ -85,9 +91,11 @@ enum class FaultSite : int {
   kSegmentOpen = 12,
   kSegmentMmap = 13,
   kSegmentChecksum = 14,
+  kIngestAppend = 15,
+  kIngestPublish = 16,
 };
 
-inline constexpr int kFaultSiteCount = 15;
+inline constexpr int kFaultSiteCount = 17;
 
 /// Stable human-readable site name ("engine.prepare", ...).
 const char* FaultSiteName(FaultSite site);

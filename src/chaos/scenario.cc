@@ -10,6 +10,7 @@
 #include "common/random.h"
 #include "datagen/flights_seed.h"
 #include "engines/registry.h"
+#include "ingest/ingest.h"
 #include "storage/csv.h"
 #include "workflow/generator.h"
 
@@ -273,6 +274,25 @@ const std::vector<ScenarioSpec>& ScenarioCatalog() {
     }
     {
       ScenarioSpec s;
+      s.name = "ingest_storm";
+      s.description = "append batches and epoch publishes race a cancel "
+                      "storm; injected append/publish faults drop batches "
+                      "and delay visibility";
+      s.sessions = 3;
+      s.ticks = 30;
+      s.submit_prob = 0.9;
+      s.cancel_prob = 0.5;
+      s.ingest_rows_per_tick = 40;
+      s.faults = {{FaultSite::kIngestAppend, {0.2, -1}},
+                  {FaultSite::kIngestPublish, {0.2, -1}}};
+      // Faulted appends/publishes change which rows become visible, so
+      // the uninjected run answers from different data by construction.
+      s.compare_reference = false;
+      s.scheduler = scheduler(400'000, 50'000, 0.25);
+      out->push_back(std::move(s));
+    }
+    {
+      ScenarioSpec s;
       s.name = "slow_client";
       s.description = "clients stop reading: partial pushes coalesce/drop "
                       "at the write queue, terminals always arrive";
@@ -352,7 +372,52 @@ ChaosReport RunScenario(const ScenarioSpec& spec,
   }
 
   std::shared_ptr<const storage::Catalog> catalog;
-  if (spec.csv_round_trip) {
+  std::unique_ptr<ingest::Ingestor> ingestor;   // outlives the manager
+  std::shared_ptr<storage::Table> ingest_tail;  // pre-generated tail rows
+  int64_t ingest_cursor = 0;
+  if (spec.ingest_rows_per_tick > 0) {
+    // Fresh per-run catalog — never the process-shared BaseCatalog,
+    // which ingest would mutate under every other scenario.  Base and
+    // tail are generated together up front, so a control run can load
+    // the identical rows pre-staged instead of ingesting them.
+    const int64_t base_rows = 4000;
+    const int64_t tail_rows =
+        static_cast<int64_t>(spec.ticks) * spec.ingest_rows_per_tick;
+    datagen::FlightsSeedConfig config;
+    config.rows = base_rows + tail_rows;
+    config.seed = 11;
+    auto full = datagen::GenerateFlightsSeed(config);
+    if (!full.ok()) {
+      report.run_error = full.status();
+      return report;
+    }
+    ingest_tail =
+        std::make_shared<storage::Table>(std::move(full).MoveValueUnsafe());
+    auto fact = std::make_shared<storage::Table>(ingest_tail->name(),
+                                                 ingest_tail->schema());
+    for (int64_t r = 0; r < base_rows; ++r) {
+      const Status st = fact->AppendRowFrom(*ingest_tail, r);
+      if (!st.ok()) {
+        report.run_error = st;
+        return report;
+      }
+    }
+    auto mutable_catalog = std::make_shared<storage::Catalog>();
+    const Status added = mutable_catalog->AddTable(fact);
+    if (!added.ok()) {
+      report.run_error = added;
+      return report;
+    }
+    auto created =
+        ingest::Ingestor::Create(mutable_catalog, base_rows + tail_rows);
+    if (!created.ok()) {
+      report.run_error = created.status();
+      return report;
+    }
+    ingestor = std::move(created).MoveValueUnsafe();
+    ingest_cursor = base_rows;
+    catalog = std::static_pointer_cast<const storage::Catalog>(mutable_catalog);
+  } else if (spec.csv_round_trip) {
     auto round_trip =
         CsvRoundTripCatalog(spec, engine_name, seed, &report.event_log);
     if (!round_trip.ok()) {
@@ -389,6 +454,7 @@ ChaosReport RunScenario(const ScenarioSpec& spec,
                            : &checker;
 
   session::SessionManager manager(spec.scheduler, engine->get(), catalog);
+  if (ingestor != nullptr) manager.AttachIngest(ingestor.get());
 
   // Spin up the actor fleet: per-actor decision streams forked from the
   // scenario seed, per-actor workflows from independently seeded
@@ -497,6 +563,25 @@ ChaosReport RunScenario(const ScenarioSpec& spec,
       }
     }
 
+    // Ingest schedule: one append-and-publish mid-tick, racing whatever
+    // the actors just submitted.  The cursor advances by the *scheduled*
+    // batch regardless of fault outcomes (a faulted append loses those
+    // rows for good), keeping the schedule seed-pure.
+    if (ingestor != nullptr && ingest_cursor < ingest_tail->num_rows()) {
+      const int64_t end = std::min<int64_t>(
+          ingest_cursor + spec.ingest_rows_per_tick, ingest_tail->num_rows());
+      const Status enqueued = manager.EnqueueAppend(
+          ingest::BatchFromTable(*ingest_tail, ingest_cursor, end),
+          now + spec.tick / 2, /*publish=*/true);
+      if (!enqueued.ok()) {
+        report.run_error = enqueued;
+        return report;
+      }
+      log_line("t=" + std::to_string(now) +
+               " ingest rows=" + std::to_string(end - ingest_cursor));
+      ingest_cursor = end;
+    }
+
     const Status advanced =
         manager.AdvanceTo(static_cast<Micros>(tick + 1) * spec.tick);
     if (!advanced.ok()) {
@@ -543,6 +628,17 @@ ChaosReport RunScenario(const ScenarioSpec& spec,
          << " unsupported=" << s.unsupported << " failed=" << s.failed
          << " transient_faults=" << s.transient_faults
          << " retries=" << s.retries << " fires=" << report.total_fires;
+    report.event_log.push_back(line.str());
+  }
+  if (ingestor != nullptr) {
+    const session::IngestChannelStats& is = manager.ingest_stats();
+    std::ostringstream line;
+    line << "ingest applied=" << is.batches_applied
+         << " rows=" << is.rows_applied << " publishes=" << is.publishes
+         << " append_failures=" << is.append_failures
+         << " publish_failures=" << is.publish_failures
+         << " visible=" << ingestor->visible_rows()
+         << " staged=" << ingestor->staged_rows();
     report.event_log.push_back(line.str());
   }
   return report;

@@ -108,6 +108,17 @@ struct ScenarioSpec {
   // query must still drain with exactly one terminal update.
   bool net_disconnect = false;
 
+  // Streaming ingest: > 0 builds a *fresh* per-run catalog (ingest
+  // mutates the fact table, so the process-shared base catalog must
+  // never be used), attaches an `ingest::Ingestor` through the
+  // manager's ingest channel, and enqueues one append-and-publish event
+  // of this many rows per tick — epoch publishes racing the actor
+  // fleet's submits and cancels.  Faulted appends/publishes are
+  // weather (the batch is lost / the publish waits), but with ingest
+  // fault sites armed the *visible data itself* depends on the draws,
+  // so such specs clear `compare_reference`.
+  int ingest_rows_per_tick = 0;
+
   // Cross-run reference identity only holds when the actor schedule is
   // independent of fault draws; net scenarios above opt out.
   bool compare_reference = true;

@@ -59,6 +59,9 @@ Result<QueryHandle> BlockingEngine::Submit(const query::QuerySpec& spec) {
       static_cast<Micros>(static_cast<double>(joins_built) *
                           static_cast<double>(nominal_rows()) *
                           config_.join_build_ns_per_row / 1000.0);
+  // Pin the published watermark: the scan stops at it, so rows staged or
+  // published after submission never leak into the answer.
+  rq->pinned_rows = visible_rows();
 
   const QueryHandle handle = NextHandle();
   queries_.emplace(handle, std::move(rq));
@@ -90,8 +93,8 @@ Micros BlockingEngine::RunFor(QueryHandle handle, Micros budget) {
   const int64_t affordable =
       rq.row_cost_us > 0.0
           ? static_cast<int64_t>(rq.credit_us / rq.row_cost_us)
-          : actual_rows();
-  const int64_t remaining = actual_rows() - rq.cursor;
+          : rq.pinned_rows;
+  const int64_t remaining = rq.pinned_rows - rq.cursor;
   const int64_t todo = std::min(affordable, remaining);
   if (todo > 0) {
     // Scan positions covered by a cached snapshot are served from it; the
@@ -111,7 +114,7 @@ Micros BlockingEngine::RunFor(QueryHandle handle, Micros budget) {
     rq.credit_us -= spent;
     consumed += static_cast<Micros>(std::llround(spent));
   }
-  if (rq.cursor >= actual_rows()) {
+  if (rq.cursor >= rq.pinned_rows) {
     rq.done = true;
     rq.credit_us = 0.0;
   }
@@ -139,9 +142,9 @@ Result<query::QueryResult> BlockingEngine::PollResult(QueryHandle handle) {
     // Blocking execution: nothing is fetchable until completion.
     query::QueryResult pending;
     pending.available = false;
-    pending.progress = actual_rows() > 0
+    pending.progress = rq.pinned_rows > 0
                            ? static_cast<double>(rq.cursor) /
-                                 static_cast<double>(actual_rows())
+                                 static_cast<double>(rq.pinned_rows)
                            : 0.0;
     return pending;
   }

@@ -79,6 +79,7 @@ class BlockingEngine : public EngineBase {
     std::unique_ptr<exec::BinnedAggregator> aggregator;
     exec::ReuseCache::Match reuse;  // cached prefix to serve scans from
     int64_t cursor = 0;            // next actual fact row
+    int64_t pinned_rows = 0;       // visible watermark pinned at Submit
     Micros overhead_remaining = 0; // fixed costs to pay before scanning
     double row_cost_us = 0.0;      // virtual cost per actual row
     double credit_us = 0.0;        // sub-row budget carry

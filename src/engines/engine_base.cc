@@ -28,7 +28,9 @@ Status EngineBase::Attach(std::shared_ptr<const storage::Catalog> catalog) {
     return Status::Invalid("engine '" + name_ + "' already prepared");
   }
   catalog_ = std::move(catalog);
-  actual_rows_ = catalog_->fact_table()->num_rows();
+  // Visible (published-watermark) rows only: rows staged in an open
+  // ingest epoch are invisible to every reader until published.
+  actual_rows_ = catalog_->fact_table()->visible_rows();
   nominal_rows_ = catalog_->nominal_rows();
   scale_ = actual_rows_ > 0 ? static_cast<double>(nominal_rows_) /
                                   static_cast<double>(actual_rows_)
@@ -102,9 +104,48 @@ Result<exec::BoundQuery> EngineBase::BindQuery(const query::QuerySpec& spec,
   return exec::BoundQuery::Bind(spec, *catalog_, joins);
 }
 
+int64_t EngineBase::visible_rows() const {
+  if (catalog_ == nullptr || catalog_->fact_table() == nullptr) return 0;
+  return catalog_->fact_table()->visible_rows();
+}
+
+namespace {
+/// Stream id base for per-epoch walk-segment shuffles, forked from a
+/// fresh Rng(seed): far away from any other fork stream in the codebase.
+constexpr uint64_t kWalkEpochStreamBase = 0x1DEB0000ULL;
+}  // namespace
+
 const aqp::ShuffledIndex& EngineBase::ShuffledRows() {
   if (shuffled_ == nullptr) {
-    shuffled_ = std::make_unique<aqp::ShuffledIndex>(actual_rows_, &rng_);
+    // Ingest-enabled tables: the base index covers only the first epoch
+    // (the pre-ingest rows); epochs published *before* this engine
+    // attached are appended below through the same per-epoch streams a
+    // live engine would have used, so the walk is a pure function of the
+    // table's epoch history, not of when the engine showed up.
+    int64_t base = actual_rows_;
+    const storage::Table* t = catalog_->fact_table();
+    if (t->ingest_enabled() && !t->epoch_boundaries().empty()) {
+      base = std::min(base, t->epoch_boundaries().front());
+    }
+    shuffled_ = std::make_unique<aqp::ShuffledIndex>(base, &rng_);
+  }
+  // Streaming ingest: cover any epochs published since the last call,
+  // one segment per epoch.  Each segment's shuffle is keyed purely by
+  // (engine seed, epoch index) — never by the advancing member rng_ or
+  // by when this engine happened to observe the publish — so a live run
+  // and a pre-staged run that publish the same epochs build identical
+  // indexes no matter how publishes interleave with queries.  Earlier
+  // segments are never touched (ShuffledIndex prefix property), keeping
+  // in-flight walks and cached replay positions valid.
+  const storage::Table* fact = catalog_->fact_table();
+  if (fact->ingest_enabled()) {
+    const std::vector<int64_t>& epochs = fact->epoch_boundaries();
+    for (size_t e = 0; e < epochs.size(); ++e) {
+      if (epochs[e] > shuffled_->size()) {
+        Rng child = Rng(seed_).Fork(kWalkEpochStreamBase + e);
+        shuffled_->ExtendTo(epochs[e], &child);
+      }
+    }
   }
   return *shuffled_;
 }
@@ -145,6 +186,7 @@ exec::BinnedAggregatorOptions EngineBase::MakeAggregatorOptions() const {
 exec::ReuseCache::Match EngineBase::AcquireReuse(
     const query::QuerySpec& spec) {
   if (reuse_cache_ == nullptr) return {};
+  reuse_cache_->SetEpochWatermark(visible_rows());
   return reuse_cache_->Lookup(spec);
 }
 
@@ -161,6 +203,7 @@ void EngineBase::StoreReuse(const query::QuerySpec& spec,
                             const exec::BinnedAggregator& agg,
                             bool lazy_joins) {
   if (reuse_cache_ == nullptr) return;
+  reuse_cache_->SetEpochWatermark(visible_rows());
   reuse_cache_->Store(spec, agg, [this, lazy_joins](const query::QuerySpec& s) {
     return BindQuery(s, lazy_joins);
   });

@@ -31,8 +31,17 @@ class EngineBase : public Engine {
   /// Nominal rows the catalog represents (drives the cost model).
   int64_t nominal_rows() const { return nominal_rows_; }
 
-  /// Physically materialized fact rows (drives answers).
+  /// Physically materialized fact rows *at attach time* (drives the cost
+  /// model and walk offsets).  Deliberately frozen under streaming
+  /// ingest: per-query walk offsets hash modulo this value, and reuse
+  /// replay requires the same core signature to keep the same offset for
+  /// the lifetime of the engine.
   int64_t actual_rows() const { return actual_rows_; }
+
+  /// Fact rows visible under the current published watermark — equals
+  /// `actual_rows()` until ingest publishes an epoch.  Queries pin this
+  /// at submission and never read past their pinned value.
+  int64_t visible_rows() const;
 
   /// Telemetry of the cross-interaction reuse cache (zeros when off).
   metrics::ReuseCacheStats reuse_cache_stats() const override;
@@ -45,6 +54,12 @@ class EngineBase : public Engine {
   /// Discarding a viz drops its cached snapshots.  Engines overriding
   /// this must call the base implementation.
   void DiscardViz(const std::string& viz) override;
+
+  /// Turns the reuse cache on (Settings::reuse_cache).  First call wins:
+  /// callers wanting non-default options (e.g. the invalidate-on-growth
+  /// baseline BENCH_ingest.json compares against) invoke this before
+  /// `Prepare`, which makes the engine's own opt-in a no-op.
+  void EnableReuseCache(const exec::ReuseCacheOptions& options = {});
 
  protected:
   /// Binds the engine to a catalog; called from Prepare implementations.
@@ -63,6 +78,11 @@ class EngineBase : public Engine {
   double z_score() const { return z_; }
 
   Rng* rng() { return &rng_; }
+
+  /// Engine seed — the base for per-epoch derived streams (walk-segment
+  /// and stratified-delta shuffles must be pure functions of
+  /// (seed, epoch), never of when the engine observed the publish).
+  uint64_t seed() const { return seed_; }
 
   const storage::Catalog& catalog() const { return *catalog_; }
 
@@ -107,9 +127,6 @@ class EngineBase : public Engine {
   // no-ops when the cache is disabled, keeping engine behavior (and
   // results — see the transparency contract in reuse_cache.h) identical
   // either way.
-
-  /// Turns the cache on (Settings::reuse_cache).
-  void EnableReuseCache(const exec::ReuseCacheOptions& options = {});
 
   /// Turns the cache on sized for `expected_sessions` concurrent
   /// dashboards (session/session.h): the global entry cap scales with

@@ -78,6 +78,9 @@ Result<QueryHandle> OnlineEngine::Submit(const query::QuerySpec& spec) {
         (2.0 * config_.fallback_scan_ns_per_row) / 1000.0);
   }
   rq->overhead_remaining += static_cast<Micros>(config_.query_overhead_us);
+  // Pin the published watermark: the walk/scan never reads past it, so
+  // the answer is independent of rows staged or published afterwards.
+  rq->pinned_rows = visible_rows();
 
   const QueryHandle handle = NextHandle();
   queries_.emplace(handle, std::move(rq));
@@ -86,7 +89,7 @@ Result<QueryHandle> OnlineEngine::Submit(const query::QuerySpec& spec) {
 
 void OnlineEngine::PublishSnapshot(RunningQuery* rq) {
   query::QueryResult snapshot =
-      rq->aggregator->EstimateFromUniformSample(actual_rows(), z_score());
+      rq->aggregator->EstimateFromUniformSample(rq->pinned_rows, z_score());
   snapshot.available = rq->aggregator->rows_seen() > 0;
   rq->snapshot = std::move(snapshot);
   rq->last_report_us = rq->work_done_us;
@@ -114,8 +117,8 @@ Micros OnlineEngine::RunFor(QueryHandle handle, Micros budget) {
   const int64_t affordable =
       rq.row_cost_us > 0.0
           ? static_cast<int64_t>(rq.credit_us / rq.row_cost_us)
-          : actual_rows();
-  const int64_t remaining = actual_rows() - rq.cursor;
+          : rq.pinned_rows;
+  const int64_t remaining = rq.pinned_rows - rq.cursor;
   const int64_t todo = std::min(affordable, remaining);
   if (todo > 0) {
     // Positions covered by a cached snapshot (walk and scan positions
@@ -127,10 +130,9 @@ Micros OnlineEngine::RunFor(QueryHandle handle, Micros budget) {
     if (served_to < end) {
       if (rq.online) {
         // Batched shuffled-walk sampling through the vectorized pipeline.
-        exec::ProcessShuffledParallel(rq.aggregator.get(), ShuffledRows(),
-                                      rq.walk_offset + served_to,
-                                      end - served_to,
-                                      config_.execution_threads);
+        exec::ProcessWalkParallel(rq.aggregator.get(), ShuffledRows(),
+                                  rq.walk_offset, served_to, end - served_to,
+                                  config_.execution_threads);
       } else {
         exec::ProcessRangeParallel(rq.aggregator.get(), served_to, end,
                                    config_.execution_threads);
@@ -143,7 +145,7 @@ Micros OnlineEngine::RunFor(QueryHandle handle, Micros budget) {
     rq.work_done_us += static_cast<Micros>(std::llround(spent));
   }
 
-  if (rq.cursor >= actual_rows()) {
+  if (rq.cursor >= rq.pinned_rows) {
     rq.done = true;
     rq.credit_us = 0.0;
     PublishSnapshot(&rq);

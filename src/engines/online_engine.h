@@ -81,6 +81,7 @@ class OnlineEngine : public EngineBase {
     bool online = false;
     int64_t cursor = 0;             // position in the shuffled walk / scan
     int64_t walk_offset = 0;        // random start into the permutation
+    int64_t pinned_rows = 0;        // visible watermark pinned at Submit
     Micros overhead_remaining = 0;
     double row_cost_us = 0.0;
     double credit_us = 0.0;

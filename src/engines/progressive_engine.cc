@@ -42,6 +42,7 @@ ProgressiveEngine::MakeState(const query::QuerySpec& spec) {
   // the same permutation positions, which is what lets the reuse cache
   // replay one query's candidates under another's filter.
   state->walk_offset = WalkOffsetFor(spec);
+  state->pinned_rows = visible_rows();
   return state;
 }
 
@@ -71,6 +72,10 @@ Result<QueryHandle> ProgressiveEngine::Submit(const query::QuerySpec& spec) {
   if (rq->state == nullptr) {
     IDB_ASSIGN_OR_RETURN(rq->state, MakeState(spec));
   }
+  // (Re)pin to the watermark current at this submission: an adopted
+  // cached state keeps its sample and extends its walk over any epochs
+  // published since it last ran.
+  rq->state->pinned_rows = visible_rows();
   if (config_.enable_reuse) cache_[signature] = rq->state;
 
   rq->overhead_remaining = static_cast<Micros>(config_.query_overhead_us);
@@ -79,7 +84,7 @@ Result<QueryHandle> ProgressiveEngine::Submit(const query::QuerySpec& spec) {
         static_cast<Micros>(config_.restart_overhead_us);
     first_query_after_prepare_ = false;
   }
-  rq->done = rq->state->cursor >= actual_rows();
+  rq->done = rq->state->cursor >= rq->state->pinned_rows;
 
   if (!spec.viz_name.empty()) last_spec_[spec.viz_name] = spec;
   if (config_.enable_speculation) RefreshSpeculations();
@@ -95,8 +100,8 @@ Micros ProgressiveEngine::AdvanceState(SampleState* state, Micros budget) {
   const int64_t affordable =
       state->row_cost_us > 0.0
           ? static_cast<int64_t>(state->credit_us / state->row_cost_us)
-          : actual_rows();
-  const int64_t remaining = actual_rows() - state->cursor;
+          : state->pinned_rows;
+  const int64_t remaining = state->pinned_rows - state->cursor;
   const int64_t todo = std::min(affordable, remaining);
   if (todo <= 0) {
     // Either out of budget for even one row, or the walk is complete.
@@ -113,10 +118,9 @@ Micros ProgressiveEngine::AdvanceState(SampleState* state, Micros budget) {
   const int64_t served_to =
       ServeReuse(state->reuse, state->aggregator.get(), state->cursor, end);
   if (served_to < end) {
-    exec::ProcessShuffledParallel(state->aggregator.get(), ShuffledRows(),
-                                  state->walk_offset + served_to,
-                                  end - served_to,
-                                  config_.execution_threads);
+    exec::ProcessWalkParallel(state->aggregator.get(), ShuffledRows(),
+                              state->walk_offset, served_to, end - served_to,
+                              config_.execution_threads);
   }
   state->cursor += todo;
   const double spent = static_cast<double>(todo) * state->row_cost_us;
@@ -143,7 +147,7 @@ Micros ProgressiveEngine::RunFor(QueryHandle handle, Micros budget) {
   if (rq.overhead_remaining > 0) return consumed;
 
   consumed += AdvanceState(rq.state.get(), budget - consumed);
-  if (rq.state->cursor >= actual_rows()) rq.done = true;
+  if (rq.state->cursor >= rq.state->pinned_rows) rq.done = true;
   // Leftover sub-row budget is banked in the state's credit, so the whole
   // slice counts as consumed while the walk is still running.
   if (!rq.done) return budget;
@@ -163,7 +167,7 @@ Result<query::QueryResult> ProgressiveEngine::PollResult(QueryHandle handle) {
     return Status::IOError("injected run fault (engine '" + name() + "')");
   }
   query::QueryResult result = rq.state->aggregator->EstimateFromUniformSample(
-      actual_rows(), z_score());
+      rq.state->pinned_rows, z_score());
   // Fully progressive: anything sampled so far is fetchable immediately.
   result.available = rq.state->aggregator->rows_seen() > 0;
   return result;
@@ -234,7 +238,7 @@ void ProgressiveEngine::RefreshSpeculations() {
       if (cached != cache_.end()) {
         const query::QueryResult sample =
             cached->second->aggregator->EstimateFromUniformSample(
-                actual_rows(), z_score());
+                cached->second->pinned_rows, z_score());
         for (const auto& [key, bin] : sample.bins) {
           if (!bin.values.empty()) {
             popularity[query::BinKeyDim1(key)] = bin.values[0].estimate;

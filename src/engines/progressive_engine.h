@@ -98,6 +98,14 @@ class ProgressiveEngine : public EngineBase {
     exec::ReuseCache::Match reuse;  // cached walk prefix to serve from
     int64_t cursor = 0;       // progress along the shuffled walk
     int64_t walk_offset = 0;  // signature-stable start into the permutation
+    /// Visible-row watermark the walk is pinned to: set at creation,
+    /// refreshed to the current watermark each time a Submit adopts this
+    /// state (the continuous-aggregate behavior — a re-submitted query
+    /// keeps its sample and extends the walk over newly published
+    /// epochs).  The walk never reads past it, so results stay
+    /// bit-identical to a run against a table frozen at this watermark
+    /// no matter what lands in the open epoch meanwhile.
+    int64_t pinned_rows = 0;
     double row_cost_us = 0.0;
     double credit_us = 0.0;
   };

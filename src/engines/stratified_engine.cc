@@ -24,13 +24,19 @@ Result<Micros> StratifiedEngine::Prepare(
   }
   IDB_RETURN_NOT_OK(Attach(std::move(catalog)));
   const storage::Table& fact = *this->catalog().fact_table();
-  const std::string strat_column =
+  strat_column_ =
       fact.ColumnByName(config_.stratify_by) != nullptr ? config_.stratify_by
                                                         : std::string();
+  // Sample the published watermark only: rows staged in an open ingest
+  // epoch stay invisible until published (then ExtendSampleFor-
+  // PublishedEpochs covers them with per-epoch delta blocks).
+  sampled_watermark_ = fact.visible_rows();
   IDB_ASSIGN_OR_RETURN(
-      sample_, aqp::BuildStratifiedSample(fact, strat_column,
+      sample_, aqp::BuildStratifiedSample(fact, strat_column_,
                                           config_.sampling_rate,
-                                          config_.min_rows_per_stratum, rng()));
+                                          config_.min_rows_per_stratum, rng(),
+                                          /*row_begin=*/0,
+                                          /*row_end=*/sampled_watermark_));
   if (config_.reuse_cache) {
     EnableReuseCacheForSessions(config_.expected_sessions);
   }
@@ -48,12 +54,43 @@ Result<Micros> StratifiedEngine::Prepare(
   return static_cast<Micros>(load_us + build_us + warmup_us);
 }
 
+namespace {
+/// Stream id base for per-epoch stratified delta-sample shuffles, forked
+/// from a fresh Rng(seed); disjoint from the walk-segment stream base in
+/// engine_base.cc.
+constexpr uint64_t kStratifiedEpochStreamBase = 0x1DEB1000ULL;
+}  // namespace
+
+void StratifiedEngine::ExtendSampleForPublishedEpochs() {
+  const storage::Table& fact = *catalog().fact_table();
+  if (!fact.ingest_enabled()) return;
+  const std::vector<int64_t>& epochs = fact.epoch_boundaries();
+  for (size_t e = 0; e < epochs.size(); ++e) {
+    if (epochs[e] <= sampled_watermark_) continue;
+    Rng child = Rng(seed()).Fork(kStratifiedEpochStreamBase + e);
+    auto delta = aqp::BuildStratifiedSample(
+        fact, strat_column_, config_.sampling_rate,
+        config_.min_rows_per_stratum, &child, sampled_watermark_, epochs[e]);
+    if (!delta.ok()) continue;
+    const aqp::StratifiedSample& block = *delta;
+    sample_.rows.insert(sample_.rows.end(), block.rows.begin(),
+                        block.rows.end());
+    sample_.weights.insert(sample_.weights.end(), block.weights.begin(),
+                           block.weights.end());
+    sample_.base_rows += block.base_rows;
+    sampled_watermark_ = epochs[e];
+  }
+}
+
 Result<QueryHandle> StratifiedEngine::Submit(const query::QuerySpec& spec) {
   if (!attached()) return Status::Invalid("engine not prepared");
   IDB_ASSIGN_OR_RETURN(std::vector<std::string> dims, RequiredJoins(spec));
   if (!dims.empty()) {
     return Status::NotImplemented("stratified engine does not support joins");
   }
+  // Cover any epochs published since the last submission before pinning
+  // this query's sample extent.
+  ExtendSampleForPublishedEpochs();
 
   auto rq = std::make_unique<RunningQuery>();
   rq->spec = spec;
@@ -73,6 +110,7 @@ Result<QueryHandle> StratifiedEngine::Submit(const query::QuerySpec& spec) {
   rq->row_cost_us =
       sample_.size() > 0 ? total_us / static_cast<double>(sample_.size()) : 0.0;
   rq->overhead_remaining = static_cast<Micros>(config_.query_overhead_us);
+  rq->pinned_sample = sample_.size();
 
   const QueryHandle handle = NextHandle();
   queries_.emplace(handle, std::move(rq));
@@ -101,8 +139,8 @@ Micros StratifiedEngine::RunFor(QueryHandle handle, Micros budget) {
   const int64_t affordable =
       rq.row_cost_us > 0.0
           ? static_cast<int64_t>(rq.credit_us / rq.row_cost_us)
-          : sample_.size();
-  const int64_t remaining = sample_.size() - rq.cursor;
+          : rq.pinned_sample;
+  const int64_t remaining = rq.pinned_sample - rq.cursor;
   const int64_t todo = std::min(affordable, remaining);
   if (todo > 0) {
     // Sample positions covered by a cached snapshot are served from it
@@ -129,7 +167,7 @@ Micros StratifiedEngine::RunFor(QueryHandle handle, Micros budget) {
     rq.credit_us -= spent;
     consumed += static_cast<Micros>(std::llround(spent));
   }
-  if (rq.cursor >= sample_.size()) {
+  if (rq.cursor >= rq.pinned_sample) {
     rq.done = true;
     rq.credit_us = 0.0;
   }

@@ -79,6 +79,10 @@ class StratifiedEngine : public EngineBase {
     std::unique_ptr<exec::BinnedAggregator> aggregator;
     exec::ReuseCache::Match reuse;  // cached sample-scan prefix
     int64_t cursor = 0;  // position within the sample
+    /// Sample size pinned at Submit: under streaming ingest the sample
+    /// grows by one delta block per published epoch, and a query must
+    /// only scan the rows its watermark covers.
+    int64_t pinned_sample = 0;
     Micros overhead_remaining = 0;
     double row_cost_us = 0.0;  // per sample row
     double credit_us = 0.0;
@@ -86,8 +90,16 @@ class StratifiedEngine : public EngineBase {
     bool faulted = false;  // injected run fault; surfaced via Poll
   };
 
+  /// Appends one range-local stratified delta block per epoch published
+  /// since the last call (no-op without ingest).  Each delta's shuffle is
+  /// keyed purely by (engine seed, epoch index), so live and pre-staged
+  /// runs that publish the same epochs build identical samples.
+  void ExtendSampleForPublishedEpochs();
+
   StratifiedEngineConfig config_;
   aqp::StratifiedSample sample_;
+  std::string strat_column_;         // resolved stratification column
+  int64_t sampled_watermark_ = 0;    // base rows covered by sample_
   std::unordered_map<QueryHandle, std::unique_ptr<RunningQuery>> queries_;
 };
 

@@ -389,6 +389,18 @@ void BinnedAggregator::ProcessShuffled(const aqp::ShuffledIndex& order,
   }
 }
 
+void BinnedAggregator::ProcessWalk(const aqp::ShuffledIndex& order,
+                                   int64_t key, int64_t start_pos,
+                                   int64_t count) {
+  std::array<int64_t, kVectorBatchSize> rows;
+  for (int64_t done = 0; done < count;) {
+    const int64_t c = std::min(count - done, kVectorBatchSize);
+    order.GatherWalk(key, start_pos + done, c, rows.data());
+    ProcessBatch(rows.data(), c);
+    done += c;
+  }
+}
+
 void BinnedAggregator::ReplayMatches(const std::vector<MatchedRow>& matches,
                                      int64_t pos_begin, int64_t pos_end) {
   const int64_t span = pos_end - pos_begin;

@@ -204,6 +204,14 @@ class BinnedAggregator {
   void ProcessShuffled(const aqp::ShuffledIndex& order, int64_t start_pos,
                        int64_t count);
 
+  /// Segment-aware variant of `ProcessShuffled` for streaming ingest:
+  /// feeds `count` positions starting at `start_pos` of the keyed
+  /// per-epoch-segment walk `order.GatherWalk(key, ...)`.  With a
+  /// single-segment index this is bit-identical to
+  /// `ProcessShuffled(order, key + start_pos, count)` for key < n.
+  void ProcessWalk(const aqp::ShuffledIndex& order, int64_t key,
+                   int64_t start_pos, int64_t count);
+
   /// Bulk-accumulates `rows` matching rows into the bin with dense key
   /// `dense_key`, all aggregates taken as COUNT — the RLE run fast path
   /// of the segment scan (exec/segment_scan.h): when every aggregate is

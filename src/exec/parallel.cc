@@ -282,6 +282,20 @@ void MorselProcessShuffled(BinnedAggregator* agg,
              });
 }
 
+void MorselProcessWalk(BinnedAggregator* agg, const aqp::ShuffledIndex& order,
+                       int64_t key, int64_t start_pos, int64_t count,
+                       int parallelism, int64_t morsel_rows) {
+  if (count <= 0) return;
+  morsel_rows = MaybeSlowMorsels(ClampMorselRows(morsel_rows));
+  const int64_t morsels = (count + morsel_rows - 1) / morsel_rows;
+  RunMorsels(agg, morsels, parallelism,
+             [&](BinnedAggregator* partial, int64_t m) {
+               const int64_t off = m * morsel_rows;
+               partial->ProcessWalk(order, key, start_pos + off,
+                                    std::min(morsel_rows, count - off));
+             });
+}
+
 void MorselProcessBatch(BinnedAggregator* agg, const int64_t* rows, int64_t n,
                         double weight, int parallelism, int64_t morsel_rows) {
   if (n <= 0) return;
@@ -313,6 +327,17 @@ void ProcessShuffledParallel(BinnedAggregator* agg,
   }
   MorselProcessShuffled(agg, order, start_pos, count,
                         ResolveThreadCount(threads));
+}
+
+void ProcessWalkParallel(BinnedAggregator* agg,
+                         const aqp::ShuffledIndex& order, int64_t key,
+                         int64_t start_pos, int64_t count, int threads) {
+  if (threads == 1) {
+    agg->ProcessWalk(order, key, start_pos, count);
+    return;
+  }
+  MorselProcessWalk(agg, order, key, start_pos, count,
+                    ResolveThreadCount(threads));
 }
 
 void ProcessBatchParallel(BinnedAggregator* agg, const int64_t* rows,

@@ -132,6 +132,9 @@ void MorselProcessShuffled(BinnedAggregator* agg,
                            const aqp::ShuffledIndex& order, int64_t start_pos,
                            int64_t count, int parallelism,
                            int64_t morsel_rows = kMorselRows);
+void MorselProcessWalk(BinnedAggregator* agg, const aqp::ShuffledIndex& order,
+                       int64_t key, int64_t start_pos, int64_t count,
+                       int parallelism, int64_t morsel_rows = kMorselRows);
 void MorselProcessBatch(BinnedAggregator* agg, const int64_t* rows, int64_t n,
                         double weight, int parallelism,
                         int64_t morsel_rows = kMorselRows);
@@ -143,6 +146,9 @@ void ProcessRangeParallel(BinnedAggregator* agg, int64_t begin, int64_t end,
 void ProcessShuffledParallel(BinnedAggregator* agg,
                              const aqp::ShuffledIndex& order,
                              int64_t start_pos, int64_t count, int threads);
+void ProcessWalkParallel(BinnedAggregator* agg,
+                         const aqp::ShuffledIndex& order, int64_t key,
+                         int64_t start_pos, int64_t count, int threads);
 void ProcessBatchParallel(BinnedAggregator* agg, const int64_t* rows,
                           int64_t n, double weight, int threads);
 

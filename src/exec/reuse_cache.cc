@@ -17,6 +17,24 @@ bool PoisonHit() {
   return chaos::FaultInjector::Fire(chaos::FaultSite::kReusePoison);
 }
 
+/// Delta maintenance folds new epochs into *matching bin-table*
+/// snapshots.  An epoch publish that moves a column's min/max or grows a
+/// dictionary re-resolves the spec's bins, and a snapshot resolved under
+/// the old tables can no longer be adopted index-wise — its dense arrays
+/// are keyed by the old bin layout.  (The recorded candidate list stays
+/// valid either way: replay re-bins by value through the new binding.)
+bool SameBinTables(const query::QuerySpec& a, const query::QuerySpec& b) {
+  if (a.bins.size() != b.bins.size()) return false;
+  for (size_t i = 0; i < a.bins.size(); ++i) {
+    const query::BinDimension& x = a.bins[i];
+    const query::BinDimension& y = b.bins[i];
+    if (x.bin_count != y.bin_count || x.lo != y.lo || x.width != y.width) {
+      return false;
+    }
+  }
+  return true;
+}
+
 }  // namespace
 
 ReuseCache::ReuseCache(ReuseCacheOptions options) : options_(options) {}
@@ -25,6 +43,13 @@ ReuseCache::Match ReuseCache::Lookup(const query::QuerySpec& spec) {
   Match match;
   const std::string full_key = spec.Signature();
   auto it = entries_.find(full_key);
+  if (it != entries_.end() && IsStale(*it->second)) {
+    // Invalidate-on-growth baseline: the entry predates the current
+    // epoch watermark, so it dies here and the query rescans from zero.
+    Erase(it);
+    ++stats_.stale_invalidations;
+    it = entries_.end();
+  }
   if (it != entries_.end() && it->second->watermark > 0) {
     if (PoisonHit()) {
       Erase(it);
@@ -33,9 +58,17 @@ ReuseCache::Match ReuseCache::Lookup(const query::QuerySpec& spec) {
       return match;
     }
     it->second->last_used = ++use_tick_;
-    ++stats_.equal_hits;
     match.entry = it->second;
-    match.kind = MatchKind::kEqual;
+    if (SameBinTables(spec, *it->second->spec)) {
+      ++stats_.equal_hits;
+      match.kind = MatchKind::kEqual;
+    } else {
+      // An epoch publish re-shaped the bin tables since this snapshot
+      // was stored: the dense arrays are unusable, but the candidate
+      // list still displaces the scan — serve it as a replay hit.
+      ++stats_.refinement_hits;
+      match.kind = MatchKind::kRefinement;
+    }
     return match;
   }
 
@@ -46,6 +79,7 @@ ReuseCache::Match ReuseCache::Lookup(const query::QuerySpec& spec) {
   Entry* best = nullptr;
   for (auto& [key, entry] : entries_) {
     if (entry->core_key != core_key || entry->watermark <= 0) continue;
+    if (IsStale(*entry)) continue;  // dies lazily at its own equal lookup
     if (!expr::Refines(spec.filter, entry->spec->filter)) continue;
     if (best == nullptr || entry->watermark > best->watermark ||
         (entry->watermark == best->watermark &&
@@ -91,9 +125,17 @@ void ReuseCache::Store(const query::QuerySpec& spec,
 
   const std::string full_key = spec.Signature();
   auto it = entries_.find(full_key);
-  if (it != entries_.end() && it->second->watermark >= agg.rows_seen()) {
+  if (it != entries_.end() && IsStale(*it->second)) {
+    // A stale entry must not suppress a fresh store, whatever its depth.
+    Erase(it);
+    ++stats_.stale_invalidations;
+    it = entries_.end();
+  }
+  if (it != entries_.end() && it->second->watermark >= agg.rows_seen() &&
+      SameBinTables(spec, *it->second->spec)) {
     it->second->last_used = ++use_tick_;
-    return;  // the cached snapshot is at least as deep
+    return;  // the cached snapshot is at least as deep (and same-shaped);
+             // a re-shaped entry falls through and is replaced below
   }
 
   auto entry = std::make_shared<Entry>();
@@ -115,6 +157,7 @@ void ReuseCache::Store(const query::QuerySpec& spec,
                                                        snapshot_options);
   entry->snapshot->MergeFrom(agg);
   entry->watermark = agg.rows_seen();
+  entry->epoch_watermark = epoch_watermark_;
   entry->last_used = ++use_tick_;
   // Candidate list + bin tables, plus a coarse per-entry floor for the
   // binding and bookkeeping.

@@ -1,0 +1,167 @@
+#include "ingest/ingest.h"
+
+#include <string>
+#include <utility>
+
+#include "chaos/fault_injector.h"
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace idebench::ingest {
+
+RowBatch BatchFromTable(const storage::Table& source, int64_t begin,
+                        int64_t end) {
+  RowBatch batch;
+  if (begin < 0) begin = 0;
+  if (end > source.num_rows()) end = source.num_rows();
+  if (begin >= end) return batch;
+  batch.rows.reserve(static_cast<size_t>(end - begin));
+  for (int64_t r = begin; r < end; ++r) {
+    std::vector<std::string> fields;
+    fields.reserve(static_cast<size_t>(source.num_columns()));
+    for (int c = 0; c < source.num_columns(); ++c) {
+      fields.push_back(source.column(c).ValueAsString(r));
+    }
+    batch.rows.push_back(std::move(fields));
+  }
+  return batch;
+}
+
+Result<RowBatch> BatchFromCsvLines(const std::vector<std::string>& lines,
+                                   int num_fields) {
+  RowBatch batch;
+  batch.rows.reserve(lines.size());
+  for (const std::string& line : lines) {
+    std::vector<std::string> fields = Split(line, ',');
+    for (std::string& f : fields) f = Trim(f);
+    if (static_cast<int>(fields.size()) != num_fields) {
+      return Status::Invalid(
+          "csv line has " + std::to_string(fields.size()) + " fields, want " +
+          std::to_string(num_fields) + ": '" + line + "'");
+    }
+    batch.rows.push_back(std::move(fields));
+  }
+  return batch;
+}
+
+namespace {
+
+/// Validates one field against its column type without appending: the
+/// same strict parses `Column::AppendParsed` performs, run up front so a
+/// bad row anywhere in a batch rejects the whole batch before any column
+/// is touched (all-or-nothing; columns have no truncate to roll back
+/// with).  Strings always parse.
+Status ValidateField(const storage::Column& col, const std::string& text) {
+  switch (col.type()) {
+    case storage::DataType::kInt64: {
+      int64_t v = 0;
+      if (ParseInt64Strict(Trim(text), &v) != StrictParseResult::kOk) {
+        return Status::Invalid("column '" + col.name() +
+                               "': cannot parse int64 from '" + text + "'");
+      }
+      return Status::OK();
+    }
+    case storage::DataType::kDouble: {
+      double v = 0.0;
+      if (ParseDoubleStrict(Trim(text), &v) != StrictParseResult::kOk) {
+        return Status::Invalid("column '" + col.name() +
+                               "': cannot parse double from '" + text + "'");
+      }
+      return Status::OK();
+    }
+    case storage::DataType::kString:
+      return Status::OK();
+  }
+  return Status::Invalid("column '" + col.name() + "': unknown type");
+}
+
+}  // namespace
+
+Result<std::unique_ptr<Ingestor>> Ingestor::Create(
+    const std::shared_ptr<storage::Catalog>& catalog, int64_t capacity) {
+  if (catalog == nullptr || catalog->fact_table() == nullptr) {
+    return Status::Invalid("ingest: empty catalog");
+  }
+  if (catalog->is_normalized()) {
+    // Join indexes are built per-dimension and treated as immutable by
+    // every engine; growing the fact side would silently desynchronize
+    // them.  Denormalize first (storage::Denormalize) to ingest.
+    return Status::Invalid(
+        "streaming ingest requires a denormalized catalog");
+  }
+  std::shared_ptr<storage::Table> fact =
+      catalog->GetTableShared(catalog->fact_table()->name());
+  if (fact == nullptr) {
+    return Status::Invalid("ingest: fact table not shared through catalog");
+  }
+  if (capacity < fact->num_rows()) {
+    return Status::Invalid("ingest capacity " + std::to_string(capacity) +
+                           " below current row count " +
+                           std::to_string(fact->num_rows()));
+  }
+  // One up-front reservation keeps every column's storage at a stable
+  // address for the ingestor's lifetime: compiled kernels cache raw data
+  // pointers, and an append-triggered reallocation would dangle them.
+  fact->Reserve(capacity);
+  fact->BeginIngest();
+  return std::unique_ptr<Ingestor>(new Ingestor(std::move(fact), capacity));
+}
+
+Status Ingestor::Append(const RowBatch& batch) {
+  if (batch.empty()) return Status::OK();
+  // Chaos site: the append fails I/O-style before staging any row.  The
+  // open epoch is untouched, so a retry (or a later batch) starts clean.
+  if (chaos::FaultInjector::Fire(chaos::FaultSite::kIngestAppend)) {
+    ++stats_.append_faults;
+    return Status::IOError("injected ingest append fault");
+  }
+  if (table_->num_rows() + batch.size() > capacity_) {
+    stats_.rejected_rows += batch.size();
+    return Status::ResourceExhausted(
+        "ingest capacity exhausted: " + std::to_string(table_->num_rows()) +
+        " rows + batch of " + std::to_string(batch.size()) + " > " +
+        std::to_string(capacity_));
+  }
+  const int ncols = table_->num_columns();
+  for (const std::vector<std::string>& row : batch.rows) {
+    if (static_cast<int>(row.size()) != ncols) {
+      stats_.rejected_rows += batch.size();
+      return Status::Invalid("ingest row has " + std::to_string(row.size()) +
+                             " fields, want " + std::to_string(ncols));
+    }
+    for (int c = 0; c < ncols; ++c) {
+      const Status st =
+          ValidateField(table_->column(c), row[static_cast<size_t>(c)]);
+      if (!st.ok()) {
+        stats_.rejected_rows += batch.size();
+        return st;
+      }
+    }
+  }
+  // Every row validated: the appends below cannot fail.
+  for (const std::vector<std::string>& row : batch.rows) {
+    for (int c = 0; c < ncols; ++c) {
+      const Status st =
+          table_->mutable_column(c).AppendParsed(row[static_cast<size_t>(c)]);
+      IDB_CHECK(st.ok());  // pre-validated above: cannot fail
+    }
+  }
+  stats_.rows_staged += batch.size();
+  ++stats_.batches;
+  return Status::OK();
+}
+
+Result<int64_t> Ingestor::Publish() {
+  // Chaos site: the publish fails before the watermark moves.  Staged
+  // rows stay invisible; the next successful publish folds them in.
+  if (chaos::FaultInjector::Fire(chaos::FaultSite::kIngestPublish)) {
+    ++stats_.publish_faults;
+    return Status::IOError("injected ingest publish fault");
+  }
+  const int64_t staged = table_->staged_rows();
+  const int64_t watermark = table_->PublishEpoch();
+  if (staged > 0) ++stats_.epochs_published;
+  return watermark;
+}
+
+}  // namespace idebench::ingest

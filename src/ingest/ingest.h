@@ -1,0 +1,133 @@
+#ifndef IDEBENCH_INGEST_INGEST_H_
+#define IDEBENCH_INGEST_INGEST_H_
+
+/// \file ingest.h
+/// Streaming ingest: rows arrive while sessions serve progressive queries.
+///
+/// The `Ingestor` is the single writer of a catalog's fact table under the
+/// epoch-visibility protocol (`storage::Table::BeginIngest`):
+///
+///  * `Append` stages whole row batches into the *open* epoch.  Staged
+///    rows are invisible to every reader — engines pin
+///    `Table::visible_rows()` at query submission and never look past it.
+///  * `Publish` moves the visible watermark over all staged rows in one
+///    atomic step (and republishes per-column min/max/dictionary stats at
+///    the boundary), creating a new epoch.  A query submitted afterwards
+///    sees the new rows; queries already in flight keep refining against
+///    their pinned watermark, bit-identical to a run against a table
+///    frozen there.
+///
+/// Threading contract: appends and publishes happen on the serving
+/// scheduler thread, interleaved *between* engine calls (the session
+/// manager's ingest channel guarantees this).  Nothing here is
+/// thread-safe on its own — the protocol is what makes concurrent-looking
+/// ingest safe, not locks.
+///
+/// Capacity contract: compiled scan kernels hold raw `Int64Data()` /
+/// `DoubleData()` pointers into the fact columns, so the columns must
+/// never reallocate once queries run.  `Create` reserves `capacity` rows
+/// in every column up front and `Append` refuses to grow past it
+/// (`ResourceExhausted`), keeping every kernel pointer valid for the
+/// ingestor's lifetime.
+///
+/// Scope: streaming ingest requires a *denormalized* catalog (single
+/// fact table).  Appending to a normalized star schema would need
+/// foreign-key maintenance on the materialized/lazy join indexes, which
+/// the engines build per-dimension and treat as immutable; `Create`
+/// rejects such catalogs.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/catalog.h"
+#include "storage/table.h"
+
+namespace idebench::ingest {
+
+/// One append batch: rows of text fields in fact-schema column order.
+/// Fields parse through the same strict path as CSV load
+/// (`Column::AppendParsed`), so an ingested row is bit-identical to the
+/// same row loaded at startup.
+struct RowBatch {
+  std::vector<std::vector<std::string>> rows;
+
+  int64_t size() const { return static_cast<int64_t>(rows.size()); }
+  bool empty() const { return rows.empty(); }
+};
+
+/// Builds a batch from rows [begin, end) of `source` (rendered as text in
+/// schema order).  This is how a CSV tail held in a staging table replays
+/// through the ingest path.  Out-of-range bounds are clamped.
+RowBatch BatchFromTable(const storage::Table& source, int64_t begin,
+                        int64_t end);
+
+/// Parses comma-separated lines (no quoting — matches the repo's CSV
+/// dialect) into a batch.  Fails on a line whose field count differs from
+/// `num_fields`.
+Result<RowBatch> BatchFromCsvLines(const std::vector<std::string>& lines,
+                                   int num_fields);
+
+/// Cumulative ingest telemetry.
+struct IngestStats {
+  int64_t rows_staged = 0;       // rows accepted into the open epoch
+  int64_t batches = 0;           // successful Append calls
+  int64_t epochs_published = 0;  // Publish calls that moved the watermark
+  int64_t append_faults = 0;     // injected ingest.append failures
+  int64_t publish_faults = 0;    // injected ingest.publish failures
+  int64_t rejected_rows = 0;     // rows refused (capacity / parse errors)
+};
+
+/// The single-writer ingest front door for one catalog's fact table.
+class Ingestor {
+ public:
+  /// Binds an ingestor to `catalog`'s fact table: reserves `capacity`
+  /// total rows (must be >= the current row count) in every column and
+  /// enters epoch-visibility mode (`BeginIngest`).  Fails on empty or
+  /// normalized catalogs — see the header comment for why.
+  static Result<std::unique_ptr<Ingestor>> Create(
+      const std::shared_ptr<storage::Catalog>& catalog, int64_t capacity);
+
+  /// Stages `batch` into the open epoch.  All-or-nothing: the whole batch
+  /// is validated (field counts and strict scalar parses) before any row
+  /// lands, so a failed append leaves the open epoch exactly as it was.
+  /// Chaos site `ingest.append` fails here, before staging.  Fails with
+  /// `ResourceExhausted` when the batch would exceed the reserved
+  /// capacity (kernel pointers must never dangle — see header).
+  Status Append(const RowBatch& batch);
+
+  /// Publishes all staged rows as one epoch; returns the new watermark.
+  /// Chaos site `ingest.publish` fails *before* the watermark moves:
+  /// staged rows stay invisible and a later publish picks them up
+  /// (visibility is atomic or not at all).  Publishing with nothing
+  /// staged is a no-op returning the current watermark.
+  Result<int64_t> Publish();
+
+  /// Rows visible to readers (the published watermark).
+  int64_t visible_rows() const { return table_->visible_rows(); }
+
+  /// Rows staged in the open epoch.
+  int64_t staged_rows() const { return table_->staged_rows(); }
+
+  /// Total row capacity reserved at creation.
+  int64_t capacity() const { return capacity_; }
+
+  const IngestStats& stats() const { return stats_; }
+
+  const storage::Table& table() const { return *table_; }
+
+ private:
+  Ingestor(std::shared_ptr<storage::Table> table, int64_t capacity)
+      : table_(std::move(table)), capacity_(capacity) {}
+
+  std::shared_ptr<storage::Table> table_;
+  int64_t capacity_ = 0;
+  IngestStats stats_;
+};
+
+}  // namespace idebench::ingest
+
+#endif  // IDEBENCH_INGEST_INGEST_H_

@@ -13,6 +13,11 @@
 ///   cancel         {type, session, query}
 ///   think          {type, session, micros}
 ///   close_session  {type, session}
+///   append         {type, request, rows: [[field, ...], ...],
+///                   publish: bool}   <- streaming ingest: fields are wire
+///                   strings in fact-schema column order (the CSV text
+///                   contract); publish moves the epoch watermark after
+///                   the batch stages
 ///   stats          {type}
 ///   ping           {type, id}
 ///
@@ -23,6 +28,10 @@
 ///                   queries: [{query, viz, unsupported}]}
 ///   rejected       {type, session, request, reason, retry_after_ms,
 ///                   degrade_level}   <- explicit refusal, never silent
+///                   (also answers refused `append` frames, with reasons
+///                   "ingest_shed" / "no_ingestor" / "invalid_rows" /
+///                   "ingest_capacity" / "ingest_fault")
+///   appended       {type, request, staged, watermark, published}
 ///   update         {type, ... see UpdateToJson}
 ///   session_closed {type, session}
 ///   stats_report   {type, scheduler: {...}, ratekeeper: {...},

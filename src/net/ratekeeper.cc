@@ -106,6 +106,23 @@ AdmitDecision Ratekeeper::Admit(const std::string& tenant, Micros now,
   return decision;
 }
 
+AdmitDecision Ratekeeper::AdmitIngest(Micros backlog) {
+  AdmitDecision decision;
+  const int level = LevelFor(backlog);
+  if (level >= 1) {
+    // Any degradation at all sheds ingest: queries give up sample
+    // budget only after ingest has already given up everything.
+    decision.action = AdmitAction::kReject;
+    decision.reason = "ingest_shed";
+    decision.degrade_level = level;
+    decision.retry_after = options_.reject_retry_after;
+    ++stats_.ingest_shed;
+    return decision;
+  }
+  ++stats_.ingest_admitted;
+  return decision;
+}
+
 void Ratekeeper::OnAdmitted(int n) {
   live_ += n;
   stats_.peak_live = std::max(stats_.peak_live, live_);

@@ -106,6 +106,8 @@ struct RatekeeperStats {
   double min_budget_scale_granted = 1.0;
   int64_t live = 0;        // live queries currently tracked
   int64_t peak_live = 0;
+  int64_t ingest_admitted = 0;  // append batches admitted
+  int64_t ingest_shed = 0;      // append batches shed under load
 };
 
 class Ratekeeper {
@@ -119,6 +121,15 @@ class Ratekeeper {
   /// reports the resulting live queries via OnAdmitted/OnFinalized.
   AdmitDecision Admit(const std::string& tenant, Micros now,
                       Micros backlog = 0);
+
+  /// Decides admission of one ingest append batch.  Ingest is the
+  /// lowest-priority traffic class: it is shed at *any* degradation
+  /// level (the first rung where queries merely lose sample budget),
+  /// so under load ingest backs off strictly before query quality
+  /// does — fresh data is worthless if the dashboards reading it
+  /// stall.  Shed decisions carry reason "ingest_shed" and the
+  /// standard retry hint.
+  AdmitDecision AdmitIngest(Micros backlog = 0);
 
   /// Live-query accounting: `n` queries entered / left the scheduler.
   void OnAdmitted(int n);

@@ -255,6 +255,10 @@ void Server::HandleMessage(Connection* conn, const JsonValue& msg) {
     HandleInteraction(conn, msg);
     return;
   }
+  if (type == "append") {
+    HandleAppend(conn, msg);
+    return;
+  }
   if (type == "cancel") {
     auto it = conn->sessions.find(msg.GetInt("session", -1));
     if (it == conn->sessions.end()) {
@@ -332,6 +336,12 @@ void Server::HandleMessage(Connection* conn, const JsonValue& msg) {
     server.Set("slow_client_disconnects", stats_.slow_client_disconnects);
     server.Set("protocol_errors", stats_.protocol_errors);
     server.Set("max_backlog", stats_.max_backlog);
+    server.Set("appends_received", stats_.appends_received);
+    server.Set("append_rows", stats_.append_rows);
+    server.Set("appends_rejected", stats_.appends_rejected);
+    server.Set("epochs_published", stats_.epochs_published);
+    keeper.Set("ingest_admitted", rs.ingest_admitted);
+    keeper.Set("ingest_shed", rs.ingest_shed);
     JsonValue reply = JsonValue::Object();
     reply.Set("type", "stats_report");
     reply.Set("scheduler", std::move(scheduler));
@@ -419,6 +429,106 @@ void Server::HandleInteraction(Connection* conn, const JsonValue& msg) {
   reply.Set("degrade_level", decision.degrade_level);
   reply.Set("budget_scale", decision.budget_scale);
   reply.Set("queries", std::move(queries));
+  SendMessage(conn, reply);
+}
+
+void Server::AttachIngestor(ingest::Ingestor* ingestor) {
+  ingestor_ = ingestor;
+  manager_->AttachIngest(ingestor);
+}
+
+void Server::HandleAppend(Connection* conn, const JsonValue& msg) {
+  const int64_t request = msg.GetInt("request", -1);
+  ++stats_.appends_received;
+
+  const auto reject = [&](const char* reason, Micros retry_after, int level) {
+    ++stats_.appends_rejected;
+    JsonValue reply = JsonValue::Object();
+    reply.Set("type", "rejected");
+    reply.Set("request", request);
+    reply.Set("reason", reason);
+    reply.Set("retry_after_ms", RetryAfterMillis(retry_after));
+    reply.Set("degrade_level", level);
+    SendMessage(conn, reply);
+  };
+
+  if (ingestor_ == nullptr) {
+    reject("no_ingestor", 0, 0);
+    return;
+  }
+  // Ingest is the lowest-priority traffic class: shed at any degradation
+  // level, so query quality never pays for fresh rows.
+  const AdmitDecision decision = ratekeeper_.AdmitIngest(Backlog());
+  if (!decision.admitted()) {
+    reject(decision.reason, decision.retry_after, decision.degrade_level);
+    return;
+  }
+
+  // rows: [[field, ...], ...] — every field a wire string in fact-schema
+  // column order, the same text contract as CSV load.
+  const JsonValue& rows = msg.Get("rows");
+  ingest::RowBatch batch;
+  if (rows.is_array()) {
+    batch.rows.reserve(rows.size());
+    for (size_t r = 0; r < rows.size(); ++r) {
+      const JsonValue& row = rows.at(r);
+      if (!row.is_array()) {
+        ++stats_.protocol_errors;
+        reject("invalid_rows", 0, 0);
+        return;
+      }
+      std::vector<std::string> fields;
+      fields.reserve(row.size());
+      for (size_t f = 0; f < row.size(); ++f) {
+        const JsonValue& field = row.at(f);
+        if (!field.is_string()) {
+          ++stats_.protocol_errors;
+          reject("invalid_rows", 0, 0);
+          return;
+        }
+        fields.push_back(field.AsString());
+      }
+      batch.rows.push_back(std::move(fields));
+    }
+  } else if (!rows.is_null()) {
+    ++stats_.protocol_errors;
+    reject("invalid_rows", 0, 0);
+    return;
+  }
+
+  // HandleMessage runs on the loop thread with no engine call in flight,
+  // so applying here honors the Ingestor's single-writer protocol.
+  // All-or-nothing: a failed append stages nothing.
+  if (!batch.empty()) {
+    const Status st = ingestor_->Append(batch);
+    if (!st.ok()) {
+      const char* reason =
+          st.code() == StatusCode::kResourceExhausted ? "ingest_capacity"
+          : st.code() == StatusCode::kIoError         ? "ingest_fault"
+                                                      : "invalid_rows";
+      reject(reason, options_.ratekeeper.reject_retry_after, 0);
+      return;
+    }
+    stats_.append_rows += batch.size();
+  }
+
+  bool published = false;
+  if (msg.GetBool("publish", false)) {
+    const int64_t before = ingestor_->visible_rows();
+    auto watermark = ingestor_->Publish();
+    // A failed publish (injected fault) is not a failed append: the rows
+    // are staged and a later publish picks them up.  The reply reports
+    // published=false so the client can retry the publish alone.
+    published = watermark.ok() && *watermark > before;
+    if (published) ++stats_.epochs_published;
+  }
+
+  JsonValue reply = JsonValue::Object();
+  reply.Set("type", "appended");
+  reply.Set("request", request);
+  reply.Set("staged", ingestor_->staged_rows());
+  reply.Set("watermark", ingestor_->visible_rows());
+  reply.Set("published", published);
   SendMessage(conn, reply);
 }
 

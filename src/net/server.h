@@ -52,6 +52,7 @@
 
 #include "common/clock.h"
 #include "common/result.h"
+#include "ingest/ingest.h"
 #include "net/frame.h"
 #include "net/ratekeeper.h"
 #include "session/session.h"
@@ -101,6 +102,10 @@ struct ServerStats {
   int64_t slow_client_disconnects = 0;  // hard write-queue breaches
   int64_t protocol_errors = 0;
   Micros max_backlog = 0;  // peak wall-minus-virtual lag (wall mode)
+  int64_t appends_received = 0;   // append frames seen
+  int64_t append_rows = 0;        // rows staged through append frames
+  int64_t appends_rejected = 0;   // shed / failed / no-ingestor refusals
+  int64_t epochs_published = 0;   // publishes requested over the wire
 };
 
 /// See file doc.  Create binds + listens; Serve runs the loop.
@@ -127,6 +132,16 @@ class Server {
 
   /// Thread-safe stop signal; the loop exits within one poll interval.
   void RequestStop() { stop_.store(true, std::memory_order_release); }
+
+  /// Attaches the streaming-ingest channel: `append` frames stage rows
+  /// into `ingestor`'s fact table (and optionally publish an epoch).
+  /// Must be called before Serve; the ingestor must feed the catalog
+  /// this server serves and outlive it.  Without an ingestor, `append`
+  /// frames are rejected with reason "no_ingestor".  Appends apply on
+  /// the loop thread between engine calls — the Ingestor's
+  /// single-writer protocol — and pass `Ratekeeper::AdmitIngest` first,
+  /// so ingest sheds strictly before query traffic degrades.
+  void AttachIngestor(ingest::Ingestor* ingestor);
 
   /// Loop-thread-only accessors (or after Serve returned).
   const ServerStats& stats() const { return stats_; }
@@ -188,6 +203,7 @@ class Server {
   void ReadFrom(Connection* conn);
   void HandleMessage(Connection* conn, const JsonValue& msg);
   void HandleInteraction(Connection* conn, const JsonValue& msg);
+  void HandleAppend(Connection* conn, const JsonValue& msg);
   Status AdvanceScheduler();
   void FlushWrites(Connection* conn);
   void SweepDead();
@@ -208,6 +224,7 @@ class Server {
   std::shared_ptr<const storage::Catalog> catalog_;
   std::unique_ptr<session::SessionManager> manager_;
   Ratekeeper ratekeeper_;
+  ingest::Ingestor* ingestor_ = nullptr;
   WallClock wall_;
   Micros wall_now_ = 0;  // wall elapsed, sampled once per pass
 

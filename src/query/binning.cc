@@ -33,17 +33,23 @@ Status BinDimension::Resolve(const storage::Table& table) {
                             table.name() + "'");
   }
   switch (mode) {
+    // All bounds below come from the epoch-visible stats (VisibleMin/
+    // VisibleMax/VisibleDictSize == live stats on non-ingest tables):
+    // rows staged but unpublished must not widen a query's bin layout,
+    // or results would diverge from a run against the table frozen at
+    // the query's watermark.
     case BinningMode::kNominal: {
       if (col->type() != storage::DataType::kString) {
         // Integer-coded nominal attribute (e.g. day_of_week): bins span
         // [min, max] with width 1.
-        lo = col->Min();
+        lo = col->VisibleMin();
         width = 1.0;
-        bin_count = static_cast<int64_t>(col->Max() - col->Min()) + 1;
+        bin_count =
+            static_cast<int64_t>(col->VisibleMax() - col->VisibleMin()) + 1;
       } else {
         lo = 0.0;
         width = 1.0;
-        bin_count = col->dictionary().size();
+        bin_count = col->VisibleDictSize();
       }
       break;
     }
@@ -51,8 +57,8 @@ Status BinDimension::Resolve(const storage::Table& table) {
       if (requested_bins <= 0) {
         return Status::Invalid("requested_bins must be positive");
       }
-      const double min = col->Min();
-      const double max = col->Max();
+      const double min = col->VisibleMin();
+      const double max = col->VisibleMax();
       lo = min;
       bin_count = requested_bins;
       const double span = max - min;
@@ -64,8 +70,8 @@ Status BinDimension::Resolve(const storage::Table& table) {
     }
     case BinningMode::kFixedWidth: {
       if (width <= 0) return Status::Invalid("width must be positive");
-      const double min = col->Min();
-      const double max = col->Max();
+      const double min = col->VisibleMin();
+      const double max = col->VisibleMax();
       lo = origin + std::floor((min - origin) / width) * width;
       bin_count =
           static_cast<int64_t>(std::floor((max - lo) / width)) + 1;

@@ -255,6 +255,63 @@ Micros SessionManager::NextWakeup() const {
   return t;
 }
 
+// --- Ingest channel --------------------------------------------------------
+
+void SessionManager::AttachIngest(ingest::Ingestor* ingestor) {
+  ingestor_ = ingestor;
+}
+
+Status SessionManager::EnqueueAppend(ingest::RowBatch batch, Micros at,
+                                     bool publish) {
+  if (ingestor_ == nullptr) {
+    return Status::Invalid("no ingestor attached to this manager");
+  }
+  if (batch.empty() && !publish) return Status::OK();  // nothing to do
+  IngestEvent event;
+  event.batch = std::move(batch);
+  event.publish = publish;
+  ingest_events_.emplace(std::max(at, virtual_now_), std::move(event));
+  ++ingest_stats_.events_enqueued;
+  return Status::OK();
+}
+
+Micros SessionManager::NextIngestAt() const {
+  return ingest_events_.empty() ? std::numeric_limits<Micros>::max()
+                                : ingest_events_.begin()->first;
+}
+
+void SessionManager::DrainIngest() {
+  // Runs on the scheduling thread strictly between engine calls — the
+  // Ingestor's single-writer protocol.  Zero virtual cost: visibility
+  // changes instantly at the event's scheduled time, and no query loses
+  // entitlement to it (deadline overshoot stays 0 by construction).
+  // Failures are weather (chaos faults, capacity, bad rows): counted,
+  // never propagated — staged rows simply wait for a later publish.
+  while (!ingest_events_.empty() &&
+         ingest_events_.begin()->first <= virtual_now_) {
+    IngestEvent event = std::move(ingest_events_.begin()->second);
+    ingest_events_.erase(ingest_events_.begin());
+    if (!event.batch.empty()) {
+      const Status st = ingestor_->Append(event.batch);
+      if (st.ok()) {
+        ++ingest_stats_.batches_applied;
+        ingest_stats_.rows_applied += event.batch.size();
+      } else {
+        ++ingest_stats_.append_failures;
+      }
+    }
+    if (event.publish) {
+      const int64_t before = ingestor_->visible_rows();
+      auto watermark = ingestor_->Publish();
+      if (watermark.ok()) {
+        if (*watermark > before) ++ingest_stats_.publishes;
+      } else {
+        ++ingest_stats_.publish_failures;
+      }
+    }
+  }
+}
+
 bool SessionManager::IsTransientEngineError(StatusCode code) {
   switch (code) {
     case StatusCode::kIoError:
@@ -449,13 +506,16 @@ Status SessionManager::FinalizeOverdue() {
 
 Status SessionManager::AdvanceTo(Micros t) {
   while (true) {
+    DrainIngest();  // due appends/publishes apply between engine calls
     IDB_RETURN_NOT_OK(FinalizeOverdue());
     if (virtual_now_ >= t) return Status::OK();
     if (run_queue_.empty()) {
-      virtual_now_ = t;  // idle gap: virtual time is free
-      return Status::OK();
+      // Idle gap: virtual time is free, but land exactly on each queued
+      // ingest event so visibility changes at its scheduled instant.
+      virtual_now_ = std::min(t, NextIngestAt());
+      continue;
     }
-    const Micros horizon = std::min(t, NextWakeup());
+    const Micros horizon = std::min({t, NextWakeup(), NextIngestAt()});
     Micros slice_end = horizon;
     if (options_.quantum > 0) {
       slice_end = std::min(horizon, virtual_now_ + options_.quantum);
@@ -468,16 +528,17 @@ Status SessionManager::AdvanceTo(Micros t) {
 Result<int> SessionManager::StepUntilEvent(Micros cap) {
   const int64_t before = finalized_events_;
   while (true) {
+    DrainIngest();  // due appends/publishes apply between engine calls
     IDB_RETURN_NOT_OK(FinalizeOverdue());
     if (finalized_events_ > before) {
       return static_cast<int>(finalized_events_ - before);
     }
     if (virtual_now_ >= cap) return 0;
     if (run_queue_.empty()) {
-      virtual_now_ = cap;
-      return 0;
+      virtual_now_ = std::min(cap, NextIngestAt());
+      continue;
     }
-    const Micros horizon = std::min(cap, NextWakeup());
+    const Micros horizon = std::min({cap, NextWakeup(), NextIngestAt()});
     Micros slice_end = horizon;
     if (options_.quantum > 0) {
       slice_end = std::min(horizon, virtual_now_ + options_.quantum);
@@ -488,7 +549,15 @@ Result<int> SessionManager::StepUntilEvent(Micros cap) {
 }
 
 Status SessionManager::RunUntilIdle() {
-  while (HasLive()) {
+  while (HasLive() || !ingest_events_.empty()) {
+    if (!HasLive()) {
+      // No queries to schedule: jump straight to the next ingest instant
+      // and apply it — enqueued publishes must not be lost just because
+      // the fleet went quiet (queries submitted later depend on them).
+      virtual_now_ = std::max(virtual_now_, NextIngestAt());
+      DrainIngest();
+      continue;
+    }
     IDB_ASSIGN_OR_RETURN(int finalized, StepUntilEvent(MinDeadline()));
     (void)finalized;
   }

@@ -63,9 +63,12 @@
 #include <unordered_map>
 #include <vector>
 
+#include <map>
+
 #include "common/clock.h"
 #include "common/result.h"
 #include "engines/engine.h"
+#include "ingest/ingest.h"
 #include "query/result.h"
 #include "query/spec.h"
 #include "storage/catalog.h"
@@ -170,6 +173,16 @@ struct SchedulerStats {
   Micros max_deadline_overshoot = 0;
   /// Virtual time of the manager when the stats were read.
   Micros virtual_now = 0;
+};
+
+/// Telemetry for the manager's ingest channel.
+struct IngestChannelStats {
+  int64_t events_enqueued = 0;
+  int64_t batches_applied = 0;   // successful appends
+  int64_t rows_applied = 0;
+  int64_t publishes = 0;         // publishes that moved the watermark
+  int64_t append_failures = 0;   // chaos faults, capacity, parse errors
+  int64_t publish_failures = 0;  // chaos faults (watermark did not move)
 };
 
 class SessionManager;
@@ -298,8 +311,40 @@ class SessionManager {
   Result<int> StepUntilEvent(Micros cap);
 
   /// Runs until no live query remains (each completes or reaches its
-  /// deadline); virtual time ends at the last finalization.
+  /// deadline); virtual time ends at the last finalization.  Ingest
+  /// events scheduled past the last finalization stay queued for the
+  /// next advance.
   Status RunUntilIdle();
+
+  // --- Ingest channel (streaming ingest) -----------------------------
+  //
+  // Appends and publishes are *scheduled on the virtual clock* and
+  // applied on the scheduling thread strictly between engine calls —
+  // the single-writer protocol `ingest::Ingestor` requires.  An ingest
+  // event costs zero virtual time and never displaces query compute, so
+  // attaching ingest cannot push any query past its deadline
+  // (`max_deadline_overshoot` stays 0 by construction); the scheduler
+  // merely lands its slices exactly on each event's instant so
+  // visibility changes at a deterministic point in every run.
+
+  /// Attaches the ingest channel.  `ingestor` must feed this manager's
+  /// catalog and outlive the manager.  At most one per manager.
+  void AttachIngest(ingest::Ingestor* ingestor);
+
+  /// Schedules `batch` to be appended at virtual time `at` (clamped to
+  /// now), followed — when `publish` is set — by an epoch publish.  An
+  /// empty batch with `publish` schedules a bare publish.  Events at
+  /// equal times apply in enqueue order.  Failures (chaos faults,
+  /// capacity, parse errors) are counted in `ingest_stats()`, not
+  /// propagated: ingest is weather, serving must not abort on it.
+  Status EnqueueAppend(ingest::RowBatch batch, Micros at, bool publish);
+
+  /// Ingest events not yet applied.
+  int64_t pending_ingest_events() const {
+    return static_cast<int64_t>(ingest_events_.size());
+  }
+
+  const IngestChannelStats& ingest_stats() const { return ingest_stats_; }
 
   SchedulerStats stats() const;
 
@@ -363,6 +408,14 @@ class SessionManager {
   /// run to without skipping a deadline or a scheduled retry.
   Micros NextWakeup() const;
 
+  /// Applies every ingest event due at or before the current virtual
+  /// time, in (time, enqueue) order.  Called between engine calls only.
+  void DrainIngest();
+
+  /// Virtual time of the earliest queued ingest event (max() when none):
+  /// slices and idle jumps never skip past it.
+  Micros NextIngestAt() const;
+
   enum class FinalizeReason { kCompleted, kDeadline, kClientCancel, kFailed };
 
   /// Classifies an engine error as retryable.  I/O errors, resource
@@ -408,6 +461,20 @@ class SessionManager {
   int64_t finalized_events_ = 0;
   bool in_destructor_ = false;
   SchedulerStats stats_;
+
+  /// One scheduled ingest event: an append batch (possibly empty) and an
+  /// optional epoch publish after it.
+  struct IngestEvent {
+    ingest::RowBatch batch;
+    bool publish = false;
+  };
+
+  ingest::Ingestor* ingestor_ = nullptr;
+  /// Queued events keyed by virtual apply time; equal keys preserve
+  /// enqueue order (multimap insertion-order guarantee), so replays with
+  /// the same enqueue sequence apply identically.
+  std::multimap<Micros, IngestEvent> ingest_events_;
+  IngestChannelStats ingest_stats_;
 };
 
 /// One (session, workflow) pair for `ReplaySessionsToCompletion`.

@@ -67,7 +67,9 @@ Result<const Table*> Catalog::TableForColumn(
 int64_t Catalog::nominal_rows() const {
   if (nominal_rows_ > 0) return nominal_rows_;
   const Table* fact = fact_table();
-  return fact == nullptr ? 0 : fact->num_rows();
+  // Under streaming ingest only the published watermark counts: staged
+  // rows must not change the nominal/actual scale a query was planned at.
+  return fact == nullptr ? 0 : fact->visible_rows();
 }
 
 }  // namespace idebench::storage

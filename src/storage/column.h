@@ -148,6 +148,34 @@ class Column {
   double Min() const { return size() == 0 ? 0.0 : cached_min_; }
   double Max() const { return size() == 0 ? 0.0 : cached_max_; }
 
+  // --- Epoch-published stats (streaming ingest) ----------------------
+  //
+  // Under streaming ingest (Table::BeginIngest), rows staged in the open
+  // epoch must not leak into the stats a query planner consults: a reader
+  // holding an old watermark would otherwise observe min/max bounds — and
+  // dictionary entries — that include rows it cannot see, changing bin
+  // layouts relative to a run against the table frozen at that watermark.
+  // `PublishStats` snapshots the live stats at an epoch-publish boundary;
+  // the `Visible*` accessors serve the last published snapshot, falling
+  // back to the live values on tables that never entered ingest mode.
+
+  /// Snapshots live min/max and dictionary size as the published-visible
+  /// stats.  Called by `Table::BeginIngest`/`Table::PublishEpoch` only.
+  void PublishStats() {
+    visible_min_ = Min();
+    visible_max_ = Max();
+    visible_dict_size_ = dict_.size();
+    stats_published_ = true;
+  }
+
+  /// Min/max/dictionary size as of the last published epoch; identical to
+  /// the live values when stats were never published (no ingest).
+  double VisibleMin() const { return stats_published_ ? visible_min_ : Min(); }
+  double VisibleMax() const { return stats_published_ ? visible_max_ : Max(); }
+  int64_t VisibleDictSize() const {
+    return stats_published_ ? visible_dict_size_ : dict_.size();
+  }
+
   /// Per-block zone map over the numeric view: entry `b` covers rows
   /// [b * kZoneMapBlockRows, (b+1) * kZoneMapBlockRows).  Maintained on
   /// *every* append path — including the pre-encoded-dictionary
@@ -189,6 +217,10 @@ class Column {
   double cached_min_ = 0.0;
   double cached_max_ = 0.0;
   std::vector<ZoneEntry> zones_;  // one entry per kZoneMapBlockRows rows
+  bool stats_published_ = false;  // ever snapshotted by an epoch publish?
+  double visible_min_ = 0.0;      // stats as of the last published epoch
+  double visible_max_ = 0.0;
+  int64_t visible_dict_size_ = 0;
 };
 
 }  // namespace idebench::storage

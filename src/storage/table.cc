@@ -1,5 +1,7 @@
 #include "storage/table.h"
 
+#include "common/logging.h"
+
 namespace idebench::storage {
 
 Table::Table(std::string name, Schema schema)
@@ -54,6 +56,23 @@ Status Table::Validate() const {
     }
   }
   return Status::OK();
+}
+
+void Table::BeginIngest() {
+  if (ingest_enabled_) return;
+  ingest_enabled_ = true;
+  epoch_rows_ = {num_rows()};
+  for (auto& col : columns_) col->PublishStats();
+}
+
+int64_t Table::PublishEpoch() {
+  IDB_CHECK(ingest_enabled_);
+  const int64_t n = num_rows();
+  if (n > epoch_rows_.back()) {
+    epoch_rows_.push_back(n);
+    for (auto& col : columns_) col->PublishStats();
+  }
+  return epoch_rows_.back();
 }
 
 std::string Table::RowToString(int64_t i) const {

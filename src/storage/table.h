@@ -56,10 +56,49 @@ class Table {
   /// Renders row `i` as comma-separated text (debugging aid).
   std::string RowToString(int64_t i) const;
 
+  // --- Epoch visibility (streaming ingest) ---------------------------
+  //
+  // `BeginIngest` seals the current contents as epoch 0 and switches the
+  // table to epoch-visibility mode: subsequent appends land in an *open*
+  // epoch that readers cannot see until `PublishEpoch` moves the
+  // watermark over them atomically (single-threaded protocol: all
+  // appends and publishes happen on the serving scheduler thread,
+  // between engine calls).  Readers pin `visible_rows()` at query
+  // submission and never look past it, so progressive refinement stays
+  // bit-identical to a run against a table frozen at that watermark.
+
+  /// Enters ingest mode: the current rows become epoch 0 (all visible)
+  /// and every column's stats are published at this boundary.  Idempotent.
+  void BeginIngest();
+
+  /// Publishes all staged rows as one new epoch, advancing the visible
+  /// watermark and republishing column stats.  No-op when nothing is
+  /// staged (no empty epochs).  Returns the new watermark.
+  int64_t PublishEpoch();
+
+  /// Rows visible to readers: the published watermark under ingest mode,
+  /// `num_rows()` otherwise.
+  int64_t visible_rows() const {
+    return ingest_enabled_ ? epoch_rows_.back() : num_rows();
+  }
+
+  /// Rows staged in the open epoch (appended but not yet published).
+  int64_t staged_rows() const {
+    return ingest_enabled_ ? num_rows() - epoch_rows_.back() : 0;
+  }
+
+  /// Cumulative row watermarks, one per published epoch: {N0, W1, ...}.
+  /// Empty until `BeginIngest`.
+  const std::vector<int64_t>& epoch_boundaries() const { return epoch_rows_; }
+
+  bool ingest_enabled() const { return ingest_enabled_; }
+
  private:
   std::string name_;
   Schema schema_;
   std::vector<std::unique_ptr<Column>> columns_;
+  bool ingest_enabled_ = false;
+  std::vector<int64_t> epoch_rows_;  // watermark after each published epoch
 };
 
 }  // namespace idebench::storage

@@ -474,11 +474,35 @@ TEST(ChaosScenarioTest, SeedReplayIsBitIdentical) {
   EXPECT_NE(a.event_log, c.event_log);
 }
 
+TEST(ChaosScenarioTest, IngestStormSeedReplayIsBitIdentical) {
+  const ScenarioSpec* spec = FindScenario("ingest_storm");
+  ASSERT_NE(spec, nullptr);
+  const ChaosReport a = RunScenario(*spec, "progressive", 42);
+  const ChaosReport b = RunScenario(*spec, "progressive", 42);
+  ExpectReportClean(a);  // includes max_deadline_overshoot == 0
+  EXPECT_EQ(a.event_log, b.event_log);
+  EXPECT_EQ(a.total_fires, b.total_fires);
+  EXPECT_EQ(a.fault_summary, b.fault_summary);
+  EXPECT_EQ(a.stats.virtual_now, b.stats.virtual_now);
+
+  // The storm must actually have ingested — otherwise the scenario proves
+  // nothing about queries racing publishes.
+  bool ingested = false;
+  for (const std::string& line : a.event_log) {
+    ingested = ingested || line.find("ingest applied=") != std::string::npos;
+  }
+  EXPECT_TRUE(ingested);
+
+  const ChaosReport c = RunScenario(*spec, "progressive", 43);
+  EXPECT_NE(a.event_log, c.event_log);
+}
+
 TEST(ChaosScenarioTest, CatalogHasTheDocumentedScenarios) {
   for (const char* name :
        {"baseline", "cancel_storm", "session_kill", "submit_flood",
         "deadline_epsilon", "link_churn", "engine_faults", "reuse_churn",
-        "io_faults", "thrash", "slow_client", "disconnect_mid_query"}) {
+        "io_faults", "thrash", "slow_client", "disconnect_mid_query",
+        "ingest_storm"}) {
     EXPECT_NE(FindScenario(name), nullptr) << name;
   }
   EXPECT_EQ(FindScenario("no_such_scenario"), nullptr);

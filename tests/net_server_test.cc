@@ -25,6 +25,7 @@
 #include "chaos/fault_injector.h"
 #include "engines/blocking_engine.h"
 #include "engines/progressive_engine.h"
+#include "ingest/ingest.h"
 #include "net/client.h"
 #include "net/protocol.h"
 #include "tests/test_util.h"
@@ -65,10 +66,14 @@ JsonValue InteractionRequest(int64_t session, int64_t request,
 class ServerFixture {
  public:
   ServerFixture(ServerOptions options, engines::Engine* engine,
-                std::shared_ptr<const storage::Catalog> catalog) {
+                std::shared_ptr<const storage::Catalog> catalog,
+                ingest::Ingestor* ingestor = nullptr) {
     auto created = Server::Create(std::move(options), engine, catalog);
     IDB_CHECK(created.ok());
     server_ = std::move(created).MoveValueUnsafe();
+    // Attach before the loop thread exists: the loop reads the ingestor
+    // pointer without synchronization.
+    if (ingestor != nullptr) server_->AttachIngestor(ingestor);
     thread_ = std::thread([this] { serve_status_ = server_->Serve(); });
   }
 
@@ -476,6 +481,104 @@ TEST(NetServerTest, MalformedInputGetsExplicitErrorNeverCrash) {
   fixture.Stop();
   EXPECT_TRUE(fixture.serve_status().ok());
   EXPECT_GT(fixture.server().stats().protocol_errors, 0);
+}
+
+JsonValue AppendRequest(int64_t request,
+                        const std::vector<std::vector<std::string>>& rows,
+                        bool publish) {
+  JsonValue msg = JsonValue::Object();
+  msg.Set("type", "append");
+  msg.Set("request", request);
+  JsonValue wire_rows = JsonValue::Array();
+  for (const std::vector<std::string>& row : rows) {
+    JsonValue wire_row = JsonValue::Array();
+    for (const std::string& field : row) wire_row.Append(field);
+    wire_rows.Append(std::move(wire_row));
+  }
+  msg.Set("rows", std::move(wire_rows));
+  msg.Set("publish", publish);
+  return msg;
+}
+
+TEST(NetServerTest, AppendFrameStagesPublishesAndRejects) {
+  engines::ProgressiveEngineConfig config;
+  config.query_overhead_us = 0;
+  config.restart_overhead_us = 0;
+  engines::ProgressiveEngine engine(config);
+  auto catalog = testutil::MakeTinyCatalog();
+  auto ingestor = ingest::Ingestor::Create(catalog, 12);
+  ASSERT_TRUE(ingestor.ok());
+  ASSERT_TRUE(engine.Prepare(catalog).ok());
+
+  ServerFixture fixture(VirtualModeOptions(), &engine, catalog,
+                        ingestor->get());
+  auto client = Client::Connect("127.0.0.1", fixture.server().port(), "feed");
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+
+  // Staging only: rows land invisible, watermark reports visible rows.
+  ASSERT_TRUE(
+      (*client)
+          ->Send(AppendRequest(1, {{"90", "a", "0"}, {"100", "b", "1"}},
+                               /*publish=*/false))
+          .ok());
+  auto staged = (*client)->WaitFor("appended", kWait);
+  ASSERT_TRUE(staged.ok()) << staged.status().ToString();
+  EXPECT_EQ(staged->GetInt("request", -1), 1);
+  EXPECT_EQ(staged->GetInt("staged", -1), 2);
+  EXPECT_EQ(staged->GetInt("watermark", -1), 8);
+  EXPECT_FALSE(staged->GetBool("published", true));
+
+  // A bare publish folds the staged epoch in atomically.
+  ASSERT_TRUE((*client)->Send(AppendRequest(2, {}, /*publish=*/true)).ok());
+  auto published = (*client)->WaitFor("appended", kWait);
+  ASSERT_TRUE(published.ok()) << published.status().ToString();
+  EXPECT_EQ(published->GetInt("staged", -1), 0);
+  EXPECT_EQ(published->GetInt("watermark", -1), 10);
+  EXPECT_TRUE(published->GetBool("published", false));
+
+  // A malformed row rejects the whole batch, staging nothing.
+  ASSERT_TRUE(
+      (*client)->Send(AppendRequest(3, {{"not-a-number", "c", "0"}}, false)).ok());
+  auto invalid = (*client)->WaitFor("rejected", kWait);
+  ASSERT_TRUE(invalid.ok()) << invalid.status().ToString();
+  EXPECT_EQ(invalid->GetInt("request", -1), 3);
+  EXPECT_EQ(invalid->GetString("reason", ""), "invalid_rows");
+
+  // Overflowing the reserved capacity is an explicit refusal with a
+  // retry hint, not a partial append (10 visible + 3 > 12).
+  ASSERT_TRUE((*client)
+                  ->Send(AppendRequest(
+                      4, {{"1", "a", "0"}, {"2", "b", "1"}, {"3", "c", "0"}},
+                      false))
+                  .ok());
+  auto full = (*client)->WaitFor("rejected", kWait);
+  ASSERT_TRUE(full.ok()) << full.status().ToString();
+  EXPECT_EQ(full->GetString("reason", ""), "ingest_capacity");
+
+  fixture.Stop();
+  EXPECT_TRUE(fixture.serve_status().ok());
+  EXPECT_EQ(fixture.server().stats().append_rows, 2);
+  EXPECT_EQ(fixture.server().stats().epochs_published, 1);
+  EXPECT_EQ(fixture.server().stats().appends_rejected, 2);
+}
+
+TEST(NetServerTest, AppendWithoutIngestorIsRejectedExplicitly) {
+  engines::ProgressiveEngine engine;
+  auto catalog = testutil::MakeTinyCatalog();
+  ASSERT_TRUE(engine.Prepare(catalog).ok());
+
+  ServerFixture fixture(VirtualModeOptions(), &engine, catalog);
+  auto client = Client::Connect("127.0.0.1", fixture.server().port(), "feed");
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+
+  ASSERT_TRUE((*client)->Send(AppendRequest(7, {{"90", "a", "0"}}, true)).ok());
+  auto rejected = (*client)->WaitFor("rejected", kWait);
+  ASSERT_TRUE(rejected.ok()) << rejected.status().ToString();
+  EXPECT_EQ(rejected->GetInt("request", -1), 7);
+  EXPECT_EQ(rejected->GetString("reason", ""), "no_ingestor");
+
+  fixture.Stop();
+  EXPECT_TRUE(fixture.serve_status().ok());
 }
 
 }  // namespace

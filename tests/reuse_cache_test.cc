@@ -131,6 +131,74 @@ TEST(ReuseCacheTest, EqualAndRefinementMatching) {
   EXPECT_EQ(cache.Lookup(rebinned).kind, ReuseCache::MatchKind::kNone);
 }
 
+TEST(ReuseCacheTest, EpochGrowthDeltaVsInvalidateModes) {
+  auto catalog = MakeCatalog();
+  QuerySpec spec = BaseSpec(*catalog);
+  auto bound = BoundQuery::Bind(spec, *catalog);
+  ASSERT_TRUE(bound.ok());
+  BinnedAggregator agg(&*bound, Recording());
+  agg.ProcessRange(0, 1000);
+
+  // Delta mode (the default): an epoch publish leaves the entry alive as
+  // an equal hit — Serve caps at the snapshot depth and the engine scans
+  // only the delta rows beyond it.
+  ReuseCache delta;
+  delta.SetEpochWatermark(kRows);
+  delta.Store(spec, agg, BinderFor(catalog));
+  delta.SetEpochWatermark(kRows + 500);
+  EXPECT_EQ(delta.Lookup(spec).kind, ReuseCache::MatchKind::kEqual);
+  EXPECT_EQ(delta.stats().stale_invalidations, 0);
+
+  // Invalidate-on-growth baseline: the same growth kills the entry and
+  // the query rescans from zero (the mode BENCH_ingest.json compares
+  // delta maintenance against).
+  ReuseCacheOptions options;
+  options.invalidate_on_growth = true;
+  ReuseCache baseline(options);
+  baseline.SetEpochWatermark(kRows);
+  baseline.Store(spec, agg, BinderFor(catalog));
+  baseline.SetEpochWatermark(kRows + 500);
+  EXPECT_EQ(baseline.Lookup(spec).kind, ReuseCache::MatchKind::kNone);
+  EXPECT_EQ(baseline.stats().stale_invalidations, 1);
+  EXPECT_EQ(baseline.size(), 0u);
+}
+
+TEST(ReuseCacheTest, ReshapedBinTablesDowngradeToReplay) {
+  auto catalog = MakeCatalog();
+  ReuseCache cache;
+
+  QuerySpec stored = BaseSpec(*catalog);
+  auto bound = BoundQuery::Bind(stored, *catalog);
+  ASSERT_TRUE(bound.ok());
+  BinnedAggregator agg(&*bound, Recording());
+  agg.ProcessRange(0, 1500);
+  cache.Store(stored, agg, BinderFor(catalog));
+
+  // An epoch publish re-resolves the spec's bins (here: the nominal
+  // dictionary grew a value).  Signatures ignore resolved bin tables, so
+  // this is still an equal-signature lookup — but index-wise snapshot
+  // adoption would mis-bin, so the hit downgrades to candidate replay.
+  QuerySpec grown = stored;
+  grown.bins[0].bin_count += 1;
+  const auto match = cache.Lookup(grown);
+  EXPECT_EQ(match.kind, ReuseCache::MatchKind::kRefinement);
+  EXPECT_EQ(match.watermark(), 1500);
+  EXPECT_EQ(cache.stats().refinement_hits, 1);
+
+  // A fresh store under the new shape replaces the re-shaped entry even
+  // though the old snapshot is deeper: depth can't justify keeping bin
+  // tables the current resolution no longer produces.
+  auto grown_bound = BoundQuery::Bind(grown, *catalog);
+  ASSERT_TRUE(grown_bound.ok());
+  BinnedAggregator shallow(&*grown_bound, Recording());
+  shallow.ProcessRange(0, 1000);
+  cache.Store(grown, shallow, BinderFor(catalog));
+  EXPECT_EQ(cache.size(), 1u);
+  const auto after = cache.Lookup(grown);
+  EXPECT_EQ(after.kind, ReuseCache::MatchKind::kEqual);
+  EXPECT_EQ(after.watermark(), 1000);
+}
+
 TEST(ReuseCacheTest, StoreKeepsDeepestWatermark) {
   auto catalog = MakeCatalog();
   ReuseCache cache;

@@ -14,6 +14,7 @@
 /// documented exec/parallel.h caveat), which would make exact ==
 /// comparison too strict without weakening the test where it matters.
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -23,6 +24,7 @@
 #include "common/logging.h"
 #include "datagen/flights_seed.h"
 #include "engines/registry.h"
+#include "ingest/ingest.h"
 #include "storage/segment.h"
 #include "tests/workflow_harness.h"
 #include "workflow/generator.h"
@@ -387,6 +389,212 @@ TEST(SessionFuzzTest, MultiSessionDeterministicAcrossRunsAndThreads) {
       if (::testing::Test::HasFatalFailure()) return;
     }
   }
+}
+
+// --- Ingest-interleaved sweep ----------------------------------------------
+//
+// Streaming ingest races the workflow: epochs are appended and published
+// at interaction boundaries while queries (pinned to their submit-time
+// watermark) are still exploring.  Every cell of the sweep must be
+// bit-identical to the reference replay because
+//  * append timing is invisible — only publish instants matter, so the
+//    live variant (rows dribbled across two boundaries) matches the
+//    pre-loaded variant (each epoch loaded in one shot at its publish
+//    boundary);
+//  * visibility is epoch-atomic and walks are a pure function of the
+//    epoch history, so thread count doesn't matter; and
+//  * reuse-cache delta maintenance only displaces physical work — a
+//    snapshot stored at an older watermark plus a delta scan (or a
+//    candidate replay when a publish re-shaped the bin tables) must give
+//    the same answer as rescanning from zero.
+
+constexpr int64_t kIngestBase = 4000;
+constexpr int64_t kIngestEpochRows = 100;
+constexpr int kIngestEpochs = 4;
+
+/// The full generation: base rows plus every epoch's tail rows.
+std::shared_ptr<storage::Table> IngestSourceTable() {
+  static const std::shared_ptr<storage::Table> source = [] {
+    datagen::FlightsSeedConfig config;
+    config.rows = kIngestBase + kIngestEpochs * kIngestEpochRows;
+    config.seed = 11;
+    auto table = datagen::GenerateFlightsSeed(config);
+    IDB_CHECK(table.ok());
+    return std::make_shared<storage::Table>(
+        std::move(table).MoveValueUnsafe());
+  }();
+  return source;
+}
+
+/// A fresh pre-ingest fact table (each replay mutates its own copy).
+std::shared_ptr<storage::Table> IngestBaseFact() {
+  auto source = IngestSourceTable();
+  auto fact =
+      std::make_shared<storage::Table>(source->name(), source->schema());
+  for (int64_t r = 0; r < kIngestBase; ++r) {
+    IDB_CHECK(fact->AppendRowFrom(*source, r).ok());
+  }
+  return fact;
+}
+
+/// Workflows for the ingest sweep, generated once from a pristine copy of
+/// the base table (generation reads column stats, which ingest moves).
+const workflow::Workflow& IngestWorkflow(int seed) {
+  static std::vector<workflow::Workflow>* workflows = [] {
+    auto* out = new std::vector<workflow::Workflow>();
+    auto base = IngestBaseFact();
+    for (int s = 0; s < kSeeds; ++s) {
+      workflow::GeneratorConfig config;
+      workflow::WorkflowGenerator generator(
+          base.get(), config, static_cast<uint64_t>(s) + 101);
+      auto wf = generator.Generate(workflow::WorkflowType::kMixed,
+                                   "ingest_fuzz_" + std::to_string(s));
+      IDB_CHECK(wf.ok());
+      out->push_back(std::move(wf).MoveValueUnsafe());
+    }
+    return out;
+  }();
+  return (*workflows)[static_cast<size_t>(seed)];
+}
+
+/// RunWorkflowOnEngine with an ingest hook: `boundary(b)` runs after
+/// interaction `b` completes (queries polled, think time charged), which
+/// is where a serving deployment folds in arrived data between bursts.
+Result<std::vector<testharness::QueryOutcome>> RunWorkflowWithIngest(
+    engines::Engine* engine, const storage::Catalog& catalog,
+    const workflow::Workflow& wf,
+    const std::function<Status(int64_t)>& boundary) {
+  std::vector<testharness::QueryOutcome> outcomes;
+  engine->WorkflowStart();
+  int64_t query_index = 0;
+  int64_t boundary_index = 0;
+  const testharness::HarnessOptions options;
+  IDB_RETURN_NOT_OK(driver::ForEachInteraction(
+      catalog, wf,
+      [&](const workflow::Interaction& interaction, int64_t interaction_id,
+          std::vector<query::QuerySpec>& specs) -> Status {
+        if (interaction.type == workflow::InteractionType::kLink) {
+          engine->LinkVizs(interaction.link_from, interaction.link_to);
+        } else if (interaction.type == workflow::InteractionType::kDiscard) {
+          engine->DiscardViz(interaction.viz_name);
+        }
+        for (query::QuerySpec& spec : specs) {
+          testharness::QueryOutcome outcome;
+          outcome.interaction_id = interaction_id;
+          outcome.viz = spec.viz_name;
+          auto submit = engine->Submit(spec);
+          const Micros budget = options.budgets[static_cast<size_t>(
+              query_index % static_cast<int64_t>(options.budgets.size()))];
+          ++query_index;
+          if (!submit.ok()) {
+            if (submit.status().code() != StatusCode::kNotImplemented) {
+              return submit.status();
+            }
+            outcome.unsupported = true;
+            outcomes.push_back(std::move(outcome));
+            continue;
+          }
+          const engines::QueryHandle handle = *submit;
+          Micros consumed = 0;
+          while (consumed < budget && !engine->IsDone(handle)) {
+            const Micros step = engine->RunFor(handle, budget - consumed);
+            if (step <= 0) break;
+            consumed += step;
+          }
+          IDB_ASSIGN_OR_RETURN(outcome.result, engine->PollResult(handle));
+          engine->Cancel(handle);
+          outcomes.push_back(std::move(outcome));
+        }
+        engine->OnThink(options.think_time);
+        return boundary(boundary_index++);
+      }));
+  engine->WorkflowEnd();
+  return outcomes;
+}
+
+/// One replay cell.  Epoch `e` publishes at boundary `2e + 1`.  The live
+/// variant stages half the epoch one boundary early (racing the previous
+/// interaction's unpublished-row invisibility); the pre-loaded variant
+/// stages the whole epoch at its publish boundary.
+std::vector<testharness::QueryOutcome> ReplayIngest(
+    const std::string& engine_name, int seed, int threads, bool reuse,
+    bool preloaded) {
+  auto source = IngestSourceTable();
+  auto catalog = std::make_shared<storage::Catalog>();
+  IDB_CHECK(catalog->AddTable(IngestBaseFact()).ok());
+  auto created = ingest::Ingestor::Create(catalog, source->num_rows());
+  IDB_CHECK(created.ok());
+  auto ingestor = std::move(*created);
+
+  auto engine = engines::CreateEngine(engine_name, /*seed=*/0, threads, reuse);
+  IDB_CHECK(engine.ok());
+  IDB_CHECK((*engine)->Prepare(catalog).ok());
+
+  auto boundary = [&](int64_t b) -> Status {
+    for (int e = 0; e < kIngestEpochs; ++e) {
+      const int64_t lo = kIngestBase + e * kIngestEpochRows;
+      const int64_t mid = lo + kIngestEpochRows / 2;
+      const int64_t hi = lo + kIngestEpochRows;
+      const int64_t publish_at = 2 * e + 1;
+      if (!preloaded && b == publish_at - 1) {
+        IDB_RETURN_NOT_OK(
+            ingestor->Append(ingest::BatchFromTable(*source, lo, mid)));
+      }
+      if (b == publish_at) {
+        IDB_RETURN_NOT_OK(ingestor->Append(
+            ingest::BatchFromTable(*source, preloaded ? lo : mid, hi)));
+        IDB_ASSIGN_OR_RETURN(const int64_t watermark, ingestor->Publish());
+        (void)watermark;
+      }
+    }
+    return Status::OK();
+  };
+  auto outcomes = RunWorkflowWithIngest(engine->get(), *catalog,
+                                        IngestWorkflow(seed), boundary);
+  IDB_CHECK(outcomes.ok());
+  // The sweep proves nothing unless data actually arrived mid-workflow.
+  EXPECT_GT(ingestor->stats().epochs_published, 0)
+      << engine_name << " seed " << seed;
+  return std::move(outcomes).MoveValueUnsafe();
+}
+
+void RunIngestFuzz(const std::string& engine_name) {
+  for (int seed = 0; seed < kSeeds; ++seed) {
+    const auto reference = ReplayIngest(engine_name, seed, /*threads=*/1,
+                                        /*reuse=*/false, /*preloaded=*/false);
+    for (int threads : kThreadCounts) {
+      for (bool reuse : {false, true}) {
+        for (bool preloaded : {false, true}) {
+          if (threads == 1 && !reuse && !preloaded) continue;  // the reference
+          const std::string label =
+              engine_name + " ingest sweep, seed " + std::to_string(seed) +
+              ", threads " + std::to_string(threads) +
+              (reuse ? ", reuse on" : ", reuse off") +
+              (preloaded ? ", pre-loaded" : ", live");
+          auto other = ReplayIngest(engine_name, seed, threads, reuse,
+                                    preloaded);
+          testharness::ExpectOutcomesBitIdentical(reference, other, label);
+          if (::testing::Test::HasFatalFailure()) return;
+        }
+      }
+    }
+  }
+}
+
+TEST(IngestFuzzTest, BlockingIngestInterleavedBitIdentical) {
+  RunIngestFuzz("blocking");
+}
+
+TEST(IngestFuzzTest, OnlineIngestInterleavedBitIdentical) {
+  RunIngestFuzz("online");
+}
+
+TEST(IngestFuzzTest, ProgressiveIngestInterleavedBitIdentical) {
+  RunIngestFuzz("progressive");
+}
+
+TEST(IngestFuzzTest, StratifiedIngestInterleavedBitIdentical) {
+  RunIngestFuzz("stratified");
 }
 
 /// Reuse must also compose with thread-count invariance: the same

@@ -8,6 +8,7 @@
 ///                  [--nominal N] [--seed S] [--threads N]
 ///                  [--time-requirement US] [--quantum US]
 ///                  [--soft N] [--hard N] [--virtual] [--reuse-cache]
+///                  [--ingest-rate R] [--ingest-tail N]
 ///
 ///   --port P              listening port (default 8765; 0 = ephemeral)
 ///   --host H              bind address (default 127.0.0.1)
@@ -21,12 +22,22 @@
 ///   --soft N / --hard N   ratekeeper live-query limits (default 32/64)
 ///   --virtual             virtual-clock pacing instead of wall pacing
 ///   --reuse-cache         enable the cross-interaction reuse cache
+///   --ingest-rate R       replay a CSV tail through `append` frames at R
+///                         rows/sec (default 0 = no ingest); each batch
+///                         publishes its epoch, so serve_bench clients see
+///                         the watermark advance while they query
+///   --ingest-tail N       rows generated beyond --rows as the ingest
+///                         tail (default 5000; exhausted tail ends the
+///                         feed, serving continues)
 ///
 /// The bound port is printed as the first stdout line ("listening HOST
 /// PORT"), so callers binding port 0 can discover it.  On shutdown the
 /// server drains every connection and prints a stats summary.
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <cmath>
 #include <csignal>
 #include <cstdint>
 #include <cstdlib>
@@ -34,15 +45,22 @@
 #include <iostream>
 #include <memory>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "datagen/flights_seed.h"
 #include "engines/registry.h"
+#include "ingest/ingest.h"
+#include "net/client.h"
+#include "net/protocol.h"
 #include "net/server.h"
 #include "storage/catalog.h"
 
 namespace {
 
+using idebench::JsonValue;
 using idebench::Micros;
+using idebench::net::Client;
 using idebench::net::Server;
 using idebench::net::ServerOptions;
 
@@ -60,6 +78,8 @@ struct Args {
   int hard = 64;
   bool wall = true;
   bool reuse_cache = false;
+  double ingest_rate = 0.0;
+  int64_t ingest_tail = 5'000;
 };
 
 bool ParseArgs(int argc, char** argv, Args* args) {
@@ -95,6 +115,10 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       args->wall = false;
     } else if (arg == "--reuse-cache") {
       args->reuse_cache = true;
+    } else if (arg == "--ingest-rate" && (v = next())) {
+      args->ingest_rate = std::strtod(v, nullptr);
+    } else if (arg == "--ingest-tail" && (v = next())) {
+      args->ingest_tail = std::strtoll(v, nullptr, 10);
     } else {
       std::cerr << "unknown or incomplete argument: " << arg << "\n";
       return false;
@@ -104,10 +128,101 @@ bool ParseArgs(int argc, char** argv, Args* args) {
 }
 
 std::atomic<Server*> g_server{nullptr};
+std::atomic<bool> g_stop_feed{false};
 
 void HandleSignal(int) {
+  g_stop_feed.store(true, std::memory_order_release);
   Server* server = g_server.load(std::memory_order_acquire);
   if (server != nullptr) server->RequestStop();
+}
+
+/// Replays the generated tail rows `[begin, source->num_rows())` through
+/// the wire `append` frame as a loopback client: each tick serializes a
+/// batch to CSV text (the append frame's field contract), parses it back
+/// through `BatchFromCsvLines`, sends it with publish=true, and honors
+/// explicit rejections by retrying the same rows next tick — so ingest
+/// backs off exactly when the ratekeeper sheds it.
+void IngestFeed(const std::string& host, int port,
+                std::shared_ptr<const idebench::storage::Table> source,
+                int64_t begin, double rate) {
+  constexpr Micros kTick = 250'000;
+  const int64_t per_tick = std::max<int64_t>(
+      1, static_cast<int64_t>(std::llround(rate * kTick / 1e6)));
+
+  auto client = Client::Connect(host, port, "ingest-feeder");
+  if (!client.ok()) {
+    std::cerr << "ingest feeder connect failed: "
+              << client.status().ToString() << "\n";
+    return;
+  }
+
+  int64_t cursor = begin;
+  int64_t request = 0;
+  int64_t rows_appended = 0;
+  int64_t epochs = 0;
+  int64_t rejected = 0;
+  while (!g_stop_feed.load(std::memory_order_acquire) &&
+         cursor < source->num_rows()) {
+    const auto tick_start = std::chrono::steady_clock::now();
+    const int64_t end = std::min(cursor + per_tick, source->num_rows());
+
+    std::vector<std::string> lines;
+    lines.reserve(static_cast<size_t>(end - cursor));
+    for (int64_t r = cursor; r < end; ++r) {
+      std::string line;
+      for (int c = 0; c < source->num_columns(); ++c) {
+        if (c > 0) line += ',';
+        line += source->column(c).ValueAsString(r);
+      }
+      lines.push_back(std::move(line));
+    }
+    auto batch =
+        idebench::ingest::BatchFromCsvLines(lines, source->num_columns());
+    if (!batch.ok()) {
+      std::cerr << "ingest feeder: " << batch.status().ToString() << "\n";
+      return;
+    }
+
+    JsonValue msg = JsonValue::Object();
+    msg.Set("type", "append");
+    msg.Set("request", ++request);
+    JsonValue rows = JsonValue::Array();
+    for (const std::vector<std::string>& row : batch->rows) {
+      JsonValue wire_row = JsonValue::Array();
+      for (const std::string& field : row) wire_row.Append(field);
+      rows.Append(std::move(wire_row));
+    }
+    msg.Set("rows", std::move(rows));
+    msg.Set("publish", true);
+    if (!(*client)->Send(msg).ok()) break;
+
+    bool advanced = false;
+    JsonValue reply;
+    while (true) {
+      auto got = (*client)->Next(&reply, 5 * idebench::kMicrosPerSecond);
+      if (!got.ok() || !*got) break;  // torn feed: the server serves on
+      const std::string type = idebench::net::MessageType(reply);
+      if (type == "appended") {
+        advanced = true;
+        break;
+      }
+      if (type == "rejected") {
+        ++rejected;
+        break;  // shed under load: retry the same rows next tick
+      }
+    }
+    if (advanced) {
+      rows_appended += end - cursor;
+      ++epochs;
+      cursor = end;
+    }
+
+    std::this_thread::sleep_until(tick_start +
+                                  std::chrono::microseconds(kTick));
+  }
+  std::cout << "ingest feed done: rows=" << rows_appended
+            << " epochs=" << epochs << " shed=" << rejected << "\n"
+            << std::flush;
 }
 
 }  // namespace
@@ -118,26 +233,55 @@ int main(int argc, char** argv) {
     std::cerr << "usage: idebench_serve [--port P] [--host H] "
                  "[--engine NAME] [--rows N] [--nominal N] [--seed S] "
                  "[--threads N] [--time-requirement US] [--quantum US] "
-                 "[--soft N] [--hard N] [--virtual] [--reuse-cache]\n";
+                 "[--soft N] [--hard N] [--virtual] [--reuse-cache] "
+                 "[--ingest-rate R] [--ingest-tail N]\n";
     return 2;
   }
 
+  const bool ingest_on = args.ingest_rate > 0.0 && args.ingest_tail > 0;
+
   idebench::datagen::FlightsSeedConfig datagen;
-  datagen.rows = args.rows;
+  datagen.rows = args.rows + (ingest_on ? args.ingest_tail : 0);
   datagen.seed = args.seed;
   auto table = idebench::datagen::GenerateFlightsSeed(datagen);
   if (!table.ok()) {
     std::cerr << "datagen failed: " << table.status().ToString() << "\n";
     return 1;
   }
+  auto source = std::make_shared<idebench::storage::Table>(
+      std::move(table).MoveValueUnsafe());
+
+  // Under ingest the generated table splits in two: the first --rows rows
+  // seed the served fact table, the tail replays through `append` frames.
+  auto fact = source;
+  if (ingest_on) {
+    fact = std::make_shared<idebench::storage::Table>(source->name(),
+                                                      source->schema());
+    for (int64_t r = 0; r < args.rows; ++r) {
+      if (const auto st = fact->AppendRowFrom(*source, r); !st.ok()) {
+        std::cerr << "seed copy failed: " << st.ToString() << "\n";
+        return 1;
+      }
+    }
+  }
+
   auto catalog = std::make_shared<idebench::storage::Catalog>();
-  if (const auto st = catalog->AddTable(std::make_shared<idebench::storage::Table>(
-          std::move(table).MoveValueUnsafe()));
-      !st.ok()) {
+  if (const auto st = catalog->AddTable(fact); !st.ok()) {
     std::cerr << "catalog failed: " << st.ToString() << "\n";
     return 1;
   }
   catalog->set_nominal_rows(args.nominal);
+
+  std::unique_ptr<idebench::ingest::Ingestor> ingestor;
+  if (ingest_on) {
+    auto created =
+        idebench::ingest::Ingestor::Create(catalog, source->num_rows());
+    if (!created.ok()) {
+      std::cerr << "ingestor failed: " << created.status().ToString() << "\n";
+      return 1;
+    }
+    ingestor = std::move(*created);
+  }
 
   auto engine = idebench::engines::CreateEngine(
       args.engine, args.seed, args.threads, args.reuse_cache,
@@ -167,14 +311,22 @@ int main(int argc, char** argv) {
     std::cerr << "bind failed: " << server.status().ToString() << "\n";
     return 1;
   }
+  if (ingestor != nullptr) (*server)->AttachIngestor(ingestor.get());
   g_server.store(server->get(), std::memory_order_release);
   std::signal(SIGINT, HandleSignal);
   std::signal(SIGTERM, HandleSignal);
 
   std::cout << "listening " << args.host << " " << (*server)->port() << "\n"
             << std::flush;
+  std::thread feeder;
+  if (ingestor != nullptr) {
+    feeder = std::thread(IngestFeed, args.host, (*server)->port(), source,
+                         args.rows, args.ingest_rate);
+  }
   const auto status = (*server)->Serve();
   g_server.store(nullptr, std::memory_order_release);
+  g_stop_feed.store(true, std::memory_order_release);
+  if (feeder.joinable()) feeder.join();
   if (!status.ok()) {
     std::cerr << "serve failed: " << status.ToString() << "\n";
     return 1;
@@ -191,5 +343,13 @@ int main(int argc, char** argv) {
             << " admitted=" << rk.admitted << " degraded=" << rk.degraded
             << " throttled=" << rk.throttled << " rejected=" << rk.rejected
             << " max_backlog=" << stats.max_backlog << "\n";
+  if (ingestor != nullptr) {
+    const auto& in = ingestor->stats();
+    std::cout << "ingested: rows=" << in.rows_staged
+              << " epochs=" << in.epochs_published
+              << " rejected=" << in.rejected_rows
+              << " visible=" << ingestor->visible_rows()
+              << " staged=" << ingestor->staged_rows() << "\n";
+  }
   return 0;
 }
