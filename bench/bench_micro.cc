@@ -6,6 +6,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <filesystem>
+
 #include "aqp/sampler.h"
 #include "common/logging.h"
 #include "common/random.h"
@@ -823,6 +825,64 @@ void BM_IngestWhileServing(benchmark::State& state) {
   state.SetLabel(delta ? "delta_maintenance" : "invalidate_and_rescan");
 }
 BENCHMARK(BM_IngestWhileServing)->Arg(0)->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
+/// WAL append+commit throughput across the fsync-policy sweep: the
+/// durability tax an ingest pipeline pays per published epoch.  Arg(0)
+/// = no fsync (upper bound, page-cache speed), Arg(1) = grouped (one
+/// fsync per 8 commits), Arg(2) = fsync every commit (the default
+/// publish-is-durable contract).  Run
+///   bench_micro --benchmark_filter=WalAppend --benchmark_format=json
+/// to emit the JSON recorded in BENCH_wal.json.
+void BM_WalAppend(benchmark::State& state) {
+  constexpr int64_t kBatchRows = 200;
+  constexpr int kEpochs = 16;
+  ingest::WalOptions options;
+  switch (state.range(0)) {
+    case 0: options.sync = ingest::WalSync::kNone; break;
+    case 1:
+      options.sync = ingest::WalSync::kGrouped;
+      options.group_commit_interval = 8;
+      break;
+    default: options.sync = ingest::WalSync::kEveryCommit; break;
+  }
+  const std::string dir =
+      std::filesystem::temp_directory_path().string() + "/bench_wal";
+  std::filesystem::create_directories(dir);
+  const storage::Table& source = SharedTable();
+  const std::vector<std::vector<std::string>> batch =
+      ingest::BatchFromTable(source, 0, kBatchRows).rows;
+
+  int64_t rows_total = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::filesystem::remove(dir + "/ingest.wal");
+    ingest::WalHeader header;
+    header.table_name = source.name();
+    header.baseline_rows = source.num_rows();
+    header.num_columns = source.num_columns();
+    auto wal = ingest::WalWriter::Create(dir + "/ingest.wal", header, options);
+    IDB_CHECK(wal.ok());
+    state.ResumeTiming();
+    int64_t watermark = source.num_rows();
+    for (int epoch = 1; epoch <= kEpochs; ++epoch) {
+      IDB_CHECK((*wal)->AppendBatch(batch).ok());
+      watermark += kBatchRows;
+      IDB_CHECK((*wal)->AppendCommit(watermark, epoch).ok());
+    }
+    IDB_CHECK((*wal)->Sync().ok());
+    rows_total += kEpochs * kBatchRows;
+    state.counters["syncs"] +=
+        benchmark::Counter(static_cast<double>((*wal)->stats().syncs));
+    state.counters["wal_bytes"] +=
+        benchmark::Counter(static_cast<double>((*wal)->stats().bytes_logged));
+  }
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+  state.SetItemsProcessed(rows_total);
+  state.SetLabel(ingest::WalSyncName(options.sync));
+}
+BENCHMARK(BM_WalAppend)->Arg(0)->Arg(1)->Arg(2)
     ->Unit(benchmark::kMillisecond);
 
 }  // namespace

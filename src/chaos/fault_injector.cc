@@ -1,5 +1,8 @@
 #include "chaos/fault_injector.h"
 
+#include <signal.h>
+#include <unistd.h>
+
 #include <sstream>
 
 namespace idebench::chaos {
@@ -46,6 +49,14 @@ const char* FaultSiteName(FaultSite site) {
       return "ingest.append";
     case FaultSite::kIngestPublish:
       return "ingest.publish";
+    case FaultSite::kWalAppend:
+      return "wal.append";
+    case FaultSite::kWalFsync:
+      return "wal.fsync";
+    case FaultSite::kWalCommit:
+      return "wal.commit";
+    case FaultSite::kSegmentWrite:
+      return "segment.write";
   }
   return "unknown";
 }
@@ -77,11 +88,23 @@ void FaultInjector::ArmAll(double probability, int64_t budget_per_site) {
 bool FaultInjector::ShouldFire(FaultSite site) {
   std::lock_guard<std::mutex> lock(mu_);
   Site& s = sites_[static_cast<size_t>(site)];
-  if (s.config.probability <= 0.0) return false;
+  if (s.config.probability <= 0.0 && s.config.fire_on_draw < 0) return false;
   if (s.config.budget >= 0 && s.stats.fires >= s.config.budget) return false;
   ++s.stats.draws;
-  if (!s.rng.Bernoulli(s.config.probability)) return false;
+  if (s.config.fire_on_draw >= 0) {
+    // Exact trigger: fire on the configured 0-based draw index only.  No
+    // rng draw — the site's stream stays byte-identical to a disarmed run.
+    if (s.stats.draws - 1 != s.config.fire_on_draw) return false;
+  } else if (!s.rng.Bernoulli(s.config.probability)) {
+    return false;
+  }
   ++s.stats.fires;
+  if (kill_on_fire_) {
+    // Crash simulation: die exactly here, mid-operation.  SIGKILL cannot
+    // be caught, so no destructor, flush, or fsync runs — the on-disk
+    // state is whatever the interrupted operation had already written.
+    ::kill(::getpid(), SIGKILL);
+  }
   return true;
 }
 

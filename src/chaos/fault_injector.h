@@ -54,7 +54,20 @@
 ///    append must leave the open epoch exactly as it was);
 ///  * `kIngestPublish` — `ingest::Ingestor::Publish` fails before moving
 ///    the watermark: staged rows stay invisible and a later publish
-///    picks them up (visibility is atomic or not at all).
+///    picks them up (visibility is atomic or not at all);
+///  * `kWalAppend` — a WAL batch record fails *mid-write* (short write /
+///    ENOSPC): the writer must truncate back to the record boundary so
+///    the log never holds a half-record, and the append must surface an
+///    error without staging anything;
+///  * `kWalCommit` — a WAL epoch-commit record fails mid-write, same
+///    truncate-back contract: a failed publish leaves the log equal to
+///    the committed history plus fully-framed batch records;
+///  * `kWalFsync` — the fsync that makes a commit durable fails: the
+///    commit record is rolled back off the log and the publish reports
+///    an I/O error with the watermark unmoved;
+///  * `kSegmentWrite` — a segment/manifest file write fails mid-stream
+///    (ENOSPC-style): the writer must surface a `Status` error and leave
+///    no torn destination file behind (temp files are unlinked).
 ///
 /// Installation is process-global (`Install`/`ScopedFaultInjector`) so
 /// deep layers need no plumbing; when nothing is installed every site
@@ -62,6 +75,15 @@
 /// with a mutex: replayability additionally requires that the *order* of
 /// draws per site be deterministic, which holds in chaos runs because all
 /// sites are driven from the single scheduling thread.
+///
+/// Crash simulation: `set_kill_on_fire(true)` turns every fire into an
+/// immediate `SIGKILL` of the calling process — the site placements above
+/// are deliberately *mid-operation*, so a kill there leaves exactly the
+/// torn on-disk state a real crash would (a half-written WAL record, a
+/// commit that never synced, a segment temp file).  Combined with
+/// `FaultSiteConfig::fire_on_draw` (fire exactly on the Nth draw of a
+/// site, no randomness consumed), a (site, draw) pair fully determines
+/// the crash point, which is what `crash_runner` sweeps and replays.
 
 #include <array>
 #include <atomic>
@@ -93,9 +115,13 @@ enum class FaultSite : int {
   kSegmentChecksum = 14,
   kIngestAppend = 15,
   kIngestPublish = 16,
+  kWalAppend = 17,
+  kWalFsync = 18,
+  kWalCommit = 19,
+  kSegmentWrite = 20,
 };
 
-inline constexpr int kFaultSiteCount = 17;
+inline constexpr int kFaultSiteCount = 21;
 
 /// Stable human-readable site name ("engine.prepare", ...).
 const char* FaultSiteName(FaultSite site);
@@ -103,9 +129,15 @@ const char* FaultSiteName(FaultSite site);
 /// Per-site arming: fire with `probability` per draw, at most `budget`
 /// times (-1 = unlimited).  A zero probability site never draws from its
 /// stream, so arming extra sites never perturbs another site's schedule.
+///
+/// `fire_on_draw >= 0` replaces the probabilistic trigger with an exact
+/// one: the site fires on precisely that 0-based draw index and no other,
+/// consuming no randomness (the site's rng stream stays untouched, so a
+/// deterministic crash point never perturbs a probabilistic schedule).
 struct FaultSiteConfig {
   double probability = 0.0;
   int64_t budget = -1;
+  int64_t fire_on_draw = -1;
 };
 
 /// Per-site telemetry.
@@ -128,6 +160,11 @@ class FaultInjector {
   /// Deterministic draw: true when the site fires this time.  Disarmed
   /// sites return false without consuming randomness.
   bool ShouldFire(FaultSite site);
+
+  /// Crash mode: when set, any fire raises SIGKILL on the calling process
+  /// instead of returning — the process dies exactly at the injection
+  /// point, torn state and all.  Used by `crash_runner`'s forked children.
+  void set_kill_on_fire(bool kill) { kill_on_fire_ = kill; }
 
   FaultSiteStats site_stats(FaultSite site) const;
 
@@ -157,6 +194,7 @@ class FaultInjector {
 
   mutable std::mutex mu_;
   std::array<Site, kFaultSiteCount> sites_;
+  bool kill_on_fire_ = false;
 };
 
 /// RAII installer: installs `injector` for the enclosing scope and

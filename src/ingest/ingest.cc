@@ -1,5 +1,6 @@
 #include "ingest/ingest.h"
 
+#include <filesystem>
 #include <string>
 #include <utility>
 
@@ -75,9 +76,10 @@ Status ValidateField(const storage::Column& col, const std::string& text) {
   return Status::Invalid("column '" + col.name() + "': unknown type");
 }
 
-}  // namespace
-
-Result<std::unique_ptr<Ingestor>> Ingestor::Create(
+/// Shared Create/CreateDurable/Recover validation: resolves the fact
+/// table and checks the catalog shape and capacity.  Does NOT touch the
+/// table yet.
+Result<std::shared_ptr<storage::Table>> ResolveFactTable(
     const std::shared_ptr<storage::Catalog>& catalog, int64_t capacity) {
   if (catalog == nullptr || catalog->fact_table() == nullptr) {
     return Status::Invalid("ingest: empty catalog");
@@ -99,12 +101,160 @@ Result<std::unique_ptr<Ingestor>> Ingestor::Create(
                            " below current row count " +
                            std::to_string(fact->num_rows()));
   }
+  return fact;
+}
+
+}  // namespace
+
+Ingestor::~Ingestor() = default;
+
+std::string Ingestor::WalPath(const std::string& wal_dir) {
+  return wal_dir + "/ingest.wal";
+}
+
+Result<std::unique_ptr<Ingestor>> Ingestor::Create(
+    const std::shared_ptr<storage::Catalog>& catalog, int64_t capacity) {
+  IDB_ASSIGN_OR_RETURN(std::shared_ptr<storage::Table> fact,
+                       ResolveFactTable(catalog, capacity));
   // One up-front reservation keeps every column's storage at a stable
   // address for the ingestor's lifetime: compiled kernels cache raw data
   // pointers, and an append-triggered reallocation would dangle them.
   fact->Reserve(capacity);
   fact->BeginIngest();
   return std::unique_ptr<Ingestor>(new Ingestor(std::move(fact), capacity));
+}
+
+Result<std::unique_ptr<Ingestor>> Ingestor::CreateDurable(
+    const std::shared_ptr<storage::Catalog>& catalog, int64_t capacity,
+    const std::string& wal_dir, WalOptions options) {
+  IDB_ASSIGN_OR_RETURN(std::shared_ptr<storage::Table> fact,
+                       ResolveFactTable(catalog, capacity));
+  std::error_code ec;
+  std::filesystem::create_directories(wal_dir, ec);
+  if (ec) {
+    return Status::IOError("cannot create wal dir '" + wal_dir +
+                           "': " + ec.message());
+  }
+  WalHeader header;
+  header.table_name = fact->name();
+  header.baseline_rows = fact->num_rows();
+  header.num_columns = fact->num_columns();
+  IDB_ASSIGN_OR_RETURN(std::unique_ptr<WalWriter> wal,
+                       WalWriter::Create(WalPath(wal_dir), header, options));
+  fact->Reserve(capacity);
+  fact->BeginIngest();
+  std::unique_ptr<Ingestor> ingestor(
+      new Ingestor(std::move(fact), capacity));
+  ingestor->wal_ = std::move(wal);
+  return ingestor;
+}
+
+Result<std::unique_ptr<Ingestor>> Ingestor::Recover(
+    const std::shared_ptr<storage::Catalog>& catalog, int64_t capacity,
+    const std::string& wal_dir, WalOptions options, RecoverInfo* info) {
+  IDB_ASSIGN_OR_RETURN(std::shared_ptr<storage::Table> fact,
+                       ResolveFactTable(catalog, capacity));
+  const std::string path = WalPath(wal_dir);
+  IDB_ASSIGN_OR_RETURN(WalScan scan, ReadWal(path));
+  if (scan.records.empty() ||
+      scan.records.front().type != WalRecordType::kHeader) {
+    return Status::Invalid("wal '" + path + "' has no header record");
+  }
+  // The baseline must be the exact state the log was written against —
+  // replaying over anything else would fabricate rows that never passed
+  // through Append.
+  const WalHeader& header = scan.header;
+  if (header.table_name != fact->name()) {
+    return Status::Invalid("wal '" + path + "' is for table '" +
+                           header.table_name + "', catalog has '" +
+                           fact->name() + "'");
+  }
+  if (header.num_columns != fact->num_columns()) {
+    return Status::Invalid(
+        "wal '" + path + "' has " + std::to_string(header.num_columns) +
+        " columns, catalog has " + std::to_string(fact->num_columns()));
+  }
+  if (header.baseline_rows != fact->num_rows()) {
+    return Status::Invalid(
+        "wal '" + path + "' baseline is " +
+        std::to_string(header.baseline_rows) + " rows, catalog has " +
+        std::to_string(fact->num_rows()) +
+        " — not the baseline this log was created against");
+  }
+
+  fact->Reserve(capacity);
+  fact->BeginIngest();
+
+  RecoverInfo local;
+  int64_t batches_replayed = 0;
+  const int ncols = fact->num_columns();
+  for (const WalRecord& rec : scan.records) {
+    const bool committed = rec.offset + rec.bytes <= scan.committed_bytes;
+    switch (rec.type) {
+      case WalRecordType::kHeader:
+        break;
+      case WalRecordType::kBatch: {
+        if (!committed) {
+          // Logged but never followed by a durable commit: the epoch was
+          // never visible, so it must not become visible now.
+          local.uncommitted_rows_dropped +=
+              static_cast<int64_t>(rec.rows.size());
+          break;
+        }
+        if (fact->num_rows() + static_cast<int64_t>(rec.rows.size()) >
+            capacity) {
+          return Status::ResourceExhausted(
+              "wal replay exceeds ingest capacity " +
+              std::to_string(capacity));
+        }
+        for (const std::vector<std::string>& row : rec.rows) {
+          if (static_cast<int>(row.size()) != ncols) {
+            return Status::Invalid("wal '" + path + "': batch row has " +
+                                   std::to_string(row.size()) +
+                                   " fields, table has " +
+                                   std::to_string(ncols) + " columns");
+          }
+          for (int c = 0; c < ncols; ++c) {
+            // Batches were validated before being logged, so a replay
+            // parse failure means the log and catalog disagree.
+            IDB_RETURN_NOT_OK(fact->mutable_column(c).AppendParsed(
+                row[static_cast<size_t>(c)]));
+          }
+          ++local.rows_replayed;
+        }
+        ++batches_replayed;
+        break;
+      }
+      case WalRecordType::kCommit: {
+        if (!committed) break;  // unreachable: a commit commits itself
+        if (rec.watermark != fact->num_rows()) {
+          return Status::Invalid(
+              "wal '" + path + "': commit watermark " +
+              std::to_string(rec.watermark) + " != replayed row count " +
+              std::to_string(fact->num_rows()));
+        }
+        fact->PublishEpoch();
+        ++local.epochs_replayed;
+        break;
+      }
+    }
+  }
+  IDB_CHECK(fact->staged_rows() == 0);  // committed prefix ends at a commit
+  local.watermark = fact->visible_rows();
+  local.torn_bytes_dropped = static_cast<int64_t>(scan.torn_bytes);
+
+  IDB_ASSIGN_OR_RETURN(std::unique_ptr<WalWriter> wal,
+                       WalWriter::Resume(path, scan, options));
+  std::unique_ptr<Ingestor> ingestor(
+      new Ingestor(std::move(fact), capacity));
+  ingestor->wal_ = std::move(wal);
+  // Seed the telemetry so serving counters reflect the whole log's
+  // history, not just the post-recovery tail.
+  ingestor->stats_.rows_staged = local.rows_replayed;
+  ingestor->stats_.batches = batches_replayed;
+  ingestor->stats_.epochs_published = local.epochs_replayed;
+  if (info != nullptr) *info = local;
+  return ingestor;
 }
 
 Status Ingestor::Append(const RowBatch& batch) {
@@ -138,6 +288,17 @@ Status Ingestor::Append(const RowBatch& batch) {
       }
     }
   }
+  // Log-then-stage: the batch reaches the WAL before any column sees it,
+  // so replay can never contain fewer rows than the table (the converse —
+  // logged but not staged, because we crashed right here — is exactly
+  // what commit records exist to exclude from recovery).
+  if (wal_ != nullptr) {
+    const Status st = wal_->AppendBatch(batch.rows);
+    if (!st.ok()) {
+      stats_.rejected_rows += batch.size();
+      return st;
+    }
+  }
   // Every row validated: the appends below cannot fail.
   for (const std::vector<std::string>& row : batch.rows) {
     for (int c = 0; c < ncols; ++c) {
@@ -159,9 +320,23 @@ Result<int64_t> Ingestor::Publish() {
     return Status::IOError("injected ingest publish fault");
   }
   const int64_t staged = table_->staged_rows();
+  // Commit-then-publish: the epoch is durable (per the sync policy)
+  // before it becomes visible, so recovery can never show a watermark
+  // the log cannot justify.  On failure the WAL has already rolled the
+  // commit record back — staged rows stay invisible, the watermark does
+  // not move, and the next successful publish folds them in.
+  if (wal_ != nullptr && staged > 0) {
+    IDB_RETURN_NOT_OK(wal_->AppendCommit(table_->num_rows(),
+                                         stats_.epochs_published + 1));
+  }
   const int64_t watermark = table_->PublishEpoch();
   if (staged > 0) ++stats_.epochs_published;
   return watermark;
+}
+
+Status Ingestor::SyncWal() {
+  if (wal_ == nullptr) return Status::OK();
+  return wal_->Sync();
 }
 
 }  // namespace idebench::ingest

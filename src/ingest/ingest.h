@@ -30,6 +30,14 @@
 /// (`ResourceExhausted`), keeping every kernel pointer valid for the
 /// ingestor's lifetime.
 ///
+/// Durability (opt-in via `CreateDurable`/`Recover`): a write-ahead log
+/// (`ingest/wal.h`) records every accepted batch before it stages and
+/// every publish before the watermark moves, fsynced per `WalOptions`.
+/// After a crash, `Recover` replays the committed prefix over the same
+/// baseline and reconstructs the identical epoch history — post-recovery
+/// queries (stats, shuffled walks, reuse-cache watermarks) are
+/// bit-identical to a process that never crashed.
+///
 /// Scope: streaming ingest requires a *denormalized* catalog (single
 /// fact table).  Appending to a normalized star schema would need
 /// foreign-key maintenance on the materialized/lazy join indexes, which
@@ -43,6 +51,7 @@
 
 #include "common/result.h"
 #include "common/status.h"
+#include "ingest/wal.h"
 #include "storage/catalog.h"
 #include "storage/table.h"
 
@@ -81,6 +90,15 @@ struct IngestStats {
   int64_t rejected_rows = 0;     // rows refused (capacity / parse errors)
 };
 
+/// What a WAL replay reconstructed (all counts post-baseline).
+struct RecoverInfo {
+  int64_t epochs_replayed = 0;
+  int64_t rows_replayed = 0;
+  int64_t watermark = 0;                // recovered visible watermark
+  int64_t uncommitted_rows_dropped = 0; // logged but never committed
+  int64_t torn_bytes_dropped = 0;       // crash debris truncated off
+};
+
 /// The single-writer ingest front door for one catalog's fact table.
 class Ingestor {
  public:
@@ -90,6 +108,34 @@ class Ingestor {
   /// normalized catalogs — see the header comment for why.
   static Result<std::unique_ptr<Ingestor>> Create(
       const std::shared_ptr<storage::Catalog>& catalog, int64_t capacity);
+
+  /// Like `Create`, plus durability: starts a fresh WAL in `wal_dir`
+  /// (created if missing) whose header pins the fact table's name, column
+  /// count, and current row count as the replay baseline.  Every accepted
+  /// batch is logged before it stages and every publish is logged (and
+  /// fsynced per `options`) before the watermark moves.
+  static Result<std::unique_ptr<Ingestor>> CreateDurable(
+      const std::shared_ptr<storage::Catalog>& catalog, int64_t capacity,
+      const std::string& wal_dir, WalOptions options = WalOptions());
+
+  /// Rebuilds a crashed ingestor: replays the WAL in `wal_dir` over
+  /// `catalog` (which must hold the same baseline the WAL was created
+  /// against — same fact table name, columns, and row count).  Only
+  /// fully committed epochs are replayed, in original batch/publish
+  /// order, so the recovered watermark equals the last durable publish
+  /// and the epoch history — hence every epoch-seeded shuffled walk —
+  /// is bit-identical to the uncrashed process's.  The log itself is
+  /// truncated to the committed prefix and appending resumes.  On
+  /// failure the catalog may be partially mutated: discard it.
+  static Result<std::unique_ptr<Ingestor>> Recover(
+      const std::shared_ptr<storage::Catalog>& catalog, int64_t capacity,
+      const std::string& wal_dir, WalOptions options = WalOptions(),
+      RecoverInfo* info = nullptr);
+
+  /// The WAL file inside `wal_dir` ("<dir>/ingest.wal").
+  static std::string WalPath(const std::string& wal_dir);
+
+  ~Ingestor();
 
   /// Stages `batch` into the open epoch.  All-or-nothing: the whole batch
   /// is validated (field counts and strict scalar parses) before any row
@@ -115,6 +161,18 @@ class Ingestor {
   /// Total row capacity reserved at creation.
   int64_t capacity() const { return capacity_; }
 
+  /// True when a WAL is attached and every logged byte is on disk: the
+  /// serving layer reports this per append/publish so clients know
+  /// whether their rows would survive a crash right now.
+  bool durable() const { return wal_ != nullptr && wal_->durable(); }
+
+  /// The attached WAL, or nullptr for a volatile (Create'd) ingestor.
+  const WalWriter* wal() const { return wal_.get(); }
+
+  /// Flushes the WAL tail to disk (group-commit drain / SIGTERM path).
+  /// No-op without a WAL.
+  Status SyncWal();
+
   const IngestStats& stats() const { return stats_; }
 
   const storage::Table& table() const { return *table_; }
@@ -125,6 +183,7 @@ class Ingestor {
 
   std::shared_ptr<storage::Table> table_;
   int64_t capacity_ = 0;
+  std::unique_ptr<WalWriter> wal_;
   IngestStats stats_;
 };
 

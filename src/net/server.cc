@@ -340,6 +340,15 @@ void Server::HandleMessage(Connection* conn, const JsonValue& msg) {
     server.Set("append_rows", stats_.append_rows);
     server.Set("appends_rejected", stats_.appends_rejected);
     server.Set("epochs_published", stats_.epochs_published);
+    if (ingestor_ != nullptr && ingestor_->wal() != nullptr) {
+      const ingest::WalStats& ws = ingestor_->wal()->stats();
+      server.Set("wal_batches_logged", ws.batches_logged);
+      server.Set("wal_commits_logged", ws.commits_logged);
+      server.Set("wal_syncs", ws.syncs);
+      server.Set("wal_bytes", ws.bytes_logged);
+      server.Set("wal_rollback_bytes", ws.rollback_bytes);
+      server.Set("wal_durable", ingestor_->durable());
+    }
     keeper.Set("ingest_admitted", rs.ingest_admitted);
     keeper.Set("ingest_shed", rs.ingest_shed);
     JsonValue reply = JsonValue::Object();
@@ -529,6 +538,11 @@ void Server::HandleAppend(Connection* conn, const JsonValue& msg) {
   reply.Set("staged", ingestor_->staged_rows());
   reply.Set("watermark", ingestor_->visible_rows());
   reply.Set("published", published);
+  // Durability report: true when a WAL is attached and everything logged
+  // so far is fsynced — i.e. the rows in this reply would survive a
+  // crash right now.  Volatile ingestors always report false; a grouped
+  // sync policy reports false between group boundaries.
+  reply.Set("durable", ingestor_->durable());
   SendMessage(conn, reply);
 }
 

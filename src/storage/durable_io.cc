@@ -1,0 +1,94 @@
+#include "storage/durable_io.h"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <filesystem>
+
+#include "chaos/fault_injector.h"
+
+namespace idebench::storage {
+
+namespace {
+
+std::string Errno(const char* op, const std::string& path) {
+  return std::string(op) + " '" + path + "': " + std::strerror(errno);
+}
+
+/// Writes all of [data, data+n) to fd, retrying short writes / EINTR.
+/// The `segment.write` chaos site is drawn once per write call, *between*
+/// the two halves of the payload: a fire (or a kill-on-fire crash) leaves
+/// a genuinely torn file, which is exactly the state the atomic-rename
+/// protocol must make unobservable at the destination path.
+Status WriteAll(int fd, const char* data, size_t n, const std::string& path) {
+  const size_t half = n / 2;
+  size_t written = 0;
+  while (written < n) {
+    if (written == half &&
+        chaos::FaultInjector::Fire(chaos::FaultSite::kSegmentWrite)) {
+      errno = ENOSPC;
+      return Status::IOError(Errno("injected mid-write fault on", path));
+    }
+    // Cap each syscall at the half boundary so the chaos draw above sits
+    // at a deterministic byte offset regardless of kernel write sizes.
+    const size_t want = written < half ? half - written : n - written;
+    const ssize_t rc = ::write(fd, data + written, want);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(Errno("write to", path));
+    }
+    if (rc == 0) return Status::IOError("short write to '" + path + "'");
+    written += static_cast<size_t>(rc);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status FsyncDirectory(const std::string& dir) {
+  const std::string target = dir.empty() ? "." : dir;
+  const int fd = ::open(target.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd < 0) return Status::IOError(Errno("open directory", target));
+  const int rc = ::fsync(fd);
+  const int saved = errno;
+  ::close(fd);
+  if (rc != 0) {
+    errno = saved;
+    return Status::IOError(Errno("fsync directory", target));
+  }
+  return Status::OK();
+}
+
+Status WriteFileAtomic(const std::string& path, const std::string& data) {
+  // Per-process temp name: concurrent writers of the same destination
+  // (e.g. test shards sharing a cache path) must not race on one temp
+  // file — each renames its own, and the last rename wins atomically.
+  const std::string tmp =
+      path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+  const int fd =
+      ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) return Status::IOError(Errno("open", tmp));
+
+  Status st = WriteAll(fd, data.data(), data.size(), tmp);
+  if (st.ok() && ::fsync(fd) != 0) st = Status::IOError(Errno("fsync", tmp));
+  if (::close(fd) != 0 && st.ok()) st = Status::IOError(Errno("close", tmp));
+  if (!st.ok()) {
+    ::unlink(tmp.c_str());
+    return st;
+  }
+
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    st = Status::IOError(Errno("rename to", path));
+    ::unlink(tmp.c_str());
+    return st;
+  }
+  // The rename is not durable until the directory entry is.
+  const std::string parent =
+      std::filesystem::path(path).parent_path().string();
+  return FsyncDirectory(parent);
+}
+
+}  // namespace idebench::storage

@@ -1,0 +1,41 @@
+#ifndef IDEBENCH_STORAGE_DURABLE_IO_H_
+#define IDEBENCH_STORAGE_DURABLE_IO_H_
+
+/// \file durable_io.h
+/// Crash-safe file writes shared by the segment writer and the WAL.
+///
+/// Two primitives, both built on raw fds so short writes and ENOSPC are
+/// visible (iostream swallows both into a sticky failbit with no errno):
+///
+///  * `WriteFileAtomic` — write-temp-then-rename with fsync of the file
+///    *and* its directory.  After it returns OK the destination durably
+///    holds exactly the new bytes; after a crash at any point the
+///    destination holds either the complete old content or the complete
+///    new content, never a torn mix.  Failed attempts unlink their temp.
+///  * `FsyncDirectory` — flushes directory metadata (a rename or create
+///    is not durable until its directory entry is).
+///
+/// Both thread the `segment.write` chaos site so the crash harness can
+/// kill the process mid-write and prove the atomicity contract on the
+/// real filesystem.
+
+#include <string>
+
+#include "common/status.h"
+
+namespace idebench::storage {
+
+/// Atomically replaces `path` with `data`: writes `path + ".tmp"`, fsyncs
+/// it, renames over `path`, and fsyncs the parent directory.  Any failure
+/// (open, short write, ENOSPC, fsync, rename) surfaces as an IOError and
+/// leaves `path` untouched with the temp unlinked.  Chaos site
+/// `segment.write` fires mid-write, after roughly half the payload.
+Status WriteFileAtomic(const std::string& path, const std::string& data);
+
+/// Fsyncs the directory at `dir`, making renames/creates inside it
+/// durable.  An empty `dir` (relative path with no parent) fsyncs ".".
+Status FsyncDirectory(const std::string& dir);
+
+}  // namespace idebench::storage
+
+#endif  // IDEBENCH_STORAGE_DURABLE_IO_H_

@@ -12,6 +12,7 @@
 
 #include "chaos/fault_injector.h"
 #include "common/json.h"
+#include "storage/durable_io.h"
 #include "storage/schema.h"
 
 namespace idebench::storage {
@@ -304,11 +305,10 @@ Status WriteSegmentFile(const Table& table, const std::string& path) {
   PutU64(&file, checksum);
   PutU64(&file, kTailMagic);
 
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) return Status::IOError("cannot open '" + path + "' for writing");
-  out.write(file.data(), static_cast<std::streamsize>(file.size()));
-  if (!out) return Status::IOError("write to '" + path + "' failed");
-  return Status::OK();
+  // Atomic + durable: a crash or ENOSPC mid-write must never leave a torn
+  // segment at `path` — readers reject corrupt files wholesale, but a torn
+  // file silently masquerading as "written OK" would lose the old copy too.
+  return WriteFileAtomic(path, file);
 }
 
 // --- Reader ------------------------------------------------------------
@@ -723,16 +723,11 @@ Status WriteCatalogSegments(const Catalog& catalog, const std::string& dir) {
   }
   manifest.Set("foreign_keys", std::move(fks));
 
-  std::ofstream out(ManifestPath(dir), std::ios::trunc);
-  if (!out) {
-    return Status::IOError("cannot open '" + ManifestPath(dir) +
-                           "' for writing");
-  }
-  out << manifest.DumpPretty() << "\n";
-  if (!out) {
-    return Status::IOError("write to '" + ManifestPath(dir) + "' failed");
-  }
-  return Status::OK();
+  // Temp-then-rename: the manifest is the commit point for the whole
+  // directory, so rewriting it in place would let a crash mid-write tear
+  // the previous (valid) catalog.  After the rename either the old or the
+  // new manifest is durably present, never a mix.
+  return WriteFileAtomic(ManifestPath(dir), manifest.DumpPretty() + "\n");
 }
 
 Result<Catalog> LoadCatalogSegments(const std::string& dir) {

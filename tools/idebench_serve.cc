@@ -29,6 +29,16 @@
 ///   --ingest-tail N       rows generated beyond --rows as the ingest
 ///                         tail (default 5000; exhausted tail ends the
 ///                         feed, serving continues)
+///   --wal-dir DIR         durable ingest: log appends/publishes to a
+///                         write-ahead log in DIR.  When DIR already
+///                         holds a log, the committed epochs are
+///                         recovered over the (re-generated, identical)
+///                         baseline before serving and the feed resumes
+///                         past them; otherwise a fresh log starts.
+///                         `append` replies gain "durable", SIGTERM
+///                         drains the log before exit.
+///   --wal-sync MODE       every_commit (default) | grouped | none
+///   --wal-group N         commits per fsync under grouped (default 8)
 ///
 /// The bound port is printed as the first stdout line ("listening HOST
 /// PORT"), so callers binding port 0 can discover it.  On shutdown the
@@ -42,6 +52,7 @@
 #include <cstdint>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <iostream>
 #include <memory>
 #include <string>
@@ -80,6 +91,9 @@ struct Args {
   bool reuse_cache = false;
   double ingest_rate = 0.0;
   int64_t ingest_tail = 5'000;
+  std::string wal_dir;
+  std::string wal_sync = "every_commit";
+  int64_t wal_group = 8;
 };
 
 bool ParseArgs(int argc, char** argv, Args* args) {
@@ -119,6 +133,12 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       args->ingest_rate = std::strtod(v, nullptr);
     } else if (arg == "--ingest-tail" && (v = next())) {
       args->ingest_tail = std::strtoll(v, nullptr, 10);
+    } else if (arg == "--wal-dir" && (v = next())) {
+      args->wal_dir = v;
+    } else if (arg == "--wal-sync" && (v = next())) {
+      args->wal_sync = v;
+    } else if (arg == "--wal-group" && (v = next())) {
+      args->wal_group = std::strtoll(v, nullptr, 10);
     } else {
       std::cerr << "unknown or incomplete argument: " << arg << "\n";
       return false;
@@ -234,7 +254,8 @@ int main(int argc, char** argv) {
                  "[--engine NAME] [--rows N] [--nominal N] [--seed S] "
                  "[--threads N] [--time-requirement US] [--quantum US] "
                  "[--soft N] [--hard N] [--virtual] [--reuse-cache] "
-                 "[--ingest-rate R] [--ingest-tail N]\n";
+                 "[--ingest-rate R] [--ingest-tail N] [--wal-dir DIR] "
+                 "[--wal-sync MODE] [--wal-group N]\n";
     return 2;
   }
 
@@ -273,14 +294,63 @@ int main(int argc, char** argv) {
   catalog->set_nominal_rows(args.nominal);
 
   std::unique_ptr<idebench::ingest::Ingestor> ingestor;
+  int64_t feed_begin = args.rows;
   if (ingest_on) {
-    auto created =
-        idebench::ingest::Ingestor::Create(catalog, source->num_rows());
-    if (!created.ok()) {
-      std::cerr << "ingestor failed: " << created.status().ToString() << "\n";
-      return 1;
+    if (!args.wal_dir.empty()) {
+      idebench::ingest::WalOptions wal_options;
+      if (args.wal_sync == "every_commit") {
+        wal_options.sync = idebench::ingest::WalSync::kEveryCommit;
+      } else if (args.wal_sync == "grouped") {
+        wal_options.sync = idebench::ingest::WalSync::kGrouped;
+      } else if (args.wal_sync == "none") {
+        wal_options.sync = idebench::ingest::WalSync::kNone;
+      } else {
+        std::cerr << "unknown --wal-sync mode: " << args.wal_sync << "\n";
+        return 2;
+      }
+      wal_options.group_commit_interval = args.wal_group;
+
+      std::error_code ec;
+      const bool have_log = std::filesystem::exists(
+          idebench::ingest::Ingestor::WalPath(args.wal_dir), ec);
+      if (have_log) {
+        idebench::ingest::RecoverInfo info;
+        auto recovered = idebench::ingest::Ingestor::Recover(
+            catalog, source->num_rows(), args.wal_dir, wal_options, &info);
+        if (!recovered.ok()) {
+          std::cerr << "wal recovery failed: "
+                    << recovered.status().ToString() << "\n";
+          return 1;
+        }
+        ingestor = std::move(*recovered);
+        // Committed epochs are back; the feed resumes past them.
+        feed_begin = ingestor->visible_rows();
+        std::cout << "recovered wal: epochs=" << info.epochs_replayed
+                  << " rows=" << info.rows_replayed
+                  << " watermark=" << info.watermark
+                  << " dropped_uncommitted=" << info.uncommitted_rows_dropped
+                  << " torn_bytes=" << info.torn_bytes_dropped << "\n"
+                  << std::flush;
+      } else {
+        auto created = idebench::ingest::Ingestor::CreateDurable(
+            catalog, source->num_rows(), args.wal_dir, wal_options);
+        if (!created.ok()) {
+          std::cerr << "durable ingestor failed: "
+                    << created.status().ToString() << "\n";
+          return 1;
+        }
+        ingestor = std::move(*created);
+      }
+    } else {
+      auto created =
+          idebench::ingest::Ingestor::Create(catalog, source->num_rows());
+      if (!created.ok()) {
+        std::cerr << "ingestor failed: " << created.status().ToString()
+                  << "\n";
+        return 1;
+      }
+      ingestor = std::move(*created);
     }
-    ingestor = std::move(*created);
   }
 
   auto engine = idebench::engines::CreateEngine(
@@ -321,12 +391,19 @@ int main(int argc, char** argv) {
   std::thread feeder;
   if (ingestor != nullptr) {
     feeder = std::thread(IngestFeed, args.host, (*server)->port(), source,
-                         args.rows, args.ingest_rate);
+                         feed_begin, args.ingest_rate);
   }
   const auto status = (*server)->Serve();
   g_server.store(nullptr, std::memory_order_release);
   g_stop_feed.store(true, std::memory_order_release);
   if (feeder.joinable()) feeder.join();
+  // SIGTERM drain: whatever the sync policy left unsynced reaches disk
+  // before we exit, so a clean shutdown loses nothing.
+  if (ingestor != nullptr) {
+    if (const auto st = ingestor->SyncWal(); !st.ok()) {
+      std::cerr << "wal drain failed: " << st.ToString() << "\n";
+    }
+  }
   if (!status.ok()) {
     std::cerr << "serve failed: " << status.ToString() << "\n";
     return 1;
@@ -350,6 +427,14 @@ int main(int argc, char** argv) {
               << " rejected=" << in.rejected_rows
               << " visible=" << ingestor->visible_rows()
               << " staged=" << ingestor->staged_rows() << "\n";
+    if (ingestor->wal() != nullptr) {
+      const auto& ws = ingestor->wal()->stats();
+      std::cout << "wal: batches=" << ws.batches_logged
+                << " commits=" << ws.commits_logged
+                << " syncs=" << ws.syncs << " bytes=" << ws.bytes_logged
+                << " durable=" << (ingestor->durable() ? "true" : "false")
+                << "\n";
+    }
   }
   return 0;
 }
